@@ -1,0 +1,185 @@
+// Ablation: the §6 design comparison, quantified.
+//
+// The paper motivates music-defined congestion control as acting "without
+// waiting for source reactions, without having to modify the transport
+// protocol, as in DataCenter TCP, and without using the less efficient
+// Explicit Congestion Notification mechanism of TCP."
+//
+// Same bottleneck, two reactions to the same overload:
+//   (a) in-band  — an ECN/DCTCP-like source throttles itself after marks
+//                  echo back (transport modified, endpoints involved);
+//   (b) out-of-band — the switch sings its queue band; the MDN listener
+//                  installs a Flow-MOD splitting traffic over a second
+//                  path (no endpoint changes, in-network action).
+// We report reaction latency, delivered goodput and end-state queue.
+#include <cstdio>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/mdn.h"
+#include "mp/mp.h"
+#include "net/net.h"
+#include "sdn/sdn.h"
+
+namespace {
+
+using namespace mdn;
+constexpr double kSampleRate = 48000.0;
+constexpr double kRunSeconds = 8.0;
+
+struct Outcome {
+  double reaction_s = -1.0;       // first corrective action
+  std::uint64_t delivered = 0;    // packets at the destination
+  std::uint64_t sent = 0;
+  std::size_t end_backlog = 0;
+  std::uint64_t drops = 0;
+};
+
+// (a) ECN: single path, self-throttling source.
+Outcome run_ecn() {
+  net::Network net;
+  auto& sw = net.add_switch("s1");
+  auto& h1 = net.add_host("h1", net::make_ipv4(10, 0, 0, 1));
+  auto& h2 = net.add_host("h2", net::make_ipv4(10, 0, 0, 2));
+  net::LinkSpec fast;
+  fast.rate_bps = 1e9;
+  net::LinkSpec slow;
+  slow.rate_bps = 8e6;
+  slow.queue_capacity = 150;
+  const std::size_t in = net.connect(h1, sw, fast);
+  const std::size_t out = net.connect(h2, sw, slow);
+
+  net::FlowEntry fwd;
+  fwd.priority = 1;
+  fwd.match.dst_ip = h2.ip();
+  fwd.actions = {net::Action::output(out)};
+  sw.flow_table().add(fwd, 0);
+  net::FlowEntry back;
+  back.priority = 1;
+  back.match.dst_ip = h1.ip();
+  back.actions = {net::Action::output(in)};
+  sw.flow_table().add(back, 0);
+
+  sw.port(out).set_ecn_threshold(75);  // mark where MDN would sing band 2
+
+  net::EcnSourceConfig cfg;
+  cfg.flow = {h1.ip(), h2.ip(), 40000, 80, net::IpProto::kTcp};
+  cfg.initial_pps = 1800.0;  // same overload the MDN run faces
+  cfg.stop = net::from_seconds(kRunSeconds);
+  net::EcnRateSource source(h1, cfg);
+  net::attach_ecn_echo(h2);
+  source.start();
+  net.loop().run();
+
+  Outcome o;
+  o.reaction_s = source.first_backoff_s();
+  o.sent = source.sent();
+  // Count only forward data at the receiver (acks flow the other way).
+  o.delivered = h2.rx_packets();
+  o.end_backlog = sw.port(out).backlog();
+  o.drops = sw.port(out).drops();
+  return o;
+}
+
+// (b) MDN: rhombus, queue tones, listener splits traffic.
+Outcome run_mdn() {
+  net::Network net;
+  audio::AcousticChannel channel(kSampleRate);
+  core::FrequencyPlan plan({.base_hz = 500.0, .spacing_hz = 100.0});
+
+  net::LinkSpec core_link;
+  core_link.rate_bps = 8e6;
+  core_link.queue_capacity = 150;
+  auto topo = net::build_rhombus(net, core_link);
+
+  net::FlowEntry single;
+  single.priority = 10;
+  single.actions = {net::Action::output(topo.entry_upper_port)};
+  topo.entry->flow_table().add(single, 0);
+
+  sdn::Controller null_controller;
+  sdn::ControlChannel sdn_channel(net.loop(), net::kMillisecond);
+  const auto dpid = sdn_channel.attach(*topo.entry, null_controller);
+
+  const auto spk = channel.add_source("s1-speaker", 0.5);
+  mp::PiSpeakerBridge bridge(net.loop(), channel, spk);
+  mp::MpEmitter emitter(net.loop(), bridge, 0);
+  core::MdnController::Config ccfg;
+  ccfg.detector.sample_rate = kSampleRate;
+  core::MdnController controller(net.loop(), channel, ccfg);
+
+  const auto dev = plan.add_device("s1", 3);
+  core::QueueToneConfig qcfg;
+  qcfg.port_index = topo.entry_upper_port;
+  core::QueueToneReporter reporter(*topo.entry, emitter, plan, dev, qcfg);
+  core::LoadBalancerConfig lbcfg;
+  lbcfg.split_ports = {topo.entry_upper_port, topo.entry_lower_port};
+  core::LoadBalancerApp balancer(controller, sdn_channel, dpid, plan, dev,
+                                 lbcfg);
+  reporter.start();
+  controller.start();
+
+  // Non-reactive source at the same constant overload.
+  net::SourceConfig scfg;
+  scfg.flow = {topo.src->ip(), topo.dst->ip(), 40000, 80,
+               net::IpProto::kTcp};
+  scfg.stop = net::from_seconds(kRunSeconds);
+  net::CbrSource source(*topo.src, scfg, 1800.0);
+  source.start();
+
+  net.loop().schedule_at(net::from_seconds(kRunSeconds), [&] {
+    controller.stop();
+    reporter.stop();
+  });
+  net.loop().run();
+
+  Outcome o;
+  o.reaction_s = balancer.balanced_at_s();
+  o.sent = source.sent();
+  o.delivered = topo.dst->rx_packets();
+  o.end_backlog = topo.entry->port(topo.entry_upper_port).backlog();
+  o.drops = topo.entry->port(topo.entry_upper_port).drops() +
+            topo.entry->port(topo.entry_lower_port).drops();
+  return o;
+}
+
+void report(const char* label, const Outcome& o) {
+  std::printf("\n-- %s --\n", label);
+  bench::print_kv("reaction time", o.reaction_s, "s");
+  bench::print_kv("packets offered", static_cast<double>(o.sent), "");
+  bench::print_kv("packets delivered", static_cast<double>(o.delivered),
+                  "");
+  bench::print_kv("goodput fraction",
+                  o.sent ? static_cast<double>(o.delivered) /
+                               static_cast<double>(o.sent)
+                         : 0.0,
+                  "");
+  bench::print_kv("bottleneck drops", static_cast<double>(o.drops), "");
+  bench::print_kv("final backlog", static_cast<double>(o.end_backlog),
+                  "pkts");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation (§6 baseline)",
+                      "ECN/DCTCP self-throttling vs music-defined "
+                      "in-network splitting, same 1.8x overload");
+
+  const Outcome ecn = run_ecn();
+  report("(a) in-band ECN/DCTCP source", ecn);
+  const Outcome mdn = run_mdn();
+  report("(b) out-of-band MDN load balancer", mdn);
+
+  bench::print_claim("both mechanisms react to the overload",
+                     ecn.reaction_s > 0.0 && mdn.reaction_s > 0.0);
+  bench::print_claim(
+      "ECN protects the queue by throttling the sender (goodput "
+      "sacrificed to the offered load)",
+      ecn.delivered < mdn.delivered);
+  bench::print_claim(
+      "MDN sustains (almost) the full offered load by adding capacity "
+      "instead of shedding it — the §6 argument for in-network reaction",
+      mdn.delivered * 10 >= mdn.sent * 9);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Ablation for §7's two open questions:
+//   (1) "How many distinct server anomalies can we recognize?"
+//   (2) "What is the optimal microphone-server distance?"
+//
+// Four machine states (healthy, stopped, bearing wear, obstructed
+// intake) are classified by nearest reference spectrum while the
+// microphone moves away from the server: the fan signal falls as 1/r
+// against a fixed 85 dB machine-room background.  Accuracy per distance
+// answers both questions at once.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/fan_anomaly.h"
+
+namespace {
+
+using namespace mdn;
+constexpr double kSampleRate = 48000.0;
+
+struct State {
+  std::string label;
+  bool present;  // fan audible at all
+  audio::FanSpec spec;
+};
+
+std::vector<State> machine_states() {
+  audio::FanSpec healthy;
+  healthy.rpm = 4200.0;
+  healthy.blades = 7;
+  healthy.tone_amplitude = 0.25;
+  healthy.broadband_rms = 0.05;
+  healthy.seed = 11;
+
+  audio::FanSpec wear = healthy;
+  wear.harmonics = 12;
+  wear.tone_amplitude = 0.4;
+  wear.rpm_jitter = 0.004;
+  wear.seed = 12;
+
+  audio::FanSpec obstructed = healthy;
+  obstructed.rpm *= 0.7;
+  obstructed.broadband_rms = 0.15;
+  obstructed.seed = 13;
+
+  return {{"healthy", true, healthy},
+          {"stopped", false, healthy},
+          {"bearing-wear", true, wear},
+          {"obstructed", true, obstructed}};
+}
+
+audio::Waveform record(const State& state, const audio::Waveform& room,
+                       double duration_s, double distance_m,
+                       std::uint64_t variant) {
+  audio::Waveform mix(kSampleRate,
+                      static_cast<std::size_t>(duration_s * kSampleRate));
+  mix.mix_at(room.slice(variant * 4800, mix.size()), 0);
+  if (state.present) {
+    auto spec = state.spec;
+    spec.seed += variant * 977;
+    mix.mix_at(audio::generate_fan(spec, duration_s, kSampleRate), 0,
+               1.0 / std::max(distance_m, 0.1));
+  }
+  return mix;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation (§7 open questions)",
+                      "anomaly classes recognised vs microphone-server "
+                      "distance, 85 dB room");
+
+  const auto room = audio::generate_machine_room(
+      15, 8.0, kSampleRate, audio::spl_to_amplitude(85.0), 32);
+  const auto states = machine_states();
+
+  const std::vector<double> distances{0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  std::printf("\n%14s %14s %14s\n", "distance (m)", "accuracy",
+              "trials");
+  double acc_at_half_m = 0.0, acc_far = 0.0;
+  for (double d : distances) {
+    // Calibrate references at this distance (the operator trains where
+    // the microphone actually is).
+    core::FanAnomalyClassifier classifier(kSampleRate);
+    for (const auto& s : states) {
+      classifier.add_reference(s.label, record(s, room, 2.0, d, 0));
+    }
+    int correct = 0, trials = 0;
+    for (const auto& s : states) {
+      for (std::uint64_t v = 1; v <= 5; ++v) {
+        ++trials;
+        if (classifier.classify_majority(record(s, room, 1.0, d, v))
+                .label == s.label) {
+          ++correct;
+        }
+      }
+    }
+    const double acc = static_cast<double>(correct) / trials;
+    if (d == 0.5) acc_at_half_m = acc;
+    if (d == 8.0) acc_far = acc;
+    std::printf("%14.2f %14.2f %14d\n", d, acc, trials);
+  }
+
+  bench::print_claim(
+      "four distinct machine states (healthy / stopped / bearing wear / "
+      "obstructed) are recognisable at close range (the paper "
+      "demonstrated one: on vs off)",
+      acc_at_half_m >= 0.9);
+  bench::print_claim(
+      "accuracy decays with microphone distance — close placement is "
+      "the operating point, as the paper's \"closely placed microphone\" "
+      "suggests",
+      acc_far <= acc_at_half_m);
+  return 0;
+}

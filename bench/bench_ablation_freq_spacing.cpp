@@ -1,0 +1,110 @@
+// Ablation for the §3 finding "a distance of approximately 20 Hz between
+// frequencies is needed to accurately differentiate them".
+//
+// Two tones play simultaneously at a candidate spacing; the detector
+// must report two distinct peaks at the right frequencies.  The sweep
+// runs at several analysis-window lengths: resolvability is a property
+// of spacing x window, and ~20 Hz is achievable with windows of a few
+// hundred milliseconds — the regime the paper's listener operates in.
+#include <cstdio>
+#include <vector>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "dsp/fft.h"
+#include "mdn/tone_detector.h"
+
+namespace {
+
+using namespace mdn;
+constexpr double kSampleRate = 48000.0;
+
+// Fraction of trials (over random base frequencies) in which both tones
+// are resolved within 6 Hz.
+double resolution_rate(double spacing_hz, std::size_t window_samples) {
+  audio::Rng rng(1234);
+  const double window_s =
+      static_cast<double>(window_samples) / kSampleRate;
+  int resolved = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const double f0 = rng.uniform(600.0, 4000.0);
+    audio::ToneSpec a;
+    a.frequency_hz = f0;
+    a.amplitude = 0.1;
+    a.duration_s = window_s;
+    audio::ToneSpec b = a;
+    b.frequency_hz = f0 + spacing_hz;
+    b.phase_rad = rng.uniform(0.0, 6.28);
+    audio::Waveform mix = audio::make_tone(a, kSampleRate);
+    mix.mix_at(audio::make_tone(b, kSampleRate), 0);
+    mix.mix_at(audio::make_white_noise(window_s, 0.005, kSampleRate, rng),
+               0);
+
+    core::ToneDetectorConfig cfg;
+    cfg.sample_rate = kSampleRate;
+    cfg.fft_size = std::max<std::size_t>(
+        8192, dsp::next_power_of_two(window_samples));
+    cfg.window = dsp::WindowKind::kHann;  // narrower main lobe than
+                                          // Blackman: resolution study
+    cfg.min_amplitude = 0.03;
+    core::ToneDetector det(cfg);
+    const auto tones = det.detect(mix.samples());
+
+    // Two *distinct* peaks are required: with tiny spacings the tones
+    // merge into one lobe that would otherwise match both targets.
+    int idx_a = -1, idx_b = -1;
+    for (std::size_t p = 0; p < tones.size(); ++p) {
+      if (std::abs(tones[p].frequency_hz - f0) < 6.0) {
+        idx_a = static_cast<int>(p);
+      }
+      if (std::abs(tones[p].frequency_hz - (f0 + spacing_hz)) < 6.0) {
+        idx_b = static_cast<int>(p);
+      }
+    }
+    if (idx_a >= 0 && idx_b >= 0 && idx_a != idx_b) ++resolved;
+  }
+  return static_cast<double>(resolved) / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation (§3)",
+      "minimum frequency spacing for simultaneous tones vs analysis "
+      "window");
+
+  const std::vector<double> spacings{5.0, 10.0, 15.0, 20.0, 30.0, 50.0,
+                                     100.0};
+  const std::vector<std::size_t> windows{2400, 4800, 9600, 16384, 32768};
+
+  std::printf("\n%14s", "spacing (Hz)");
+  for (auto w : windows) {
+    std::printf("   %6.0f ms  ",
+                1000.0 * static_cast<double>(w) / kSampleRate);
+  }
+  std::printf("\n");
+  double rate_20hz_long = 0.0;
+  double rate_20hz_50ms = 0.0;
+  for (double s : spacings) {
+    std::printf("%14.0f", s);
+    for (auto w : windows) {
+      const double r = resolution_rate(s, w);
+      if (s == 20.0 && w == 32768) rate_20hz_long = r;
+      if (s == 20.0 && w == 2400) rate_20hz_50ms = r;
+      std::printf("   %8.2f   ", r);
+    }
+    std::printf("\n");
+  }
+
+  bench::print_claim(
+      "20 Hz spacing is reliably resolvable with a long enough window "
+      "(the paper's finding)",
+      rate_20hz_long >= 0.9);
+  bench::print_claim(
+      "20 Hz spacing is NOT resolvable inside a single 50 ms block "
+      "(physics: main lobe wider than the gap)",
+      rate_20hz_50ms <= 0.2);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation: heavy-hitter bin scalability — the §5 caveat, quantified.
+//
+// "There may be thousands of active flows per minute ... we do not claim
+// that Music-Defined Telemetry is a scalable replacement."  With F
+// background flows hashed into B frequency bins, collisions put mice
+// into the elephant's bin (false attribution) and mice pile into shared
+// bins (false alerts).  This sweep measures both against flow count.
+#include <cstdio>
+#include <vector>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/mdn.h"
+#include "mp/mp.h"
+#include "net/net.h"
+
+namespace {
+
+using namespace mdn;
+constexpr double kSampleRate = 48000.0;
+constexpr std::size_t kBins = 32;
+
+struct Outcome {
+  bool elephant_alerted = false;
+  std::size_t false_alert_bins = 0;   // alerted bins not the elephant's
+  std::size_t colliding_mice = 0;     // mice sharing the elephant's bin
+};
+
+Outcome run(std::size_t mouse_flows) {
+  net::Network net;
+  audio::AcousticChannel channel(kSampleRate);
+  net::Host* h1 = nullptr;
+  net::Host* h2 = nullptr;
+  auto switches = net::build_chain(net, 1, &h1, &h2);
+
+  core::FrequencyPlan plan({.base_hz = 2000.0, .spacing_hz = 20.0});
+  const auto dev = plan.add_device("s1", kBins);
+  const auto spk = channel.add_source("spk", 0.5);
+  mp::PiSpeakerBridge bridge(net.loop(), channel, spk);
+  mp::MpEmitter emitter(net.loop(), bridge, 100 * net::kMillisecond);
+
+  core::MdnController::Config ccfg;
+  ccfg.detector.sample_rate = kSampleRate;
+  core::MdnController controller(net.loop(), channel, ccfg);
+
+  core::HeavyHitterConfig cfg;
+  cfg.window_s = 2.0;
+  cfg.threshold = 12;
+  core::HeavyHitterReporter reporter(*switches[0], emitter, plan, dev,
+                                     cfg);
+  core::HeavyHitterDetector detector(controller, plan, dev, cfg);
+  controller.start();
+
+  // One elephant at 75% of the traffic, `mouse_flows` mice sharing the
+  // rest.
+  const net::FlowKey elephant{h1->ip(), h2->ip(), 41000, 80,
+                              net::IpProto::kTcp};
+  std::vector<net::FlowMixSource::WeightedFlow> flows{
+      {elephant, 3.0 * static_cast<double>(mouse_flows)}};
+  Outcome o;
+  const std::size_t elephant_bin = reporter.bin_for(elephant);
+  for (std::size_t m = 0; m < mouse_flows; ++m) {
+    net::FlowKey mouse{h1->ip(), h2->ip(),
+                       static_cast<std::uint16_t>(42000 + m),
+                       static_cast<std::uint16_t>(1024 + m),
+                       net::IpProto::kTcp};
+    if (reporter.bin_for(mouse) == elephant_bin) ++o.colliding_mice;
+    flows.push_back({mouse, 1.0});
+  }
+  net::FlowMixSource mix(*h1, flows, 400.0, 0, net::from_seconds(6.0),
+                         /*seed=*/mouse_flows + 1);
+  mix.start();
+
+  net.loop().schedule_at(net::from_seconds(6.5),
+                         [&] { controller.stop(); });
+  net.loop().run();
+
+  for (const auto& alert : detector.alerts()) {
+    if (alert.bin == elephant_bin) {
+      o.elephant_alerted = true;
+    } else {
+      ++o.false_alert_bins;
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation (§5 scalability)",
+                      "heavy-hitter attribution vs number of competing "
+                      "flows (32 bins)");
+
+  const std::vector<std::size_t> flow_counts{4, 16, 64, 256};
+  std::printf("\n%14s %16s %18s %18s\n", "mouse flows", "elephant found",
+              "false-alert bins", "mice in its bin");
+  bool found_small = false;
+  std::size_t false_small = 1, collisions_large = 0;
+  for (std::size_t f : flow_counts) {
+    const Outcome o = run(f);
+    std::printf("%14zu %16s %18zu %18zu\n", f,
+                o.elephant_alerted ? "yes" : "NO", o.false_alert_bins,
+                o.colliding_mice);
+    if (f == 4) {
+      found_small = o.elephant_alerted;
+      false_small = o.false_alert_bins;
+    }
+    if (f == 256) collisions_large = o.colliding_mice;
+  }
+
+  bench::print_claim(
+      "small networks (few flows) get clean attribution — the paper's "
+      "suggested deployment regime",
+      found_small && false_small == 0);
+  bench::print_claim(
+      "with hundreds of flows, hash collisions put mice into the "
+      "elephant's bin — the §5 scalability caveat is real",
+      collisions_large > 0);
+  return 0;
+}

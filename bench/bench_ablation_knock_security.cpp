@@ -1,0 +1,75 @@
+// Ablation: the security margin of the §4 knock melody.
+//
+// An attacker who knows the knock *ports* but not their order fires
+// random knock packets; the FSM opens only on the exact sequence.  We
+// measure the probability of accidental opening within a fixed number of
+// knock attempts as the sequence lengthens — the out-of-band
+// authentication analogue of password length.
+#include <cstdio>
+#include <vector>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/music_fsm.h"
+
+namespace {
+
+using namespace mdn;
+
+// Pure-FSM Monte Carlo: the audio path is already validated elsewhere;
+// here the question is combinatorial.
+double break_probability(std::size_t sequence_length, int attempts,
+                         int trials, std::uint64_t seed) {
+  // Knock sequence 0,1,2,...,n-1 over an alphabet of n symbols.
+  std::vector<std::size_t> sequence(sequence_length);
+  for (std::size_t i = 0; i < sequence_length; ++i) sequence[i] = i;
+
+  audio::Rng rng(seed);
+  int broken = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto fsm = core::make_knock_fsm(sequence);
+    bool open = false;
+    fsm.on_enter(sequence_length, [&] { open = true; });
+    for (int a = 0; a < attempts && !open; ++a) {
+      fsm.feed(rng.below(sequence_length), 0);
+    }
+    if (open) ++broken;
+  }
+  return static_cast<double>(broken) / trials;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation (§4 security)",
+                      "probability a random-knock attacker opens the "
+                      "port, vs sequence length");
+
+  constexpr int kTrials = 2000;
+  const std::vector<int> budgets{10, 100, 1000};
+  std::printf("\n%10s", "length");
+  for (int b : budgets) std::printf("  %8d knocks", b);
+  std::printf("\n");
+
+  double p3_100 = 0.0, p6_100 = 1.0;
+  for (std::size_t len : {2u, 3u, 4u, 6u}) {
+    std::printf("%10zu", len);
+    for (int b : budgets) {
+      const double p = break_probability(len, b, kTrials, 17 + len);
+      if (len == 3 && b == 100) p3_100 = p;
+      if (len == 6 && b == 100) p6_100 = p;
+      std::printf("  %14.4f", p);
+    }
+    std::printf("\n");
+  }
+
+  bench::print_claim(
+      "the paper's 3-knock melody resists casual probing but yields to "
+      "a determined random attacker (~100 knocks)",
+      p3_100 > 0.5);
+  bench::print_claim(
+      "lengthening the melody to 6 knocks restores a comfortable margin "
+      "at the same attacker budget",
+      p6_100 < 0.05);
+  return 0;
+}

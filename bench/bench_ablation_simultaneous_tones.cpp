@@ -1,0 +1,78 @@
+// Ablation for the §5 claim: "With our inexpensive testbed hardware
+// alone, we could distinguish up to 1000 distinct frequencies played
+// simultaneously only considering the human-hearable frequency range."
+//
+// N tones on the 20 Hz plan grid play at once; we measure the fraction
+// the detector identifies.  A long analysis window (0.7 s) stands in for
+// the paper's offline measurement of a sustained chord.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/frequency_plan.h"
+#include "mdn/tone_detector.h"
+
+namespace {
+
+using namespace mdn;
+constexpr double kSampleRate = 48000.0;
+
+double identification_rate(std::size_t n_tones) {
+  core::FrequencyPlan plan(
+      {.base_hz = 500.0, .spacing_hz = 20.0, .max_hz = 20500.0});
+  const auto dev = plan.add_device("orchestra", n_tones);
+
+  const std::size_t window = 32768;  // ~0.68 s
+  const double dur = static_cast<double>(window) / kSampleRate;
+  audio::Waveform mix(kSampleRate, window);
+  audio::Rng rng(42);
+  for (std::size_t i = 0; i < n_tones; ++i) {
+    audio::ToneSpec spec;
+    spec.frequency_hz = plan.frequency(dev, i);
+    spec.amplitude = 0.02;  // keep the sum well below clipping
+    spec.duration_s = dur;
+    spec.phase_rad = rng.uniform(0.0, 6.28);
+    mix.mix_at(audio::make_tone(spec, kSampleRate), 0);
+  }
+
+  core::ToneDetectorConfig cfg;
+  cfg.sample_rate = kSampleRate;
+  cfg.fft_size = window;
+  cfg.window = dsp::WindowKind::kHann;
+  cfg.min_amplitude = 0.01;
+  cfg.match_tolerance_hz = 8.0;
+  core::ToneDetector det(cfg);
+  const auto tones = det.detect(mix.samples());
+
+  std::set<std::size_t> identified;
+  for (const auto& t : tones) {
+    const auto hit = plan.identify(t.frequency_hz, 8.0);
+    if (hit && hit->device == dev) identified.insert(hit->symbol);
+  }
+  return static_cast<double>(identified.size()) /
+         static_cast<double>(n_tones);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation (§5)",
+                      "fraction of N simultaneous plan tones correctly "
+                      "identified");
+
+  const std::vector<std::size_t> counts{10, 50, 100, 250, 500, 750, 1000};
+  std::printf("\n%16s %16s\n", "tones", "identified");
+  double rate_1000 = 0.0;
+  for (std::size_t n : counts) {
+    const double r = identification_rate(n);
+    if (n == 1000) rate_1000 = r;
+    std::printf("%16zu %16.3f\n", n, r);
+  }
+
+  bench::print_claim(
+      "~1000 simultaneous frequencies distinguishable in the audible band",
+      rate_1000 >= 0.95);
+  return 0;
+}

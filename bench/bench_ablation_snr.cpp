@@ -1,0 +1,104 @@
+// Ablation: detection rate vs tone level against two interference beds
+// (machine-room noise and the pop song).  The paper states tones were
+// played at >= 30 dB and that detection survived both backgrounds; this
+// sweep maps where that stops being true.
+#include <cstdio>
+#include <vector>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/controller.h"
+#include "net/event_loop.h"
+
+namespace {
+
+using namespace mdn;
+constexpr double kSampleRate = 48000.0;
+
+enum class Bed { kQuietOffice, kMachineRoom, kSong };
+
+double detection_rate(Bed bed, double tone_db) {
+  constexpr int kTrials = 12;
+  int detected = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    net::EventLoop loop;
+    audio::AcousticChannel channel(kSampleRate);
+    switch (bed) {
+      case Bed::kQuietOffice:
+        channel.add_ambient(audio::generate_office(
+                                2.0, kSampleRate,
+                                audio::spl_to_amplitude(45.0),
+                                static_cast<std::uint64_t>(t)),
+                            true, 0.0);
+        break;
+      case Bed::kMachineRoom:
+        channel.add_ambient(
+            audio::generate_machine_room(12, 2.0, kSampleRate,
+                                         audio::spl_to_amplitude(80.0),
+                                         static_cast<std::uint64_t>(t)),
+            true, 0.0);
+        break;
+      case Bed::kSong: {
+        audio::Waveform song = audio::generate_song(
+            2.0, kSampleRate,
+            {.amplitude = 1.0, .seed = static_cast<std::uint64_t>(t)});
+        song.scale(audio::spl_to_amplitude(75.0) / song.rms());
+        channel.add_ambient(std::move(song), true, 0.0);
+        break;
+      }
+    }
+    const auto spk = channel.add_source("spk", 0.5);
+
+    core::MdnController::Config cfg;
+    cfg.detector.sample_rate = kSampleRate;
+    cfg.detector.min_amplitude = 0.02;
+    core::MdnController controller(loop, channel, cfg);
+    int heard = 0;
+    const double freq = 2200.0 + 20.0 * t;
+    // Gate on the emission instant so a fan harmonic drifting through
+    // the watched slot does not count as detecting *our* tone.
+    controller.watch(freq, [&](const core::ToneEvent& ev) {
+      if (ev.time_s > 0.1 && ev.time_s < 0.35) ++heard;
+    });
+    controller.start();
+
+    audio::ToneSpec spec;
+    spec.frequency_hz = freq;
+    spec.duration_s = 0.08;
+    spec.amplitude = audio::spl_to_amplitude(tone_db);
+    channel.emit(spk, audio::make_tone(spec, kSampleRate), 0.2);
+
+    loop.schedule_at(net::from_seconds(0.6), [&] { controller.stop(); });
+    loop.run();
+    if (heard > 0) ++detected;
+  }
+  return static_cast<double>(detected) / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation",
+                      "tone detection rate vs tone SPL across "
+                      "interference beds");
+
+  const std::vector<double> levels{40.0, 50.0, 60.0, 70.0, 80.0, 90.0};
+  std::printf("\n%14s %16s %16s %16s\n", "tone (dB SPL)", "quiet office",
+              "machine room", "song @75 dB");
+  double office_70 = 0.0, room_80 = 0.0;
+  for (double db : levels) {
+    const double office = detection_rate(Bed::kQuietOffice, db);
+    const double room = detection_rate(Bed::kMachineRoom, db);
+    const double song = detection_rate(Bed::kSong, db);
+    if (db == 70.0) office_70 = office;
+    if (db == 80.0) room_80 = room;
+    std::printf("%14.0f %16.2f %16.2f %16.2f\n", db, office, room, song);
+  }
+
+  bench::print_claim("70 dB tones always heard in a quiet office",
+                     office_70 >= 0.95);
+  bench::print_claim(
+      "tones at datacenter-like levels (80 dB+) survive the machine room",
+      room_80 >= 0.9);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation for the §3 finding that ~30 ms was the shortest usable tone:
+// detection rate vs tone duration, at the controller's 50 ms listening
+// hop and against mild room noise.
+#include <cstdio>
+#include <vector>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/controller.h"
+#include "net/event_loop.h"
+
+namespace {
+
+using namespace mdn;
+constexpr double kSampleRate = 48000.0;
+
+double detection_rate(double duration_s, double intensity_db) {
+  constexpr int kTrials = 20;
+  int detected = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    net::EventLoop loop;
+    audio::AcousticChannel channel(kSampleRate);
+    audio::Rng rng(static_cast<std::uint64_t>(t) * 977 + 13);
+    channel.add_ambient(
+        audio::make_pink_noise(1.0, 0.005, kSampleRate, rng), true, 0.0);
+    const auto spk = channel.add_source("spk", 0.5);
+
+    core::MdnController::Config cfg;
+    cfg.detector.sample_rate = kSampleRate;
+    core::MdnController controller(loop, channel, cfg);
+    int heard = 0;
+    const double freq = 700.0 + 20.0 * t;
+    controller.watch(freq, [&](const core::ToneEvent&) { ++heard; });
+    controller.start();
+
+    audio::ToneSpec spec;
+    spec.frequency_hz = freq;
+    spec.duration_s = duration_s;
+    spec.amplitude = audio::spl_to_amplitude(intensity_db);
+    // Random offset against the listener's hop grid — short tones can
+    // straddle a block boundary, which is exactly what limits them.
+    const double start = 0.1 + 0.05 * rng.uniform();
+    channel.emit(spk, audio::make_tone(spec, kSampleRate), start);
+
+    loop.schedule_at(net::from_seconds(0.5), [&] { controller.stop(); });
+    loop.run();
+    if (heard > 0) ++detected;
+  }
+  return static_cast<double>(detected) / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation (§3)",
+                      "tone detection rate vs tone duration (50 ms "
+                      "listening hop)");
+
+  const std::vector<double> durations_ms{5.0,  10.0, 20.0, 30.0,
+                                         50.0, 100.0};
+  std::printf("\n%16s %16s %16s\n", "duration (ms)", "rate @ 70 dB",
+              "rate @ 50 dB");
+  double rate_30ms = 0.0, rate_5ms = 0.0;
+  for (double ms : durations_ms) {
+    const double loud = detection_rate(ms / 1000.0, 70.0);
+    const double quiet = detection_rate(ms / 1000.0, 50.0);
+    if (ms == 30.0) rate_30ms = loud;
+    if (ms == 5.0) rate_5ms = loud;
+    std::printf("%16.0f %16.2f %16.2f\n", ms, loud, quiet);
+  }
+
+  bench::print_claim(
+      "~30 ms tones are reliably detected (the paper's shortest tone)",
+      rate_30ms >= 0.9);
+  bench::print_claim("very short (5 ms) tones degrade detection",
+                     rate_5ms < rate_30ms);
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Ablation: analysis-window choice for the tone detector.
+//
+// The listener must hear loud plan tones (sensitivity) without letting a
+// neighbouring switch's loud tone bleed into other slots (selectivity).
+// Per window kind this sweep measures: (a) detection rate for a 70 dB
+// tone in mild noise; (b) spurious slot detections while a *steady*
+// 90 dB tone fills the block — pure window-sidelobe leakage, the failure
+// mode that motivates the Blackman default; and (c) the same with a
+// hard-keyed tone starting mid-block — signal-side splatter that no
+// analysis window can remove, which is why the Pi bridge applies
+// generous fades on emission.
+#include <cstdio>
+#include <vector>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/frequency_plan.h"
+#include "mdn/tone_detector.h"
+
+namespace {
+
+using namespace mdn;
+constexpr double kSampleRate = 48000.0;
+
+struct Row {
+  double detect_rate = 0.0;
+  double spurious_steady = 0.0;
+  double spurious_keyed = 0.0;
+};
+
+Row measure(dsp::WindowKind kind) {
+  core::FrequencyPlan plan({.base_hz = 2000.0, .spacing_hz = 20.0});
+  const auto dev = plan.add_device("s1", 40);
+
+  core::ToneDetectorConfig cfg;
+  cfg.sample_rate = kSampleRate;
+  cfg.window = kind;
+  cfg.min_amplitude = 5e-3;
+  core::ToneDetector det(cfg);
+
+  Row row;
+  audio::Rng rng(13);
+
+  // (a) Sensitivity: 70 dB tone + mild noise, random slot, 40 trials.
+  int detected = 0;
+  constexpr int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::size_t slot = rng.below(40);
+    audio::ToneSpec spec;
+    spec.frequency_hz = plan.frequency(dev, slot);
+    spec.amplitude = audio::spl_to_amplitude(70.0) * 2.0;  // 0.5 m mic
+    spec.duration_s = 0.05;
+    audio::Waveform block = audio::make_tone(spec, kSampleRate);
+    block.mix_at(audio::make_white_noise(0.05, 1e-3, kSampleRate, rng), 0);
+    if (det.present(block.samples(), spec.frequency_hz)) ++detected;
+  }
+  row.detect_rate = static_cast<double>(detected) / kTrials;
+
+  // (b) Steady-tone selectivity: one 90 dB tone fills the whole block
+  // (no onset inside it); residual off-slot detections are pure window
+  // sidelobes.
+  std::size_t spurious_steady = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    audio::ToneSpec spec;
+    spec.frequency_hz = plan.frequency(dev, 20);
+    spec.amplitude = audio::spl_to_amplitude(90.0) * 2.0;
+    spec.duration_s = 0.06;
+    spec.fade_s = 0.0;
+    spec.phase_rad = rng.uniform(0.0, 6.28);
+    const auto sound = audio::make_tone(spec, kSampleRate);
+    const auto block = sound.slice(0, static_cast<std::size_t>(0.05 * kSampleRate));
+    const auto tones = det.detect(block.samples());
+    for (const auto& tone : tones) {
+      const auto hit = plan.identify(tone.frequency_hz);
+      if (hit && hit->symbol != 20) ++spurious_steady;
+    }
+  }
+  row.spurious_steady = static_cast<double>(spurious_steady) / kTrials;
+
+  // (c) Keyed-tone splatter: the tone starts mid-block with a hard 2 ms
+  // fade — the transient lands inside the analysis window.
+  std::size_t spurious_keyed = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    audio::ToneSpec spec;
+    spec.frequency_hz = plan.frequency(dev, 20);
+    spec.amplitude = audio::spl_to_amplitude(90.0) * 2.0;
+    spec.duration_s = 0.03;
+    spec.fade_s = 0.002;
+    spec.phase_rad = rng.uniform(0.0, 6.28);
+    audio::Waveform block(kSampleRate,
+                          static_cast<std::size_t>(0.05 * kSampleRate));
+    block.mix_at(audio::make_tone(spec, kSampleRate),
+                 static_cast<std::size_t>(0.012 * kSampleRate));
+    const auto tones = det.detect(block.samples());
+    for (const auto& tone : tones) {
+      const auto hit = plan.identify(tone.frequency_hz);
+      if (hit && hit->symbol != 20) ++spurious_keyed;
+    }
+  }
+  row.spurious_keyed = static_cast<double>(spurious_keyed) / kTrials;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation (detector design)",
+                      "window choice: sensitivity vs slot selectivity");
+
+  struct Case {
+    const char* name;
+    dsp::WindowKind kind;
+  };
+  const std::vector<Case> cases{
+      {"rectangular", dsp::WindowKind::kRectangular},
+      {"hann", dsp::WindowKind::kHann},
+      {"hamming", dsp::WindowKind::kHamming},
+      {"blackman", dsp::WindowKind::kBlackman},
+  };
+
+  std::printf("\n%14s %16s %18s %18s\n", "window", "detect @70 dB",
+              "spurious (steady)", "spurious (keyed)");
+  double blackman_steady = 1e9, rect_steady = 0.0;
+  double blackman_detect = 0.0, blackman_keyed = 0.0;
+  for (const auto& c : cases) {
+    const Row r = measure(c.kind);
+    std::printf("%14s %16.2f %18.2f %18.2f\n", c.name, r.detect_rate,
+                r.spurious_steady, r.spurious_keyed);
+    if (c.kind == dsp::WindowKind::kBlackman) {
+      blackman_steady = r.spurious_steady;
+      blackman_detect = r.detect_rate;
+      blackman_keyed = r.spurious_keyed;
+    }
+    if (c.kind == dsp::WindowKind::kRectangular) {
+      rect_steady = r.spurious_steady;
+    }
+  }
+
+  bench::print_claim(
+      "Blackman keeps full sensitivity at the paper's tone levels",
+      blackman_detect >= 0.95);
+  bench::print_claim(
+      "for steady tones, Blackman's sidelobes stay below the detection "
+      "floor while rectangular leaks into other slots (the default's "
+      "justification)",
+      blackman_steady == 0.0 && rect_steady > 0.0);
+  bench::print_claim(
+      "hard-keyed onsets splatter regardless of window — emission-side "
+      "fades (the Pi bridge's job) are required, not optional",
+      blackman_keyed > 1.0);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig 2a: "FFT of audio from 5 switches" — five switches play their plan
+// frequencies simultaneously; the listener's FFT shows five disjoint,
+// attributable peaks.
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/mdn.h"
+#include "mp/mp.h"
+#include "net/net.h"
+
+int main() {
+  using namespace mdn;
+  constexpr double kSampleRate = 48000.0;
+  bench::print_header("Figure 2a",
+                      "FFT of audio captured while 5 switches play "
+                      "simultaneously");
+
+  net::EventLoop loop;
+  audio::AcousticChannel channel(kSampleRate);
+  // Mild machine-room ambience so the peaks sit on a realistic floor.
+  channel.add_ambient(
+      audio::generate_machine_room(10, 2.0, kSampleRate, 0.02, 1), true, 0.0);
+
+  core::FrequencyPlan plan({.base_hz = 600.0, .spacing_hz = 20.0});
+  std::vector<core::DeviceId> devices;
+  std::vector<std::unique_ptr<mp::PiSpeakerBridge>> bridges;
+  for (int i = 0; i < 5; ++i) {
+    // Each switch gets a 10-symbol set; all five play symbol i (so peaks
+    // are spread across the grid, as in the figure).
+    devices.push_back(plan.add_device("zodiac-" + std::to_string(i), 10));
+    const auto spk =
+        channel.add_source("spk-" + std::to_string(i), 0.4 + 0.15 * i);
+    bridges.push_back(
+        std::make_unique<mp::PiSpeakerBridge>(loop, channel, spk, 0));
+    mp::MpMessage msg;
+    msg.frequency_hz = plan.frequency(devices.back(), i);
+    msg.duration_s = 0.3;
+    msg.intensity_db_spl = 80.0;
+    bridges.back()->play(msg);
+  }
+  loop.run();
+
+  core::ToneDetectorConfig cfg;
+  cfg.sample_rate = kSampleRate;
+  cfg.min_amplitude = 0.01;
+  core::ToneDetector detector(cfg);
+  const auto block = channel.render(0.1, 0.1);
+  const auto tones = detector.detect(block.samples());
+
+  std::printf("\n%14s %14s %-14s %s\n", "freq (Hz)", "amplitude", "device",
+              "symbol");
+  std::map<core::DeviceId, int> attributed;
+  for (const auto& t : tones) {
+    const auto hit = plan.identify(t.frequency_hz);
+    if (hit) {
+      ++attributed[hit->device];
+      std::printf("%14.1f %14.4f %-14s %zu\n", t.frequency_hz, t.amplitude,
+                  plan.device_name(hit->device).c_str(), hit->symbol);
+    } else {
+      std::printf("%14.1f %14.4f %-14s\n", t.frequency_hz, t.amplitude,
+                  "(unattributed)");
+    }
+  }
+
+  bench::print_claim(
+      "five switches playing at once are individually identifiable "
+      "from one FFT (5 attributed peaks)",
+      attributed.size() == 5);
+  return attributed.size() == 5 ? 0 : 1;
+}

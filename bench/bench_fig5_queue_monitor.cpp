@@ -1,0 +1,104 @@
+// Fig 5c-d: queue-size monitoring.  A burst fills the bottleneck queue;
+// the switch plays 500/600/700 Hz depending on occupancy (<25, 25-75,
+// >75 packets); after the traffic ends the queue drains and the 500 Hz
+// tone returns.
+#include <cstdio>
+
+#include "audio/audio.h"
+#include "bench_util.h"
+#include "mdn/mdn.h"
+#include "mp/mp.h"
+#include "net/net.h"
+
+int main() {
+  using namespace mdn;
+  constexpr double kSampleRate = 48000.0;
+  bench::print_header("Figure 5c-d",
+                      "Queue monitoring: queue length and the 500/600/"
+                      "700 Hz band tones");
+
+  net::Network net;
+  audio::AcousticChannel channel(kSampleRate);
+  // Paper's exact tone values: 500, 600, 700 Hz.
+  core::FrequencyPlan plan({.base_hz = 500.0, .spacing_hz = 100.0});
+
+  auto& sw = net.add_switch("s1");
+  auto& h1 = net.add_host("h1", net::make_ipv4(10, 0, 0, 1));
+  auto& h2 = net.add_host("h2", net::make_ipv4(10, 0, 0, 2));
+  net::LinkSpec fast;
+  fast.rate_bps = 1e9;
+  net::LinkSpec slow;
+  slow.rate_bps = 8e6;  // 1000 pps bottleneck
+  slow.queue_capacity = 200;
+  net.connect(h1, sw, fast);
+  const std::size_t out = net.connect(h2, sw, slow);
+  net::FlowEntry fwd;
+  fwd.priority = 1;
+  fwd.actions = {net::Action::output(out)};
+  sw.flow_table().add(fwd, 0);
+
+  const auto spk = channel.add_source("s1-speaker", 0.5);
+  mp::PiSpeakerBridge bridge(net.loop(), channel, spk, 0);
+  mp::MpEmitter emitter(net.loop(), bridge, 0);
+
+  core::MdnController::Config ccfg;
+  ccfg.detector.sample_rate = kSampleRate;
+  core::MdnController controller(net.loop(), channel, ccfg);
+
+  const auto dev = plan.add_device("s1", 3);
+  core::QueueToneConfig qcfg;
+  qcfg.port_index = out;
+  core::QueueToneReporter reporter(sw, emitter, plan, dev, qcfg);
+  core::QueueMonitorApp monitor(controller, plan, dev);
+
+  reporter.start();
+  controller.start();
+
+  // Burst at +100 pkts/s over the bottleneck for 2 s, then drain.
+  net::SourceConfig scfg;
+  scfg.flow = {h1.ip(), h2.ip(), 40000, 80, net::IpProto::kTcp};
+  scfg.start = 300 * net::kMillisecond;
+  scfg.stop = net::from_seconds(2.3);
+  net::CbrSource burst(h1, scfg, 1100.0);
+  burst.start();
+
+  net.loop().schedule_at(net::from_seconds(5.0), [&] {
+    controller.stop();
+    reporter.stop();
+  });
+  net.loop().run();
+
+  // Fig 5c: queue samples.
+  std::vector<std::vector<double>> rows;
+  for (const auto& s : reporter.samples()) {
+    rows.push_back({s.time_s, static_cast<double>(s.backlog),
+                    reporter.frequency_for_band(s.band)});
+  }
+  bench::print_series("Fig 5c: queue length (sampled every 300 ms)",
+                      {"t (s)", "queue (pkts)", "tone (Hz)"}, rows,
+                      "%14.1f");
+
+  // Fig 5d: band tones the controller heard.
+  std::vector<std::vector<double>> tone_rows;
+  for (const auto& ev : monitor.events()) {
+    tone_rows.push_back({ev.time_s, static_cast<double>(ev.band),
+                         ev.frequency_hz});
+  }
+  bench::print_series("Fig 5d: band tones heard by the controller",
+                      {"t (s)", "band", "freq (Hz)"}, tone_rows, "%14.1f");
+
+  bool saw0 = false, saw1 = false, saw2 = false;
+  for (const auto& ev : monitor.events()) {
+    saw0 |= ev.band == 0;
+    saw1 |= ev.band == 1;
+    saw2 |= ev.band == 2;
+  }
+  const bool ends_low =
+      !monitor.events().empty() && monitor.events().back().band == 0;
+  bench::print_claim("all three queue bands audible as the queue fills",
+                     saw0 && saw1 && saw2);
+  bench::print_claim(
+      "after the burst the controller hears 500 Hz again (queue drained)",
+      ends_low);
+  return (saw0 && saw1 && saw2 && ends_low) ? 0 : 1;
+}

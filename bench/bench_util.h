@@ -1,0 +1,44 @@
+// Shared output helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) a header identifying the paper figure it
+// regenerates, (b) the data series behind that figure as aligned columns
+// (ready to plot), and (c) a PASS/FAIL style summary of the qualitative
+// claim the paper makes about the figure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mdn::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_series(const std::string& title,
+                         const std::vector<std::string>& columns,
+                         const std::vector<std::vector<double>>& rows,
+                         const char* fmt = "%14.4f") {
+  std::printf("\n-- %s --\n", title.c_str());
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (const auto& row : rows) {
+    for (double v : row) std::printf(fmt, v);
+    std::printf("\n");
+  }
+}
+
+inline void print_claim(const std::string& claim, bool held) {
+  std::printf("[%s] %s\n", held ? "REPRODUCED" : "DIVERGED  ", claim.c_str());
+}
+
+inline void print_kv(const std::string& key, double value,
+                     const std::string& unit = "") {
+  std::printf("  %-44s %12.4f %s\n", key.c_str(), value, unit.c_str());
+}
+
+}  // namespace mdn::bench

@@ -1,0 +1,105 @@
+// frequency_plan_tool: generate, inspect and validate the frequency-plan
+// documents that switch emitters and listening controllers share (§3:
+// "the listening application knows the frequency mappings").
+//
+//   ./frequency_plan_tool gen <n_switches> <symbols_each> [spacing_hz]
+//       prints a plan document for a deployment
+//   ./frequency_plan_tool check <file>
+//       parses a plan document and prints the full frequency map
+//   ./frequency_plan_tool lookup <file> <frequency_hz>
+//       which (device, symbol) owns a heard frequency?
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mdn/frequency_plan.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 4) return 2;
+  const int switches = std::atoi(argv[2]);
+  const int symbols = std::atoi(argv[3]);
+  const double spacing = argc > 4 ? std::atof(argv[4]) : 20.0;
+  mdn::core::FrequencyPlan plan(
+      {.base_hz = 500.0, .spacing_hz = spacing, .max_hz = 18000.0});
+  for (int i = 0; i < switches; ++i) {
+    plan.add_device("switch-" + std::to_string(i + 1),
+                    static_cast<std::size_t>(symbols));
+  }
+  std::fputs(plan.to_text().c_str(), stdout);
+  std::fprintf(stderr, "(capacity left: %zu frequencies)\n",
+               plan.remaining_capacity());
+  return 0;
+}
+
+int cmd_check(int argc, char** argv) {
+  if (argc < 3) return 2;
+  const auto plan =
+      mdn::core::FrequencyPlan::from_text(read_file(argv[2]));
+  std::printf("plan ok: %zu devices, band %.0f..%.0f Hz step %.0f Hz, "
+              "%zu slots free\n",
+              plan.device_count(), plan.config().base_hz,
+              plan.config().max_hz, plan.config().spacing_hz,
+              plan.remaining_capacity());
+  for (mdn::core::DeviceId d = 0; d < plan.device_count(); ++d) {
+    std::printf("  %-16s", plan.device_name(d).c_str());
+    for (std::size_t s = 0; s < plan.symbol_count(d); ++s) {
+      std::printf(" %.0f", plan.frequency(d, s));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_lookup(int argc, char** argv) {
+  if (argc < 4) return 2;
+  const auto plan =
+      mdn::core::FrequencyPlan::from_text(read_file(argv[2]));
+  const double freq = std::atof(argv[3]);
+  const auto hit = plan.identify(freq);
+  if (!hit) {
+    std::printf("%.1f Hz: not assigned to any device\n", freq);
+    return 1;
+  }
+  std::printf("%.1f Hz -> device \"%s\" symbol %zu (slot centre %.1f Hz)\n",
+              freq, plan.device_name(hit->device).c_str(), hit->symbol,
+              hit->frequency_hz);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  int rc = 2;
+  try {
+    if (cmd == "gen") rc = cmd_gen(argc, argv);
+    else if (cmd == "check") rc = cmd_check(argc, argv);
+    else if (cmd == "lookup") rc = cmd_lookup(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (rc == 2) {
+    std::fprintf(stderr,
+                 "usage: %s gen <n_switches> <symbols_each> [spacing_hz]\n"
+                 "       %s check <file>\n"
+                 "       %s lookup <file> <frequency_hz>\n",
+                 argv[0], argv[0], argv[0]);
+  }
+  return rc;
+}

@@ -1,0 +1,110 @@
+// Two-room relay demo (§8's multi-hop open question, running).
+//
+// A switch in the server room signs its queue state; the operations desk
+// is a separate room out of earshot.  A relay box (microphone in the
+// server room, speaker at the desk) re-sings what it hears on its own
+// frequency set, so the desk's listener still gets the congestion alert
+// — two acoustic hops, no network path.
+//
+// Run: ./two_room_relay
+#include <cstdio>
+
+#include "audio/audio.h"
+#include "mdn/mdn.h"
+#include "mp/mp.h"
+#include "net/net.h"
+
+int main() {
+  using namespace mdn;
+  constexpr double kSampleRate = 48000.0;
+
+  net::Network net;
+  audio::AcousticChannel server_room(kSampleRate);
+  audio::AcousticChannel ops_desk(kSampleRate);
+  // Each room has its own ambience.
+  server_room.add_ambient(audio::generate_machine_room(
+      10, 3.0, kSampleRate, audio::spl_to_amplitude(75.0), 5));
+  ops_desk.add_ambient(audio::generate_office(
+      3.0, kSampleRate, audio::spl_to_amplitude(45.0), 6));
+
+  // Bottleneck switch in the server room.
+  auto& sw = net.add_switch("s1");
+  auto& h1 = net.add_host("h1", net::make_ipv4(10, 0, 0, 1));
+  auto& h2 = net.add_host("h2", net::make_ipv4(10, 0, 0, 2));
+  net::LinkSpec fast;
+  fast.rate_bps = 1e9;
+  net::LinkSpec slow;
+  slow.rate_bps = 8e6;
+  slow.queue_capacity = 200;
+  net.connect(h1, sw, fast);
+  const std::size_t out = net.connect(h2, sw, slow);
+  net::FlowEntry fwd;
+  fwd.priority = 1;
+  fwd.actions = {net::Action::output(out)};
+  sw.flow_table().add(fwd, 0);
+
+  core::FrequencyPlan plan({.base_hz = 2000.0, .spacing_hz = 100.0});
+  const auto sw_dev = plan.add_device("s1", 3);
+  const auto relay_dev = plan.add_device("relay", 3);
+
+  // Switch speaker in the server room.
+  const auto sw_spk = server_room.add_source("s1-speaker", 0.5);
+  mp::PiSpeakerBridge sw_bridge(net.loop(), server_room, sw_spk);
+  mp::MpEmitter sw_emitter(net.loop(), sw_bridge, 0);
+  core::QueueToneConfig qcfg;
+  qcfg.port_index = out;
+  qcfg.intensity_db_spl = 85.0;
+  core::QueueToneReporter reporter(sw, sw_emitter, plan, sw_dev, qcfg);
+
+  // The relay box: mic in the server room, speaker at the desk.
+  core::MdnController::Config mic_cfg;
+  mic_cfg.detector.sample_rate = kSampleRate;
+  mic_cfg.detector.min_amplitude = 0.05;
+  core::MdnController relay_mic(net.loop(), server_room, mic_cfg);
+  const auto relay_spk = ops_desk.add_source("relay-speaker", 0.5);
+  mp::PiSpeakerBridge relay_bridge(net.loop(), ops_desk, relay_spk);
+  mp::MpEmitter relay_emitter(net.loop(), relay_bridge, 0);
+  core::ToneRelayConfig rcfg;
+  rcfg.intensity_db_spl = 75.0;
+  core::ToneRelay relay(relay_mic, plan, sw_dev, relay_emitter, relay_dev,
+                        rcfg);
+
+  // The desk listener watches the relay's set.
+  core::MdnController desk_mic(net.loop(), ops_desk, mic_cfg);
+  core::QueueMonitorApp desk_monitor(desk_mic, plan, relay_dev);
+  bool alerted = false;
+  desk_mic.watch(plan.frequency(relay_dev, 2), [&](const core::ToneEvent& ev) {
+    if (!alerted) {
+      alerted = true;
+      std::printf("[%6.2f s] OPS DESK: congestion alert for s1 "
+                  "(heard via relay, two rooms away)\n",
+                  ev.time_s);
+    }
+  });
+
+  reporter.start();
+  relay_mic.start();
+  desk_mic.start();
+
+  // Overload arrives at t=1 s.
+  net::SourceConfig scfg;
+  scfg.flow = {h1.ip(), h2.ip(), 40000, 80, net::IpProto::kTcp};
+  scfg.start = net::kSecond;
+  scfg.stop = net::from_seconds(4.0);
+  net::CbrSource source(h1, scfg, 1500.0);
+  source.start();
+
+  net.loop().schedule_at(net::from_seconds(5.0), [&] {
+    reporter.stop();
+    relay_mic.stop();
+    desk_mic.stop();
+  });
+  net.loop().run();
+
+  std::printf("\ntones relayed     : %llu\n",
+              static_cast<unsigned long long>(relay.relayed()));
+  std::printf("desk heard bands  : %zu events\n",
+              desk_monitor.events().size());
+  std::printf("congestion alert  : %s\n", alerted ? "delivered" : "MISSED");
+  return alerted ? 0 : 1;
+}

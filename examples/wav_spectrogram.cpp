@@ -1,0 +1,84 @@
+// wav_spectrogram: ASCII mel spectrogram viewer for the library's WAV
+// artifacts (knocks.wav, pager.wav, or any mono 16-bit PCM file).
+// Renders time left-to-right, mel bands bottom-to-top — the same view as
+// the paper's figures, in a terminal.
+//
+// Run: ./wav_spectrogram <file.wav> [bands] [fmax_hz]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "audio/audio.h"
+#include "dsp/dsp.h"
+
+int main(int argc, char** argv) {
+  using namespace mdn;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.wav> [bands] [fmax_hz]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::size_t bands =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 24;
+  const double fmax = argc > 3 ? std::atof(argv[3]) : 4000.0;
+
+  audio::Waveform wav;
+  try {
+    wav = audio::read_wav(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s: %.2f s at %.0f Hz, peak %.3f, rms %.4f\n", path.c_str(),
+              wav.duration_s(), wav.sample_rate(), wav.peak(), wav.rms());
+  if (wav.empty()) return 0;
+
+  // Pick a hop so the picture is ~100 columns wide.
+  const std::size_t target_cols = 100;
+  const std::size_t hop =
+      std::max<std::size_t>(256, wav.size() / target_cols);
+  const std::size_t fft = dsp::next_power_of_two(std::min<std::size_t>(
+      4096, std::max<std::size_t>(512, hop)));
+  const auto lin = dsp::stft(wav.samples(), wav.sample_rate(),
+                             {.fft_size = fft, .hop = hop});
+  if (lin.frames() == 0) {
+    std::printf("(file too short for a spectrogram)\n");
+    return 0;
+  }
+  const auto mel = dsp::mel_spectrogram(lin, bands, 80.0, fmax);
+
+  // Log-compress and normalise for display.
+  double max_db = -1e9;
+  std::vector<std::vector<double>> db(mel.frames.size(),
+                                      std::vector<double>(bands));
+  for (std::size_t f = 0; f < mel.frames.size(); ++f) {
+    for (std::size_t b = 0; b < bands; ++b) {
+      db[f][b] = dsp::amplitude_to_db(mel.frames[f][b], 1.0, -90.0);
+      max_db = std::max(max_db, db[f][b]);
+    }
+  }
+
+  static const char kShades[] = " .:-=+*#%@";
+  constexpr double kRange = 50.0;  // dB of dynamic range displayed
+  for (std::size_t b = bands; b-- > 0;) {
+    std::printf("%7.0fHz |", mel.band_centers_hz[b]);
+    for (std::size_t f = 0; f < db.size(); ++f) {
+      const double rel = (db[f][b] - (max_db - kRange)) / kRange;
+      const int idx = std::clamp(
+          static_cast<int>(rel * (sizeof kShades - 2)), 0,
+          static_cast<int>(sizeof kShades) - 2);
+      std::putchar(kShades[idx]);
+    }
+    std::printf("|\n");
+  }
+  std::printf("%9s +", "");
+  for (std::size_t f = 0; f < db.size(); ++f) std::putchar('-');
+  std::printf("+\n%9s  0%*s%.1fs\n", "",
+              static_cast<int>(db.size()) - 5, "",
+              wav.duration_s());
+  return 0;
+}

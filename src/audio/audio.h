@@ -1,0 +1,12 @@
+// Umbrella header for the mdn_audio library.
+#pragma once
+
+#include "audio/channel.h"
+#include "audio/fan.h"
+#include "audio/noise.h"
+#include "audio/resample.h"
+#include "audio/rng.h"
+#include "audio/song.h"
+#include "audio/synth.h"
+#include "audio/wav.h"
+#include "audio/waveform.h"

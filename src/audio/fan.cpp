@@ -1,0 +1,104 @@
+#include "audio/fan.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "audio/noise.h"
+#include "audio/synth.h"
+
+namespace mdn::audio {
+
+double blade_pass_hz(const FanSpec& spec) noexcept {
+  return spec.rpm / 60.0 * static_cast<double>(spec.blades);
+}
+
+Waveform generate_fan(const FanSpec& spec, double duration_s,
+                      double sample_rate) {
+  const auto n = static_cast<std::size_t>(duration_s * sample_rate);
+  Waveform w(sample_rate, n);
+  Rng rng(spec.seed);
+
+  const double shaft_hz = spec.rpm / 60.0;
+  const double bpf = blade_pass_hz(spec);
+
+  // Slow speed wander: a low-frequency random walk on the rotation rate,
+  // so tones are narrow but not laser-thin (as in a real fan).
+  double speed_mod = 0.0;
+  const double wander_step = spec.rpm_jitter / std::sqrt(sample_rate);
+  double phase_shaft = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  std::vector<double> phase_harm(static_cast<std::size_t>(spec.harmonics));
+  for (auto& p : phase_harm) p = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    speed_mod += wander_step * rng.gaussian();
+    // Mean-revert so the wander stays bounded.
+    speed_mod *= 1.0 - 1.0 / sample_rate;
+    const double speed = 1.0 + speed_mod;
+
+    double s = 0.0;
+    // Shaft rotation tone (imbalance line), quieter than the BPF.
+    phase_shaft += 2.0 * std::numbers::pi * shaft_hz * speed / sample_rate;
+    s += 0.3 * spec.tone_amplitude * std::sin(phase_shaft);
+    // Blade-pass fundamental and harmonics with 1/h rolloff.
+    for (int h = 0; h < spec.harmonics; ++h) {
+      const double f = bpf * static_cast<double>(h + 1) * speed;
+      if (f >= sample_rate / 2.0) break;
+      auto& ph = phase_harm[static_cast<std::size_t>(h)];
+      ph += 2.0 * std::numbers::pi * f / sample_rate;
+      s += spec.tone_amplitude / static_cast<double>(h + 1) * std::sin(ph);
+    }
+    w[i] = s;
+  }
+
+  // Turbulence: band noise concentrated between the BPF and ~6 kHz.
+  if (spec.broadband_rms > 0.0) {
+    Rng noise_rng = rng.split();
+    Waveform turb = make_band_noise(duration_s, spec.broadband_rms, bpf * 0.5,
+                                    6000.0, sample_rate, noise_rng);
+    w.mix_at(turb, 0);
+  }
+  return w;
+}
+
+Waveform generate_machine_room(int server_count, double duration_s,
+                               double sample_rate, double level_rms,
+                               std::uint64_t seed) {
+  Waveform room(sample_rate,
+                static_cast<std::size_t>(duration_s * sample_rate));
+  Rng rng(seed);
+  for (int i = 0; i < server_count; ++i) {
+    FanSpec spec;
+    // Each server's fans run at a slightly different speed, so the room is
+    // a forest of near-but-not-identical lines, as in Fig 6a.
+    spec.rpm = rng.uniform(3600.0, 5400.0);
+    spec.blades = 5 + static_cast<int>(rng.below(5));  // 5..9 blades
+    spec.tone_amplitude = rng.uniform(0.1, 0.3);
+    spec.broadband_rms = rng.uniform(0.03, 0.08);
+    spec.seed = rng.next_u64();
+    room.mix_at(generate_fan(spec, duration_s, sample_rate), 0,
+                1.0 / std::sqrt(static_cast<double>(server_count)));
+  }
+  // Reverberant wash.
+  Rng wash_rng = rng.split();
+  room.mix_at(make_pink_noise(duration_s, 0.2, sample_rate, wash_rng), 0);
+  const double rms = room.rms();
+  if (rms > 0.0) room.scale(level_rms / rms);
+  return room;
+}
+
+Waveform generate_office(double duration_s, double sample_rate,
+                         double level_rms, std::uint64_t seed) {
+  Rng rng(seed);
+  Waveform office = make_pink_noise(duration_s, 1.0, sample_rate, rng);
+  // Faint 120 Hz HVAC/ballast hum.
+  ToneSpec hum;
+  hum.frequency_hz = 120.0;
+  hum.duration_s = duration_s;
+  hum.amplitude = 0.15;
+  office.mix_at(make_tone(hum, sample_rate), 0);
+  const double rms = office.rms();
+  if (rms > 0.0) office.scale(level_rms / rms);
+  return office;
+}
+
+}  // namespace mdn::audio

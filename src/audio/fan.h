@@ -1,0 +1,48 @@
+// Server cooling-fan acoustic model (§7 of the paper).
+//
+// A real axial fan radiates (a) discrete tones at the blade-pass frequency
+// (rotation rate x blade count) and its harmonics, plus the shaft rotation
+// frequency itself, and (b) broadband turbulence noise.  The paper's fan
+// failure detector works precisely because the discrete tones vanish when
+// the fan stops while the room's broadband background persists; this model
+// reproduces both components with controllable levels.
+#pragma once
+
+#include <cstdint>
+
+#include "audio/rng.h"
+#include "audio/waveform.h"
+
+namespace mdn::audio {
+
+struct FanSpec {
+  double rpm = 4200.0;          ///< shaft speed (typical 1U server fan)
+  int blades = 7;
+  double tone_amplitude = 0.25; ///< amplitude of the fundamental BPF tone
+  double broadband_rms = 0.05;  ///< turbulence noise level
+  int harmonics = 5;            ///< BPF harmonics to render
+  double rpm_jitter = 0.002;    ///< fractional slow speed wander
+  std::uint64_t seed = 7;
+};
+
+/// Blade-pass frequency in Hz: rpm/60 * blades.
+double blade_pass_hz(const FanSpec& spec) noexcept;
+
+/// Renders the sound of one running fan.  A stopped fan is simply the
+/// absence of this source — callers model failure by not emitting it.
+Waveform generate_fan(const FanSpec& spec, double duration_s,
+                      double sample_rate);
+
+/// Ambient noise of a machine room with `server_count` running servers at
+/// slightly different speeds, summed with pink-ish room reverberant noise.
+/// This is the "datacenter background" of Figs 6-7 (>= 85 dBA in the
+/// paper's facility).
+Waveform generate_machine_room(int server_count, double duration_s,
+                               double sample_rate, double level_rms,
+                               std::uint64_t seed);
+
+/// Office ambience: quiet pink noise plus faint HVAC hum (Figs 6c-d).
+Waveform generate_office(double duration_s, double sample_rate,
+                         double level_rms, std::uint64_t seed);
+
+}  // namespace mdn::audio

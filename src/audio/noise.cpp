@@ -1,0 +1,107 @@
+#include "audio/noise.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mdn::audio {
+namespace {
+
+std::size_t samples_for(double duration_s, double sample_rate) {
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("noise: sample rate must be positive");
+  }
+  return static_cast<std::size_t>(
+      std::llround(std::max(0.0, duration_s) * sample_rate));
+}
+
+void rescale_rms(Waveform& w, double rms) noexcept {
+  const double current = w.rms();
+  if (current > 0.0) w.scale(rms / current);
+}
+
+}  // namespace
+
+Waveform make_white_noise(double duration_s, double rms, double sample_rate,
+                          Rng& rng) {
+  const std::size_t n = samples_for(duration_s, sample_rate);
+  Waveform w(sample_rate, n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = rms * rng.gaussian();
+  return w;
+}
+
+Waveform make_pink_noise(double duration_s, double rms, double sample_rate,
+                         Rng& rng) {
+  const std::size_t n = samples_for(duration_s, sample_rate);
+  Waveform w(sample_rate, n);
+  // Voss-McCartney: 16 rows of white noise, row k updated every 2^k
+  // samples; the sum has a ~1/f spectrum.
+  constexpr int kRows = 16;
+  double rows[kRows];
+  for (auto& r : rows) r = rng.gaussian();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Update the row selected by the number of trailing zeros of i.
+    if (i > 0) {
+      int k = 0;
+      std::size_t v = i;
+      while ((v & 1) == 0 && k < kRows - 1) {
+        v >>= 1;
+        ++k;
+      }
+      rows[k] = rng.gaussian();
+    }
+    double sum = 0.0;
+    for (double r : rows) sum += r;
+    w[i] = sum;
+  }
+  rescale_rms(w, rms);
+  return w;
+}
+
+Biquad::Biquad(double b0, double b1, double b2, double a1,
+               double a2) noexcept
+    : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+Biquad Biquad::low_pass(double cutoff_hz, double q, double sample_rate) {
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad{(1.0 - cw) / 2.0 / a0, (1.0 - cw) / a0, (1.0 - cw) / 2.0 / a0,
+                -2.0 * cw / a0, (1.0 - alpha) / a0};
+}
+
+Biquad Biquad::high_pass(double cutoff_hz, double q, double sample_rate) {
+  const double w0 = 2.0 * std::numbers::pi * cutoff_hz / sample_rate;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  return Biquad{(1.0 + cw) / 2.0 / a0, -(1.0 + cw) / a0, (1.0 + cw) / 2.0 / a0,
+                -2.0 * cw / a0, (1.0 - alpha) / a0};
+}
+
+double Biquad::process(double x) noexcept {
+  const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+void Biquad::reset() noexcept { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+Waveform make_band_noise(double duration_s, double rms, double f_lo_hz,
+                         double f_hi_hz, double sample_rate, Rng& rng) {
+  if (f_hi_hz <= f_lo_hz) {
+    throw std::invalid_argument("make_band_noise: f_hi must exceed f_lo");
+  }
+  Waveform w = make_white_noise(duration_s, 1.0, sample_rate, rng);
+  auto hp = Biquad::high_pass(f_lo_hz, std::numbers::sqrt2 / 2.0, sample_rate);
+  auto lp = Biquad::low_pass(f_hi_hz, std::numbers::sqrt2 / 2.0, sample_rate);
+  for (auto& s : w.samples()) s = lp.process(hp.process(s));
+  rescale_rms(w, rms);
+  return w;
+}
+
+}  // namespace mdn::audio

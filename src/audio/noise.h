@@ -1,0 +1,44 @@
+// Noise generators used to model microphone self-noise, office ambience
+// and as building blocks of the datacenter fan model.
+#pragma once
+
+#include <cstddef>
+
+#include "audio/rng.h"
+#include "audio/waveform.h"
+
+namespace mdn::audio {
+
+/// Gaussian white noise with the given RMS amplitude.
+Waveform make_white_noise(double duration_s, double rms, double sample_rate,
+                          Rng& rng);
+
+/// Pink (1/f) noise via the Voss-McCartney algorithm, scaled to the given
+/// RMS.  Office and machine-room ambience is much closer to pink than to
+/// white noise.
+Waveform make_pink_noise(double duration_s, double rms, double sample_rate,
+                         Rng& rng);
+
+/// White noise band-passed to [f_lo, f_hi] with a simple biquad cascade —
+/// models the turbulence band of a fan.
+Waveform make_band_noise(double duration_s, double rms, double f_lo_hz,
+                         double f_hi_hz, double sample_rate, Rng& rng);
+
+/// Second-order biquad filter (direct form I), the primitive used by
+/// make_band_noise.  Coefficients follow the Audio-EQ cookbook.
+class Biquad {
+ public:
+  static Biquad low_pass(double cutoff_hz, double q, double sample_rate);
+  static Biquad high_pass(double cutoff_hz, double q, double sample_rate);
+
+  double process(double x) noexcept;
+  void reset() noexcept;
+
+ private:
+  Biquad(double b0, double b1, double b2, double a1, double a2) noexcept;
+
+  double b0_, b1_, b2_, a1_, a2_;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+}  // namespace mdn::audio

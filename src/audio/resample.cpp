@@ -1,0 +1,34 @@
+#include "audio/resample.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mdn::audio {
+
+Waveform resample_linear(const Waveform& input, double target_rate) {
+  if (target_rate <= 0.0) {
+    throw std::invalid_argument("resample_linear: target rate");
+  }
+  if (input.empty() || input.sample_rate() == target_rate) {
+    Waveform copy = input;
+    return Waveform(target_rate,
+                    std::vector<double>(copy.samples().begin(),
+                                        copy.samples().end()));
+  }
+
+  const double ratio = input.sample_rate() / target_rate;
+  const auto out_len = static_cast<std::size_t>(
+      std::floor(static_cast<double>(input.size() - 1) / ratio)) + 1;
+  Waveform out(target_rate, out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * ratio;
+    const auto i0 = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(i0);
+    const double a = input[i0];
+    const double b = i0 + 1 < input.size() ? input[i0 + 1] : a;
+    out[i] = a + (b - a) * frac;
+  }
+  return out;
+}
+
+}  // namespace mdn::audio

@@ -1,0 +1,18 @@
+// Sample-rate conversion.
+//
+// Recordings arrive at whatever rate a deployment's microphones use
+// (cheap USB mics are commonly 16 or 44.1 kHz) while the analysis chain
+// runs at one rate; linear interpolation is plenty for narrowband tone
+// work far below Nyquist.
+#pragma once
+
+#include "audio/waveform.h"
+
+namespace mdn::audio {
+
+/// Linearly resamples `input` to `target_rate`.  Returns the input
+/// unchanged when the rates already match.  Throws std::invalid_argument
+/// for non-positive targets.
+Waveform resample_linear(const Waveform& input, double target_rate);
+
+}  // namespace mdn::audio

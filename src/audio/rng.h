@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic element of the simulated testbed — microphone self
+// noise, fan turbulence, traffic inter-arrivals — draws from this
+// generator so experiments are exactly reproducible from a seed, which the
+// physical testbed of the paper could never guarantee.
+#pragma once
+
+#include <cstdint>
+
+namespace mdn::audio {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller.
+  double gaussian() noexcept;
+
+  /// Exponential with the given mean.
+  double exponential(double mean) noexcept;
+
+  /// Fork an independent stream (useful to give each component its own
+  /// generator derived from one experiment seed).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace mdn::audio

@@ -1,0 +1,165 @@
+#include "audio/song.h"
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "audio/noise.h"
+#include "audio/synth.h"
+
+namespace mdn::audio {
+namespace {
+
+// Equal-tempered pitch helper: MIDI note -> Hz (A4 = 69 = 440 Hz).
+double midi_hz(int note) noexcept {
+  return 440.0 * std::pow(2.0, (note - 69) / 12.0);
+}
+
+// "Cheap Thrills" is in F# minor; we use the same i-VI-III-VII loop
+// (F#m, D, A, E), one chord per bar.
+struct Chord {
+  int root;                       // MIDI root
+  std::array<int, 3> intervals;   // semitone offsets of chord tones
+};
+
+constexpr std::array<Chord, 4> kProgression{{
+    {54, {0, 3, 7}},   // F#3 minor
+    {50, {0, 4, 7}},   // D3 major
+    {57, {0, 4, 7}},   // A3 major
+    {52, {0, 4, 7}},   // E3 major
+}};
+
+// F# minor pentatonic for the melody (one octave up from the chords).
+constexpr std::array<int, 5> kPentatonic{66, 69, 71, 73, 76};
+
+// A note with a couple of harmonics so the spectrum is realistically rich.
+Waveform synth_note(double f0, double duration_s, double amplitude,
+                    double sample_rate) {
+  Waveform w(sample_rate,
+             static_cast<std::size_t>(duration_s * sample_rate));
+  ToneSpec spec;
+  spec.duration_s = duration_s;
+  spec.fade_s = 0.004;
+  const std::array<std::pair<double, double>, 3> partials{
+      {{1.0, 1.0}, {2.0, 0.4}, {3.0, 0.15}}};
+  for (const auto& [mult, gain] : partials) {
+    spec.frequency_hz = f0 * mult;
+    spec.amplitude = amplitude * gain;
+    w.mix_at(make_tone(spec, sample_rate), 0);
+  }
+  apply_adsr(w, 0.01, duration_s * 0.3, 0.6, duration_s * 0.2);
+  return w;
+}
+
+Waveform synth_kick(double sample_rate) {
+  // Pitch-dropping sine thump, 80 ms.
+  const double dur = 0.08;
+  const auto n = static_cast<std::size_t>(dur * sample_rate);
+  Waveform w(sample_rate, n);
+  double phase = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(n);
+    const double f = 120.0 * std::exp(-4.0 * frac) + 40.0;
+    phase += 2.0 * 3.14159265358979323846 * f / sample_rate;
+    w[i] = std::sin(phase) * (1.0 - frac);
+  }
+  return w;
+}
+
+Waveform synth_snare(double sample_rate, Rng& rng) {
+  Waveform w = make_band_noise(0.09, 0.5, 1500.0, 6000.0, sample_rate, rng);
+  apply_adsr(w, 0.002, 0.03, 0.3, 0.05);
+  return w;
+}
+
+Waveform synth_hat(double sample_rate, Rng& rng) {
+  Waveform w = make_band_noise(0.03, 0.3, 6000.0, 10000.0, sample_rate, rng);
+  apply_adsr(w, 0.001, 0.01, 0.2, 0.015);
+  return w;
+}
+
+}  // namespace
+
+Waveform generate_song(double duration_s, double sample_rate,
+                       const SongConfig& config) {
+  Waveform song(sample_rate,
+                static_cast<std::size_t>(duration_s * sample_rate));
+  if (song.empty()) return song;
+
+  Rng rng(config.seed);
+  Rng perc_rng = rng.split();
+
+  const double beat_s = 60.0 / config.tempo_bpm;
+  const double bar_s = 4.0 * beat_s;
+  const auto beat_samples = [&](double beats) {
+    return static_cast<std::size_t>(beats * beat_s * sample_rate);
+  };
+
+  const std::size_t total_beats =
+      static_cast<std::size_t>(duration_s / beat_s) + 1;
+
+  // Pre-render one-shot percussion hits.
+  const Waveform kick = synth_kick(sample_rate);
+  const Waveform snare = synth_snare(sample_rate, perc_rng);
+  const Waveform hat = synth_hat(sample_rate, perc_rng);
+
+  for (std::size_t beat = 0; beat < total_beats; ++beat) {
+    const std::size_t offset = beat_samples(static_cast<double>(beat));
+    if (offset >= song.size()) break;
+    const std::size_t bar = beat / 4;
+    const std::size_t beat_in_bar = beat % 4;
+    const Chord& chord = kProgression[bar % kProgression.size()];
+
+    // Chord stab on beats 1 and 3.
+    if (beat_in_bar == 0 || beat_in_bar == 2) {
+      for (int iv : chord.intervals) {
+        song.mix_at(synth_note(midi_hz(chord.root + iv + 12), beat_s * 1.8,
+                               0.18, sample_rate),
+                    offset);
+      }
+    }
+
+    // Bass: root on every beat, octave-up passing note on beat 4.
+    if (config.bass) {
+      const int bass_note =
+          beat_in_bar == 3 ? chord.root - 12 + 12 : chord.root - 12;
+      song.mix_at(
+          synth_note(midi_hz(bass_note), beat_s * 0.9, 0.35, sample_rate),
+          offset);
+    }
+
+    // Percussion: kick on 1 & 3, snare on 2 & 4, hats on eighth notes.
+    if (config.percussion) {
+      if (beat_in_bar == 0 || beat_in_bar == 2) song.mix_at(kick, offset, 0.8);
+      if (beat_in_bar == 1 || beat_in_bar == 3) song.mix_at(snare, offset, 0.6);
+      song.mix_at(hat, offset, 0.4);
+      song.mix_at(hat, offset + beat_samples(0.5), 0.3);
+    }
+
+    // Melody: random pentatonic eighth notes, denser every other bar
+    // (verse/chorus-like variation makes the interference non-stationary).
+    if (config.melody) {
+      const int notes_this_beat = (bar % 2 == 0) ? 1 : 2;
+      for (int k = 0; k < notes_this_beat; ++k) {
+        if (rng.uniform() < 0.75) {
+          const int note = kPentatonic[rng.below(kPentatonic.size())];
+          const std::size_t sub_off =
+              offset + beat_samples(0.5 * static_cast<double>(k));
+          song.mix_at(
+              synth_note(midi_hz(note), beat_s * 0.45, 0.22, sample_rate),
+              sub_off);
+        }
+      }
+    }
+    (void)bar_s;
+  }
+
+  // Notes near the end may have grown the buffer past the requested
+  // duration; trim back so callers get exactly what they asked for.
+  song.data().resize(
+      static_cast<std::size_t>(duration_s * sample_rate), 0.0);
+  song.normalize(config.amplitude);
+  return song;
+}
+
+}  // namespace mdn::audio

@@ -1,0 +1,34 @@
+// Synthetic pop-song generator.
+//
+// The paper stresses its detectors with Sia's "Cheap Thrills" played as
+// background noise (Fig 4b, 4d).  We cannot ship that recording, so this
+// module synthesises a deterministic stand-in with the same adversarial
+// properties: strong tonal content (chords, bass and melody collide with
+// the signalling frequencies), percussive wideband transients, and
+// non-stationary structure.  Tempo defaults to 90 BPM, matching the
+// original track.
+#pragma once
+
+#include <cstdint>
+
+#include "audio/rng.h"
+#include "audio/waveform.h"
+
+namespace mdn::audio {
+
+struct SongConfig {
+  double tempo_bpm = 90.0;
+  double amplitude = 0.5;       ///< overall linear peak target
+  std::uint64_t seed = 2018;    ///< melody variation seed
+  bool percussion = true;
+  bool melody = true;
+  bool bass = true;
+};
+
+/// Renders `duration_s` seconds of the song.  The output is deterministic
+/// given the config.  Frequencies span roughly 80 Hz (bass) to 8 kHz
+/// (hi-hat noise), covering the whole MDN signalling band.
+Waveform generate_song(double duration_s, double sample_rate,
+                       const SongConfig& config = {});
+
+}  // namespace mdn::audio

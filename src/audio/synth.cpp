@@ -1,0 +1,112 @@
+#include "audio/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mdn::audio {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+std::size_t samples_for(double duration_s, double sample_rate) {
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("synth: sample rate must be positive");
+  }
+  return static_cast<std::size_t>(
+      std::llround(std::max(0.0, duration_s) * sample_rate));
+}
+
+// Raised-cosine fade applied to the first and last `fade_n` samples.
+void apply_fade(std::span<double> s, std::size_t fade_n) noexcept {
+  fade_n = std::min(fade_n, s.size() / 2);
+  for (std::size_t i = 0; i < fade_n; ++i) {
+    const double g =
+        0.5 - 0.5 * std::cos(std::numbers::pi * static_cast<double>(i) /
+                             static_cast<double>(fade_n));
+    s[i] *= g;
+    s[s.size() - 1 - i] *= g;
+  }
+}
+
+}  // namespace
+
+Waveform make_tone(const ToneSpec& spec, double sample_rate) {
+  const std::size_t n = samples_for(spec.duration_s, sample_rate);
+  Waveform w(sample_rate, n);
+  const double step = kTwoPi * spec.frequency_hz / sample_rate;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = spec.amplitude *
+           std::sin(spec.phase_rad + step * static_cast<double>(i));
+  }
+  apply_fade(w.samples(), samples_for(spec.fade_s, sample_rate));
+  return w;
+}
+
+Waveform make_chord(const std::vector<double>& frequencies_hz,
+                    double duration_s, double amplitude, double sample_rate,
+                    double fade_s) {
+  Waveform w(sample_rate, samples_for(duration_s, sample_rate));
+  for (double f : frequencies_hz) {
+    ToneSpec spec;
+    spec.frequency_hz = f;
+    spec.duration_s = duration_s;
+    spec.amplitude = amplitude;
+    spec.fade_s = fade_s;
+    w.mix_at(make_tone(spec, sample_rate), 0);
+  }
+  return w;
+}
+
+Waveform make_chirp(double f0_hz, double f1_hz, double duration_s,
+                    double amplitude, double sample_rate) {
+  const std::size_t n = samples_for(duration_s, sample_rate);
+  Waveform w(sample_rate, n);
+  if (n == 0) return w;
+  const double nd = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sample_rate;
+    const double frac = static_cast<double>(i) / nd;
+    // Instantaneous phase of a linear sweep: 2*pi*(f0*t + (f1-f0)*t^2/(2T)).
+    const double phase =
+        kTwoPi * (f0_hz * t + 0.5 * (f1_hz - f0_hz) * frac * t);
+    w[i] = amplitude * std::sin(phase);
+  }
+  apply_fade(w.samples(), samples_for(0.002, sample_rate));
+  return w;
+}
+
+Waveform make_silence(double duration_s, double sample_rate) {
+  return Waveform(sample_rate, samples_for(duration_s, sample_rate));
+}
+
+void apply_adsr(Waveform& w, double attack_s, double decay_s,
+                double sustain_level, double release_s) {
+  const double sr = w.sample_rate();
+  const std::size_t n = w.size();
+  if (n == 0 || sr <= 0.0) return;
+  const std::size_t a = std::min(n, samples_for(attack_s, sr));
+  const std::size_t d = std::min(n - a, samples_for(decay_s, sr));
+  const std::size_t r = std::min(n - a - d, samples_for(release_s, sr));
+  const std::size_t sustain_end = n - r;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double g;
+    if (i < a) {
+      g = static_cast<double>(i) / static_cast<double>(std::max<std::size_t>(1, a));
+    } else if (i < a + d) {
+      const double frac = static_cast<double>(i - a) /
+                          static_cast<double>(std::max<std::size_t>(1, d));
+      g = 1.0 + (sustain_level - 1.0) * frac;
+    } else if (i < sustain_end) {
+      g = sustain_level;
+    } else {
+      const double frac = static_cast<double>(i - sustain_end) /
+                          static_cast<double>(std::max<std::size_t>(1, r));
+      g = sustain_level * (1.0 - frac);
+    }
+    w[i] *= g;
+  }
+}
+
+}  // namespace mdn::audio

@@ -1,0 +1,45 @@
+// Tone synthesis: the simulated speaker side of Music-Defined Networking.
+//
+// A Music Protocol message carries (frequency, duration, intensity); the
+// Raspberry-Pi bridge renders it with make_tone().  Short raised-cosine
+// fades avoid the clicks (wideband transients) a hard-keyed sine would
+// inject into every other listener's band.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/waveform.h"
+
+namespace mdn::audio {
+
+struct ToneSpec {
+  double frequency_hz = 440.0;
+  double duration_s = 0.05;
+  double amplitude = 1.0;      ///< linear peak amplitude
+  double phase_rad = 0.0;
+  double fade_s = 0.002;       ///< raised-cosine fade in/out length
+};
+
+/// A faded sine tone.
+Waveform make_tone(const ToneSpec& spec, double sample_rate);
+
+/// Sum of equal-amplitude faded sines, one per entry of `frequencies_hz`
+/// (each at amplitude `amplitude`).
+Waveform make_chord(const std::vector<double>& frequencies_hz,
+                    double duration_s, double amplitude, double sample_rate,
+                    double fade_s = 0.002);
+
+/// Linear frequency sweep from f0 to f1.
+Waveform make_chirp(double f0_hz, double f1_hz, double duration_s,
+                    double amplitude, double sample_rate);
+
+/// Silence of the given duration.
+Waveform make_silence(double duration_s, double sample_rate);
+
+/// Classic ADSR envelope applied in place (times in seconds, sustain as a
+/// fraction of peak).  Used by the song generator for plucked/struck notes.
+void apply_adsr(Waveform& w, double attack_s, double decay_s,
+                double sustain_level, double release_s);
+
+}  // namespace mdn::audio

@@ -1,0 +1,130 @@
+#include "audio/wav.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mdn::audio {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+}  // namespace
+
+void write_wav(const std::string& path, const Waveform& w) {
+  const auto n = static_cast<std::uint32_t>(w.size());
+  const auto sample_rate = static_cast<std::uint32_t>(
+      std::llround(w.sample_rate()));
+  const std::uint32_t data_bytes = n * 2;
+
+  std::vector<std::uint8_t> buf;
+  buf.reserve(44 + data_bytes);
+  const auto put_tag = [&](const char* tag) {
+    buf.insert(buf.end(), tag, tag + 4);
+  };
+  put_tag("RIFF");
+  put_u32(buf, 36 + data_bytes);
+  put_tag("WAVE");
+  put_tag("fmt ");
+  put_u32(buf, 16);
+  put_u16(buf, 1);  // PCM
+  put_u16(buf, 1);  // mono
+  put_u32(buf, sample_rate);
+  put_u32(buf, sample_rate * 2);
+  put_u16(buf, 2);   // block align
+  put_u16(buf, 16);  // bits per sample
+  put_tag("data");
+  put_u32(buf, data_bytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double clamped = std::clamp(w[i], -1.0, 1.0);
+    const auto s = static_cast<std::int16_t>(
+        std::llround(clamped * 32767.0));
+    put_u16(buf, static_cast<std::uint16_t>(s));
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_wav: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error("write_wav: short write to " + path);
+}
+
+Waveform read_wav(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_wav: cannot open " + path);
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  if (buf.size() < 44 || std::memcmp(buf.data(), "RIFF", 4) != 0 ||
+      std::memcmp(buf.data() + 8, "WAVE", 4) != 0) {
+    throw std::runtime_error("read_wav: not a RIFF/WAVE file");
+  }
+
+  std::uint32_t sample_rate = 0;
+  std::uint16_t channels = 0, bits = 0;
+  std::size_t data_off = 0, data_len = 0;
+
+  std::size_t pos = 12;
+  while (pos + 8 <= buf.size()) {
+    const std::uint32_t chunk_len = get_u32(buf.data() + pos + 4);
+    const std::uint8_t* tag = buf.data() + pos;
+    if (std::memcmp(tag, "fmt ", 4) == 0 && pos + 8 + 16 <= buf.size()) {
+      const std::uint8_t* f = buf.data() + pos + 8;
+      const std::uint16_t format = get_u16(f);
+      channels = get_u16(f + 2);
+      sample_rate = get_u32(f + 4);
+      bits = get_u16(f + 14);
+      if (format != 1 || bits != 16) {
+        throw std::runtime_error("read_wav: only 16-bit PCM supported");
+      }
+    } else if (std::memcmp(tag, "data", 4) == 0) {
+      data_off = pos + 8;
+      data_len = std::min<std::size_t>(chunk_len, buf.size() - data_off);
+    }
+    pos += 8 + chunk_len + (chunk_len & 1);
+  }
+  if (sample_rate == 0 || channels == 0 || data_off == 0) {
+    throw std::runtime_error("read_wav: missing fmt or data chunk");
+  }
+
+  const std::size_t frames = data_len / (2 * channels);
+  Waveform w(static_cast<double>(sample_rate), frames);
+  for (std::size_t i = 0; i < frames; ++i) {
+    double acc = 0.0;
+    for (std::uint16_t c = 0; c < channels; ++c) {
+      const auto raw = static_cast<std::int16_t>(
+          get_u16(buf.data() + data_off + (i * channels + c) * 2));
+      acc += static_cast<double>(raw) / 32767.0;
+    }
+    w[i] = acc / channels;
+  }
+  return w;
+}
+
+}  // namespace mdn::audio

@@ -1,0 +1,20 @@
+// Minimal 16-bit PCM WAV reader/writer, so experiment audio (knock
+// sequences, fan recordings, spectrogram inputs) can be exported and
+// inspected with standard tools.
+#pragma once
+
+#include <string>
+
+#include "audio/waveform.h"
+
+namespace mdn::audio {
+
+/// Writes `w` as mono 16-bit PCM.  Samples are clamped to [-1, 1].
+/// Throws std::runtime_error on I/O failure.
+void write_wav(const std::string& path, const Waveform& w);
+
+/// Reads a mono or multi-channel 16-bit PCM WAV; multi-channel input is
+/// mixed down to mono.  Throws std::runtime_error on malformed files.
+Waveform read_wav(const std::string& path);
+
+}  // namespace mdn::audio

@@ -1,0 +1,79 @@
+#include "audio/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mdn::audio {
+
+void Waveform::append(const Waveform& other) {
+  if (other.empty()) return;
+  if (sample_rate_ == 0.0) sample_rate_ = other.sample_rate_;
+  if (sample_rate_ != other.sample_rate_) {
+    throw std::invalid_argument("Waveform::append: sample rate mismatch");
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+void Waveform::append_silence(double duration_s) {
+  if (duration_s <= 0.0 || sample_rate_ <= 0.0) return;
+  const auto n = static_cast<std::size_t>(
+      std::llround(duration_s * sample_rate_));
+  samples_.insert(samples_.end(), n, 0.0);
+}
+
+void Waveform::mix_at(const Waveform& other, std::size_t offset_samples,
+                      double gain) {
+  if (other.empty()) return;
+  if (sample_rate_ == 0.0) sample_rate_ = other.sample_rate_;
+  if (sample_rate_ != other.sample_rate_) {
+    throw std::invalid_argument("Waveform::mix_at: sample rate mismatch");
+  }
+  const std::size_t needed = offset_samples + other.size();
+  if (samples_.size() < needed) samples_.resize(needed, 0.0);
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    samples_[offset_samples + i] += gain * other.samples_[i];
+  }
+}
+
+void Waveform::scale(double gain) noexcept {
+  for (auto& s : samples_) s *= gain;
+}
+
+void Waveform::normalize(double peak_target) noexcept {
+  const double p = peak();
+  if (p <= 0.0) return;
+  scale(peak_target / p);
+}
+
+Waveform Waveform::slice(std::size_t start, std::size_t count) const {
+  Waveform out(sample_rate_, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t src = start + i;
+    out.samples_[i] = src < samples_.size() ? samples_[src] : 0.0;
+  }
+  return out;
+}
+
+double Waveform::rms() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double s : samples_) acc += s * s;
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Waveform::peak() const noexcept {
+  double p = 0.0;
+  for (double s : samples_) p = std::max(p, std::abs(s));
+  return p;
+}
+
+std::size_t Waveform::index_at(double t_s) const noexcept {
+  if (t_s <= 0.0 || sample_rate_ <= 0.0) return 0;
+  const auto idx =
+      static_cast<std::size_t>(std::llround(t_s * sample_rate_));
+  return std::min(idx, samples_.empty() ? 0 : samples_.size() - 1);
+}
+
+}  // namespace mdn::audio

@@ -1,0 +1,69 @@
+// Waveform: a mono sample buffer with an associated sample rate.
+//
+// Samples are doubles where 1.0 is nominal full scale; by the library's
+// SPL convention (see channel.h) an amplitude of 1.0 corresponds to
+// 94 dB SPL at the reference distance of one metre.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mdn::audio {
+
+class Waveform {
+ public:
+  Waveform() = default;
+  explicit Waveform(double sample_rate) : sample_rate_(sample_rate) {}
+  Waveform(double sample_rate, std::vector<double> samples)
+      : sample_rate_(sample_rate), samples_(std::move(samples)) {}
+  Waveform(double sample_rate, std::size_t n_samples)
+      : sample_rate_(sample_rate), samples_(n_samples, 0.0) {}
+
+  double sample_rate() const noexcept { return sample_rate_; }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double duration_s() const noexcept {
+    return sample_rate_ > 0.0
+               ? static_cast<double>(samples_.size()) / sample_rate_
+               : 0.0;
+  }
+
+  double& operator[](std::size_t i) { return samples_[i]; }
+  double operator[](std::size_t i) const { return samples_[i]; }
+  std::span<double> samples() noexcept { return samples_; }
+  std::span<const double> samples() const noexcept { return samples_; }
+  std::vector<double>& data() noexcept { return samples_; }
+
+  /// Appends another waveform (sample rates must match).
+  void append(const Waveform& other);
+
+  /// Appends `duration_s` seconds of silence.
+  void append_silence(double duration_s);
+
+  /// Adds `other * gain` into this waveform starting at sample
+  /// `offset_samples`, growing this buffer if needed.
+  void mix_at(const Waveform& other, std::size_t offset_samples,
+              double gain = 1.0);
+
+  /// Multiplies every sample by `gain`.
+  void scale(double gain) noexcept;
+
+  /// Scales so the absolute peak equals `peak` (no-op on silence).
+  void normalize(double peak = 1.0) noexcept;
+
+  /// Copy of samples [start, start+count), zero-padded past the end.
+  Waveform slice(std::size_t start, std::size_t count) const;
+
+  double rms() const noexcept;
+  double peak() const noexcept;
+
+  /// Sample index for time `t_s` (clamped to the buffer).
+  std::size_t index_at(double t_s) const noexcept;
+
+ private:
+  double sample_rate_ = 0.0;
+  std::vector<double> samples_;
+};
+
+}  // namespace mdn::audio

@@ -1,0 +1,10 @@
+// Umbrella header for the mdn_dsp library.
+#pragma once
+
+#include "dsp/ecdf.h"
+#include "dsp/fft.h"
+#include "dsp/goertzel.h"
+#include "dsp/mel.h"
+#include "dsp/spectrogram.h"
+#include "dsp/spectrum.h"
+#include "dsp/window.h"

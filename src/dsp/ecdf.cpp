@@ -1,0 +1,71 @@
+#include "dsp/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mdn::dsp {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : samples_(samples.begin(), samples.end()) {
+  ensure_sorted();
+}
+
+void Ecdf::add(double sample) { samples_.push_back(sample); }
+
+void Ecdf::ensure_sorted() const {
+  if (sorted_ != samples_.size()) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = samples_.size();
+  }
+}
+
+double Ecdf::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(std::distance(samples_.begin(), it)) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Ecdf::quantile: empty");
+  ensure_sorted();
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(samples_.size())));
+  return samples_[idx == 0 ? 0 : idx - 1];
+}
+
+double Ecdf::min() const {
+  if (samples_.empty()) throw std::logic_error("Ecdf::min: empty");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Ecdf::max() const {
+  if (samples_.empty()) throw std::logic_error("Ecdf::max: empty");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Ecdf::mean() const {
+  if (samples_.empty()) throw std::logic_error("Ecdf::mean: empty");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+}  // namespace mdn::dsp

@@ -1,0 +1,41 @@
+// Empirical cumulative distribution function, used by the Fig 2b
+// reproduction (CDF of FFT processing time).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mdn::dsp {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::span<const double> samples);
+
+  void add(double sample);
+  std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Fraction of samples <= x.  Returns 0 for an empty distribution.
+  double cdf(double x) const;
+
+  /// Smallest sample v such that cdf(v) >= q, q in [0, 1].  Throws on an
+  /// empty distribution.
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// (x, F(x)) pairs at `points` evenly spaced quantiles, ready to print
+  /// as a CDF curve.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable std::size_t sorted_ = 0;  // samples_[0..sorted_) are sorted
+};
+
+}  // namespace mdn::dsp

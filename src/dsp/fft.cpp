@@ -1,0 +1,203 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mdn::dsp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Bit-reversal permutation for the iterative radix-2 kernel.
+void bit_reverse_permute(std::span<Complex> data) noexcept {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    while (j & bit) {
+      j ^= bit;
+      bit >>= 1;
+    }
+    j |= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+// convolution, evaluated with power-of-two FFTs.
+std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
+  const std::size_t n = input.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp factors w[k] = exp(sign * i * pi * k^2 / n).  k^2 mod 2n keeps
+  // the argument small for large n without changing the value.
+  std::vector<Complex> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto k2 = static_cast<double>((k * k) % (2 * n));
+    const double angle = sign * kPi * k2 / static_cast<double>(n);
+    w[k] = Complex{std::cos(angle), std::sin(angle)};
+  }
+
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  std::vector<Complex> a(m), b(m);
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * w[k];
+  b[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(w[k]);
+    b[m - k] = b[k];
+  }
+
+  fft_radix2_inplace(a, /*inverse=*/false);
+  fft_radix2_inplace(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2_inplace(a, /*inverse=*/true);
+
+  std::vector<Complex> out(n);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * w[k] * scale;
+  return out;
+}
+
+}  // namespace
+
+std::size_t next_power_of_two(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_radix2_inplace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft_radix2_inplace: size must be 2^k");
+  }
+  bit_reverse_permute(data);
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<Complex> fft(std::span<const Complex> input) {
+  std::vector<Complex> data(input.begin(), input.end());
+  if (data.empty()) return data;
+  if (is_power_of_two(data.size())) {
+    fft_radix2_inplace(data, /*inverse=*/false);
+    return data;
+  }
+  return bluestein(input, /*inverse=*/false);
+}
+
+std::vector<Complex> ifft(std::span<const Complex> input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  std::vector<Complex> data;
+  if (is_power_of_two(n)) {
+    data.assign(input.begin(), input.end());
+    fft_radix2_inplace(data, /*inverse=*/true);
+  } else {
+    data = bluestein(input, /*inverse=*/true);
+  }
+  const double scale = 1.0 / static_cast<double>(n);
+  for (auto& x : data) x *= scale;
+  return data;
+}
+
+std::vector<Complex> fft_real(std::span<const double> input) {
+  const std::size_t n = input.size();
+  // Packed-real trick for power-of-two sizes >= 4: transform the N real
+  // samples as an N/2-point complex FFT, then untangle.  Roughly halves
+  // the cost of the naive promote-to-complex path — this is the hot loop
+  // of the tone detector (Fig 2b).
+  if (n >= 4 && is_power_of_two(n)) {
+    const std::size_t half = n / 2;
+    std::vector<Complex> z(half);
+    for (std::size_t i = 0; i < half; ++i) {
+      z[i] = Complex{input[2 * i], input[2 * i + 1]};
+    }
+    fft_radix2_inplace(z, /*inverse=*/false);
+
+    std::vector<Complex> out(n);
+    const double step = -2.0 * kPi / static_cast<double>(n);
+    for (std::size_t k = 0; k <= half / 2; ++k) {
+      const std::size_t km = (half - k) % half;
+      const Complex a = z[k];
+      const Complex b = std::conj(z[km]);
+      const Complex even = 0.5 * (a + b);
+      const Complex odd = Complex{0.0, -0.5} * (a - b);
+      const double angle = step * static_cast<double>(k);
+      const Complex w{std::cos(angle), std::sin(angle)};
+      const Complex xk = even + w * odd;
+      // And the mirrored half-spectrum entry X[half - k].
+      const Complex even_m = std::conj(even);
+      const Complex odd_m = std::conj(odd);
+      const double angle_m = step * static_cast<double>(half - k);
+      const Complex w_m{std::cos(angle_m), std::sin(angle_m)};
+      const Complex xm = even_m + w_m * odd_m;
+
+      out[k] = xk;
+      out[half - k] = xm;
+    }
+    // X[half] (Nyquist) from the even/odd split at k=0.
+    out[half] = Complex{z[0].real() - z[0].imag(), 0.0};
+    // Conjugate symmetry for the upper half.
+    for (std::size_t k = 1; k < half; ++k) {
+      out[n - k] = std::conj(out[k]);
+    }
+    return out;
+  }
+
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = Complex{input[i], 0.0};
+  return fft(data);
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> input) {
+  const std::size_t n = input.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * kPi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      acc += input[t] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> magnitude(std::span<const Complex> spectrum) {
+  std::vector<double> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = std::abs(spectrum[i]);
+  return out;
+}
+
+std::vector<double> power(std::span<const Complex> spectrum) {
+  std::vector<double> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = std::norm(spectrum[i]);
+  return out;
+}
+
+std::size_t frequency_bin(double frequency_hz, std::size_t n,
+                          double sample_rate) noexcept {
+  const double bin = frequency_hz * static_cast<double>(n) / sample_rate;
+  const auto rounded = static_cast<std::size_t>(std::llround(std::max(0.0, bin)));
+  return std::min(rounded, n == 0 ? 0 : n - 1);
+}
+
+}  // namespace mdn::dsp

@@ -1,0 +1,64 @@
+// Fast Fourier Transform primitives for Music-Defined Networking.
+//
+// The paper (§3, Fig 2) identifies switch tones by computing the FFT of
+// short microphone captures (~50 ms) and matching spectral peaks against a
+// per-switch frequency plan.  Everything here is implemented from scratch:
+// an iterative radix-2 Cooley-Tukey transform for power-of-two sizes and a
+// Bluestein chirp-z fallback so callers may transform buffers of any length
+// (microphone captures are rarely a power of two).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mdn::dsp {
+
+using Complex = std::complex<double>;
+
+/// Returns true iff n is a power of two (n >= 1).
+constexpr bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.  n must be <= 2^62.
+std::size_t next_power_of_two(std::size_t n) noexcept;
+
+/// In-place iterative radix-2 FFT.  data.size() must be a power of two.
+/// inverse == true computes the unscaled inverse transform; divide by N
+/// yourself or use ifft() which does it for you.
+void fft_radix2_inplace(std::span<Complex> data, bool inverse);
+
+/// Forward DFT of arbitrary length input (Bluestein fallback for non
+/// power-of-two sizes).  Returns a spectrum of the same length as `input`.
+std::vector<Complex> fft(std::span<const Complex> input);
+
+/// Inverse DFT (scaled by 1/N) of arbitrary length input.
+std::vector<Complex> ifft(std::span<const Complex> input);
+
+/// Forward DFT of a real signal.  Returns the full N-point complex
+/// spectrum (conjugate-symmetric); callers typically look at bins
+/// [0, N/2].
+std::vector<Complex> fft_real(std::span<const double> input);
+
+/// Naive O(N^2) DFT used as a test oracle.  Do not call on large inputs.
+std::vector<Complex> dft_reference(std::span<const Complex> input);
+
+/// Magnitude of each spectral bin.
+std::vector<double> magnitude(std::span<const Complex> spectrum);
+
+/// Power (|X|^2) of each spectral bin.
+std::vector<double> power(std::span<const Complex> spectrum);
+
+/// Frequency in Hz of bin `k` for an N-point transform at `sample_rate`.
+constexpr double bin_frequency(std::size_t k, std::size_t n,
+                               double sample_rate) noexcept {
+  return static_cast<double>(k) * sample_rate / static_cast<double>(n);
+}
+
+/// Closest bin index for `frequency_hz` in an N-point transform.
+std::size_t frequency_bin(double frequency_hz, std::size_t n,
+                          double sample_rate) noexcept;
+
+}  // namespace mdn::dsp

@@ -1,0 +1,42 @@
+#include "dsp/goertzel.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace mdn::dsp {
+
+Goertzel::Goertzel(double frequency_hz, double sample_rate) noexcept
+    : frequency_hz_(frequency_hz) {
+  const double w = 2.0 * std::numbers::pi * frequency_hz / sample_rate;
+  coeff_ = 2.0 * std::cos(w);
+  sin_w_ = std::sin(w);
+  cos_w_ = std::cos(w);
+}
+
+void Goertzel::push(double sample) noexcept {
+  const double s0 = sample + coeff_ * s1_ - s2_;
+  s2_ = s1_;
+  s1_ = s0;
+  ++count_;
+}
+
+void Goertzel::reset() noexcept {
+  s1_ = 0.0;
+  s2_ = 0.0;
+  count_ = 0;
+}
+
+double Goertzel::block_power() const noexcept {
+  const double real = s1_ - s2_ * cos_w_;
+  const double imag = s2_ * sin_w_;
+  return real * real + imag * imag;
+}
+
+double goertzel_power(std::span<const double> signal, double frequency_hz,
+                      double sample_rate) noexcept {
+  Goertzel g(frequency_hz, sample_rate);
+  for (double s : signal) g.push(s);
+  return g.block_power();
+}
+
+}  // namespace mdn::dsp

@@ -1,0 +1,44 @@
+// Goertzel single-bin DFT evaluator.
+//
+// When the MDN controller listens for a *known, small* set of frequencies
+// (e.g. the three queue-state tones of §6: 500/600/700 Hz), evaluating a
+// handful of Goertzel filters is cheaper than a full FFT.  The ablation
+// bench bench_ablation_goertzel compares the two.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mdn::dsp {
+
+/// Power of the signal at `frequency_hz`, equivalent to |X_k|^2 of a DFT
+/// evaluated at the (real-valued, non-integral allowed) bin for that
+/// frequency.
+double goertzel_power(std::span<const double> signal, double frequency_hz,
+                      double sample_rate) noexcept;
+
+/// Streaming Goertzel filter: feed samples incrementally, read power at the
+/// end of a block, then reset() for the next block.
+class Goertzel {
+ public:
+  Goertzel(double frequency_hz, double sample_rate) noexcept;
+
+  void push(double sample) noexcept;
+  void reset() noexcept;
+
+  /// |X|^2 for all samples pushed since the last reset.
+  double block_power() const noexcept;
+  std::size_t samples_seen() const noexcept { return count_; }
+  double frequency_hz() const noexcept { return frequency_hz_; }
+
+ private:
+  double frequency_hz_;
+  double coeff_;
+  double sin_w_;
+  double cos_w_;
+  double s1_ = 0.0;
+  double s2_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mdn::dsp

@@ -1,0 +1,128 @@
+#include "dsp/mel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mdn::dsp {
+
+double hz_to_mel(double hz) noexcept {
+  return 2595.0 * std::log10(1.0 + hz / 700.0);
+}
+
+double mel_to_hz(double mel) noexcept {
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+MelFilterBank::MelFilterBank(std::size_t bands, std::size_t fft_size,
+                             double sample_rate, double fmin_hz,
+                             double fmax_hz)
+    : bands_(bands), spectrum_size_(fft_size / 2 + 1) {
+  if (bands == 0 || fft_size == 0 || sample_rate <= 0.0 ||
+      fmax_hz <= fmin_hz) {
+    throw std::invalid_argument("MelFilterBank: invalid configuration");
+  }
+
+  // bands + 2 edge points evenly spaced in mel.
+  const double mel_lo = hz_to_mel(fmin_hz);
+  const double mel_hi = hz_to_mel(fmax_hz);
+  std::vector<double> edges_hz(bands + 2);
+  centers_mel_.resize(bands);
+  for (std::size_t i = 0; i < bands + 2; ++i) {
+    const double mel = mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                                    static_cast<double>(bands + 1);
+    edges_hz[i] = mel_to_hz(mel);
+    if (i >= 1 && i <= bands) centers_mel_[i - 1] = mel;
+  }
+
+  const double hz_per_bin = sample_rate / static_cast<double>(fft_size);
+  filters_.resize(bands);
+  for (std::size_t b = 0; b < bands; ++b) {
+    const double lo = edges_hz[b];
+    const double mid = edges_hz[b + 1];
+    const double hi = edges_hz[b + 2];
+    const auto first =
+        static_cast<std::size_t>(std::ceil(lo / hz_per_bin));
+    const auto last = std::min(
+        spectrum_size_ - 1,
+        static_cast<std::size_t>(std::floor(hi / hz_per_bin)));
+    Filter f;
+    f.first_bin = first;
+    for (std::size_t k = first; k <= last && k < spectrum_size_; ++k) {
+      const double hz = static_cast<double>(k) * hz_per_bin;
+      double w = 0.0;
+      if (hz <= mid && mid > lo) {
+        w = (hz - lo) / (mid - lo);
+      } else if (hz > mid && hi > mid) {
+        w = (hi - hz) / (hi - mid);
+      }
+      f.weights.push_back(std::max(0.0, w));
+    }
+    // Guarantee every band sees at least its centre bin, so narrow bands
+    // at low frequencies never vanish entirely.
+    if (f.weights.empty()) {
+      f.first_bin = std::min(
+          spectrum_size_ - 1,
+          static_cast<std::size_t>(std::llround(mid / hz_per_bin)));
+      f.weights.push_back(1.0);
+    }
+    filters_[b] = std::move(f);
+  }
+}
+
+double MelFilterBank::band_center_hz(std::size_t b) const {
+  return mel_to_hz(band_center_mel(b));
+}
+
+double MelFilterBank::band_center_mel(std::size_t b) const {
+  if (b >= bands_) throw std::out_of_range("MelFilterBank::band_center_mel");
+  return centers_mel_[b];
+}
+
+std::vector<double> MelFilterBank::apply(
+    std::span<const double> linear_spectrum) const {
+  if (linear_spectrum.size() != spectrum_size_) {
+    throw std::invalid_argument("MelFilterBank::apply: spectrum size");
+  }
+  std::vector<double> out(bands_, 0.0);
+  for (std::size_t b = 0; b < bands_; ++b) {
+    const auto& f = filters_[b];
+    double acc = 0.0;
+    for (std::size_t i = 0; i < f.weights.size(); ++i) {
+      const std::size_t k = f.first_bin + i;
+      if (k >= spectrum_size_) break;
+      acc += f.weights[i] * linear_spectrum[k];
+    }
+    out[b] = acc;
+  }
+  return out;
+}
+
+std::size_t MelSpectrogram::argmax_band(std::size_t f) const {
+  const auto& row = frames.at(f);
+  return static_cast<std::size_t>(std::distance(
+      row.begin(), std::max_element(row.begin(), row.end())));
+}
+
+MelSpectrogram mel_spectrogram(const Spectrogram& linear, std::size_t bands,
+                               double fmin_hz, double fmax_hz) {
+  const std::size_t fft_size = (linear.bins() - 1) * 2;
+  MelFilterBank bank(bands, fft_size, linear.sample_rate(), fmin_hz,
+                     fmax_hz);
+  MelSpectrogram out;
+  out.frames.reserve(linear.frames());
+  out.frame_times_s.reserve(linear.frames());
+  for (std::size_t f = 0; f < linear.frames(); ++f) {
+    out.frames.push_back(bank.apply(linear.frame(f)));
+    out.frame_times_s.push_back(linear.frame_time(f));
+  }
+  out.band_centers_hz.resize(bands);
+  out.band_centers_mel.resize(bands);
+  for (std::size_t b = 0; b < bands; ++b) {
+    out.band_centers_hz[b] = bank.band_center_hz(b);
+    out.band_centers_mel[b] = bank.band_center_mel(b);
+  }
+  return out;
+}
+
+}  // namespace mdn::dsp

@@ -1,0 +1,69 @@
+// Mel scale and mel-scaled spectrograms.
+//
+// The paper plots its audio evidence on the mel scale (Figs 3b, 4, 5, 6):
+// the port-scan sweep of Fig 4c appears as a logarithmic line *because* the
+// y-axis is mel.  We implement the standard HTK mel mapping and a
+// triangular filterbank to convert linear STFT frames to mel bands.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/spectrogram.h"
+
+namespace mdn::dsp {
+
+/// HTK mel scale: mel = 2595 * log10(1 + hz / 700).
+double hz_to_mel(double hz) noexcept;
+double mel_to_hz(double mel) noexcept;
+
+/// A bank of triangular filters spaced evenly on the mel scale.
+class MelFilterBank {
+ public:
+  /// `fft_size` and `sample_rate` describe the linear spectra to be
+  /// filtered; `bands` mel filters cover [fmin_hz, fmax_hz].
+  MelFilterBank(std::size_t bands, std::size_t fft_size, double sample_rate,
+                double fmin_hz, double fmax_hz);
+
+  std::size_t bands() const noexcept { return bands_; }
+  /// Centre frequency (Hz) of mel band `b`.
+  double band_center_hz(std::size_t b) const;
+  /// Centre of band `b` in mels.
+  double band_center_mel(std::size_t b) const;
+
+  /// Applies the bank to a single-sided linear spectrum (fft_size/2+1
+  /// values); returns `bands` mel-band amplitudes.
+  std::vector<double> apply(std::span<const double> linear_spectrum) const;
+
+ private:
+  std::size_t bands_;
+  std::size_t spectrum_size_;
+  std::vector<double> centers_mel_;
+  // weights_[b] holds (first_bin, coefficients) of triangular filter b.
+  struct Filter {
+    std::size_t first_bin = 0;
+    std::vector<double> weights;
+  };
+  std::vector<Filter> filters_;
+};
+
+/// A mel-scaled time-frequency matrix with axis metadata.
+struct MelSpectrogram {
+  std::vector<std::vector<double>> frames;  ///< frames x bands amplitude
+  std::vector<double> band_centers_hz;
+  std::vector<double> band_centers_mel;
+  std::vector<double> frame_times_s;
+
+  std::size_t band_count() const noexcept {
+    return band_centers_hz.size();
+  }
+  /// Band with the largest amplitude in frame `f`.
+  std::size_t argmax_band(std::size_t f) const;
+};
+
+/// Converts a linear STFT spectrogram to mel bands.
+MelSpectrogram mel_spectrogram(const Spectrogram& linear, std::size_t bands,
+                               double fmin_hz, double fmax_hz);
+
+}  // namespace mdn::dsp

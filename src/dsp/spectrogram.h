@@ -1,0 +1,61 @@
+// Short-time Fourier transform (STFT) spectrogram.
+//
+// The paper renders most of its evidence as mel-scaled spectrograms
+// (Figs 3b, 4, 5b, 5d, 6); this module produces the linear-frequency STFT
+// those are built from.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace mdn::dsp {
+
+struct StftConfig {
+  std::size_t fft_size = 1024;
+  std::size_t hop = 256;
+  WindowKind window = WindowKind::kHann;
+};
+
+/// A time-frequency matrix: frames() rows, bins() columns of linear
+/// amplitude, plus the axis metadata needed to label a plot.
+class Spectrogram {
+ public:
+  Spectrogram(std::size_t frames, std::size_t bins, double sample_rate,
+              std::size_t fft_size, std::size_t hop);
+
+  std::size_t frames() const noexcept { return frames_; }
+  std::size_t bins() const noexcept { return bins_; }
+  double sample_rate() const noexcept { return sample_rate_; }
+
+  double& at(std::size_t frame, std::size_t bin);
+  double at(std::size_t frame, std::size_t bin) const;
+  std::span<const double> frame(std::size_t index) const;
+  std::span<double> frame(std::size_t index);
+
+  /// Centre time (seconds) of frame `index`.
+  double frame_time(std::size_t index) const noexcept;
+  /// Centre frequency (Hz) of bin `index`.
+  double bin_frequency(std::size_t index) const noexcept;
+
+  /// Bin with the largest amplitude in a frame.
+  std::size_t argmax_bin(std::size_t frame_index) const;
+
+ private:
+  std::size_t frames_;
+  std::size_t bins_;
+  double sample_rate_;
+  std::size_t fft_size_;
+  std::size_t hop_;
+  std::vector<double> data_;  // row-major frames x bins
+};
+
+/// Computes the single-sided amplitude STFT of `signal`.  The final
+/// partial frame is zero-padded.  Returns an empty spectrogram (0 frames)
+/// for signals shorter than one hop.
+Spectrogram stft(std::span<const double> signal, double sample_rate,
+                 const StftConfig& config);
+
+}  // namespace mdn::dsp

@@ -1,0 +1,131 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "dsp/window.h"
+
+namespace mdn::dsp {
+
+double amplitude_to_db(double amplitude, double reference,
+                       double floor_db) noexcept {
+  if (amplitude <= 0.0 || reference <= 0.0) return floor_db;
+  return std::max(floor_db, 20.0 * std::log10(amplitude / reference));
+}
+
+double db_to_amplitude(double db, double reference) noexcept {
+  return reference * std::pow(10.0, db / 20.0);
+}
+
+std::vector<double> amplitude_spectrum(std::span<const double> signal,
+                                       std::span<const double> window) {
+  if (signal.size() != window.size()) {
+    throw std::invalid_argument("amplitude_spectrum: window size mismatch");
+  }
+  const std::size_t n = signal.size();
+  if (n == 0) return {};
+
+  std::vector<double> windowed(signal.begin(), signal.end());
+  apply_window(windowed, window);
+  const auto spectrum = fft_real(windowed);
+
+  // A sine of amplitude A contributes A * gain / 2 to its bin (the other
+  // half lands in the conjugate bin), where gain is the coherent window
+  // gain; scale so the reported value is A.
+  const double gain = window_coherent_gain(window);
+  const double scale = gain > 0.0 ? 2.0 / gain : 0.0;
+
+  std::vector<double> out(n / 2 + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = std::abs(spectrum[k]) * scale;
+  }
+  // DC and Nyquist have no conjugate partner.
+  out.front() /= 2.0;
+  if (n % 2 == 0) out.back() /= 2.0;
+  return out;
+}
+
+std::vector<double> amplitude_spectrum_padded(std::span<const double> signal,
+                                              std::span<const double> window,
+                                              std::size_t fft_size) {
+  if (signal.size() != window.size()) {
+    throw std::invalid_argument(
+        "amplitude_spectrum_padded: window size mismatch");
+  }
+  if (fft_size < signal.size()) {
+    throw std::invalid_argument(
+        "amplitude_spectrum_padded: fft_size smaller than signal");
+  }
+  std::vector<double> padded(fft_size, 0.0);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    padded[i] = signal[i] * window[i];
+  }
+  const auto spectrum = fft_real(padded);
+
+  const double gain = window_coherent_gain(window);
+  const double scale = gain > 0.0 ? 2.0 / gain : 0.0;
+  std::vector<double> out(fft_size / 2 + 1);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = std::abs(spectrum[k]) * scale;
+  }
+  out.front() /= 2.0;
+  if (fft_size % 2 == 0) out.back() /= 2.0;
+  return out;
+}
+
+std::vector<SpectralPeak> find_peaks(std::span<const double> spectrum,
+                                     double sample_rate, std::size_t fft_size,
+                                     double min_amplitude,
+                                     std::size_t neighborhood) {
+  std::vector<SpectralPeak> peaks;
+  const std::size_t n = spectrum.size();
+  if (n < 3 || fft_size == 0) return peaks;
+  const std::size_t radius = std::max<std::size_t>(1, neighborhood);
+
+  for (std::size_t k = 1; k + 1 < n; ++k) {
+    const double a = spectrum[k];
+    if (a < min_amplitude) continue;
+
+    bool is_max = true;
+    const std::size_t lo = k > radius ? k - radius : 0;
+    const std::size_t hi = std::min(n - 1, k + radius);
+    for (std::size_t j = lo; j <= hi && is_max; ++j) {
+      if (j != k && spectrum[j] > a) is_max = false;
+    }
+    if (!is_max) continue;
+
+    // Parabolic interpolation on log amplitude for sub-bin frequency.
+    double delta = 0.0;
+    const double eps = 1e-30;
+    const double l0 = std::log(spectrum[k - 1] + eps);
+    const double l1 = std::log(a + eps);
+    const double l2 = std::log(spectrum[k + 1] + eps);
+    const double denom = l0 - 2.0 * l1 + l2;
+    if (std::abs(denom) > 1e-12) {
+      delta = 0.5 * (l0 - l2) / denom;
+      delta = std::clamp(delta, -0.5, 0.5);
+    }
+
+    SpectralPeak p;
+    p.bin = k;
+    p.frequency_hz = (static_cast<double>(k) + delta) * sample_rate /
+                     static_cast<double>(fft_size);
+    p.amplitude = a;
+    peaks.push_back(p);
+  }
+  return peaks;
+}
+
+double spectral_difference(std::span<const double> a,
+                           std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("spectral_difference: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+}  // namespace mdn::dsp

@@ -1,0 +1,60 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mdn::dsp {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+std::string_view window_name(WindowKind kind) noexcept {
+  switch (kind) {
+    case WindowKind::kRectangular: return "rectangular";
+    case WindowKind::kHann: return "hann";
+    case WindowKind::kHamming: return "hamming";
+    case WindowKind::kBlackman: return "blackman";
+  }
+  return "unknown";
+}
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n == 0) return w;
+  const auto nd = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / nd;  // periodic form
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) +
+               0.08 * std::cos(2.0 * kTwoPi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::span<double> signal, std::span<const double> window) {
+  if (signal.size() != window.size()) {
+    throw std::invalid_argument("apply_window: size mismatch");
+  }
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
+}
+
+double window_coherent_gain(std::span<const double> window) noexcept {
+  double sum = 0.0;
+  for (double w : window) sum += w;
+  return sum;
+}
+
+}  // namespace mdn::dsp

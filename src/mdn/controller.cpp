@@ -1,0 +1,71 @@
+#include "mdn/controller.h"
+
+#include <cmath>
+
+namespace mdn::core {
+
+MdnController::MdnController(net::EventLoop& loop,
+                             audio::AcousticChannel& channel,
+                             const Config& config)
+    : loop_(loop),
+      channel_(channel),
+      config_(config),
+      detector_(config.detector),
+      microphone_(config.microphone, channel.sample_rate()),
+      recording_(channel.sample_rate()) {}
+
+void MdnController::watch(double frequency_hz, Handler handler) {
+  watches_.push_back({frequency_hz, std::move(handler), false});
+}
+
+void MdnController::watch_all(std::span<const double> watch_hz,
+                              Handler handler) {
+  for (double f : watch_hz) watches_.push_back({f, handler, false});
+}
+
+void MdnController::observe_blocks(BlockObserver observer) {
+  block_observers_.push_back(std::move(observer));
+}
+
+void MdnController::start() {
+  if (running_) return;
+  running_ = true;
+  const net::SimTime hop = net::from_seconds(config_.hop_s);
+  loop_.schedule_periodic(hop, hop, [this] { return tick(); });
+}
+
+bool MdnController::tick() {
+  if (!running_) return false;
+  const double now_s = net::to_seconds(loop_.now());
+  const double start_s = now_s - config_.hop_s;
+  const audio::Waveform block =
+      microphone_.record(channel_, start_s, config_.hop_s);
+  ++blocks_;
+  if (config_.keep_recording) recording_.append(block);
+
+  for (const auto& observer : block_observers_) {
+    observer(start_s, block.samples());
+  }
+
+  const auto tones = detector_.detect(block.samples());
+  for (auto& w : watches_) {
+    double best_amp = 0.0;
+    bool found = false;
+    for (const auto& t : tones) {
+      if (std::abs(t.frequency_hz - w.frequency_hz) <=
+          detector_.config().match_tolerance_hz) {
+        found = true;
+        best_amp = std::max(best_amp, t.amplitude);
+      }
+    }
+    if (found && !w.active) {
+      const ToneEvent event{start_s, w.frequency_hz, best_amp};
+      log_.push_back(event);
+      if (w.handler) w.handler(event);
+    }
+    w.active = found;
+  }
+  return running_;
+}
+
+}  // namespace mdn::core

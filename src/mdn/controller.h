@@ -1,0 +1,93 @@
+// The Music-Defined Networking controller (the "listening application").
+//
+// Fig 1: an application listens for sounds, interprets the sequence and
+// launches the appropriate action — sending an OpenFlow Flow-MOD, opening
+// a knocked port, raising an alert.  This class is that application: it
+// owns a microphone on the acoustic channel, wakes up every `hop_s`
+// seconds of simulated time, records the last hop, runs the tone detector
+// and dispatches onset events to registered handlers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "audio/channel.h"
+#include "mdn/tone_detector.h"
+#include "net/event_loop.h"
+
+namespace mdn::core {
+
+class MdnController {
+ public:
+  struct Config {
+    /// Listening block length.  §3 reports ~50 ms samples with 90% of
+    /// FFTs finishing in 0.35 ms.
+    double hop_s = 0.05;
+    ToneDetectorConfig detector;
+    audio::MicrophoneSpec microphone;
+    /// Keep the raw microphone signal for later spectrogram rendering.
+    bool keep_recording = false;
+  };
+
+  using Handler = std::function<void(const ToneEvent&)>;
+
+  MdnController(net::EventLoop& loop, audio::AcousticChannel& channel,
+                const Config& config);
+
+  /// Registers a handler for onsets of `frequency_hz` (within the
+  /// detector's match tolerance).
+  void watch(double frequency_hz, Handler handler);
+
+  /// Registers one handler for every frequency in `watch_hz`.
+  void watch_all(std::span<const double> watch_hz, Handler handler);
+
+  /// Low-level tap: receives every recorded block (block start time in
+  /// seconds plus the raw samples) before onset matching.  Applications
+  /// with their own demodulators — e.g. the melody codec's FSK receiver
+  /// — build on this instead of watch().
+  using BlockObserver =
+      std::function<void(double start_s, std::span<const double> samples)>;
+  void observe_blocks(BlockObserver observer);
+
+  /// Begins periodic listening at the configured hop.  Listening stops
+  /// when stop() is called or the event loop drains.
+  void start();
+  void stop() noexcept { running_ = false; }
+  bool running() const noexcept { return running_; }
+
+  const ToneDetector& detector() const noexcept { return detector_; }
+  const Config& config() const noexcept { return config_; }
+  net::EventLoop& loop() noexcept { return loop_; }
+
+  /// Every onset heard since start(), regardless of handlers.
+  const std::vector<ToneEvent>& event_log() const noexcept { return log_; }
+
+  /// Full microphone recording (only if keep_recording was set).
+  const audio::Waveform& recording() const noexcept { return recording_; }
+
+  std::uint64_t blocks_processed() const noexcept { return blocks_; }
+
+ private:
+  struct Watch {
+    double frequency_hz;
+    Handler handler;
+    bool active = false;  // present in the previous block
+  };
+
+  bool tick();
+
+  net::EventLoop& loop_;
+  audio::AcousticChannel& channel_;
+  Config config_;
+  ToneDetector detector_;
+  audio::Microphone microphone_;
+  std::vector<Watch> watches_;
+  std::vector<BlockObserver> block_observers_;
+  std::vector<ToneEvent> log_;
+  audio::Waveform recording_;
+  bool running_ = false;
+  std::uint64_t blocks_ = 0;
+};
+
+}  // namespace mdn::core

@@ -1,0 +1,82 @@
+#include "mdn/ddos.h"
+
+#include <unordered_set>
+
+namespace mdn::core {
+namespace {
+
+std::uint64_t address_hash(std::uint32_t address) noexcept {
+  // SplitMix-style avalanche, so adjacent addresses spread across bins.
+  std::uint64_t z = address + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SuperspreaderReporter::SuperspreaderReporter(net::Switch& sw,
+                                             mp::MpEmitter& emitter,
+                                             const FrequencyPlan& plan,
+                                             DeviceId device,
+                                             SuperspreaderConfig config)
+    : emitter_(emitter), plan_(plan), device_(device), config_(config) {
+  sw.add_packet_hook([this](const net::Packet& pkt, std::size_t) {
+    const std::uint32_t addr =
+        config_.key_by == SuperspreaderConfig::KeyBy::kDstAddress
+            ? pkt.flow.dst_ip
+            : pkt.flow.src_ip;
+    emitter_.emit(frequency_for_address(addr), config_.tone_duration_s,
+                  config_.intensity_db_spl);
+  });
+}
+
+std::size_t SuperspreaderReporter::bin_for_address(
+    std::uint32_t address) const {
+  return static_cast<std::size_t>(address_hash(address) %
+                                  plan_.symbol_count(device_));
+}
+
+double SuperspreaderReporter::frequency_for_address(
+    std::uint32_t address) const {
+  return plan_.frequency(device_, bin_for_address(address));
+}
+
+SuperspreaderDetector::SuperspreaderDetector(MdnController& controller,
+                                             const FrequencyPlan& plan,
+                                             DeviceId device,
+                                             SuperspreaderConfig config)
+    : config_(config) {
+  for (std::size_t bin = 0; bin < plan.symbol_count(device); ++bin) {
+    controller.watch(plan.frequency(device, bin),
+                     [this, bin](const ToneEvent& ev) { on_event(bin, ev); });
+  }
+}
+
+std::size_t SuperspreaderDetector::distinct_in_window(double now_s) const {
+  while (!window_.empty() &&
+         now_s - window_.front().first > config_.window_s) {
+    window_.pop_front();
+  }
+  std::unordered_set<std::size_t> distinct;
+  for (const auto& [t, bin] : window_) distinct.insert(bin);
+  return distinct.size();
+}
+
+void SuperspreaderDetector::on_event(std::size_t bin,
+                                     const ToneEvent& event) {
+  window_.emplace_back(event.time_s, bin);
+  const std::size_t distinct = distinct_in_window(event.time_s);
+  if (distinct > config_.k) {
+    if (!alerted_) {
+      alerted_ = true;
+      Alert alert{event.time_s, distinct};
+      alerts_.push_back(alert);
+      if (handler_) handler_(alert);
+    }
+  } else {
+    alerted_ = false;
+  }
+}
+
+}  // namespace mdn::core

@@ -1,0 +1,77 @@
+// k-superspreader / DDoS-victim detection over sound.
+//
+// §5 leaves this as an open problem: "By mapping destination addresses to
+// frequencies, we can presumably detect k-superspreaders and hence a
+// DDoS."  We implement that extension.  The monitored host's switch keys
+// a tone per destination address (hash-binned); the listener counts
+// *distinct* destination tones per window — a superspreader contacts more
+// than k unique destinations in an interval.  The mirror image (tones
+// keyed by source-address bins at a victim's switch, counting distinct
+// sources) detects a DDoS victim; both reduce to the same distinct-count
+// listener.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mdn/controller.h"
+#include "mdn/frequency_plan.h"
+#include "mp/bridge.h"
+#include "net/switch.h"
+
+namespace mdn::core {
+
+struct SuperspreaderConfig {
+  enum class KeyBy { kDstAddress, kSrcAddress };
+  KeyBy key_by = KeyBy::kDstAddress;
+  std::size_t k = 20;             ///< distinct contacts to flag
+  double window_s = 5.0;
+  double tone_duration_s = 0.03;
+  double intensity_db_spl = 70.0;
+};
+
+class SuperspreaderReporter {
+ public:
+  SuperspreaderReporter(net::Switch& sw, mp::MpEmitter& emitter,
+                        const FrequencyPlan& plan, DeviceId device,
+                        SuperspreaderConfig config);
+
+  std::size_t bin_for_address(std::uint32_t address) const;
+  double frequency_for_address(std::uint32_t address) const;
+
+ private:
+  mp::MpEmitter& emitter_;
+  const FrequencyPlan& plan_;
+  DeviceId device_;
+  SuperspreaderConfig config_;
+};
+
+class SuperspreaderDetector {
+ public:
+  struct Alert {
+    double time_s = 0.0;
+    std::size_t distinct_bins = 0;
+  };
+  using AlertHandler = std::function<void(const Alert&)>;
+
+  SuperspreaderDetector(MdnController& controller, const FrequencyPlan& plan,
+                        DeviceId device, SuperspreaderConfig config);
+
+  void on_alert(AlertHandler handler) { handler_ = std::move(handler); }
+
+  std::size_t distinct_in_window(double now_s) const;
+  const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+
+ private:
+  void on_event(std::size_t bin, const ToneEvent& event);
+
+  SuperspreaderConfig config_;
+  mutable std::deque<std::pair<double, std::size_t>> window_;
+  std::vector<Alert> alerts_;
+  AlertHandler handler_;
+  bool alerted_ = false;
+};
+
+}  // namespace mdn::core

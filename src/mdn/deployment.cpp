@@ -1,0 +1,26 @@
+#include "mdn/deployment.h"
+
+namespace mdn::core {
+
+SpeakerRig::SpeakerRig(net::EventLoop& loop,
+                       audio::AcousticChannel& channel, FrequencyPlan& plan,
+                       std::string name, const SpeakerRigConfig& config)
+    : plan_(&plan),
+      device_(plan.add_device(name, config.symbols)),
+      speaker_(channel.add_source_at(name + "-speaker", config.position)) {
+  bridge_ = std::make_unique<mp::PiSpeakerBridge>(
+      loop, channel, speaker_, config.processing_delay);
+  emitter_ = std::make_unique<mp::MpEmitter>(loop, *bridge_,
+                                             config.emitter_min_gap);
+}
+
+double SpeakerRig::frequency(std::size_t index) const {
+  return plan_->frequency(device_, index);
+}
+
+bool SpeakerRig::sing(std::size_t index, double duration_s,
+                      double intensity_db_spl) {
+  return emitter_->emit(frequency(index), duration_s, intensity_db_spl);
+}
+
+}  // namespace mdn::core

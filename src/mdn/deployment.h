@@ -1,0 +1,55 @@
+// Deployment helpers: the per-switch audio kit as one object.
+//
+// Every Music-Defined deployment repeats the same wiring for each
+// singing device: allocate a frequency set in the plan, register a
+// speaker on the channel, stand up the Pi bridge, front it with a
+// rate-policed emitter.  SpeakerRig bundles that so applications and
+// examples construct one object per switch.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "audio/channel.h"
+#include "mdn/frequency_plan.h"
+#include "mp/bridge.h"
+#include "net/event_loop.h"
+
+namespace mdn::core {
+
+struct SpeakerRigConfig {
+  std::size_t symbols = 3;            ///< plan slots for this device
+  audio::Position position{0.5, 0.0}; ///< speaker location (metres)
+  net::SimTime emitter_min_gap = 0;   ///< rate police (0 = unpoliced)
+  net::SimTime processing_delay = 2 * net::kMillisecond;  ///< Pi latency
+};
+
+class SpeakerRig {
+ public:
+  /// Allocates `config.symbols` slots under `name` in `plan` and wires
+  /// speaker -> bridge -> emitter on `channel`.
+  SpeakerRig(net::EventLoop& loop, audio::AcousticChannel& channel,
+             FrequencyPlan& plan, std::string name,
+             const SpeakerRigConfig& config = {});
+
+  DeviceId device() const noexcept { return device_; }
+  audio::SourceId speaker() const noexcept { return speaker_; }
+  mp::PiSpeakerBridge& bridge() noexcept { return *bridge_; }
+  mp::MpEmitter& emitter() noexcept { return *emitter_; }
+
+  /// Frequency of this device's symbol `index`.
+  double frequency(std::size_t index) const;
+
+  /// Convenience: sing symbol `index` now (through the rate police).
+  bool sing(std::size_t index, double duration_s = 0.05,
+            double intensity_db_spl = 75.0);
+
+ private:
+  const FrequencyPlan* plan_;
+  DeviceId device_;
+  audio::SourceId speaker_;
+  std::unique_ptr<mp::PiSpeakerBridge> bridge_;
+  std::unique_ptr<mp::MpEmitter> emitter_;
+};
+
+}  // namespace mdn::core

@@ -1,0 +1,128 @@
+#include "mdn/fan_anomaly.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "dsp/spectrum.h"
+
+namespace mdn::core {
+
+FanAnomalyClassifier::FanAnomalyClassifier(double sample_rate,
+                                           const FanDetectorConfig& config)
+    : sample_rate_(sample_rate),
+      config_(config),
+      window_(dsp::make_window(config.window, config.fft_size)) {
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("FanAnomalyClassifier: sample rate");
+  }
+}
+
+std::vector<double> FanAnomalyClassifier::band_spectrum(
+    std::span<const double> segment) const {
+  std::vector<double> chunk(config_.fft_size, 0.0);
+  const std::size_t n = std::min(segment.size(), config_.fft_size);
+  std::copy_n(segment.begin(), n, chunk.begin());
+  const auto full = dsp::amplitude_spectrum(chunk, window_);
+
+  const std::size_t lo =
+      dsp::frequency_bin(config_.band_lo_hz, config_.fft_size, sample_rate_);
+  const std::size_t hi =
+      dsp::frequency_bin(config_.band_hi_hz, config_.fft_size, sample_rate_);
+  std::vector<double> band;
+  band.reserve(hi - lo + 1);
+  for (std::size_t k = lo; k <= hi && k < full.size(); ++k) {
+    band.push_back(full[k]);
+  }
+  return band;
+}
+
+std::vector<double> FanAnomalyClassifier::mean_spectrum(
+    const audio::Waveform& recording, std::size_t min_segments) const {
+  const std::size_t seg = config_.fft_size;
+  const std::size_t count = recording.size() / seg;
+  if (count < min_segments) {
+    throw std::invalid_argument(
+        "FanAnomalyClassifier: recording too short");
+  }
+  std::vector<double> mean;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto s = band_spectrum(recording.samples().subspan(i * seg, seg));
+    if (mean.empty()) mean.assign(s.size(), 0.0);
+    for (std::size_t k = 0; k < s.size(); ++k) mean[k] += s[k];
+  }
+  for (auto& v : mean) v /= static_cast<double>(count);
+  return mean;
+}
+
+void FanAnomalyClassifier::add_reference(const std::string& label,
+                                         const audio::Waveform& recording) {
+  auto spectrum = mean_spectrum(recording, 2);
+  for (auto& ref : refs_) {
+    if (ref.label == label) {
+      ref.spectrum = std::move(spectrum);
+      return;
+    }
+  }
+  refs_.push_back({label, std::move(spectrum)});
+}
+
+std::vector<std::string> FanAnomalyClassifier::labels() const {
+  std::vector<std::string> out;
+  out.reserve(refs_.size());
+  for (const auto& r : refs_) out.push_back(r.label);
+  return out;
+}
+
+FanAnomalyClassifier::Result FanAnomalyClassifier::classify(
+    const audio::Waveform& sample) const {
+  if (refs_.size() < 2) {
+    throw std::logic_error(
+        "FanAnomalyClassifier: need >= 2 references to classify");
+  }
+  const auto spectrum = mean_spectrum(sample, 1);
+
+  double best = 1e300, second = 1e300;
+  const Reference* winner = nullptr;
+  for (const auto& ref : refs_) {
+    const double d = dsp::spectral_difference(spectrum, ref.spectrum);
+    if (d < best) {
+      second = best;
+      best = d;
+      winner = &ref;
+    } else if (d < second) {
+      second = d;
+    }
+  }
+  return {winner->label, best, second - best};
+}
+
+FanAnomalyClassifier::Result FanAnomalyClassifier::classify_majority(
+    const audio::Waveform& recording) const {
+  const std::size_t seg = config_.fft_size;
+  const std::size_t count = recording.size() / seg;
+  if (count == 0) return classify(recording);
+
+  std::map<std::string, std::size_t> votes;
+  std::map<std::string, Result> best_result;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Result r = classify(audio::Waveform(
+        sample_rate_,
+        std::vector<double>(
+            recording.samples().begin() + static_cast<std::ptrdiff_t>(i * seg),
+            recording.samples().begin() +
+                static_cast<std::ptrdiff_t>((i + 1) * seg))));
+    ++votes[r.label];
+    const auto it = best_result.find(r.label);
+    if (it == best_result.end() || r.distance < it->second.distance) {
+      best_result[r.label] = r;
+    }
+  }
+  const auto winner = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return best_result[winner->first];
+}
+
+}  // namespace mdn::core

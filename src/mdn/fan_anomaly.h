@@ -1,0 +1,64 @@
+// Multi-class fan anomaly recognition — the §7 open question
+// "How many distinct server anomalies can we recognize?", answered.
+//
+// FanFailureDetector is binary (running vs not).  This classifier keeps
+// one reference spectrum per labelled machine state (healthy, stopped,
+// bearing wear, obstructed intake, ...) and assigns a sample to the
+// nearest reference by total in-band amplitude difference — the same
+// statistic as Fig 7, generalised from a threshold to a nearest-
+// neighbour decision.  The margin (runner-up distance minus best
+// distance) is reported as a confidence signal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "mdn/fan_failure.h"
+
+namespace mdn::core {
+
+class FanAnomalyClassifier {
+ public:
+  explicit FanAnomalyClassifier(double sample_rate,
+                                const FanDetectorConfig& config = {});
+
+  /// Learns the mean in-band spectrum of `recording` under `label`.
+  /// Requires at least 2 FFT-size segments.  Re-adding a label replaces
+  /// its reference.
+  void add_reference(const std::string& label,
+                     const audio::Waveform& recording);
+
+  std::size_t reference_count() const noexcept { return refs_.size(); }
+  std::vector<std::string> labels() const;
+
+  struct Result {
+    std::string label;      ///< nearest reference
+    double distance = 0.0;  ///< L1 spectral distance to it
+    double margin = 0.0;    ///< runner-up distance minus best distance
+  };
+
+  /// Classifies one sample (>= 1 FFT-size segment).  Throws
+  /// std::logic_error with fewer than 2 references.
+  Result classify(const audio::Waveform& sample) const;
+
+  /// Majority vote of per-segment classifications over a longer
+  /// recording — steadier than a single segment in heavy room noise.
+  Result classify_majority(const audio::Waveform& recording) const;
+
+ private:
+  std::vector<double> band_spectrum(std::span<const double> segment) const;
+  std::vector<double> mean_spectrum(const audio::Waveform& recording,
+                                    std::size_t min_segments) const;
+
+  double sample_rate_;
+  FanDetectorConfig config_;
+  std::vector<double> window_;
+  struct Reference {
+    std::string label;
+    std::vector<double> spectrum;
+  };
+  std::vector<Reference> refs_;
+};
+
+}  // namespace mdn::core

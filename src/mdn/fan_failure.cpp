@@ -1,0 +1,127 @@
+#include "mdn/fan_failure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "dsp/spectrum.h"
+
+namespace mdn::core {
+
+FanFailureDetector::FanFailureDetector(double sample_rate,
+                                       const FanDetectorConfig& config)
+    : sample_rate_(sample_rate),
+      config_(config),
+      window_(dsp::make_window(config.window, config.fft_size)) {
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("FanFailureDetector: sample rate");
+  }
+  if (config.band_hi_hz <= config.band_lo_hz) {
+    throw std::invalid_argument("FanFailureDetector: band");
+  }
+}
+
+std::vector<double> FanFailureDetector::band_spectrum(
+    std::span<const double> segment) const {
+  std::vector<double> chunk(config_.fft_size, 0.0);
+  const std::size_t n = std::min(segment.size(), config_.fft_size);
+  std::copy_n(segment.begin(), n, chunk.begin());
+  const auto full = dsp::amplitude_spectrum(chunk, window_);
+
+  const std::size_t lo =
+      dsp::frequency_bin(config_.band_lo_hz, config_.fft_size, sample_rate_);
+  const std::size_t hi =
+      dsp::frequency_bin(config_.band_hi_hz, config_.fft_size, sample_rate_);
+  std::vector<double> band;
+  band.reserve(hi - lo + 1);
+  for (std::size_t k = lo; k <= hi && k < full.size(); ++k) {
+    band.push_back(full[k]);
+  }
+  return band;
+}
+
+void FanFailureDetector::calibrate(const audio::Waveform& baseline) {
+  const std::size_t seg = config_.fft_size;
+  const std::size_t count = baseline.size() / seg;
+  if (count < 4) {
+    throw std::invalid_argument(
+        "FanFailureDetector::calibrate: need >= 4 FFT-size segments");
+  }
+
+  // Pass 1: mean spectrum.
+  std::vector<std::vector<double>> spectra;
+  spectra.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    spectra.push_back(
+        band_spectrum(baseline.samples().subspan(i * seg, seg)));
+  }
+  reference_.assign(spectra.front().size(), 0.0);
+  for (const auto& s : spectra) {
+    for (std::size_t k = 0; k < reference_.size(); ++k) {
+      reference_[k] += s[k];
+    }
+  }
+  for (auto& v : reference_) v /= static_cast<double>(count);
+
+  // Pass 2: spread of segment-vs-reference differences.
+  double sum = 0.0, sum2 = 0.0;
+  for (const auto& s : spectra) {
+    const double d = dsp::spectral_difference(s, reference_);
+    sum += d;
+    sum2 += d * d;
+  }
+  mean_diff_ = sum / static_cast<double>(count);
+  const double var =
+      sum2 / static_cast<double>(count) - mean_diff_ * mean_diff_;
+  std_diff_ = std::sqrt(std::max(0.0, var));
+  calibrated_ = true;
+}
+
+double FanFailureDetector::difference(const audio::Waveform& sample) const {
+  if (!calibrated_) {
+    throw std::logic_error("FanFailureDetector: not calibrated");
+  }
+  return dsp::spectral_difference(band_spectrum(sample.samples()),
+                                  reference_);
+}
+
+std::vector<double> FanFailureDetector::difference_series(
+    const audio::Waveform& recording) const {
+  std::vector<double> out;
+  const std::size_t seg = config_.fft_size;
+  for (std::size_t start = 0; start + seg <= recording.size();
+       start += seg) {
+    out.push_back(dsp::spectral_difference(
+        band_spectrum(recording.samples().subspan(start, seg)),
+        reference_));
+  }
+  return out;
+}
+
+double FanFailureDetector::threshold() const {
+  if (!calibrated_) {
+    throw std::logic_error("FanFailureDetector: not calibrated");
+  }
+  return mean_diff_ + config_.sigma_factor * std_diff_;
+}
+
+bool FanFailureDetector::is_failed(const audio::Waveform& sample) const {
+  return difference(sample) > threshold();
+}
+
+double FanFailureDetector::baseline_mean() const {
+  if (!calibrated_) {
+    throw std::logic_error("FanFailureDetector: not calibrated");
+  }
+  return mean_diff_;
+}
+
+double FanFailureDetector::baseline_std() const {
+  if (!calibrated_) {
+    throw std::logic_error("FanFailureDetector: not calibrated");
+  }
+  return std_diff_;
+}
+
+}  // namespace mdn::core

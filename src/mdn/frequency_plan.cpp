@@ -1,0 +1,126 @@
+#include "mdn/frequency_plan.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mdn::core {
+
+FrequencyPlan::FrequencyPlan(const FrequencyPlanConfig& config)
+    : config_(config), next_hz_(config.base_hz) {
+  if (config.spacing_hz <= 0.0 || config.base_hz <= 0.0 ||
+      config.max_hz <= config.base_hz) {
+    throw std::invalid_argument("FrequencyPlan: invalid configuration");
+  }
+}
+
+DeviceId FrequencyPlan::add_device(std::string name, std::size_t symbols) {
+  if (symbols == 0) {
+    throw std::invalid_argument("FrequencyPlan: zero symbols");
+  }
+  if (symbols > remaining_capacity()) {
+    throw std::length_error("FrequencyPlan: band exhausted");
+  }
+  Device dev;
+  dev.name = std::move(name);
+  dev.frequencies.reserve(symbols);
+  for (std::size_t i = 0; i < symbols; ++i) {
+    dev.frequencies.push_back(next_hz_);
+    next_hz_ += config_.spacing_hz;
+  }
+  devices_.push_back(std::move(dev));
+  return static_cast<DeviceId>(devices_.size() - 1);
+}
+
+const std::string& FrequencyPlan::device_name(DeviceId id) const {
+  return devices_.at(id).name;
+}
+
+double FrequencyPlan::frequency(DeviceId id, std::size_t index) const {
+  return devices_.at(id).frequencies.at(index);
+}
+
+std::span<const double> FrequencyPlan::frequencies(DeviceId id) const {
+  return devices_.at(id).frequencies;
+}
+
+std::size_t FrequencyPlan::symbol_count(DeviceId id) const {
+  return devices_.at(id).frequencies.size();
+}
+
+std::optional<FrequencyPlan::Assignment> FrequencyPlan::identify(
+    double frequency_hz, double tolerance_hz) const {
+  if (tolerance_hz < 0.0) tolerance_hz = config_.spacing_hz / 2.0;
+  // Frequencies are allocated on a regular grid, so the owning slot is
+  // computable directly.
+  const double slot_f =
+      std::round((frequency_hz - config_.base_hz) / config_.spacing_hz);
+  if (slot_f < 0.0) return std::nullopt;
+  const auto slot = static_cast<std::size_t>(slot_f);
+  const double grid_hz = config_.base_hz +
+                         static_cast<double>(slot) * config_.spacing_hz;
+  if (std::abs(frequency_hz - grid_hz) > tolerance_hz) return std::nullopt;
+
+  std::size_t first = 0;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    const std::size_t n = devices_[d].frequencies.size();
+    if (slot < first + n) {
+      return Assignment{static_cast<DeviceId>(d), slot - first, grid_hz};
+    }
+    first += n;
+  }
+  return std::nullopt;
+}
+
+std::string FrequencyPlan::to_text() const {
+  std::ostringstream os;
+  os << "mdn-frequency-plan v1\n";
+  os << "band " << config_.base_hz << ' ' << config_.spacing_hz << ' '
+     << config_.max_hz << '\n';
+  for (const auto& dev : devices_) {
+    os << "device " << dev.name << ' ' << dev.frequencies.size() << '\n';
+  }
+  return os.str();
+}
+
+FrequencyPlan FrequencyPlan::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "mdn-frequency-plan v1") {
+    throw std::invalid_argument("FrequencyPlan::from_text: bad header");
+  }
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("FrequencyPlan::from_text: missing band");
+  }
+  std::istringstream band(line);
+  std::string tag;
+  FrequencyPlanConfig config;
+  if (!(band >> tag >> config.base_hz >> config.spacing_hz >>
+        config.max_hz) ||
+      tag != "band") {
+    throw std::invalid_argument("FrequencyPlan::from_text: bad band line");
+  }
+
+  FrequencyPlan plan(config);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream dev(line);
+    std::string name;
+    std::size_t symbols = 0;
+    if (!(dev >> tag >> name >> symbols) || tag != "device") {
+      throw std::invalid_argument(
+          "FrequencyPlan::from_text: bad device line: " + line);
+    }
+    plan.add_device(std::move(name), symbols);
+  }
+  return plan;
+}
+
+std::size_t FrequencyPlan::remaining_capacity() const noexcept {
+  if (next_hz_ > config_.max_hz) return 0;
+  return static_cast<std::size_t>(
+             std::floor((config_.max_hz - next_hz_) / config_.spacing_hz)) +
+         1;
+}
+
+}  // namespace mdn::core

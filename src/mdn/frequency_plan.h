@@ -1,0 +1,88 @@
+// Frequency plan: who may sing at which pitch.
+//
+// §3: "a distance of approximately 20 Hz between frequencies is needed to
+// accurately differentiate them.  Each switch in our testbed was assigned
+// a unique set of frequencies, so that we can identify sounds played by
+// different switches at the same time."  This class is that assignment —
+// a registry mapping (device, symbol index) <-> frequency with a
+// guaranteed minimum spacing, plus the reverse lookup the listening
+// application needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mdn::core {
+
+using DeviceId = std::uint32_t;
+
+struct FrequencyPlanConfig {
+  double base_hz = 500.0;     ///< first assignable frequency
+  double spacing_hz = 20.0;   ///< paper's empirical minimum separation
+  double max_hz = 18000.0;    ///< top of the usable band
+};
+
+class FrequencyPlan {
+ public:
+  explicit FrequencyPlan(const FrequencyPlanConfig& config = {});
+
+  /// Registers a device needing `symbols` distinct frequencies.
+  /// Throws std::length_error when the band is exhausted.
+  DeviceId add_device(std::string name, std::size_t symbols);
+
+  std::size_t device_count() const noexcept { return devices_.size(); }
+  const std::string& device_name(DeviceId id) const;
+
+  /// Frequency of symbol `index` of device `id`.
+  double frequency(DeviceId id, std::size_t index) const;
+  std::span<const double> frequencies(DeviceId id) const;
+  std::size_t symbol_count(DeviceId id) const;
+
+  struct Assignment {
+    DeviceId device = 0;
+    std::size_t symbol = 0;
+    double frequency_hz = 0.0;
+  };
+
+  /// Reverse lookup: which (device, symbol) owns a heard frequency?
+  /// Matches within `tolerance_hz` (default: half the plan spacing).
+  std::optional<Assignment> identify(double frequency_hz,
+                                     double tolerance_hz = -1.0) const;
+
+  /// How many more frequencies the plan can still assign.  With the
+  /// default config this is on the order of the paper's "approximately
+  /// 1000 unique frequencies" estimate for the human-audible band.
+  std::size_t remaining_capacity() const noexcept;
+
+  const FrequencyPlanConfig& config() const noexcept { return config_; }
+
+  /// Serialises the plan as a small text document, so the switch-side
+  /// emitters and every listening controller of a deployment can share
+  /// one frequency map ("the listening application knows the frequency
+  /// mappings", §3):
+  ///
+  ///   mdn-frequency-plan v1
+  ///   band 500 20 18000
+  ///   device s1 3
+  ///   device s2 10
+  std::string to_text() const;
+
+  /// Parses a document produced by to_text().  Throws
+  /// std::invalid_argument on any malformation.
+  static FrequencyPlan from_text(const std::string& text);
+
+ private:
+  struct Device {
+    std::string name;
+    std::vector<double> frequencies;
+  };
+
+  FrequencyPlanConfig config_;
+  std::vector<Device> devices_;
+  double next_hz_;
+};
+
+}  // namespace mdn::core

@@ -1,0 +1,156 @@
+#include "mdn/melody_codec.h"
+
+#include <stdexcept>
+
+namespace mdn::core {
+
+std::uint8_t melody_checksum(
+    std::span<const std::uint8_t> payload) noexcept {
+  std::uint8_t c = 0;
+  for (std::uint8_t b : payload) c ^= b;
+  return c;
+}
+
+std::vector<std::size_t> melody_frame_symbols(
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::size_t> symbols;
+  symbols.reserve(payload.size() * 2 + 4);
+  symbols.push_back(kMelodyStartSymbol);
+  const auto push_byte = [&](std::uint8_t b) {
+    symbols.push_back(static_cast<std::size_t>(b >> 4));
+    symbols.push_back(static_cast<std::size_t>(b & 0x0f));
+  };
+  for (std::uint8_t b : payload) push_byte(b);
+  push_byte(melody_checksum(payload));
+  symbols.push_back(kMelodyEndSymbol);
+  return symbols;
+}
+
+MelodyEncoder::MelodyEncoder(net::EventLoop& loop, mp::MpEmitter& emitter,
+                             const FrequencyPlan& plan, DeviceId device,
+                             MelodyCodecConfig config)
+    : loop_(loop),
+      emitter_(emitter),
+      plan_(plan),
+      device_(device),
+      config_(config) {
+  if (plan.symbol_count(device) < kMelodyAlphabetSize) {
+    throw std::invalid_argument(
+        "MelodyEncoder: device needs an 18-symbol plan set");
+  }
+}
+
+double MelodyEncoder::airtime_s(std::size_t bytes) const noexcept {
+  const std::size_t symbols = bytes * 2 + 4;  // START + checksum + END
+  return static_cast<double>(symbols) *
+         (config_.tone_duration_s + config_.gap_s);
+}
+
+double MelodyEncoder::send(std::span<const std::uint8_t> payload) {
+  if (payload.size() > config_.max_payload) {
+    throw std::length_error("MelodyEncoder: payload too large");
+  }
+  const auto symbols = melody_frame_symbols(payload);
+  const net::SimTime step =
+      net::from_seconds(config_.tone_duration_s + config_.gap_s);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const double freq = plan_.frequency(device_, symbols[i]);
+    loop_.schedule_in(static_cast<net::SimTime>(i) * step, [this, freq] {
+      emitter_.emit(freq, config_.tone_duration_s,
+                    config_.intensity_db_spl);
+    });
+  }
+  ++frames_sent_;
+  return airtime_s(payload.size());
+}
+
+MelodyDecoder::MelodyDecoder(MdnController& controller,
+                             const FrequencyPlan& plan, DeviceId device,
+                             MelodyCodecConfig config)
+    : config_(config), detector_(&controller.detector()) {
+  if (plan.symbol_count(device) < kMelodyAlphabetSize) {
+    throw std::invalid_argument(
+        "MelodyDecoder: device needs an 18-symbol plan set");
+  }
+  alphabet_hz_.reserve(kMelodyAlphabetSize);
+  for (std::size_t s = 0; s < kMelodyAlphabetSize; ++s) {
+    alphabet_hz_.push_back(plan.frequency(device, s));
+  }
+  controller.observe_blocks(
+      [this](double start_s, std::span<const double> samples) {
+        on_block(start_s, samples);
+      });
+}
+
+void MelodyDecoder::on_block(double start_s,
+                             std::span<const double> samples) {
+  const auto levels = detector_->set_levels(samples, alphabet_hz_);
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < levels.size(); ++s) {
+    if (levels[s] > levels[best]) best = s;
+  }
+  const bool present = levels[best] >= config_.demod_threshold;
+  // Symbol boundary: carrier (re)appears, or the dominant tone changes.
+  if (present && (!carrier_active_ || best != active_symbol_)) {
+    on_symbol(best, start_s);
+  }
+  carrier_active_ = present;
+  active_symbol_ = best;
+}
+
+void MelodyDecoder::on_symbol(std::size_t symbol, double time_s) {
+  if (receiving_ &&
+      time_s - last_symbol_time_s_ > config_.symbol_timeout_s) {
+    abort_frame(/*count_malformed=*/true);
+  }
+  last_symbol_time_s_ = time_s;
+
+  if (symbol == kMelodyStartSymbol) {
+    // A START inside a frame abandons the partial frame and begins anew.
+    if (receiving_) ++frames_malformed_;
+    receiving_ = true;
+    nibbles_.clear();
+    return;
+  }
+  if (!receiving_) return;  // stray data tone outside a frame
+
+  if (symbol == kMelodyEndSymbol) {
+    finish_frame();
+    return;
+  }
+  nibbles_.push_back(symbol);
+}
+
+void MelodyDecoder::finish_frame() {
+  receiving_ = false;
+  // Need an even nibble count covering at least the checksum byte.
+  if (nibbles_.size() < 2 || nibbles_.size() % 2 != 0) {
+    ++frames_malformed_;
+    nibbles_.clear();
+    return;
+  }
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(nibbles_.size() / 2);
+  for (std::size_t i = 0; i < nibbles_.size(); i += 2) {
+    bytes.push_back(static_cast<std::uint8_t>((nibbles_[i] << 4) |
+                                              nibbles_[i + 1]));
+  }
+  nibbles_.clear();
+  const std::uint8_t received_checksum = bytes.back();
+  bytes.pop_back();
+  if (melody_checksum(bytes) != received_checksum) {
+    ++frames_bad_checksum_;
+    return;
+  }
+  ++frames_ok_;
+  messages_.push_back(bytes);
+  if (handler_) handler_(bytes);
+}
+
+void MelodyDecoder::abort_frame(bool count_malformed) {
+  if (receiving_ && count_malformed) ++frames_malformed_;
+  receiving_ = false;
+  nibbles_.clear();
+}
+
+}  // namespace mdn::core

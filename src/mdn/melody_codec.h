@@ -1,0 +1,133 @@
+// Melody codec: arbitrary (small) management payloads over tones.
+//
+// §4 observes that sounds "played in the right sequence" can implement
+// any management-plane finite state machine; the related work (§2) pegs
+// air-acoustic data transfer at roughly 20 bytes in up to six seconds.
+// This module makes both concrete: a frame is
+//
+//   START  n1 n2 ... n2k  c1 c2  END
+//
+// where each payload byte is sent as two 4-bit symbols (n-hi, n-lo),
+// c1 c2 carry an XOR checksum byte, and START/END are two extra alphabet
+// symbols.  Each symbol is one tone from the device's 18-symbol plan
+// set, separated by silence so the listener sees one onset per symbol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mdn/controller.h"
+#include "mdn/frequency_plan.h"
+#include "mp/bridge.h"
+#include "net/event_loop.h"
+
+namespace mdn::core {
+
+struct MelodyCodecConfig {
+  double tone_duration_s = 0.06;
+  /// Silence between symbols.  Must exceed the listener's hop (50 ms) by
+  /// more than one hop, so that *some* listening block is fully silent
+  /// between two consecutive tones of the same frequency regardless of
+  /// how symbol boundaries fall on the hop grid — otherwise repeated
+  /// nibbles merge into a single onset.
+  double gap_s = 0.12;
+  double intensity_db_spl = 75.0;
+  std::size_t max_payload = 64;  ///< bytes per frame
+  /// A silence longer than this mid-frame aborts the frame (seconds).
+  double symbol_timeout_s = 1.0;
+  /// FSK demodulation floor: the argmax alphabet tone in a listening
+  /// block must reach this linear amplitude to count as a symbol.
+  double demod_threshold = 0.03;
+};
+
+/// Alphabet layout inside a device's plan set.
+inline constexpr std::size_t kMelodyDataSymbols = 16;   // nibbles 0..15
+inline constexpr std::size_t kMelodyStartSymbol = 16;
+inline constexpr std::size_t kMelodyEndSymbol = 17;
+inline constexpr std::size_t kMelodyAlphabetSize = 18;
+
+/// XOR checksum over the payload bytes (0 for an empty payload).
+std::uint8_t melody_checksum(std::span<const std::uint8_t> payload) noexcept;
+
+/// Pure framing: payload -> symbol sequence (START ... END).
+std::vector<std::size_t> melody_frame_symbols(
+    std::span<const std::uint8_t> payload);
+
+class MelodyEncoder {
+ public:
+  /// `device` must own kMelodyAlphabetSize symbols in `plan`.
+  MelodyEncoder(net::EventLoop& loop, mp::MpEmitter& emitter,
+                const FrequencyPlan& plan, DeviceId device,
+                MelodyCodecConfig config = {});
+
+  /// Schedules the frame's tones starting now; returns the frame's total
+  /// airtime in seconds.  Throws std::length_error when the payload
+  /// exceeds max_payload.
+  double send(std::span<const std::uint8_t> payload);
+
+  /// Airtime a payload of `bytes` bytes would occupy.
+  double airtime_s(std::size_t bytes) const noexcept;
+
+  std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+
+ private:
+  net::EventLoop& loop_;
+  mp::MpEmitter& emitter_;
+  const FrequencyPlan& plan_;
+  DeviceId device_;
+  MelodyCodecConfig config_;
+  std::uint64_t frames_sent_ = 0;
+};
+
+/// FSK-style receiver: rather than open-set peak onsets, every listening
+/// block is demodulated against the 18-tone alphabet (Goertzel argmax).
+/// With the plan's 20 Hz spacing and the controller's 50 ms blocks the
+/// alphabet tones are mutually orthogonal (adjacent slots land on the
+/// rectangular window's spectral nulls), which makes this far more
+/// robust to partial-block tone tails than peak picking.
+class MelodyDecoder {
+ public:
+  using MessageHandler = std::function<void(const std::vector<std::uint8_t>&)>;
+
+  MelodyDecoder(MdnController& controller, const FrequencyPlan& plan,
+                DeviceId device, MelodyCodecConfig config = {});
+
+  void on_message(MessageHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  const std::vector<std::vector<std::uint8_t>>& messages() const noexcept {
+    return messages_;
+  }
+  std::uint64_t frames_ok() const noexcept { return frames_ok_; }
+  std::uint64_t frames_bad_checksum() const noexcept {
+    return frames_bad_checksum_;
+  }
+  std::uint64_t frames_malformed() const noexcept {
+    return frames_malformed_;
+  }
+
+ private:
+  void on_block(double start_s, std::span<const double> samples);
+  void on_symbol(std::size_t symbol, double time_s);
+  void finish_frame();
+  void abort_frame(bool count_malformed);
+
+  MelodyCodecConfig config_;
+  const ToneDetector* detector_ = nullptr;
+  std::vector<double> alphabet_hz_;
+  MessageHandler handler_;
+  bool receiving_ = false;
+  bool carrier_active_ = false;     // demod state: tone in last block
+  std::size_t active_symbol_ = 0;
+  double last_symbol_time_s_ = 0.0;
+  std::vector<std::size_t> nibbles_;
+  std::vector<std::vector<std::uint8_t>> messages_;
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t frames_bad_checksum_ = 0;
+  std::uint64_t frames_malformed_ = 0;
+};
+
+}  // namespace mdn::core

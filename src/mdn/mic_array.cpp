@@ -1,0 +1,48 @@
+#include "mdn/mic_array.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace mdn::core {
+
+void MicArray::attach(MdnController& controller,
+                      std::span<const double> watch_hz,
+                      std::string mic_name) {
+  ++mics_;
+  auto name = std::make_shared<std::string>(std::move(mic_name));
+  controller.watch_all(watch_hz, [this, name](const ToneEvent& ev) {
+    ingest(*name, ev);
+  });
+}
+
+void MicArray::ingest(const std::string& mic, const ToneEvent& event) {
+  // Search recent merged events for the same tone.  Events arrive in
+  // near time order, so scanning backwards terminates quickly.
+  for (auto it = merged_.rbegin(); it != merged_.rend(); ++it) {
+    if (event.time_s - it->time_s > dedup_window_s_ * 4.0) break;
+    if (it->frequency_hz == event.frequency_hz &&
+        std::abs(event.time_s - it->time_s) <= dedup_window_s_) {
+      ++it->heard_by;
+      it->amplitude = std::max(it->amplitude, event.amplitude);
+      it->time_s = std::min(it->time_s, event.time_s);
+      return;
+    }
+  }
+  MergedEvent merged;
+  merged.time_s = event.time_s;
+  merged.frequency_hz = event.frequency_hz;
+  merged.amplitude = event.amplitude;
+  merged.first_mic = mic;
+  merged.heard_by = 1;
+  merged_.push_back(merged);
+  if (handler_) handler_(merged_.back());
+}
+
+std::size_t MicArray::events_heard_by_at_least(std::size_t k) const {
+  return static_cast<std::size_t>(
+      std::count_if(merged_.begin(), merged_.end(),
+                    [k](const MergedEvent& e) { return e.heard_by >= k; }));
+}
+
+}  // namespace mdn::core

@@ -1,0 +1,82 @@
+#include "mdn/music_fsm.h"
+
+#include <stdexcept>
+
+namespace mdn::core {
+
+MusicFsm::MusicFsm(std::size_t state_count, State initial)
+    : initial_(initial),
+      current_(initial),
+      default_edges_(state_count),
+      entry_actions_(state_count) {
+  if (initial >= state_count) {
+    throw std::invalid_argument("MusicFsm: initial state out of range");
+  }
+}
+
+void MusicFsm::add_transition(State from, Symbol symbol, State to) {
+  if (from >= state_count() || to >= state_count()) {
+    throw std::out_of_range("MusicFsm::add_transition");
+  }
+  edges_[Key{from, symbol}] = to;
+}
+
+void MusicFsm::set_default_transition(State from, State to) {
+  if (from >= state_count() || to >= state_count()) {
+    throw std::out_of_range("MusicFsm::set_default_transition");
+  }
+  default_edges_[from] = to;
+}
+
+void MusicFsm::on_enter(State state, std::function<void()> action) {
+  entry_actions_.at(state) = std::move(action);
+}
+
+MusicFsm::State MusicFsm::feed(Symbol symbol, net::SimTime now) {
+  if (timeout_ > 0 && saw_symbol_ && now - last_symbol_at_ > timeout_ &&
+      current_ != initial_) {
+    current_ = initial_;
+    ++resets_;
+  }
+  last_symbol_at_ = now;
+  saw_symbol_ = true;
+
+  State next;
+  const auto it = edges_.find(Key{current_, symbol});
+  if (it != edges_.end()) {
+    next = it->second;
+  } else if (default_edges_[current_]) {
+    next = *default_edges_[current_];
+  } else {
+    next = initial_;
+  }
+  if (next == initial_ && current_ != initial_ && it == edges_.end()) {
+    ++resets_;
+  }
+  current_ = next;
+  ++transitions_;
+  if (entry_actions_[current_]) entry_actions_[current_]();
+  return current_;
+}
+
+MusicFsm make_knock_fsm(const std::vector<std::size_t>& knock_sequence) {
+  if (knock_sequence.empty()) {
+    throw std::invalid_argument("make_knock_fsm: empty sequence");
+  }
+  const std::size_t n = knock_sequence.size();
+  MusicFsm fsm(n + 1, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    fsm.add_transition(k, knock_sequence[k], k + 1);
+    // A correct *first* knock from any partial state restarts progress at
+    // step 1 rather than 0 (standard knocking behaviour) — unless the
+    // progress edge itself consumes that symbol.
+    if (k > 0 && knock_sequence[0] != knock_sequence[k]) {
+      fsm.add_transition(k, knock_sequence[0], 1);
+    }
+  }
+  // The accepting state is sticky until reset() is called.
+  fsm.set_default_transition(n, n);
+  return fsm;
+}
+
+}  // namespace mdn::core

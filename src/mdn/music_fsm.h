@@ -1,0 +1,85 @@
+// Sound-driven finite state machines (§4, "State Processing").
+//
+// The paper argues management-plane state machines can live in whatever
+// device carries a microphone, and demonstrates a port-knocking FSM in
+// the style of OpenState.  MusicFsm is the generic machine: states,
+// symbol-labelled transitions, a default (reset) edge, an optional
+// inactivity timeout, and entry callbacks.  PortKnockSequence derives
+// the concrete knock machine from a list of ports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/sim_time.h"
+
+namespace mdn::core {
+
+class MusicFsm {
+ public:
+  using State = std::size_t;
+  using Symbol = std::size_t;
+
+  MusicFsm(std::size_t state_count, State initial);
+
+  std::size_t state_count() const noexcept { return entry_actions_.size(); }
+  State state() const noexcept { return current_; }
+  State initial_state() const noexcept { return initial_; }
+
+  /// Adds the edge (from, symbol) -> to.  Re-adding overwrites.
+  void add_transition(State from, Symbol symbol, State to);
+
+  /// Where to go from `from` when no labelled edge matches the symbol
+  /// (defaults to the initial state — classic knock reset).
+  void set_default_transition(State from, State to);
+
+  /// Resets to the initial state when more than `timeout` elapses
+  /// between symbols (0 disables).
+  void set_timeout(net::SimTime timeout) noexcept { timeout_ = timeout; }
+
+  /// Callback invoked whenever `state` is entered via feed().
+  void on_enter(State state, std::function<void()> action);
+
+  /// Feeds a symbol observed at time `now`; returns the new state.
+  State feed(Symbol symbol, net::SimTime now);
+
+  void reset() noexcept { current_ = initial_; }
+
+  std::uint64_t transitions_taken() const noexcept { return transitions_; }
+  std::uint64_t resets() const noexcept { return resets_; }
+
+ private:
+  struct Key {
+    State from;
+    Symbol symbol;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return k.from * 1000003u + k.symbol;
+    }
+  };
+
+  State initial_;
+  State current_;
+  std::unordered_map<Key, State, KeyHash> edges_;
+  std::vector<std::optional<State>> default_edges_;
+  std::vector<std::function<void()>> entry_actions_;
+  net::SimTime timeout_ = 0;
+  net::SimTime last_symbol_at_ = 0;
+  bool saw_symbol_ = false;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// Builds the §4 port-knocking machine: symbols must arrive in the exact
+/// order of `knock_sequence`; any wrong symbol resets.  State k means
+/// "first k knocks heard"; entering state N (== sequence length) means
+/// authenticated.
+MusicFsm make_knock_fsm(const std::vector<std::size_t>& knock_sequence);
+
+}  // namespace mdn::core

@@ -1,0 +1,86 @@
+#include "mdn/port_knocking.h"
+
+#include <stdexcept>
+
+namespace mdn::core {
+
+PortKnockingApp::PortKnockingApp(net::Switch& sw, mp::MpEmitter& emitter,
+                                 MdnController& controller,
+                                 sdn::ControlChannel& channel,
+                                 sdn::DatapathId dpid,
+                                 const FrequencyPlan& plan, DeviceId device,
+                                 PortKnockingConfig config)
+    : emitter_(emitter),
+      channel_(channel),
+      dpid_(dpid),
+      plan_(plan),
+      device_(device),
+      config_(std::move(config)),
+      fsm_(make_knock_fsm([&] {
+        std::vector<std::size_t> symbols(config_.knock_ports.size());
+        for (std::size_t i = 0; i < symbols.size(); ++i) symbols[i] = i;
+        return symbols;
+      }())) {
+  if (config_.knock_ports.empty()) {
+    throw std::invalid_argument("PortKnockingApp: no knock ports");
+  }
+  if (plan_.symbol_count(device_) < config_.knock_ports.size()) {
+    throw std::invalid_argument(
+        "PortKnockingApp: device has too few plan symbols");
+  }
+  fsm_.set_timeout(config_.knock_timeout);
+  fsm_.on_enter(config_.knock_ports.size(), [this] { open_port(); });
+  install_switch_side(sw);
+  install_controller_side(controller);
+}
+
+void PortKnockingApp::install_switch_side(net::Switch& sw) {
+  // Guard rule: drop TCP to the protected port until knocked open.
+  net::FlowEntry drop;
+  drop.priority = 100;
+  drop.match.dst_port = config_.protected_port;
+  drop.match.proto = net::IpProto::kTcp;
+  drop.actions = {net::Action::drop()};
+  sw.flow_table().add(drop, sw.loop().now());
+
+  // Tone hook: a packet to knock port k keys tone k of the device's set.
+  sw.add_packet_hook([this](const net::Packet& pkt, std::size_t) {
+    for (std::size_t k = 0; k < config_.knock_ports.size(); ++k) {
+      if (pkt.flow.dst_port == config_.knock_ports[k]) {
+        emitter_.emit(plan_.frequency(device_, k), config_.tone_duration_s,
+                      config_.intensity_db_spl);
+        return;
+      }
+    }
+  });
+}
+
+void PortKnockingApp::install_controller_side(MdnController& controller) {
+  net::EventLoop& loop = controller.loop();
+  for (std::size_t k = 0; k < config_.knock_ports.size(); ++k) {
+    controller.watch(plan_.frequency(device_, k),
+                     [this, k, &loop](const ToneEvent&) {
+                       ++knocks_heard_;
+                       if (!opened_) fsm_.feed(k, loop.now());
+                     });
+  }
+}
+
+void PortKnockingApp::open_port() {
+  if (opened_) return;
+  opened_ = true;
+  opened_at_s_ = net::to_seconds(channel_.switch_for(dpid_).loop().now());
+
+  // Fig 3: "we allow traffic to be forwarded by adding a flow table entry
+  // at the switch."  The open rule outranks the guard drop.
+  net::FlowEntry open;
+  open.priority = 200;
+  open.match.dst_port = config_.protected_port;
+  open.match.proto = net::IpProto::kTcp;
+  open.actions = {net::Action::output(config_.open_out_port)};
+  channel_.send_flow_mod(dpid_, sdn::FlowMod::add(open));
+
+  if (open_callback_) open_callback_();
+}
+
+}  // namespace mdn::core

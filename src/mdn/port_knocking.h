@@ -1,0 +1,71 @@
+// Port knocking over sound (§4, Fig 3).
+//
+// Setup: a switch drops TCP traffic to a protected port.  Three "knock"
+// ports are each mapped to a frequency in the switch's plan set; when a
+// knock packet arrives the switch emits the corresponding tone.  The MDN
+// controller tracks the knock FSM; once it hears the three tones in the
+// correct order it installs a flow entry opening the protected port.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mdn/controller.h"
+#include "mdn/frequency_plan.h"
+#include "mdn/music_fsm.h"
+#include "mp/bridge.h"
+#include "net/switch.h"
+#include "sdn/controller.h"
+
+namespace mdn::core {
+
+struct PortKnockingConfig {
+  std::vector<std::uint16_t> knock_ports;  ///< ports in knock order
+  std::uint16_t protected_port = 8080;
+  /// Switch port the opened traffic is forwarded out of.
+  std::size_t open_out_port = 0;
+  double tone_duration_s = 0.1;
+  double intensity_db_spl = 70.0;
+  /// Knocks further apart than this reset the FSM (0 disables).
+  net::SimTime knock_timeout = 10 * net::kSecond;
+};
+
+class PortKnockingApp {
+ public:
+  /// `device` must already own at least knock_ports.size() symbols in
+  /// `plan`.  Installs (a) a drop rule for the protected port plus the
+  /// switch-side tone hook, and (b) the controller-side FSM watches.
+  PortKnockingApp(net::Switch& sw, mp::MpEmitter& emitter,
+                  MdnController& controller, sdn::ControlChannel& channel,
+                  sdn::DatapathId dpid, const FrequencyPlan& plan,
+                  DeviceId device, PortKnockingConfig config);
+
+  /// Called once when the port is opened.
+  void on_open(std::function<void()> callback) {
+    open_callback_ = std::move(callback);
+  }
+
+  bool opened() const noexcept { return opened_; }
+  double opened_at_s() const noexcept { return opened_at_s_; }
+  const MusicFsm& fsm() const noexcept { return fsm_; }
+  std::uint64_t knocks_heard() const noexcept { return knocks_heard_; }
+
+ private:
+  void install_switch_side(net::Switch& sw);
+  void install_controller_side(MdnController& controller);
+  void open_port();
+
+  mp::MpEmitter& emitter_;
+  sdn::ControlChannel& channel_;
+  sdn::DatapathId dpid_;
+  const FrequencyPlan& plan_;
+  DeviceId device_;
+  PortKnockingConfig config_;
+  MusicFsm fsm_;
+  std::function<void()> open_callback_;
+  bool opened_ = false;
+  double opened_at_s_ = -1.0;
+  std::uint64_t knocks_heard_ = 0;
+};
+
+}  // namespace mdn::core

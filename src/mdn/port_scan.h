@@ -1,0 +1,80 @@
+// Music-defined port-scan detection (§5, Fig 4c-d).
+//
+// Switch side: "When hit by a packet, the switch plays a sound whose
+// frequency is based on the destination port number."  A sequential scan
+// therefore sweeps through the switch's frequency set — the tell-tale
+// rising line on the mel spectrogram of Fig 4c.
+//
+// Controller side: a scan alert fires when, within a sliding window, the
+// number of *distinct* destination-port tones reaches a threshold.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mdn/controller.h"
+#include "mdn/frequency_plan.h"
+#include "mp/bridge.h"
+#include "net/switch.h"
+
+namespace mdn::core {
+
+struct PortScanConfig {
+  /// Destination ports are watched modulo this many plan symbols.
+  std::uint16_t first_port = 1;      ///< lowest port of the watched range
+  double tone_duration_s = 0.03;
+  double intensity_db_spl = 70.0;
+  double window_s = 3.0;
+  std::size_t distinct_threshold = 10;  ///< distinct tones to call a scan
+};
+
+class PortScanReporter {
+ public:
+  PortScanReporter(net::Switch& sw, mp::MpEmitter& emitter,
+                   const FrequencyPlan& plan, DeviceId device,
+                   PortScanConfig config);
+
+  /// Frequency keyed by a destination port (ports map onto the device's
+  /// symbols cyclically from `first_port`).
+  double frequency_for_port(std::uint16_t dst_port) const;
+  std::size_t symbol_for_port(std::uint16_t dst_port) const;
+
+ private:
+  mp::MpEmitter& emitter_;
+  const FrequencyPlan& plan_;
+  DeviceId device_;
+  PortScanConfig config_;
+};
+
+class PortScanDetector {
+ public:
+  struct Alert {
+    double time_s = 0.0;
+    std::size_t distinct_tones = 0;
+  };
+  using AlertHandler = std::function<void(const Alert&)>;
+
+  PortScanDetector(MdnController& controller, const FrequencyPlan& plan,
+                   DeviceId device, PortScanConfig config);
+
+  void on_alert(AlertHandler handler) { handler_ = std::move(handler); }
+
+  std::size_t distinct_in_window(double now_s) const;
+  const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+  std::uint64_t events_heard() const noexcept { return events_; }
+
+ private:
+  void on_event(std::size_t symbol, const ToneEvent& event);
+
+  PortScanConfig config_;
+  std::size_t symbol_count_;
+  mutable std::deque<std::pair<double, std::size_t>> window_;  // (t, symbol)
+  std::vector<Alert> alerts_;
+  AlertHandler handler_;
+  bool alerted_ = false;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace mdn::core

@@ -1,0 +1,29 @@
+#include "mdn/relay.h"
+
+#include <stdexcept>
+
+namespace mdn::core {
+
+ToneRelay::ToneRelay(MdnController& listener, const FrequencyPlan& plan,
+                     DeviceId upstream_device, mp::MpEmitter& emitter,
+                     DeviceId relay_device, ToneRelayConfig config)
+    : plan_(plan),
+      relay_device_(relay_device),
+      emitter_(emitter),
+      config_(config) {
+  if (plan.symbol_count(relay_device) < plan.symbol_count(upstream_device)) {
+    throw std::invalid_argument(
+        "ToneRelay: relay device has fewer symbols than upstream");
+  }
+  for (std::size_t s = 0; s < plan.symbol_count(upstream_device); ++s) {
+    listener.watch(plan.frequency(upstream_device, s),
+                   [this, s](const ToneEvent&) {
+                     ++relayed_;
+                     emitter_.emit(plan_.frequency(relay_device_, s),
+                                   config_.tone_duration_s,
+                                   config_.intensity_db_spl);
+                   });
+  }
+}
+
+}  // namespace mdn::core

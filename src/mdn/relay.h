@@ -1,0 +1,49 @@
+// Tone relay — §8's open question, implemented:
+//
+// "Sound waves can, and have been, however, relayed ... A more efficient
+// multi-hop sound transmission would allow greater flexibility in device
+// placement.  We leave this as an open question."
+//
+// A ToneRelay is a microphone + speaker pair standing between two
+// acoustic domains (or extending range inside one): symbols it hears on
+// an upstream device's frequency set are re-emitted on its own device's
+// set, preserving symbol indices.  Relays compose, so a knock sequence
+// or a melody frame can cross several rooms.
+#pragma once
+
+#include <cstdint>
+
+#include "mdn/controller.h"
+#include "mdn/frequency_plan.h"
+#include "mp/bridge.h"
+
+namespace mdn::core {
+
+struct ToneRelayConfig {
+  double tone_duration_s = 0.05;
+  double intensity_db_spl = 78.0;
+};
+
+class ToneRelay {
+ public:
+  /// `listener` is the relay's microphone (in the upstream room);
+  /// `emitter` its speaker (in the downstream room).  Symbols of
+  /// `upstream_device` are re-sung as the same symbol index of
+  /// `relay_device`, whose set must be at least as large.  Both devices
+  /// may live in the same plan (and typically do, so the downstream
+  /// listener can attribute the hop).
+  ToneRelay(MdnController& listener, const FrequencyPlan& plan,
+            DeviceId upstream_device, mp::MpEmitter& emitter,
+            DeviceId relay_device, ToneRelayConfig config = {});
+
+  std::uint64_t relayed() const noexcept { return relayed_; }
+
+ private:
+  const FrequencyPlan& plan_;
+  DeviceId relay_device_;
+  mp::MpEmitter& emitter_;
+  ToneRelayConfig config_;
+  std::uint64_t relayed_ = 0;
+};
+
+}  // namespace mdn::core

@@ -1,0 +1,58 @@
+#include "mdn/tdm.h"
+
+#include <stdexcept>
+
+namespace mdn::core {
+
+TdmEmitter::TdmEmitter(net::EventLoop& loop, mp::MpEmitter& emitter,
+                       const TdmSchedule& schedule, std::size_t slot)
+    : loop_(loop), emitter_(emitter), schedule_(schedule), slot_(slot) {
+  if (schedule.slot_count == 0 || slot >= schedule.slot_count ||
+      schedule.frame <= 0) {
+    throw std::invalid_argument("TdmEmitter: invalid schedule");
+  }
+}
+
+bool TdmEmitter::in_slot(net::SimTime t) const noexcept {
+  const net::SimTime pos = t % schedule_.frame;
+  const net::SimTime len = schedule_.slot_length();
+  return pos >= static_cast<net::SimTime>(slot_) * len &&
+         pos < static_cast<net::SimTime>(slot_ + 1) * len;
+}
+
+net::SimTime TdmEmitter::next_slot_start(net::SimTime t) const noexcept {
+  const net::SimTime len = schedule_.slot_length();
+  const net::SimTime slot_off = static_cast<net::SimTime>(slot_) * len;
+  const net::SimTime frame_start = (t / schedule_.frame) * schedule_.frame;
+  net::SimTime start = frame_start + slot_off;
+  if (start < t) start += schedule_.frame;
+  return start;
+}
+
+bool TdmEmitter::emit(double frequency_hz, double duration_s,
+                      double intensity_db_spl) {
+  const net::SimTime now = loop_.now();
+  if (in_slot(now)) {
+    emitter_.emit(frequency_hz, duration_s, intensity_db_spl);
+    ++immediate_;
+    return true;
+  }
+  if (pending_) ++replaced_;
+  pending_ = Pending{frequency_hz, duration_s, intensity_db_spl};
+  ++deferred_;
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    loop_.schedule_at(next_slot_start(now), [this] { flush_pending(); });
+  }
+  return false;
+}
+
+void TdmEmitter::flush_pending() {
+  flush_scheduled_ = false;
+  if (!pending_) return;
+  const Pending p = *pending_;
+  pending_.reset();
+  emitter_.emit(p.frequency_hz, p.duration_s, p.intensity_db_spl);
+}
+
+}  // namespace mdn::core

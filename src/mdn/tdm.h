@@ -1,0 +1,74 @@
+// Time-division coordination of the acoustic medium.
+//
+// §3: "accurately tuning sound parameters to manage sound interference
+// ... and support multiple MDN applications is an interesting research
+// direction."  Frequency separation is the paper's first tool; this is
+// the second: a TDM schedule that gives each application (or each
+// switch) a periodic slot in which its emitter may sing.  Emissions
+// requested outside the slot are deferred to the start of the next one
+// (latest request wins), so bursty apps cannot trample each other even
+// when their spectra would collide.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mp/bridge.h"
+#include "net/event_loop.h"
+
+namespace mdn::core {
+
+struct TdmSchedule {
+  net::SimTime frame = 600 * net::kMillisecond;  ///< full TDM frame
+  std::size_t slot_count = 2;
+
+  net::SimTime slot_length() const noexcept {
+    return frame / static_cast<net::SimTime>(slot_count);
+  }
+};
+
+/// Gate in front of an MpEmitter that restricts emissions to one slot of
+/// a shared TDM schedule.
+class TdmEmitter {
+ public:
+  /// `slot` indexes into `schedule.slot_count`.
+  TdmEmitter(net::EventLoop& loop, mp::MpEmitter& emitter,
+             const TdmSchedule& schedule, std::size_t slot);
+
+  /// Emits now when inside the slot; otherwise defers to the start of
+  /// the next slot (a newer deferred request replaces an older one).
+  /// Returns true when the tone was emitted immediately.
+  bool emit(double frequency_hz, double duration_s,
+            double intensity_db_spl);
+
+  /// True when `t` falls inside this emitter's slot.
+  bool in_slot(net::SimTime t) const noexcept;
+
+  /// Start of this emitter's next slot at or after `t`.
+  net::SimTime next_slot_start(net::SimTime t) const noexcept;
+
+  std::uint64_t immediate() const noexcept { return immediate_; }
+  std::uint64_t deferred() const noexcept { return deferred_; }
+  std::uint64_t replaced() const noexcept { return replaced_; }
+
+ private:
+  struct Pending {
+    double frequency_hz;
+    double duration_s;
+    double intensity_db_spl;
+  };
+
+  void flush_pending();
+
+  net::EventLoop& loop_;
+  mp::MpEmitter& emitter_;
+  TdmSchedule schedule_;
+  std::size_t slot_;
+  std::optional<Pending> pending_;
+  bool flush_scheduled_ = false;
+  std::uint64_t immediate_ = 0;
+  std::uint64_t deferred_ = 0;
+  std::uint64_t replaced_ = 0;
+};
+
+}  // namespace mdn::core

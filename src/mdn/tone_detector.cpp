@@ -1,0 +1,111 @@
+#include "mdn/tone_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/goertzel.h"
+
+namespace mdn::core {
+
+ToneDetector::ToneDetector(const ToneDetectorConfig& config)
+    : config_(config),
+      window_(dsp::make_window(config.window, config.fft_size)) {
+  if (config.sample_rate <= 0.0 || config.fft_size == 0) {
+    throw std::invalid_argument("ToneDetector: invalid configuration");
+  }
+}
+
+std::vector<DetectedTone> ToneDetector::detect(
+    std::span<const double> block) const {
+  // Window the data (not the pad) and zero-pad up to the FFT size, so a
+  // 50 ms block keeps its full spectral resolution and the pad only
+  // interpolates between bins.
+  const std::size_t n = std::min(block.size(), config_.fft_size);
+  if (n == 0) return {};
+  const auto data = block.first(n);
+  std::vector<double> spectrum;
+  if (n == config_.fft_size) {
+    spectrum = dsp::amplitude_spectrum(data, window_);
+  } else {
+    if (cached_window_.size() != n) {
+      cached_window_ = dsp::make_window(config_.window, n);
+    }
+    spectrum =
+        dsp::amplitude_spectrum_padded(data, cached_window_, config_.fft_size);
+  }
+  // Padding interpolates the spectrum, so one spectral lobe spans
+  // ~pad_factor more bins; widen the peak neighbourhood accordingly.
+  const std::size_t pad_factor = config_.fft_size / n;
+  const std::size_t neighborhood = std::max<std::size_t>(2, 2 * pad_factor);
+  const auto peaks =
+      dsp::find_peaks(spectrum, config_.sample_rate, config_.fft_size,
+                      config_.min_amplitude, neighborhood);
+  std::vector<DetectedTone> tones;
+  tones.reserve(peaks.size());
+  for (const auto& p : peaks) tones.push_back({p.frequency_hz, p.amplitude});
+  return tones;
+}
+
+std::vector<double> ToneDetector::set_levels(
+    std::span<const double> block, std::span<const double> watch_hz) const {
+  std::vector<double> levels;
+  levels.reserve(watch_hz.size());
+  const double n = static_cast<double>(block.size());
+  for (double f : watch_hz) {
+    const double p = dsp::goertzel_power(block, f, config_.sample_rate);
+    // |X|^2 -> amplitude of the underlying sine: A = 2*sqrt(P)/N for a
+    // rectangular window.
+    const double amp = n > 0.0 ? 2.0 * std::sqrt(p) / n : 0.0;
+    levels.push_back(amp);
+  }
+  return levels;
+}
+
+bool ToneDetector::present(std::span<const double> block,
+                           double frequency_hz) const {
+  const auto tones = detect(block);
+  return std::any_of(tones.begin(), tones.end(), [&](const DetectedTone& t) {
+    return std::abs(t.frequency_hz - frequency_hz) <=
+           config_.match_tolerance_hz;
+  });
+}
+
+std::vector<ToneEvent> extract_tone_events(
+    const audio::Waveform& recording, const ToneDetector& detector,
+    std::span<const double> watch_hz, double hop_s) {
+  if (hop_s <= 0.0) {
+    throw std::invalid_argument("extract_tone_events: hop must be positive");
+  }
+  std::vector<ToneEvent> events;
+  const auto hop = static_cast<std::size_t>(
+      std::llround(hop_s * recording.sample_rate()));
+  if (hop == 0 || recording.empty()) return events;
+
+  std::vector<bool> active(watch_hz.size(), false);
+  for (std::size_t start = 0; start < recording.size(); start += hop) {
+    const std::size_t len = std::min(hop, recording.size() - start);
+    const auto block = recording.samples().subspan(start, len);
+    const auto tones = detector.detect(block);
+    const double t = static_cast<double>(start) / recording.sample_rate();
+
+    for (std::size_t i = 0; i < watch_hz.size(); ++i) {
+      double best_amp = 0.0;
+      bool found = false;
+      for (const auto& tone : tones) {
+        if (std::abs(tone.frequency_hz - watch_hz[i]) <=
+            detector.config().match_tolerance_hz) {
+          found = true;
+          best_amp = std::max(best_amp, tone.amplitude);
+        }
+      }
+      if (found && !active[i]) {
+        events.push_back({t, watch_hz[i], best_amp});
+      }
+      active[i] = found;
+    }
+  }
+  return events;
+}
+
+}  // namespace mdn::core

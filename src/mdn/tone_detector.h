@@ -1,0 +1,83 @@
+// Tone detection: the listening half of Music-Defined Networking.
+//
+// The MDN controller records short blocks of audio, computes a windowed
+// FFT and matches spectral peaks against the frequency plan (§3, Fig 2a).
+// Two interfaces are provided:
+//   * detect()      — open-set peak picking over a block;
+//   * set_levels()  — closed-set Goertzel evaluation of known frequencies
+//                     (cheaper when the watch list is small, e.g. §6).
+// extract_tone_events() turns a whole recording into onset events, which
+// is what the FSM (§4) and telemetry counters (§5) consume.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "dsp/spectrum.h"
+#include "dsp/window.h"
+
+namespace mdn::core {
+
+struct DetectedTone {
+  double frequency_hz = 0.0;
+  double amplitude = 0.0;  ///< window-normalised linear amplitude
+};
+
+struct ToneDetectorConfig {
+  double sample_rate = 48000.0;
+  std::size_t fft_size = 4096;  ///< zero-pad target; blocks may be shorter
+  /// Blackman by default: its -58 dB sidelobes keep one switch's loud
+  /// tone from masquerading as another switch's frequency slot.
+  dsp::WindowKind window = dsp::WindowKind::kBlackman;
+  /// Minimum linear amplitude to call a peak a tone.  The default is
+  /// ~34 dB SPL under the channel's 94 dB == 1.0 convention — just above
+  /// the paper's ">= 30 dB" floor.
+  double min_amplitude = 1e-3;
+  /// Half-width of the frequency match window.  The paper's 20 Hz plan
+  /// spacing implies a tolerance of at most 10 Hz.
+  double match_tolerance_hz = 10.0;
+};
+
+class ToneDetector {
+ public:
+  explicit ToneDetector(const ToneDetectorConfig& config = {});
+
+  const ToneDetectorConfig& config() const noexcept { return config_; }
+
+  /// All tones present in `block` (open set).  `block` may be any length;
+  /// it is zero-padded or truncated to the configured FFT size.
+  std::vector<DetectedTone> detect(std::span<const double> block) const;
+
+  /// Amplitude of each watched frequency in `block` (closed set,
+  /// Goertzel).  Result is parallel to `watch_hz`.
+  std::vector<double> set_levels(std::span<const double> block,
+                                 std::span<const double> watch_hz) const;
+
+  /// True when any detected tone lies within the match tolerance of
+  /// `frequency_hz`.
+  bool present(std::span<const double> block, double frequency_hz) const;
+
+ private:
+  ToneDetectorConfig config_;
+  std::vector<double> window_;
+  // Window matching the most recent short-block length (blocks shorter
+  // than the FFT size are windowed at their own length, then padded).
+  mutable std::vector<double> cached_window_;
+};
+
+/// A tone onset: `frequency_hz` rose above threshold at `time_s`.
+struct ToneEvent {
+  double time_s = 0.0;
+  double frequency_hz = 0.0;
+  double amplitude = 0.0;
+};
+
+/// Scans `recording` in hops of `hop_s`, reporting an event each time a
+/// watched frequency transitions from absent to present (onset
+/// semantics: a tone spanning several blocks yields one event).
+std::vector<ToneEvent> extract_tone_events(
+    const audio::Waveform& recording, const ToneDetector& detector,
+    std::span<const double> watch_hz, double hop_s);
+
+}  // namespace mdn::core

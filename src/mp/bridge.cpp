@@ -1,0 +1,69 @@
+#include "mp/bridge.h"
+#include <algorithm>
+
+#include "audio/synth.h"
+
+namespace mdn::mp {
+
+PiSpeakerBridge::PiSpeakerBridge(net::EventLoop& loop,
+                                 audio::AcousticChannel& channel,
+                                 audio::SourceId source,
+                                 net::SimTime processing_delay)
+    : loop_(loop),
+      channel_(channel),
+      source_(source),
+      processing_delay_(processing_delay) {}
+
+void PiSpeakerBridge::on_wire(std::span<const std::uint8_t> wire) {
+  MpError err = MpError::kNone;
+  const auto msg = unmarshal(wire, &err);
+  if (!msg) {
+    ++malformed_;
+    last_error_ = err;
+    return;
+  }
+  play(*msg);
+}
+
+void PiSpeakerBridge::play(const MpMessage& msg) {
+  audio::ToneSpec spec;
+  spec.frequency_hz = msg.frequency_hz;
+  spec.duration_s = msg.duration_s;
+  spec.amplitude = audio::spl_to_amplitude(msg.intensity_db_spl);
+  // Generous raised-cosine fades: a tone whose onset or offset lands
+  // inside a listening block would otherwise splatter energy across the
+  // 20 Hz frequency grid and register as other devices' symbols.
+  spec.fade_s = std::min(0.015, msg.duration_s / 3.0);
+  const double start_s =
+      net::to_seconds(loop_.now() + processing_delay_);
+  channel_.emit(source_, audio::make_tone(spec, channel_.sample_rate()),
+                start_s);
+  ++played_;
+}
+
+MpEmitter::MpEmitter(net::EventLoop& loop, PiSpeakerBridge& bridge,
+                     net::SimTime min_gap)
+    : loop_(loop), bridge_(bridge), min_gap_(min_gap) {}
+
+bool MpEmitter::emit(double frequency_hz, double duration_s,
+                     double intensity_db_spl) {
+  const net::SimTime now = loop_.now();
+  if (last_emit_ >= 0 && now - last_emit_ < min_gap_) {
+    ++suppressed_;
+    return false;
+  }
+  last_emit_ = now;
+
+  MpMessage msg;
+  msg.frequency_hz = frequency_hz;
+  msg.duration_s = duration_s;
+  msg.intensity_db_spl = intensity_db_spl;
+  msg.sequence = next_sequence_++;
+  // Marshal/unmarshal round trip on purpose: experiments exercise the
+  // same wire path the firmware uses.
+  bridge_.on_wire(marshal(msg));
+  ++emitted_;
+  return true;
+}
+
+}  // namespace mdn::mp

@@ -1,0 +1,98 @@
+#include "mp/message.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace mdn::mp {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'M', 'P', '0', '1'};
+
+void put16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+template <typename T>
+T clamp_round(double v, double scale, T max_value) noexcept {
+  const double scaled = std::round(v * scale);
+  if (scaled <= 0.0) return 0;
+  if (scaled >= static_cast<double>(max_value)) return max_value;
+  return static_cast<T>(scaled);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((bytes[i] << 8) | bytes[i + 1]);
+  }
+  if (i < bytes.size()) sum += static_cast<std::uint32_t>(bytes[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::vector<std::uint8_t> marshal(const MpMessage& msg) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(kWireSize);
+  wire.insert(wire.end(), std::begin(kMagic), std::end(kMagic));
+  put16(wire, msg.sequence);
+  put32(wire, clamp_round<std::uint32_t>(msg.frequency_hz, 100.0,
+                                         0xffffffffu));
+  put16(wire, clamp_round<std::uint16_t>(msg.duration_s, 1000.0, 0xffff));
+  put16(wire,
+        clamp_round<std::uint16_t>(msg.intensity_db_spl, 10.0, 0xffff));
+  put16(wire, internet_checksum(wire));
+  return wire;
+}
+
+std::optional<MpMessage> unmarshal(std::span<const std::uint8_t> wire,
+                                   MpError* error) {
+  const auto fail = [&](MpError e) -> std::optional<MpMessage> {
+    if (error) *error = e;
+    return std::nullopt;
+  };
+  if (wire.size() < kWireSize) return fail(MpError::kTruncated);
+  if (std::memcmp(wire.data(), kMagic, sizeof kMagic) != 0) {
+    return fail(MpError::kBadMagic);
+  }
+  const std::uint16_t expected = get16(wire.data() + 14);
+  if (internet_checksum(wire.first(14)) != expected) {
+    return fail(MpError::kBadChecksum);
+  }
+
+  MpMessage msg;
+  msg.sequence = get16(wire.data() + 4);
+  msg.frequency_hz = static_cast<double>(get32(wire.data() + 6)) / 100.0;
+  msg.duration_s = static_cast<double>(get16(wire.data() + 10)) / 1000.0;
+  msg.intensity_db_spl =
+      static_cast<double>(get16(wire.data() + 12)) / 10.0;
+  if (msg.frequency_hz <= 0.0 || msg.duration_s <= 0.0) {
+    return fail(MpError::kFieldRange);
+  }
+  if (error) *error = MpError::kNone;
+  return msg;
+}
+
+}  // namespace mdn::mp

@@ -1,0 +1,59 @@
+// Music Protocol (MP) message and wire format.
+//
+// Per §3 of the paper, the modified Zodiac FX firmware sends the attached
+// Raspberry Pi an MP message whose payload carries "the frequency at which
+// we want to play the sound, its duration and intensity (volume)".  The
+// switch's 120 KB of RAM forced the authors onto the lwIP raw API, so the
+// format is deliberately tiny and fixed-size:
+//
+//   offset  size  field
+//   0       4     magic "MP01"
+//   4       2     sequence number        (big-endian)
+//   6       4     frequency, centi-Hz    (big-endian)
+//   10      2     duration, milliseconds (big-endian)
+//   12      2     intensity, deci-dB SPL (big-endian)
+//   14      2     Internet checksum over bytes [0, 14)
+//
+// 16 bytes total.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mdn::mp {
+
+inline constexpr std::size_t kWireSize = 16;
+
+struct MpMessage {
+  double frequency_hz = 440.0;
+  double duration_s = 0.05;
+  double intensity_db_spl = 60.0;
+  std::uint16_t sequence = 0;
+
+  bool operator==(const MpMessage&) const = default;
+};
+
+enum class MpError {
+  kNone,
+  kTruncated,
+  kBadMagic,
+  kBadChecksum,
+  kFieldRange,
+};
+
+/// Encodes a message into its 16-byte wire form.  Values are clamped to
+/// the encodable ranges (frequency <= ~42.9 MHz, duration <= 65.535 s,
+/// intensity in [0, 6553.5] dB).
+std::vector<std::uint8_t> marshal(const MpMessage& msg);
+
+/// Decodes a wire buffer.  Returns nullopt and sets `error` (if given)
+/// on any malformation.
+std::optional<MpMessage> unmarshal(std::span<const std::uint8_t> wire,
+                                   MpError* error = nullptr);
+
+/// RFC 1071 Internet checksum (ones' complement sum of 16-bit words).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace mdn::mp

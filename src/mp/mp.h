@@ -1,0 +1,5 @@
+// Umbrella header for the mdn_mp library.
+#pragma once
+
+#include "mp/bridge.h"
+#include "mp/message.h"

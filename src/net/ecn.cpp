@@ -1,0 +1,84 @@
+#include "net/ecn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mdn::net {
+
+void attach_ecn_echo(Host& receiver) {
+  receiver.add_rx_hook([&receiver](const Packet& pkt) {
+    if (!pkt.ecn_marked || pkt.tcp_ack) return;
+    Packet ack;
+    // Reverse the 5-tuple.
+    ack.flow = {pkt.flow.dst_ip, pkt.flow.src_ip, pkt.flow.dst_port,
+                pkt.flow.src_port, pkt.flow.proto};
+    ack.size_bytes = 64;
+    ack.tcp_ack = true;
+    ack.ecn_capable = true;
+    ack.ecn_echo = true;
+    receiver.send(ack);
+  });
+}
+
+EcnRateSource::EcnRateSource(Host& host, EcnSourceConfig config)
+    : host_(host), config_(config), rate_pps_(config.initial_pps) {
+  if (config.initial_pps <= 0.0 || config.min_pps <= 0.0) {
+    throw std::invalid_argument("EcnRateSource: rates must be positive");
+  }
+  host_.add_rx_hook([this](const Packet& pkt) { on_ack(pkt); });
+}
+
+void EcnRateSource::start() {
+  host_.loop().schedule_at(config_.start, [this] { send_next(); });
+  host_.loop().schedule_periodic(config_.start + config_.update_interval,
+                                 config_.update_interval,
+                                 [this] { return update_rate(); });
+  rate_series_.push_back({config_.start, rate_pps_});
+}
+
+void EcnRateSource::send_next() {
+  const SimTime now = host_.loop().now();
+  if (now >= config_.stop) return;
+  Packet pkt;
+  pkt.flow = config_.flow;
+  pkt.size_bytes = config_.packet_size;
+  pkt.ecn_capable = true;
+  host_.send(std::move(pkt));
+  ++sent_;
+  ++interval_sent_;
+  host_.loop().schedule_in(from_seconds(1.0 / rate_pps_),
+                           [this] { send_next(); });
+}
+
+void EcnRateSource::on_ack(const Packet& pkt) {
+  if (!pkt.tcp_ack || !pkt.ecn_echo) return;
+  ++echoes_;
+  ++interval_echoes_;
+}
+
+bool EcnRateSource::update_rate() {
+  const SimTime now = host_.loop().now();
+  if (now >= config_.stop) return false;
+
+  // DCTCP: alpha <- (1-g) alpha + g * F, F = marked fraction.
+  const double fraction =
+      interval_sent_ > 0
+          ? std::min(1.0, static_cast<double>(interval_echoes_) /
+                              static_cast<double>(interval_sent_))
+          : 0.0;
+  alpha_ = (1.0 - config_.gain) * alpha_ + config_.gain * fraction;
+
+  if (interval_echoes_ > 0) {
+    rate_pps_ = std::max(config_.min_pps, rate_pps_ * (1.0 - alpha_ / 2.0));
+    if (first_backoff_s_ < 0.0) first_backoff_s_ = to_seconds(now);
+  } else {
+    rate_pps_ = std::min(config_.max_pps, rate_pps_ + config_.increase_pps);
+  }
+  rate_series_.push_back({now, rate_pps_});
+  interval_sent_ = 0;
+  interval_echoes_ = 0;
+  return true;
+}
+
+}  // namespace mdn::net

@@ -1,0 +1,85 @@
+// ECN/DCTCP-style end-to-end congestion reaction — the in-band baseline
+// of §6.
+//
+// The paper positions music-defined congestion signalling against
+// "waiting for source reactions", "modifying the transport protocol, as
+// in DataCenter TCP" and "the less efficient Explicit Congestion
+// Notification mechanism of TCP".  To compare honestly we implement that
+// baseline: queues mark ECN-capable packets past a threshold
+// (Port::set_ecn_threshold), the receiver echoes marks back, and this
+// rate-based DCTCP-like source scales its rate by the observed marking
+// fraction once per update interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.h"
+
+namespace mdn::net {
+
+/// Makes `receiver` echo congestion marks: every received ECN-marked
+/// data packet triggers a small ACK back to the sender with ecn_echo
+/// set.  (Unmarked packets are not acked — rate control below only needs
+/// the marking signal, which keeps the reverse path quiet.)
+void attach_ecn_echo(Host& receiver);
+
+struct EcnSourceConfig {
+  FlowKey flow;                 ///< forward 5-tuple (reverse is derived)
+  std::uint32_t packet_size = 1000;
+  SimTime start = 0;
+  SimTime stop = 10 * kSecond;
+  double initial_pps = 100.0;
+  double min_pps = 10.0;
+  double max_pps = 1e6;
+  /// Additive increase per update interval when no marks are seen.
+  double increase_pps = 50.0;
+  /// DCTCP gain g for the EWMA of the marking fraction alpha.
+  double gain = 0.0625;
+  SimTime update_interval = 100 * kMillisecond;
+};
+
+/// Rate-based DCTCP-like sender: rate <- rate * (1 - alpha/2) when the
+/// last interval saw marks, additive increase otherwise, where alpha is
+/// the EWMA'd fraction of echoed marks.
+class EcnRateSource {
+ public:
+  EcnRateSource(Host& host, EcnSourceConfig config);
+
+  void start();
+
+  double current_pps() const noexcept { return rate_pps_; }
+  double alpha() const noexcept { return alpha_; }
+  std::uint64_t sent() const noexcept { return sent_; }
+  std::uint64_t echoes_seen() const noexcept { return echoes_; }
+
+  /// Time of the first rate reduction (-1 before any).  This is the
+  /// "source reacted" instant the §6 comparison measures.
+  double first_backoff_s() const noexcept { return first_backoff_s_; }
+
+  struct RateSample {
+    SimTime time;
+    double pps;
+  };
+  const std::vector<RateSample>& rate_series() const noexcept {
+    return rate_series_;
+  }
+
+ private:
+  void send_next();
+  bool update_rate();
+  void on_ack(const Packet& pkt);
+
+  Host& host_;
+  EcnSourceConfig config_;
+  double rate_pps_;
+  double alpha_ = 0.0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t echoes_ = 0;
+  std::uint64_t interval_sent_ = 0;
+  std::uint64_t interval_echoes_ = 0;
+  double first_backoff_s_ = -1.0;
+  std::vector<RateSample> rate_series_;
+};
+
+}  // namespace mdn::net

@@ -1,0 +1,66 @@
+#include "net/event_loop.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace mdn::net {
+
+EventLoop::EventId EventLoop::schedule_at(SimTime t, Callback cb) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(t, now_), id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventLoop::EventId EventLoop::schedule_in(SimTime delay, Callback cb) {
+  return schedule_at(now_ + std::max<SimTime>(0, delay), std::move(cb));
+}
+
+void EventLoop::schedule_periodic(SimTime first_delay, SimTime period,
+                                  std::function<bool()> cb) {
+  // Each firing reschedules itself; the self-reference lives in a shared
+  // holder so the chain owns its own callback.
+  auto shared = std::make_shared<std::function<bool()>>(std::move(cb));
+  auto holder = std::make_shared<std::function<void()>>();
+  *holder = [this, shared, period, holder]() {
+    if ((*shared)()) schedule_in(period, *holder);
+  };
+  schedule_in(first_delay, *holder);
+}
+
+void EventLoop::cancel(EventId id) { callbacks_.erase(id); }
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    const auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.time;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    // Skip cancelled heads so queue_.top() reflects a live event.
+    while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().time > t) break;
+    step();
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace mdn::net

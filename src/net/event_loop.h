@@ -1,0 +1,70 @@
+// Deterministic discrete-event scheduler.
+//
+// All network activity — packet transmissions, queue sampling, Music
+// Protocol emissions, controller reactions — is driven by this loop.
+// Events at equal timestamps run in scheduling order (FIFO), which keeps
+// every experiment bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "net/sim_time.h"
+
+namespace mdn::net {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now).  Events scheduled in
+  /// the past run at the current time.
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` after `delay` nanoseconds.
+  EventId schedule_in(SimTime delay, Callback cb);
+
+  /// Schedules `cb` every `period`, starting at now + `first_delay`.
+  /// The callback returns false to stop the series.
+  void schedule_periodic(SimTime first_delay, SimTime period,
+                         std::function<bool()> cb);
+
+  /// Cancels a pending event (no-op if it already ran).
+  void cancel(EventId id);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs all events with time <= `t`, then advances the clock to `t`.
+  void run_until(SimTime t);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const noexcept { return callbacks_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;  // also the FIFO tie-breaker
+    // Ordered for a min-heap on (time, id).
+    bool operator>(const Event& o) const noexcept {
+      return time != o.time ? time > o.time : id > o.id;
+    }
+  };
+
+  // Pops and runs the next live event; returns false when drained.
+  bool step();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Cancellation removes the entry here; the heap entry is skipped lazily.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace mdn::net

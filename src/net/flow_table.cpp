@@ -1,0 +1,82 @@
+#include "net/flow_table.h"
+
+#include <algorithm>
+
+namespace mdn::net {
+
+bool Match::matches(const Packet& pkt, std::size_t ingress) const noexcept {
+  if (in_port && *in_port != ingress) return false;
+  if (src_ip && *src_ip != pkt.flow.src_ip) return false;
+  if (dst_ip && *dst_ip != pkt.flow.dst_ip) return false;
+  if (src_port && *src_port != pkt.flow.src_port) return false;
+  if (dst_port && *dst_port != pkt.flow.dst_port) return false;
+  if (proto && *proto != pkt.flow.proto) return false;
+  return true;
+}
+
+namespace {
+bool match_equal(const Match& a, const Match& b) noexcept {
+  return a.in_port == b.in_port && a.src_ip == b.src_ip &&
+         a.dst_ip == b.dst_ip && a.src_port == b.src_port &&
+         a.dst_port == b.dst_port && a.proto == b.proto;
+}
+}  // namespace
+
+std::uint64_t FlowTable::add(FlowEntry entry, SimTime now) {
+  if (entry.cookie == 0) entry.cookie = next_cookie_++;
+  entry.installed_at = now;
+  entry.last_matched = now;
+  const std::uint64_t cookie = entry.cookie;
+  // Insert keeping descending priority; stable among equal priorities
+  // (later insertions go after earlier ones, as in OpenFlow overlap rules).
+  const auto pos = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const FlowEntry& e) { return e.priority < entry.priority; });
+  entries_.insert(pos, std::move(entry));
+  return cookie;
+}
+
+std::size_t FlowTable::remove_by_cookie(std::uint64_t cookie) {
+  const auto before = entries_.size();
+  std::erase_if(entries_,
+                [cookie](const FlowEntry& e) { return e.cookie == cookie; });
+  return before - entries_.size();
+}
+
+std::size_t FlowTable::remove_by_match(const Match& m) {
+  const auto before = entries_.size();
+  std::erase_if(entries_,
+                [&](const FlowEntry& e) { return match_equal(e.match, m); });
+  return before - entries_.size();
+}
+
+bool FlowTable::expired(const FlowEntry& e, SimTime now) const noexcept {
+  if (e.hard_timeout > 0 && now - e.installed_at >= e.hard_timeout) {
+    return true;
+  }
+  if (e.idle_timeout > 0 && now - e.last_matched >= e.idle_timeout) {
+    return true;
+  }
+  return false;
+}
+
+FlowEntry* FlowTable::lookup(const Packet& pkt, std::size_t in_port,
+                             SimTime now) {
+  expire(now);
+  for (auto& e : entries_) {
+    if (e.match.matches(pkt, in_port)) {
+      ++e.packets;
+      e.bytes += pkt.size_bytes;
+      e.last_matched = now;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void FlowTable::expire(SimTime now) {
+  std::erase_if(entries_,
+                [&](const FlowEntry& e) { return expired(e, now); });
+}
+
+}  // namespace mdn::net

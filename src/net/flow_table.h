@@ -1,0 +1,101 @@
+// OpenFlow-style match/action flow table.
+//
+// The MDN controller actuates the network by installing entries here (the
+// paper's Flow-MOD messages): opening a knocked port (§4) or splitting
+// traffic across two paths (§6).  Matching follows OpenFlow semantics —
+// highest priority wins, absent match fields are wildcards, entries can
+// carry idle/hard timeouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace mdn::net {
+
+struct Match {
+  std::optional<std::size_t> in_port;
+  std::optional<std::uint32_t> src_ip;
+  std::optional<std::uint32_t> dst_ip;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+  std::optional<IpProto> proto;
+
+  bool matches(const Packet& pkt, std::size_t ingress) const noexcept;
+
+  /// Fully wildcarded match (table-miss style).
+  static Match any() noexcept { return {}; }
+};
+
+enum class ActionType : std::uint8_t {
+  kOutput,   ///< forward out a specific port
+  kDrop,     ///< discard
+  kFlood,    ///< send out every port except the ingress
+  kGroup,    ///< split across ports round-robin (select group, §6)
+};
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  std::size_t port = 0;                 ///< kOutput target
+  std::vector<std::size_t> group_ports; ///< kGroup targets
+
+  static Action output(std::size_t port) {
+    return {ActionType::kOutput, port, {}};
+  }
+  static Action drop() { return {ActionType::kDrop, 0, {}}; }
+  static Action flood() { return {ActionType::kFlood, 0, {}}; }
+  static Action group(std::vector<std::size_t> ports) {
+    return {ActionType::kGroup, 0, std::move(ports)};
+  }
+};
+
+struct FlowEntry {
+  int priority = 0;
+  Match match;
+  std::vector<Action> actions;
+  std::uint64_t cookie = 0;
+  SimTime idle_timeout = 0;  ///< 0 = never
+  SimTime hard_timeout = 0;  ///< 0 = never
+
+  // Counters maintained by the table.
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  SimTime installed_at = 0;
+  SimTime last_matched = 0;
+  std::size_t group_rr = 0;  ///< round-robin cursor for kGroup
+};
+
+class FlowTable {
+ public:
+  /// Inserts an entry; returns its cookie (auto-assigned when 0).
+  std::uint64_t add(FlowEntry entry, SimTime now);
+
+  /// Removes all entries with the given cookie; returns count removed.
+  std::size_t remove_by_cookie(std::uint64_t cookie);
+
+  /// Removes entries whose match equals `m` exactly.
+  std::size_t remove_by_match(const Match& m);
+
+  void clear() noexcept { entries_.clear(); }
+
+  /// Highest-priority matching live entry, updating its counters; expired
+  /// entries are evicted on the way.  Returns nullptr on table miss.
+  FlowEntry* lookup(const Packet& pkt, std::size_t in_port, SimTime now);
+
+  /// Evicts entries that have timed out as of `now`.
+  void expire(SimTime now);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<FlowEntry>& entries() const noexcept { return entries_; }
+
+ private:
+  bool expired(const FlowEntry& e, SimTime now) const noexcept;
+
+  std::vector<FlowEntry> entries_;  // kept sorted by descending priority
+  std::uint64_t next_cookie_ = 1;
+};
+
+}  // namespace mdn::net

@@ -1,0 +1,31 @@
+#include "net/host.h"
+
+namespace mdn::net {
+
+Host::Host(EventLoop& loop, std::string name, std::uint32_t ip)
+    : Node(std::move(name)), loop_(loop), ip_(ip) {}
+
+Port& Host::port(std::size_t queue_capacity) {
+  if (!port_) {
+    port_ = std::make_unique<Port>(loop_, *this, 0, queue_capacity);
+  }
+  return *port_;
+}
+
+bool Host::send(Packet pkt) {
+  pkt.id = next_packet_id_++;
+  pkt.created_at = loop_.now();
+  tx_bytes_ += pkt.size_bytes;
+  ++tx_packets_;
+  tx_series_.push_back({loop_.now(), tx_bytes_});
+  return port().send(std::move(pkt));
+}
+
+void Host::receive(Packet pkt, std::size_t /*in_port*/) {
+  rx_bytes_ += pkt.size_bytes;
+  ++rx_packets_;
+  rx_series_.push_back({loop_.now(), rx_bytes_});
+  for (const auto& hook : rx_hooks_) hook(pkt);
+}
+
+}  // namespace mdn::net

@@ -1,0 +1,74 @@
+// End host: traffic sources attach here and received traffic is counted.
+//
+// Fig 3a plots exactly what this class records — cumulative bytes sent by
+// host 1 and received by host 2 over time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/link.h"
+#include "net/node.h"
+
+namespace mdn::net {
+
+class Host : public Node {
+ public:
+  Host(EventLoop& loop, std::string name, std::uint32_t ip);
+
+  std::uint32_t ip() const noexcept { return ip_; }
+
+  /// Hosts have exactly one port, created lazily on first access.
+  Port& port(std::size_t queue_capacity = 1000);
+  bool has_port() const noexcept { return port_ != nullptr; }
+
+  /// Sends a packet out the host's port; stamps id and creation time.
+  bool send(Packet pkt);
+
+  void receive(Packet pkt, std::size_t in_port) override;
+
+  using RxHook = std::function<void(const Packet&)>;
+  /// Appends an observer invoked on every received packet (in
+  /// registration order).  Multiple applications — e.g. an ECN echoer
+  /// and a byte counter — can observe the same host.
+  void add_rx_hook(RxHook hook) { rx_hooks_.push_back(std::move(hook)); }
+  /// Replaces all hooks with `hook` (legacy single-observer semantics).
+  void set_rx_hook(RxHook hook) {
+    rx_hooks_.clear();
+    rx_hooks_.push_back(std::move(hook));
+  }
+
+  std::uint64_t tx_packets() const noexcept { return tx_packets_; }
+  std::uint64_t tx_bytes() const noexcept { return tx_bytes_; }
+  std::uint64_t rx_packets() const noexcept { return rx_packets_; }
+  std::uint64_t rx_bytes() const noexcept { return rx_bytes_; }
+
+  /// Cumulative (time, bytes) series, appended on every send/receive.
+  /// Cheap enough at simulation scale and exactly what Fig 3a plots.
+  struct Sample {
+    SimTime time;
+    std::uint64_t bytes;
+  };
+  const std::vector<Sample>& tx_series() const noexcept { return tx_series_; }
+  const std::vector<Sample>& rx_series() const noexcept { return rx_series_; }
+
+  EventLoop& loop() noexcept { return loop_; }
+
+ private:
+  EventLoop& loop_;
+  std::uint32_t ip_;
+  std::unique_ptr<Port> port_;
+  std::vector<RxHook> rx_hooks_;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+  std::vector<Sample> tx_series_;
+  std::vector<Sample> rx_series_;
+};
+
+}  // namespace mdn::net

@@ -1,0 +1,15 @@
+// Umbrella header for the mdn_net library.
+#pragma once
+
+#include "net/ecn.h"
+#include "net/event_loop.h"
+#include "net/flow_table.h"
+#include "net/host.h"
+#include "net/link.h"
+#include "net/network.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/queue.h"
+#include "net/sim_time.h"
+#include "net/switch.h"
+#include "net/traffic.h"

@@ -1,0 +1,88 @@
+// Network: owning container for nodes and links plus topology helpers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/host.h"
+#include "net/switch.h"
+
+namespace mdn::net {
+
+struct LinkSpec {
+  double rate_bps = 100e6;
+  SimTime propagation_delay = 10 * kMicrosecond;
+  std::size_t queue_capacity = 100;
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  EventLoop& loop() noexcept { return loop_; }
+
+  Switch& add_switch(std::string name);
+  Host& add_host(std::string name, std::uint32_t ip);
+
+  /// Connects two switches; adds one new port on each.  Returns the pair
+  /// of new port indices (a_port, b_port).
+  std::pair<std::size_t, std::size_t> connect(Switch& a, Switch& b,
+                                              const LinkSpec& spec = {});
+
+  /// Connects a host to a switch; returns the new switch port index.
+  std::size_t connect(Host& h, Switch& s, const LinkSpec& spec = {});
+
+  std::size_t switch_count() const noexcept { return switches_.size(); }
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+  Switch& switch_at(std::size_t i) { return *switches_.at(i); }
+  Host& host_at(std::size_t i) { return *hosts_.at(i); }
+  /// Links in creation (connect) order — e.g. for failure injection.
+  Link& link_at(std::size_t i) { return *links_.at(i); }
+
+  /// Finds a node by name; nullptr if absent.
+  Switch* find_switch(const std::string& name) noexcept;
+  Host* find_host(const std::string& name) noexcept;
+
+ private:
+  Link& add_link(const LinkSpec& spec);
+
+  EventLoop loop_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+/// The §6 load-balancing topology: src host - s1 - {s2 | s3} - s4 - dst
+/// host (a rhombus with hosts on opposite vertices).
+struct RhombusTopology {
+  Switch* entry = nullptr;  // s1
+  Switch* upper = nullptr;  // s2
+  Switch* lower = nullptr;  // s3
+  Switch* exit = nullptr;   // s4
+  Host* src = nullptr;
+  Host* dst = nullptr;
+  std::size_t entry_in_port = 0;    // s1 port facing src
+  std::size_t entry_upper_port = 0; // s1 port facing s2
+  std::size_t entry_lower_port = 0; // s1 port facing s3
+};
+
+/// `core_spec` shapes the four switch-to-switch links (the contended
+/// paths); `host_spec` shapes the host attachment links.  By default the
+/// host links are 10x faster than the core so congestion forms at the
+/// entry switch, not at the sender's NIC.
+RhombusTopology build_rhombus(Network& net, const LinkSpec& core_spec = {});
+RhombusTopology build_rhombus(Network& net, const LinkSpec& core_spec,
+                              const LinkSpec& host_spec);
+
+/// A chain: h_src - s1 - s2 - ... - sN - h_dst.  Returns the switches.
+std::vector<Switch*> build_chain(Network& net, std::size_t n_switches,
+                                 Host** src, Host** dst,
+                                 const LinkSpec& spec = {});
+
+}  // namespace mdn::net

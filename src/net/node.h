@@ -1,0 +1,28 @@
+// Node interface: anything that terminates a link (switch or host).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "net/packet.h"
+
+namespace mdn::net {
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Delivers a packet arriving on local port `in_port`.
+  virtual void receive(Packet pkt, std::size_t in_port) = 0;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace mdn::net

@@ -1,0 +1,78 @@
+#include "net/packet.h"
+
+#include <array>
+#include <sstream>
+
+namespace mdn::net {
+namespace {
+
+// Canonical 13-byte encoding of a flow key (network-ish field order).
+std::array<std::uint8_t, 13> encode(const FlowKey& k) noexcept {
+  std::array<std::uint8_t, 13> b{};
+  std::size_t i = 0;
+  const auto put32 = [&](std::uint32_t v) {
+    b[i++] = static_cast<std::uint8_t>(v >> 24);
+    b[i++] = static_cast<std::uint8_t>(v >> 16);
+    b[i++] = static_cast<std::uint8_t>(v >> 8);
+    b[i++] = static_cast<std::uint8_t>(v);
+  };
+  const auto put16 = [&](std::uint16_t v) {
+    b[i++] = static_cast<std::uint8_t>(v >> 8);
+    b[i++] = static_cast<std::uint8_t>(v);
+  };
+  put32(k.src_ip);
+  put32(k.dst_ip);
+  put16(k.src_port);
+  put16(k.dst_port);
+  b[i++] = static_cast<std::uint8_t>(k.proto);
+  return b;
+}
+
+}  // namespace
+
+std::string ipv4_to_string(std::uint32_t ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
+     << ((ip >> 8) & 0xff) << '.' << (ip & 0xff);
+  return os.str();
+}
+
+std::string FlowKey::to_string() const {
+  std::ostringstream os;
+  os << ipv4_to_string(src_ip) << ':' << src_port << "->"
+     << ipv4_to_string(dst_ip) << ':' << dst_port << '/'
+     << static_cast<int>(proto);
+  return os.str();
+}
+
+std::uint64_t flow_hash(const FlowKey& key) noexcept {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  for (std::uint8_t byte : encode(key)) {
+    h ^= byte;
+    h *= kPrime;
+  }
+  // SplitMix64-style avalanche finaliser.  Raw FNV-1a's low bits stay
+  // correlated for structured inputs (e.g. src and dst port stepping in
+  // lockstep), which would pile such flows into a few `hash % bins`
+  // frequency slots in the heavy-hitter application.
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+std::uint32_t flow_hash_jenkins(const FlowKey& key) noexcept {
+  std::uint32_t h = 0;
+  for (std::uint8_t byte : encode(key)) {
+    h += byte;
+    h += h << 10;
+    h ^= h >> 6;
+  }
+  h += h << 3;
+  h ^= h >> 11;
+  h += h << 15;
+  return h;
+}
+
+}  // namespace mdn::net

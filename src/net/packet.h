@@ -1,0 +1,71 @@
+// Packet and flow-key model.
+//
+// The telemetry applications of §5 operate on the classic 5-tuple
+// (src IP, dst IP, src port, dst port, protocol); the heavy-hitter
+// detector hashes it to pick a tone frequency exactly as the paper does
+// ("we hash a flow tuple ... and map it to a given frequency").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/sim_time.h"
+
+namespace mdn::net {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Builds a host-order IPv4 address from dotted-quad components.
+constexpr std::uint32_t make_ipv4(std::uint8_t a, std::uint8_t b,
+                                  std::uint8_t c, std::uint8_t d) noexcept {
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+std::string ipv4_to_string(std::uint32_t ip);
+
+/// The 5-tuple identifying a flow.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kTcp;
+
+  bool operator==(const FlowKey&) const = default;
+  std::string to_string() const;
+};
+
+/// FNV-1a over the canonical byte encoding of the key.  Stable across
+/// runs and platforms, so frequency assignments are reproducible.
+std::uint64_t flow_hash(const FlowKey& key) noexcept;
+
+/// Jenkins one-at-a-time hash — a second independent family, used where
+/// two uncorrelated hashes are useful (e.g. collision diagnostics).
+std::uint32_t flow_hash_jenkins(const FlowKey& key) noexcept;
+
+struct Packet {
+  FlowKey flow;
+  std::uint32_t size_bytes = 1000;
+  bool tcp_syn = false;       ///< set on the first packet of a TCP flow
+  bool tcp_ack = false;       ///< pure acknowledgement (reverse path)
+  bool ecn_capable = false;   ///< ECT: transport understands ECN
+  bool ecn_marked = false;    ///< CE: a congested queue marked this packet
+  bool ecn_echo = false;      ///< ECE: receiver echoes CE back to sender
+  std::uint64_t id = 0;       ///< unique per packet, assigned by senders
+  SimTime created_at = 0;
+};
+
+}  // namespace mdn::net
+
+template <>
+struct std::hash<mdn::net::FlowKey> {
+  std::size_t operator()(const mdn::net::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(mdn::net::flow_hash(k));
+  }
+};

@@ -1,0 +1,28 @@
+#include "net/queue.h"
+
+#include <algorithm>
+
+namespace mdn::net {
+
+bool DropTailQueue::push(Packet pkt) {
+  if (items_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  items_.push_back(std::move(pkt));
+  ++enqueued_;
+  high_watermark_ = std::max(high_watermark_, items_.size());
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::pop() {
+  if (items_.empty()) return std::nullopt;
+  Packet pkt = std::move(items_.front());
+  items_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  ++dequeued_;
+  return pkt;
+}
+
+}  // namespace mdn::net

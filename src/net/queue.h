@@ -1,0 +1,49 @@
+// Drop-tail egress queue.
+//
+// Queue occupancy is the signal behind the §6 applications: switches play
+// a tone band chosen by how many packets sit in this queue (<25, 25-75,
+// >75 in the paper's thresholds).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.h"
+
+namespace mdn::net {
+
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets)
+      : capacity_(capacity_packets) {}
+
+  /// Returns false (and counts a drop) when the queue is full.
+  bool push(Packet pkt);
+
+  /// Pops the head packet, or nullopt when empty.
+  std::optional<Packet> pop();
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t enqueued() const noexcept { return enqueued_; }
+  std::uint64_t dequeued() const noexcept { return dequeued_; }
+
+  /// Largest occupancy ever observed.
+  std::size_t high_watermark() const noexcept { return high_watermark_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> items_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dequeued_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+}  // namespace mdn::net

@@ -1,0 +1,31 @@
+// Simulated time for the network substrate.
+//
+// Time is an integer count of nanoseconds so event ordering is exact; the
+// audio side of the library works in floating-point seconds, and the MP
+// bridge converts at the boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace mdn::net {
+
+using SimTime = std::int64_t;  ///< nanoseconds since simulation start
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+constexpr SimTime from_millis(double ms) noexcept {
+  return from_seconds(ms / 1e3);
+}
+
+}  // namespace mdn::net

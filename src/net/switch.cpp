@@ -1,0 +1,80 @@
+#include "net/switch.h"
+
+#include <stdexcept>
+
+namespace mdn::net {
+
+Switch::Switch(EventLoop& loop, std::string name)
+    : Node(std::move(name)), loop_(loop) {}
+
+Port& Switch::add_port(std::size_t queue_capacity) {
+  ports_.push_back(
+      std::make_unique<Port>(loop_, *this, ports_.size(), queue_capacity));
+  return *ports_.back();
+}
+
+Port& Switch::port(std::size_t index) { return *ports_.at(index); }
+
+const Port& Switch::port(std::size_t index) const {
+  return *ports_.at(index);
+}
+
+void Switch::receive(Packet pkt, std::size_t in_port) {
+  for (const auto& hook : packet_hooks_) hook(pkt, in_port);
+
+  FlowEntry* entry = table_.lookup(pkt, in_port, loop_.now());
+  if (entry == nullptr) {
+    ++table_misses_;
+    if (miss_handler_) {
+      miss_handler_(pkt, in_port);
+    } else {
+      ++dropped_;
+    }
+    return;
+  }
+  apply_actions(*entry, std::move(pkt), in_port);
+}
+
+void Switch::apply_actions(FlowEntry& entry, Packet pkt,
+                           std::size_t in_port) {
+  bool output = false;
+  for (const Action& action : entry.actions) {
+    switch (action.type) {
+      case ActionType::kOutput:
+        if (action.port < ports_.size()) {
+          ports_[action.port]->send(pkt);
+          output = true;
+        }
+        break;
+      case ActionType::kDrop:
+        ++dropped_;
+        return;
+      case ActionType::kFlood:
+        for (auto& p : ports_) {
+          if (p->index() != in_port && p->connected()) {
+            p->send(pkt);
+            output = true;
+          }
+        }
+        break;
+      case ActionType::kGroup:
+        if (!action.group_ports.empty()) {
+          const std::size_t chosen =
+              action.group_ports[entry.group_rr % action.group_ports.size()];
+          ++entry.group_rr;
+          if (chosen < ports_.size()) {
+            ports_[chosen]->send(pkt);
+            output = true;
+          }
+        }
+        break;
+    }
+  }
+  if (output) {
+    ++forwarded_;
+  } else {
+    ++dropped_;
+  }
+}
+
+}  // namespace mdn::net

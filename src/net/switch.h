@@ -1,0 +1,71 @@
+// Simulated switch: the Zodiac FX / Open vSwitch stand-in.
+//
+// Forwards packets through an OpenFlow-style flow table and exposes the
+// two hook points Music-Defined Networking relies on:
+//   * a per-packet hook, where the telemetry applications of §5 attach
+//     their tone emitters (one tone per packet, keyed by flow hash or
+//     destination port), and
+//   * its per-port egress queues, which the §6 applications sample every
+//     300 ms to choose a queue-state tone.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/flow_table.h"
+#include "net/link.h"
+#include "net/node.h"
+
+namespace mdn::net {
+
+class Switch : public Node {
+ public:
+  Switch(EventLoop& loop, std::string name);
+
+  /// Adds a port with the given egress queue capacity; returns its index.
+  Port& add_port(std::size_t queue_capacity = 100);
+  Port& port(std::size_t index);
+  const Port& port(std::size_t index) const;
+  std::size_t port_count() const noexcept { return ports_.size(); }
+
+  FlowTable& flow_table() noexcept { return table_; }
+  const FlowTable& flow_table() const noexcept { return table_; }
+
+  void receive(Packet pkt, std::size_t in_port) override;
+
+  /// Observes every packet before table lookup (MDN tone emitters).
+  /// Multiple hooks run in registration order.
+  using PacketHook = std::function<void(const Packet&, std::size_t in_port)>;
+  void add_packet_hook(PacketHook hook) {
+    packet_hooks_.push_back(std::move(hook));
+  }
+
+  /// Invoked on table miss (the PacketIn path to an SDN controller).
+  /// When unset, misses are dropped.
+  using MissHandler = std::function<void(const Packet&, std::size_t in_port)>;
+  void set_miss_handler(MissHandler handler) {
+    miss_handler_ = std::move(handler);
+  }
+
+  std::uint64_t table_misses() const noexcept { return table_misses_; }
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  EventLoop& loop() noexcept { return loop_; }
+
+ private:
+  void apply_actions(FlowEntry& entry, Packet pkt, std::size_t in_port);
+
+  EventLoop& loop_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  FlowTable table_;
+  std::vector<PacketHook> packet_hooks_;
+  MissHandler miss_handler_;
+  std::uint64_t table_misses_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mdn::net

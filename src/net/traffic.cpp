@@ -1,0 +1,209 @@
+#include "net/traffic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mdn::net {
+namespace {
+
+SimTime interval_for(double pps) {
+  if (pps <= 0.0) throw std::invalid_argument("traffic: rate must be > 0");
+  return from_seconds(1.0 / pps);
+}
+
+Packet make_packet(const FlowKey& flow, std::uint32_t size) {
+  Packet pkt;
+  pkt.flow = flow;
+  pkt.size_bytes = size;
+  return pkt;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- CBR --
+
+CbrSource::CbrSource(Host& host, SourceConfig config,
+                     double packets_per_second)
+    : host_(host),
+      config_(config),
+      interval_(interval_for(packets_per_second)) {}
+
+void CbrSource::start() {
+  host_.loop().schedule_at(config_.start, [this] { send_next(); });
+}
+
+void CbrSource::send_next() {
+  if (host_.loop().now() >= config_.stop) return;
+  host_.send(make_packet(config_.flow, config_.packet_size));
+  ++sent_;
+  host_.loop().schedule_in(interval_, [this] { send_next(); });
+}
+
+// --------------------------------------------------------------- Ramp --
+
+RampSource::RampSource(Host& host, SourceConfig config, double start_pps,
+                       double end_pps)
+    : host_(host),
+      config_(config),
+      start_pps_(start_pps),
+      end_pps_(end_pps) {
+  if (start_pps <= 0.0 || end_pps <= 0.0) {
+    throw std::invalid_argument("RampSource: rates must be > 0");
+  }
+}
+
+double RampSource::rate_at(SimTime t) const noexcept {
+  if (t <= config_.start) return start_pps_;
+  if (t >= config_.stop) return end_pps_;
+  const double frac = to_seconds(t - config_.start) /
+                      to_seconds(config_.stop - config_.start);
+  return start_pps_ + (end_pps_ - start_pps_) * frac;
+}
+
+void RampSource::start() {
+  host_.loop().schedule_at(config_.start, [this] { send_next(); });
+}
+
+void RampSource::send_next() {
+  const SimTime now = host_.loop().now();
+  if (now >= config_.stop) return;
+  host_.send(make_packet(config_.flow, config_.packet_size));
+  ++sent_;
+  host_.loop().schedule_in(interval_for(rate_at(now)),
+                           [this] { send_next(); });
+}
+
+// ----------------------------------------------------------- FlowMix --
+
+FlowMixSource::FlowMixSource(Host& host, std::vector<WeightedFlow> flows,
+                             double total_pps, SimTime start, SimTime stop,
+                             std::uint64_t seed, std::uint32_t packet_size)
+    : host_(host),
+      flows_(std::move(flows)),
+      per_flow_sent_(flows_.size(), 0),
+      interval_(interval_for(total_pps)),
+      start_(start),
+      stop_(stop),
+      packet_size_(packet_size),
+      rng_(seed) {
+  if (flows_.empty()) {
+    throw std::invalid_argument("FlowMixSource: no flows");
+  }
+  for (const auto& f : flows_) {
+    if (f.weight < 0.0) {
+      throw std::invalid_argument("FlowMixSource: negative weight");
+    }
+    total_weight_ += f.weight;
+  }
+  if (total_weight_ <= 0.0) {
+    throw std::invalid_argument("FlowMixSource: zero total weight");
+  }
+}
+
+const FlowKey& FlowMixSource::pick_flow() {
+  double x = rng_.uniform(0.0, total_weight_);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    x -= flows_[i].weight;
+    if (x <= 0.0) {
+      ++per_flow_sent_[i];
+      return flows_[i].flow;
+    }
+  }
+  ++per_flow_sent_.back();
+  return flows_.back().flow;
+}
+
+void FlowMixSource::start() {
+  host_.loop().schedule_at(start_, [this] { send_next(); });
+}
+
+void FlowMixSource::send_next() {
+  if (host_.loop().now() >= stop_) return;
+  host_.send(make_packet(pick_flow(), packet_size_));
+  ++sent_;
+  host_.loop().schedule_in(interval_, [this] { send_next(); });
+}
+
+std::uint64_t FlowMixSource::sent_for(const FlowKey& flow) const {
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].flow == flow) return per_flow_sent_[i];
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------- PortScan --
+
+PortScanSource::PortScanSource(Host& host, SourceConfig config,
+                               std::uint16_t first_port,
+                               std::uint16_t last_port,
+                               SimTime per_port_interval)
+    : host_(host),
+      config_(config),
+      next_port_(first_port),
+      last_port_(last_port),
+      interval_(per_port_interval) {
+  if (last_port < first_port) {
+    throw std::invalid_argument("PortScanSource: port range");
+  }
+}
+
+void PortScanSource::start() {
+  host_.loop().schedule_at(config_.start, [this] { send_next(); });
+}
+
+void PortScanSource::send_next() {
+  if (host_.loop().now() >= config_.stop || next_port_ > last_port_) return;
+  Packet pkt = make_packet(config_.flow, 64);
+  pkt.flow.dst_port = next_port_;
+  pkt.flow.proto = IpProto::kTcp;
+  pkt.tcp_syn = true;
+  host_.send(std::move(pkt));
+  ++sent_;
+  if (next_port_ == last_port_) return;
+  ++next_port_;
+  host_.loop().schedule_in(interval_, [this] { send_next(); });
+}
+
+// ------------------------------------------------------------- OnOff --
+
+OnOffSource::OnOffSource(Host& host, SourceConfig config, double on_pps,
+                         SimTime mean_on, SimTime mean_off,
+                         std::uint64_t seed)
+    : host_(host),
+      config_(config),
+      interval_(interval_for(on_pps)),
+      mean_on_(mean_on),
+      mean_off_(mean_off),
+      rng_(seed) {}
+
+void OnOffSource::start() {
+  host_.loop().schedule_at(config_.start, [this] { enter_on(); });
+}
+
+void OnOffSource::enter_on() {
+  if (host_.loop().now() >= config_.stop) return;
+  const auto burst = static_cast<SimTime>(
+      rng_.exponential(static_cast<double>(mean_on_)));
+  send_next(host_.loop().now() + std::max<SimTime>(burst, interval_));
+}
+
+void OnOffSource::enter_off() {
+  if (host_.loop().now() >= config_.stop) return;
+  const auto gap = static_cast<SimTime>(
+      rng_.exponential(static_cast<double>(mean_off_)));
+  host_.loop().schedule_in(std::max<SimTime>(gap, 1), [this] { enter_on(); });
+}
+
+void OnOffSource::send_next(SimTime burst_end) {
+  if (host_.loop().now() >= config_.stop) return;
+  host_.send(make_packet(config_.flow, config_.packet_size));
+  ++sent_;
+  if (host_.loop().now() + interval_ >= burst_end) {
+    enter_off();
+    return;
+  }
+  host_.loop().schedule_in(interval_,
+                           [this, burst_end] { send_next(burst_end); });
+}
+
+}  // namespace mdn::net

@@ -1,0 +1,138 @@
+// Traffic generators for the evaluation workloads.
+//
+//  * CbrSource         — constant bit rate flow (background traffic).
+//  * RampSource        — linearly increasing rate; drives the congestion
+//                        build-up of Fig 5 ("progressively increasing
+//                        rate").
+//  * FlowMixSource     — many concurrent flows with weighted shares; one
+//                        dominating flow is the heavy hitter of Fig 4a-b.
+//  * PortScanSource    — sequential destination-port sweep (Fig 4c-d).
+//  * OnOffSource       — bursty traffic for failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "audio/rng.h"
+#include "net/host.h"
+
+namespace mdn::net {
+
+/// Common knobs shared by the generators.
+struct SourceConfig {
+  FlowKey flow;                   ///< template 5-tuple
+  std::uint32_t packet_size = 1000;
+  SimTime start = 0;
+  SimTime stop = 10 * kSecond;
+};
+
+/// Constant packet rate.
+class CbrSource {
+ public:
+  CbrSource(Host& host, SourceConfig config, double packets_per_second);
+  void start();
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  void send_next();
+
+  Host& host_;
+  SourceConfig config_;
+  SimTime interval_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Rate ramps linearly from `start_pps` to `end_pps` over the interval.
+class RampSource {
+ public:
+  RampSource(Host& host, SourceConfig config, double start_pps,
+             double end_pps);
+  void start();
+  std::uint64_t sent() const noexcept { return sent_; }
+  double rate_at(SimTime t) const noexcept;
+
+ private:
+  void send_next();
+
+  Host& host_;
+  SourceConfig config_;
+  double start_pps_;
+  double end_pps_;
+  std::uint64_t sent_ = 0;
+};
+
+/// A mix of flows sending at a combined rate; each packet is drawn from
+/// the weight distribution.  With one heavy weight this produces the
+/// heavy-hitter workload of §5.
+class FlowMixSource {
+ public:
+  struct WeightedFlow {
+    FlowKey flow;
+    double weight = 1.0;
+  };
+
+  FlowMixSource(Host& host, std::vector<WeightedFlow> flows,
+                double total_pps, SimTime start, SimTime stop,
+                std::uint64_t seed, std::uint32_t packet_size = 1000);
+  void start();
+  std::uint64_t sent() const noexcept { return sent_; }
+  std::uint64_t sent_for(const FlowKey& flow) const;
+
+ private:
+  void send_next();
+  const FlowKey& pick_flow();
+
+  Host& host_;
+  std::vector<WeightedFlow> flows_;
+  std::vector<std::uint64_t> per_flow_sent_;
+  double total_weight_ = 0.0;
+  SimTime interval_;
+  SimTime start_;
+  SimTime stop_;
+  std::uint32_t packet_size_;
+  audio::Rng rng_;
+  std::uint64_t sent_ = 0;
+};
+
+/// TCP SYNs to sequential destination ports — the naive port scan of §5.
+class PortScanSource {
+ public:
+  PortScanSource(Host& host, SourceConfig config, std::uint16_t first_port,
+                 std::uint16_t last_port, SimTime per_port_interval);
+  void start();
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  void send_next();
+
+  Host& host_;
+  SourceConfig config_;
+  std::uint16_t next_port_;
+  std::uint16_t last_port_;
+  SimTime interval_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Exponential on/off bursts of CBR traffic.
+class OnOffSource {
+ public:
+  OnOffSource(Host& host, SourceConfig config, double on_pps,
+              SimTime mean_on, SimTime mean_off, std::uint64_t seed);
+  void start();
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  void enter_on();
+  void enter_off();
+  void send_next(SimTime burst_end);
+
+  Host& host_;
+  SourceConfig config_;
+  SimTime interval_;
+  SimTime mean_on_;
+  SimTime mean_off_;
+  audio::Rng rng_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace mdn::net

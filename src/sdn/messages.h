@@ -1,0 +1,77 @@
+// OpenFlow-like control-plane messages.
+//
+// The paper actuates its network with OpenFlow Flow-MOD messages (Figs 1,
+// 3, 5); this module models the subset of OpenFlow 1.0 semantics those
+// experiments exercise: flow addition/removal, packet-in on table miss,
+// packet-out, and port statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/flow_table.h"
+#include "net/packet.h"
+
+namespace mdn::sdn {
+
+/// Identifies an attached switch on the control channel.
+using DatapathId = std::uint64_t;
+
+struct FlowMod {
+  enum class Command : std::uint8_t {
+    kAdd,
+    kDeleteByCookie,
+    kDeleteByMatch,
+    kClear,
+  };
+
+  Command command = Command::kAdd;
+  net::FlowEntry entry;      ///< kAdd payload
+  std::uint64_t cookie = 0;  ///< kDeleteByCookie selector
+  net::Match match;          ///< kDeleteByMatch selector
+
+  static FlowMod add(net::FlowEntry entry) {
+    FlowMod m;
+    m.command = Command::kAdd;
+    m.entry = std::move(entry);
+    return m;
+  }
+  static FlowMod delete_by_cookie(std::uint64_t cookie) {
+    FlowMod m;
+    m.command = Command::kDeleteByCookie;
+    m.cookie = cookie;
+    return m;
+  }
+  static FlowMod delete_by_match(net::Match match) {
+    FlowMod m;
+    m.command = Command::kDeleteByMatch;
+    m.match = match;
+    return m;
+  }
+};
+
+struct PacketIn {
+  net::Packet packet;
+  std::size_t in_port = 0;
+  DatapathId datapath = 0;
+};
+
+struct PacketOut {
+  net::Packet packet;
+  net::Action action;
+  /// Ingress port the packet originally arrived on; flooding skips it.
+  std::optional<std::size_t> in_port;
+};
+
+struct PortStats {
+  std::size_t port = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t drops = 0;
+  std::size_t queue_backlog = 0;
+};
+
+}  // namespace mdn::sdn

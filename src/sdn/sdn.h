@@ -1,0 +1,5 @@
+// Umbrella header for the mdn_sdn library.
+#pragma once
+
+#include "sdn/controller.h"
+#include "sdn/messages.h"

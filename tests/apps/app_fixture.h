@@ -1,0 +1,85 @@
+// Shared scaffolding for application tests: a one-switch network with a
+// speaker-equipped switch, an acoustic channel and a listening MDN
+// controller — the Fig 1 testbed in miniature.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mdn/mdn.h"
+#include "mp/mp.h"
+#include "net/net.h"
+#include "sdn/sdn.h"
+
+namespace mdn::test {
+
+constexpr double kSampleRate = 48000.0;
+
+class SingleSwitchApp : public ::testing::Test {
+ protected:
+  SingleSwitchApp()
+      : channel_(kSampleRate),
+        plan_({.base_hz = 500.0, .spacing_hz = 20.0}),
+        sdn_channel_(net_.loop(), net::kMillisecond) {
+    sw_ = &net_.add_switch("s1");
+    h1_ = &net_.add_host("h1", net::make_ipv4(10, 0, 0, 1));
+    h2_ = &net_.add_host("h2", net::make_ipv4(10, 0, 0, 2));
+    net::LinkSpec fast;
+    fast.rate_bps = 1e9;
+    in_port_ = net_.connect(*h1_, *sw_, fast);
+    out_port_ = net_.connect(*h2_, *sw_, fast);
+    dpid_ = sdn_channel_.attach(*sw_, null_controller_);
+
+    speaker_ = channel_.add_source("s1-speaker", 0.5);
+    bridge_ = std::make_unique<mp::PiSpeakerBridge>(net_.loop(), channel_,
+                                                    speaker_, 0);
+  }
+
+  // Creates the emitter with the given rate police and the controller.
+  void init_mdn(net::SimTime emitter_gap,
+                core::MdnController::Config cfg = {}) {
+    emitter_ = std::make_unique<mp::MpEmitter>(net_.loop(), *bridge_,
+                                               emitter_gap);
+    cfg.detector.sample_rate = kSampleRate;
+    controller_ =
+        std::make_unique<core::MdnController>(net_.loop(), channel_, cfg);
+  }
+
+  // Installs a baseline forward-everything rule h1 -> h2.
+  void install_forwarding() {
+    net::FlowEntry e;
+    e.priority = 1;
+    e.actions = {net::Action::output(out_port_)};
+    sw_->flow_table().add(e, net_.loop().now());
+  }
+
+  net::FlowKey flow(std::uint16_t dport = 80,
+                    std::uint16_t sport = 40000) const {
+    return {h1_->ip(), h2_->ip(), sport, dport, net::IpProto::kTcp};
+  }
+
+  void run_for(double seconds) {
+    net_.loop().schedule_at(net::from_seconds(seconds),
+                            [this] { controller_->stop(); });
+    net_.loop().run();
+  }
+
+  sdn::Controller null_controller_;
+  net::Network net_;
+  audio::AcousticChannel channel_;
+  core::FrequencyPlan plan_;
+  sdn::ControlChannel sdn_channel_;
+  net::Switch* sw_ = nullptr;
+  net::Host* h1_ = nullptr;
+  net::Host* h2_ = nullptr;
+  std::size_t in_port_ = 0;
+  std::size_t out_port_ = 0;
+  sdn::DatapathId dpid_ = 0;
+  audio::SourceId speaker_ = 0;
+  std::unique_ptr<mp::PiSpeakerBridge> bridge_;
+  std::unique_ptr<mp::MpEmitter> emitter_;
+  std::unique_ptr<core::MdnController> controller_;
+};
+
+}  // namespace mdn::test

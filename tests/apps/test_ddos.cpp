@@ -1,0 +1,152 @@
+#include "mdn/ddos.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "app_fixture.h"
+
+namespace mdn::core {
+namespace {
+
+using test::SingleSwitchApp;
+
+class SuperspreaderTest : public SingleSwitchApp {
+ protected:
+  SuperspreaderConfig make_config() {
+    SuperspreaderConfig cfg;
+    cfg.k = 10;
+    cfg.window_s = 5.0;
+    cfg.tone_duration_s = 0.04;
+    return cfg;
+  }
+
+  void setup(std::size_t bins = 40) {
+    init_mdn(60 * net::kMillisecond);
+    install_forwarding();
+    device_ = plan_.add_device("s1", bins);
+    reporter_ = std::make_unique<SuperspreaderReporter>(
+        *sw_, *emitter_, plan_, device_, make_config());
+    detector_ = std::make_unique<SuperspreaderDetector>(
+        *controller_, plan_, device_, make_config());
+    controller_->start();
+  }
+
+  // h1 contacts `count` distinct destinations, one every `gap_s`.
+  void contact_destinations(int count, double gap_s) {
+    for (int i = 0; i < count; ++i) {
+      net_.loop().schedule_at(net::from_seconds(0.1 + i * gap_s),
+                              [this, i] {
+                                net::Packet p;
+                                p.flow = flow(80);
+                                p.flow.dst_ip =
+                                    net::make_ipv4(10, 1, 0,
+                                                   static_cast<std::uint8_t>(
+                                                       i + 1));
+                                h1_->send(p);
+                              });
+    }
+  }
+
+  DeviceId device_ = 0;
+  std::unique_ptr<SuperspreaderReporter> reporter_;
+  std::unique_ptr<SuperspreaderDetector> detector_;
+};
+
+TEST_F(SuperspreaderTest, AddressBinningDeterministic) {
+  setup();
+  const auto addr = net::make_ipv4(10, 1, 0, 7);
+  EXPECT_EQ(reporter_->bin_for_address(addr),
+            reporter_->bin_for_address(addr));
+  EXPECT_DOUBLE_EQ(
+      reporter_->frequency_for_address(addr),
+      plan_.frequency(device_, reporter_->bin_for_address(addr)));
+}
+
+TEST_F(SuperspreaderTest, AdjacentAddressesSpread) {
+  setup();
+  std::set<std::size_t> bins;
+  for (std::uint8_t d = 1; d < 60; ++d) {
+    bins.insert(reporter_->bin_for_address(net::make_ipv4(10, 1, 0, d)));
+  }
+  EXPECT_GT(bins.size(), 25u);
+}
+
+TEST_F(SuperspreaderTest, SpreaderContactingManyDestinationsFlagged) {
+  setup();
+  contact_destinations(30, 0.1);  // 30 destinations over 3 s
+  run_for(4.5);
+  ASSERT_FALSE(detector_->alerts().empty());
+  EXPECT_GT(detector_->alerts().front().distinct_bins, 10u);
+}
+
+TEST_F(SuperspreaderTest, FewDestinationsNotFlagged) {
+  setup();
+  contact_destinations(5, 0.1);
+  run_for(2.0);
+  EXPECT_TRUE(detector_->alerts().empty());
+}
+
+TEST_F(SuperspreaderTest, RepeatContactsToSameDestinationNotFlagged) {
+  setup();
+  // 40 packets but only 3 distinct destinations.
+  for (int i = 0; i < 40; ++i) {
+    net_.loop().schedule_at(
+        net::from_seconds(0.1 + i * 0.08), [this, i] {
+          net::Packet p;
+          p.flow = flow(80);
+          p.flow.dst_ip = net::make_ipv4(10, 1, 0,
+                                         static_cast<std::uint8_t>(i % 3 + 1));
+          h1_->send(p);
+        });
+  }
+  run_for(4.0);
+  EXPECT_TRUE(detector_->alerts().empty());
+}
+
+TEST_F(SuperspreaderTest, SlowSpreaderOutsideWindowEvades) {
+  SuperspreaderConfig cfg = make_config();
+  cfg.window_s = 1.0;  // tight window
+  init_mdn(60 * net::kMillisecond);
+  install_forwarding();
+  device_ = plan_.add_device("s1", 40);
+  reporter_ = std::make_unique<SuperspreaderReporter>(*sw_, *emitter_,
+                                                      plan_, device_, cfg);
+  detector_ = std::make_unique<SuperspreaderDetector>(*controller_, plan_,
+                                                      device_, cfg);
+  controller_->start();
+  contact_destinations(15, 0.5);  // ~2 destinations per 1 s window
+  run_for(9.0);
+  EXPECT_TRUE(detector_->alerts().empty());
+}
+
+TEST_F(SuperspreaderTest, SrcKeyedModeDetectsDdosVictim) {
+  // Mirror image: tones keyed by *source* bins at the victim's switch.
+  SuperspreaderConfig cfg = make_config();
+  cfg.key_by = SuperspreaderConfig::KeyBy::kSrcAddress;
+  init_mdn(60 * net::kMillisecond);
+  install_forwarding();
+  device_ = plan_.add_device("s1", 40);
+  reporter_ = std::make_unique<SuperspreaderReporter>(*sw_, *emitter_,
+                                                      plan_, device_, cfg);
+  detector_ = std::make_unique<SuperspreaderDetector>(*controller_, plan_,
+                                                      device_, cfg);
+  controller_->start();
+
+  // 25 distinct sources hit h2 (a DDoS victim pattern).
+  for (int i = 0; i < 25; ++i) {
+    net_.loop().schedule_at(net::from_seconds(0.1 + i * 0.1), [this, i] {
+      net::Packet p;
+      p.flow = flow(80);
+      p.flow.src_ip = net::make_ipv4(172, 16, 0,
+                                     static_cast<std::uint8_t>(i + 1));
+      h1_->send(p);
+    });
+  }
+  run_for(4.0);
+  ASSERT_FALSE(detector_->alerts().empty());
+  EXPECT_GT(detector_->alerts().front().distinct_bins, 10u);
+}
+
+}  // namespace
+}  // namespace mdn::core

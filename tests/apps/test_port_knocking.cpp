@@ -1,0 +1,206 @@
+#include "mdn/port_knocking.h"
+
+#include <gtest/gtest.h>
+
+#include "app_fixture.h"
+
+namespace mdn::core {
+namespace {
+
+using test::SingleSwitchApp;
+
+class PortKnockingTest : public SingleSwitchApp {
+ protected:
+  PortKnockingConfig make_config() {
+    PortKnockingConfig cfg;
+    cfg.knock_ports = {7001, 7002, 7003};
+    cfg.protected_port = 8080;
+    cfg.open_out_port = out_port_;
+    cfg.tone_duration_s = 0.1;
+    return cfg;
+  }
+
+  std::unique_ptr<PortKnockingApp> make_app(PortKnockingConfig cfg) {
+    device_ = plan_.add_device("s1", cfg.knock_ports.size());
+    return std::make_unique<PortKnockingApp>(*sw_, *emitter_, *controller_,
+                                             sdn_channel_, dpid_, plan_,
+                                             device_, std::move(cfg));
+  }
+
+  void send_knock(std::uint16_t port, double at_s) {
+    net_.loop().schedule_at(net::from_seconds(at_s), [this, port] {
+      net::Packet p;
+      p.flow = flow(port);
+      p.size_bytes = 64;
+      h1_->send(p);
+    });
+  }
+
+  // Counts arrivals at h2 on the protected port only (knock packets are
+  // ordinary forwarded traffic and also reach h2).
+  void count_protected_rx() {
+    h2_->set_rx_hook([this](const net::Packet& p) {
+      if (p.flow.dst_port == 8080) ++protected_rx_;
+    });
+  }
+
+  void send_data(double at_s, int count = 1) {
+    net_.loop().schedule_at(net::from_seconds(at_s), [this, count] {
+      for (int i = 0; i < count; ++i) {
+        net::Packet p;
+        p.flow = flow(8080);
+        h1_->send(p);
+      }
+    });
+  }
+
+  DeviceId device_ = 0;
+  int protected_rx_ = 0;
+};
+
+TEST_F(PortKnockingTest, CorrectSequenceOpensPort) {
+  init_mdn(0);
+  install_forwarding();
+  count_protected_rx();
+  auto app = make_app(make_config());
+  controller_->start();
+
+  // Data before knocking is dropped by the guard rule.
+  send_data(0.1);
+  send_knock(7001, 0.5);
+  send_knock(7002, 1.0);
+  send_knock(7003, 1.5);
+  send_data(2.0, 3);
+  run_for(3.0);
+
+  EXPECT_TRUE(app->opened());
+  EXPECT_GT(app->opened_at_s(), 1.5);
+  EXPECT_LT(app->opened_at_s(), 2.0);
+  EXPECT_EQ(app->knocks_heard(), 3u);
+  EXPECT_EQ(protected_rx_, 3);  // only post-open data reaches port 8080
+}
+
+TEST_F(PortKnockingTest, WrongOrderDoesNotOpen) {
+  init_mdn(0);
+  install_forwarding();
+  count_protected_rx();
+  auto app = make_app(make_config());
+  controller_->start();
+
+  send_knock(7001, 0.5);
+  send_knock(7003, 1.0);  // wrong
+  send_knock(7002, 1.5);
+  send_data(2.0, 2);
+  run_for(3.0);
+
+  EXPECT_FALSE(app->opened());
+  EXPECT_EQ(protected_rx_, 0);
+}
+
+TEST_F(PortKnockingTest, PartialSequenceDoesNotOpen) {
+  init_mdn(0);
+  install_forwarding();
+  count_protected_rx();
+  auto app = make_app(make_config());
+  controller_->start();
+  send_knock(7001, 0.5);
+  send_knock(7002, 1.0);
+  send_data(1.5, 2);
+  run_for(2.5);
+  EXPECT_FALSE(app->opened());
+  EXPECT_EQ(protected_rx_, 0);
+}
+
+TEST_F(PortKnockingTest, RetryAfterMistakeSucceeds) {
+  init_mdn(0);
+  install_forwarding();
+  auto app = make_app(make_config());
+  controller_->start();
+
+  send_knock(7002, 0.3);  // wrong first knock
+  send_knock(7001, 0.8);
+  send_knock(7002, 1.3);
+  send_knock(7003, 1.8);
+  run_for(2.5);
+  EXPECT_TRUE(app->opened());
+}
+
+TEST_F(PortKnockingTest, KnockTimeoutResetsProgress) {
+  init_mdn(0);
+  install_forwarding();
+  auto cfg = make_config();
+  cfg.knock_timeout = net::kSecond;
+  auto app = make_app(cfg);
+  controller_->start();
+
+  send_knock(7001, 0.2);
+  send_knock(7002, 0.5);
+  send_knock(7003, 3.0);  // 2.5 s later: timed out
+  run_for(4.0);
+  EXPECT_FALSE(app->opened());
+}
+
+TEST_F(PortKnockingTest, OpenCallbackFiresOnce) {
+  init_mdn(0);
+  install_forwarding();
+  auto app = make_app(make_config());
+  int opens = 0;
+  app->on_open([&] { ++opens; });
+  controller_->start();
+
+  send_knock(7001, 0.3);
+  send_knock(7002, 0.6);
+  send_knock(7003, 0.9);
+  // Knock again after opening.
+  send_knock(7001, 1.3);
+  send_knock(7002, 1.6);
+  send_knock(7003, 1.9);
+  run_for(2.5);
+  EXPECT_EQ(opens, 1);
+}
+
+TEST_F(PortKnockingTest, NonKnockTrafficMakesNoSound) {
+  init_mdn(0);
+  install_forwarding();
+  auto app = make_app(make_config());
+  controller_->start();
+  // Plain traffic to an open port (not protected, not knock).
+  net_.loop().schedule_at(net::from_seconds(0.2), [this] {
+    net::Packet p;
+    p.flow = flow(443);
+    h1_->send(p);
+  });
+  run_for(1.0);
+  EXPECT_EQ(bridge_->played(), 0u);
+  EXPECT_EQ(app->knocks_heard(), 0u);
+  EXPECT_EQ(h2_->rx_packets(), 1u);  // forwarded normally
+}
+
+TEST_F(PortKnockingTest, GuardRuleInstalledAtConstruction) {
+  init_mdn(0);
+  install_forwarding();
+  auto app = make_app(make_config());
+  // Drop rule (priority 100) + forwarding (priority 1).
+  EXPECT_EQ(sw_->flow_table().size(), 2u);
+  (void)app;
+}
+
+TEST_F(PortKnockingTest, ValidationErrors) {
+  init_mdn(0);
+  auto cfg = make_config();
+  cfg.knock_ports.clear();
+  const auto dev = plan_.add_device("s1", 3);
+  EXPECT_THROW(PortKnockingApp(*sw_, *emitter_, *controller_, sdn_channel_,
+                               dpid_, plan_, dev, cfg),
+               std::invalid_argument);
+
+  // Too few plan symbols for the knock count.
+  auto cfg2 = make_config();
+  const auto small_dev = plan_.add_device("tiny", 1);
+  EXPECT_THROW(PortKnockingApp(*sw_, *emitter_, *controller_, sdn_channel_,
+                               dpid_, plan_, small_dev, cfg2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdn::core

@@ -1,0 +1,105 @@
+#include "audio/fan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/spectrum.h"
+#include "dsp/window.h"
+
+namespace mdn::audio {
+namespace {
+
+std::vector<double> spectrum_of(const Waveform& w) {
+  const auto window = dsp::make_window(dsp::WindowKind::kHann, w.size());
+  return dsp::amplitude_spectrum(w.samples(), window);
+}
+
+double amplitude_near(const Waveform& w, double freq, double tol_hz) {
+  const auto spec = spectrum_of(w);
+  double best = 0.0;
+  for (std::size_t k = 0; k < spec.size(); ++k) {
+    const double f = static_cast<double>(k) * w.sample_rate() /
+                     static_cast<double>(w.size());
+    if (std::abs(f - freq) <= tol_hz) best = std::max(best, spec[k]);
+  }
+  return best;
+}
+
+TEST(Fan, BladePassFrequencyFormula) {
+  FanSpec spec;
+  spec.rpm = 4200.0;
+  spec.blades = 7;
+  EXPECT_DOUBLE_EQ(blade_pass_hz(spec), 490.0);
+}
+
+TEST(Fan, SpectrumShowsBladePassLine) {
+  FanSpec spec;
+  spec.rpm = 4200.0;
+  spec.blades = 7;
+  spec.rpm_jitter = 0.0;  // laser-thin line for the assertion
+  const Waveform w = generate_fan(spec, 2.0, 48000.0);
+  const double bpf = amplitude_near(w, 490.0, 5.0);
+  const double off = amplitude_near(w, 860.0, 5.0);  // between harmonics
+  EXPECT_GT(bpf, 5.0 * off);
+}
+
+TEST(Fan, HarmonicsRollOff) {
+  FanSpec spec;
+  spec.rpm = 3000.0;  // BPF 350 with 7 blades
+  spec.blades = 7;
+  spec.rpm_jitter = 0.0;
+  spec.broadband_rms = 0.0;
+  const Waveform w = generate_fan(spec, 2.0, 48000.0);
+  const double h1 = amplitude_near(w, 350.0, 5.0);
+  const double h3 = amplitude_near(w, 1050.0, 5.0);
+  EXPECT_GT(h1, 1.5 * h3);
+  EXPECT_GT(h3, 0.0);
+}
+
+TEST(Fan, ShaftLinePresent) {
+  FanSpec spec;
+  spec.rpm = 4800.0;  // shaft 80 Hz
+  spec.blades = 7;
+  spec.rpm_jitter = 0.0;
+  spec.broadband_rms = 0.0;
+  const Waveform w = generate_fan(spec, 2.0, 48000.0);
+  EXPECT_GT(amplitude_near(w, 80.0, 3.0), 0.01);
+}
+
+TEST(Fan, DeterministicPerSeed) {
+  FanSpec spec;
+  spec.seed = 33;
+  const Waveform a = generate_fan(spec, 0.5, 48000.0);
+  const Waveform b = generate_fan(spec, 0.5, 48000.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 487) {
+    ASSERT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Fan, MachineRoomHitsTargetLevel) {
+  const Waveform room = generate_machine_room(20, 1.0, 48000.0, 0.3, 5);
+  EXPECT_NEAR(room.rms(), 0.3, 1e-6);
+  EXPECT_EQ(room.size(), 48000u);
+}
+
+TEST(Fan, MachineRoomIsSpectrallyDense) {
+  // Many servers at different speeds -> energy spread over the low band,
+  // not one dominant line.
+  const Waveform room = generate_machine_room(25, 2.0, 48000.0, 0.3, 6);
+  const auto spec = spectrum_of(room);
+  const auto peaks = dsp::find_peaks(spec, 48000.0, room.size(), 1e-4, 4);
+  EXPECT_GT(peaks.size(), 10u);
+}
+
+TEST(Fan, OfficeQuieterProfile) {
+  const Waveform office = generate_office(1.0, 48000.0, 0.05, 7);
+  EXPECT_NEAR(office.rms(), 0.05, 1e-6);
+  // Hum line at 120 Hz present.
+  EXPECT_GT(amplitude_near(office, 120.0, 3.0),
+            amplitude_near(office, 300.0, 3.0));
+}
+
+}  // namespace
+}  // namespace mdn::audio

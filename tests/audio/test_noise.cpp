@@ -1,0 +1,143 @@
+#include "audio/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace mdn::audio {
+namespace {
+
+// Total power of `w` in the band [lo, hi] Hz.
+double band_power(const Waveform& w, double lo, double hi) {
+  const auto spec = dsp::fft_real(w.samples());
+  double p = 0.0;
+  for (std::size_t k = 0; k <= w.size() / 2; ++k) {
+    const double f = dsp::bin_frequency(k, w.size(), w.sample_rate());
+    if (f >= lo && f <= hi) p += std::norm(spec[k]);
+  }
+  return p;
+}
+
+TEST(Noise, WhiteNoiseHitsTargetRms) {
+  Rng rng(1);
+  const Waveform w = make_white_noise(1.0, 0.3, 48000.0, rng);
+  EXPECT_NEAR(w.rms(), 0.3, 0.01);
+}
+
+TEST(Noise, WhiteNoiseIsDeterministicPerSeed) {
+  Rng a(5), b(5);
+  const Waveform wa = make_white_noise(0.1, 0.2, 48000.0, a);
+  const Waveform wb = make_white_noise(0.1, 0.2, 48000.0, b);
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    ASSERT_DOUBLE_EQ(wa[i], wb[i]);
+  }
+}
+
+TEST(Noise, WhiteNoiseSpectrumIsFlatish) {
+  Rng rng(7);
+  const Waveform w = make_white_noise(2.0, 0.5, 48000.0, rng);
+  const double low = band_power(w, 100.0, 4000.0);
+  const double high = band_power(w, 16000.0, 19900.0);
+  // Equal bandwidths carry comparable power (within 3x).
+  EXPECT_LT(low / high, 3.0);
+  EXPECT_GT(low / high, 1.0 / 3.0);
+}
+
+TEST(Noise, PinkNoiseFavoursLowFrequencies) {
+  Rng rng(9);
+  const Waveform w = make_pink_noise(2.0, 0.5, 48000.0, rng);
+  // Per-octave power should be roughly constant -> equal-width linear
+  // bands show strong low-frequency dominance.
+  const double low = band_power(w, 50.0, 1000.0);
+  const double high = band_power(w, 10000.0, 10950.0);
+  EXPECT_GT(low / high, 10.0);
+}
+
+TEST(Noise, PinkNoiseHitsTargetRms) {
+  Rng rng(11);
+  const Waveform w = make_pink_noise(1.0, 0.25, 48000.0, rng);
+  EXPECT_NEAR(w.rms(), 0.25, 1e-6);
+}
+
+TEST(Noise, BandNoiseConcentratedInBand) {
+  Rng rng(13);
+  const Waveform w =
+      make_band_noise(2.0, 0.4, 2000.0, 4000.0, 48000.0, rng);
+  const double in_band = band_power(w, 2000.0, 4000.0);
+  const double below = band_power(w, 50.0, 1000.0);
+  const double above = band_power(w, 8000.0, 16000.0);
+  EXPECT_GT(in_band / (below + 1e-12), 10.0);
+  EXPECT_GT(in_band / (above + 1e-12), 10.0);
+}
+
+TEST(Noise, BandNoiseValidatesBand) {
+  Rng rng(15);
+  EXPECT_THROW(make_band_noise(1.0, 0.1, 4000.0, 2000.0, 48000.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Noise, ZeroDurationIsEmpty) {
+  Rng rng(17);
+  EXPECT_TRUE(make_white_noise(0.0, 0.1, 48000.0, rng).empty());
+  EXPECT_TRUE(make_pink_noise(0.0, 0.1, 48000.0, rng).empty());
+}
+
+TEST(Biquad, LowPassAttenuatesHighFrequencies) {
+  const double sr = 48000.0;
+  auto lp = Biquad::low_pass(1000.0, 0.707, sr);
+  // Feed a 10 kHz sine; steady-state output should be strongly attenuated.
+  double in_energy = 0.0, out_energy = 0.0;
+  for (int i = 0; i < 4800; ++i) {
+    const double x = std::sin(2.0 * 3.14159265358979 * 10000.0 * i / sr);
+    const double y = lp.process(x);
+    if (i > 480) {  // skip transient
+      in_energy += x * x;
+      out_energy += y * y;
+    }
+  }
+  EXPECT_LT(out_energy / in_energy, 0.01);
+}
+
+TEST(Biquad, HighPassAttenuatesLowFrequencies) {
+  const double sr = 48000.0;
+  auto hp = Biquad::high_pass(2000.0, 0.707, sr);
+  double in_energy = 0.0, out_energy = 0.0;
+  for (int i = 0; i < 48000; ++i) {
+    const double x = std::sin(2.0 * 3.14159265358979 * 100.0 * i / sr);
+    const double y = hp.process(x);
+    if (i > 4800) {
+      in_energy += x * x;
+      out_energy += y * y;
+    }
+  }
+  EXPECT_LT(out_energy / in_energy, 0.01);
+}
+
+TEST(Biquad, PassbandIsTransparent) {
+  const double sr = 48000.0;
+  auto lp = Biquad::low_pass(8000.0, 0.707, sr);
+  double in_energy = 0.0, out_energy = 0.0;
+  for (int i = 0; i < 48000; ++i) {
+    const double x = std::sin(2.0 * 3.14159265358979 * 400.0 * i / sr);
+    const double y = lp.process(x);
+    if (i > 4800) {
+      in_energy += x * x;
+      out_energy += y * y;
+    }
+  }
+  EXPECT_NEAR(out_energy / in_energy, 1.0, 0.05);
+}
+
+TEST(Biquad, ResetClearsHistory) {
+  auto lp = Biquad::low_pass(1000.0, 0.707, 48000.0);
+  const double first = lp.process(1.0);
+  lp.process(0.5);
+  lp.reset();
+  EXPECT_DOUBLE_EQ(lp.process(1.0), first);
+}
+
+}  // namespace
+}  // namespace mdn::audio

@@ -1,0 +1,94 @@
+#include "audio/resample.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/synth.h"
+#include "dsp/spectrum.h"
+#include "dsp/window.h"
+
+namespace mdn::audio {
+namespace {
+
+double dominant_frequency(const Waveform& w) {
+  const auto window = dsp::make_window(dsp::WindowKind::kHann, w.size());
+  const auto spec = dsp::amplitude_spectrum(w.samples(), window);
+  const auto peaks =
+      dsp::find_peaks(spec, w.sample_rate(), w.size(), 0.05);
+  return peaks.empty() ? 0.0 : peaks.front().frequency_hz;
+}
+
+Waveform tone(double freq, double sr, double dur) {
+  ToneSpec spec;
+  spec.frequency_hz = freq;
+  spec.amplitude = 0.5;
+  spec.duration_s = dur;
+  return make_tone(spec, sr);
+}
+
+TEST(Resample, SameRateIsIdentity) {
+  const Waveform w = tone(700.0, 48000.0, 0.1);
+  const Waveform r = resample_linear(w, 48000.0);
+  ASSERT_EQ(r.size(), w.size());
+  EXPECT_DOUBLE_EQ(r.sample_rate(), 48000.0);
+  for (std::size_t i = 0; i < w.size(); i += 61) {
+    EXPECT_DOUBLE_EQ(r[i], w[i]);
+  }
+}
+
+TEST(Resample, DurationPreservedAcrossRates) {
+  const Waveform w = tone(700.0, 16000.0, 0.5);
+  const Waveform up = resample_linear(w, 48000.0);
+  EXPECT_NEAR(up.duration_s(), 0.5, 1e-3);
+  const Waveform down = resample_linear(w, 8000.0);
+  EXPECT_NEAR(down.duration_s(), 0.5, 1e-3);
+}
+
+TEST(Resample, ToneFrequencyPreservedUpsampling) {
+  const Waveform w = tone(700.0, 16000.0, 0.25);
+  const Waveform up = resample_linear(w, 48000.0);
+  EXPECT_NEAR(dominant_frequency(up), 700.0, 5.0);
+}
+
+TEST(Resample, ToneFrequencyPreservedDownsampling) {
+  const Waveform w = tone(700.0, 48000.0, 0.25);
+  const Waveform down = resample_linear(w, 16000.0);
+  EXPECT_NEAR(dominant_frequency(down), 700.0, 5.0);
+}
+
+TEST(Resample, FortyFourOneToFortyEight) {
+  // The awkward real-world pair.
+  const Waveform w = tone(1000.0, 44100.0, 0.25);
+  const Waveform r = resample_linear(w, 48000.0);
+  EXPECT_NEAR(dominant_frequency(r), 1000.0, 5.0);
+  EXPECT_NEAR(r.peak(), 0.5, 0.02);
+}
+
+TEST(Resample, EmptyInput) {
+  const Waveform empty(16000.0);
+  const Waveform r = resample_linear(empty, 48000.0);
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.sample_rate(), 48000.0);
+}
+
+TEST(Resample, InvalidTargetThrows) {
+  const Waveform w = tone(700.0, 16000.0, 0.1);
+  EXPECT_THROW(resample_linear(w, 0.0), std::invalid_argument);
+  EXPECT_THROW(resample_linear(w, -1.0), std::invalid_argument);
+}
+
+TEST(Resample, DetectorWorksOnResampledCapture) {
+  // A 16 kHz capture of a 700 Hz tone, upsampled into the 48 kHz
+  // analysis chain, is still detected.
+  const Waveform capture = tone(700.0, 16000.0, 0.05);
+  const Waveform analysed = resample_linear(capture, 48000.0);
+  const auto window =
+      dsp::make_window(dsp::WindowKind::kBlackman, analysed.size());
+  const auto spec =
+      dsp::amplitude_spectrum_padded(analysed.samples(), window, 4096);
+  const auto peaks = dsp::find_peaks(spec, 48000.0, 4096, 0.1, 8);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(peaks.front().frequency_hz, 700.0, 10.0);
+}
+
+}  // namespace
+}  // namespace mdn::audio

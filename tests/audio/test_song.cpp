@@ -1,0 +1,100 @@
+#include "audio/song.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace mdn::audio {
+namespace {
+
+double band_power(const Waveform& w, double lo, double hi) {
+  const auto spec = dsp::fft_real(w.samples());
+  double p = 0.0;
+  for (std::size_t k = 0; k <= w.size() / 2; ++k) {
+    const double f = dsp::bin_frequency(k, w.size(), w.sample_rate());
+    if (f >= lo && f <= hi) p += std::norm(spec[k]);
+  }
+  return p;
+}
+
+TEST(Song, HasRequestedDurationAndAmplitude) {
+  const Waveform w = generate_song(3.0, 48000.0, {.amplitude = 0.4});
+  EXPECT_EQ(w.size(), 144000u);
+  EXPECT_NEAR(w.peak(), 0.4, 1e-9);
+}
+
+TEST(Song, DeterministicForSameConfig) {
+  const Waveform a = generate_song(1.0, 48000.0, {.seed = 99});
+  const Waveform b = generate_song(1.0, 48000.0, {.seed = 99});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 997) {
+    ASSERT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Song, SeedVariesTheMelody) {
+  const Waveform a = generate_song(2.0, 48000.0, {.seed = 1});
+  const Waveform b = generate_song(2.0, 48000.0, {.seed = 2});
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Song, CoversBassAndTrebleBands) {
+  // The interference must collide with the whole MDN signalling band:
+  // bass near 80-200 Hz, harmony 200-1500 Hz, percussion above 4 kHz.
+  const Waveform w = generate_song(4.0, 48000.0);
+  const double bass = band_power(w, 60.0, 250.0);
+  const double mid = band_power(w, 250.0, 1500.0);
+  const double treble = band_power(w, 4000.0, 12000.0);
+  EXPECT_GT(bass, 0.0);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_GT(treble, 0.0);
+  // Mid band (chords + melody) should carry substantial energy.
+  EXPECT_GT(mid / treble, 0.1);
+}
+
+TEST(Song, StemsCanBeDisabled) {
+  SongConfig cfg;
+  cfg.percussion = false;
+  cfg.melody = false;
+  cfg.bass = false;
+  const Waveform chords_only = generate_song(2.0, 48000.0, cfg);
+  EXPECT_GT(chords_only.rms(), 0.0);
+  // Without percussion the treble band nearly vanishes.
+  const double treble = band_power(chords_only, 6000.0, 12000.0);
+  const double mid = band_power(chords_only, 200.0, 1500.0);
+  EXPECT_GT(mid / (treble + 1e-12), 50.0);
+}
+
+TEST(Song, NonStationaryOverTime) {
+  // Verse/chorus-like variation: consecutive 1 s windows differ.
+  const Waveform w = generate_song(4.0, 48000.0);
+  const auto first = w.slice(0, 48000);
+  const auto later = w.slice(96000, 48000);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    diff += std::abs(first[i] - later[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Song, TempoChangesBeatGrid) {
+  // Faster tempo packs more percussion hits into the same duration,
+  // raising total high-band energy.
+  const Waveform slow =
+      generate_song(4.0, 48000.0, {.tempo_bpm = 60.0, .seed = 3});
+  const Waveform fast =
+      generate_song(4.0, 48000.0, {.tempo_bpm = 140.0, .seed = 3});
+  EXPECT_GT(band_power(fast, 5000.0, 11000.0),
+            band_power(slow, 5000.0, 11000.0));
+}
+
+TEST(Song, ZeroDurationIsEmpty) {
+  EXPECT_TRUE(generate_song(0.0, 48000.0).empty());
+}
+
+}  // namespace
+}  // namespace mdn::audio

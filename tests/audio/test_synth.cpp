@@ -1,0 +1,144 @@
+#include "audio/synth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/spectrum.h"
+#include "dsp/window.h"
+
+namespace mdn::audio {
+namespace {
+
+double dominant_frequency(const Waveform& w) {
+  const auto window =
+      dsp::make_window(dsp::WindowKind::kHann, w.size());
+  const auto spec = dsp::amplitude_spectrum(w.samples(), window);
+  const auto peaks =
+      dsp::find_peaks(spec, w.sample_rate(), w.size(), 0.01);
+  return peaks.empty() ? 0.0 : peaks.front().frequency_hz;
+}
+
+TEST(Synth, ToneHasRequestedFrequency) {
+  ToneSpec spec;
+  spec.frequency_hz = 700.0;
+  spec.duration_s = 0.2;
+  const Waveform w = make_tone(spec, 48000.0);
+  EXPECT_NEAR(dominant_frequency(w), 700.0, 2.0);
+}
+
+TEST(Synth, ToneHasRequestedDuration) {
+  ToneSpec spec;
+  spec.duration_s = 0.03;  // the paper's shortest tone
+  const Waveform w = make_tone(spec, 48000.0);
+  EXPECT_EQ(w.size(), 1440u);
+}
+
+TEST(Synth, ToneRespectsAmplitude) {
+  ToneSpec spec;
+  spec.amplitude = 0.25;
+  spec.duration_s = 0.1;
+  const Waveform w = make_tone(spec, 48000.0);
+  EXPECT_NEAR(w.peak(), 0.25, 1e-3);
+}
+
+TEST(Synth, ToneFadesToZeroAtEdges) {
+  ToneSpec spec;
+  spec.duration_s = 0.1;
+  spec.fade_s = 0.005;
+  const Waveform w = make_tone(spec, 48000.0);
+  EXPECT_NEAR(w[0], 0.0, 1e-9);
+  EXPECT_NEAR(w[w.size() - 1], 0.0, 1e-6);
+}
+
+TEST(Synth, FadeReducesSpectralSplatter) {
+  // A hard-keyed tone has far more out-of-band energy than a faded one.
+  // 1013 Hz is deliberately not integer-periodic in the 50 ms buffer, so
+  // the hard-keyed tone has edge discontinuities.
+  ToneSpec hard;
+  hard.frequency_hz = 1013.0;
+  hard.duration_s = 0.05;
+  hard.fade_s = 0.0;
+  hard.phase_rad = 0.7;
+  ToneSpec soft = hard;
+  soft.fade_s = 0.004;
+
+  const double sr = 48000.0;
+  const auto measure_oob = [&](const Waveform& w) {
+    const auto window =
+        dsp::make_window(dsp::WindowKind::kRectangular, w.size());
+    const auto spec = dsp::amplitude_spectrum(w.samples(), window);
+    double oob = 0.0;
+    for (std::size_t k = 0; k < spec.size(); ++k) {
+      const double f =
+          static_cast<double>(k) * sr / static_cast<double>(w.size());
+      if (std::abs(f - 1013.0) > 200.0) oob += spec[k] * spec[k];
+    }
+    return oob;
+  };
+  EXPECT_LT(measure_oob(make_tone(soft, sr)),
+            measure_oob(make_tone(hard, sr)));
+}
+
+TEST(Synth, ChordContainsAllNotes) {
+  const std::vector<double> freqs{500.0, 600.0, 700.0};
+  const Waveform w = make_chord(freqs, 0.3, 0.3, 48000.0);
+  const auto window = dsp::make_window(dsp::WindowKind::kHann, w.size());
+  const auto spec = dsp::amplitude_spectrum(w.samples(), window);
+  const auto peaks =
+      dsp::find_peaks(spec, 48000.0, w.size(), 0.1);
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_NEAR(peaks[0].frequency_hz, 500.0, 2.0);
+  EXPECT_NEAR(peaks[1].frequency_hz, 600.0, 2.0);
+  EXPECT_NEAR(peaks[2].frequency_hz, 700.0, 2.0);
+}
+
+TEST(Synth, ChirpSweepsFrequency) {
+  const Waveform w = make_chirp(500.0, 2000.0, 1.0, 1.0, 48000.0);
+  // Instantaneous frequency early vs late, measured over short windows.
+  const auto early = w.slice(2400, 4800);   // around t=0.1
+  const auto late = w.slice(40800, 4800);   // around t=0.9
+  const double f_early = dominant_frequency(early);
+  const double f_late = dominant_frequency(late);
+  EXPECT_GT(f_early, 550.0);
+  EXPECT_LT(f_early, 900.0);
+  EXPECT_GT(f_late, 1700.0);
+  EXPECT_LT(f_late, 2050.0);
+}
+
+TEST(Synth, SilenceIsSilent) {
+  const Waveform w = make_silence(0.25, 48000.0);
+  EXPECT_EQ(w.size(), 12000u);
+  EXPECT_DOUBLE_EQ(w.peak(), 0.0);
+}
+
+TEST(Synth, ZeroDurationYieldsEmpty) {
+  ToneSpec spec;
+  spec.duration_s = 0.0;
+  EXPECT_TRUE(make_tone(spec, 48000.0).empty());
+}
+
+TEST(Synth, InvalidSampleRateThrows) {
+  ToneSpec spec;
+  EXPECT_THROW(make_tone(spec, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_silence(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Synth, AdsrShapesEnvelope) {
+  Waveform w(1000.0, std::vector<double>(1000, 1.0));
+  apply_adsr(w, 0.1, 0.1, 0.5, 0.2);
+  EXPECT_NEAR(w[0], 0.0, 0.02);        // attack start
+  EXPECT_NEAR(w[100], 1.0, 0.02);      // attack peak
+  EXPECT_NEAR(w[200], 0.5, 0.02);      // decayed to sustain
+  EXPECT_NEAR(w[500], 0.5, 1e-9);      // sustain
+  EXPECT_NEAR(w[999], 0.0, 0.01);      // released
+}
+
+TEST(Synth, AdsrOnEmptyIsNoOp) {
+  Waveform w(1000.0);
+  apply_adsr(w, 0.1, 0.1, 0.5, 0.1);
+  EXPECT_TRUE(w.empty());
+}
+
+}  // namespace
+}  // namespace mdn::audio

@@ -1,0 +1,127 @@
+#include "audio/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mdn::audio {
+namespace {
+
+Waveform sine(double freq, double amp, double sr, double dur) {
+  const auto n = static_cast<std::size_t>(dur * sr);
+  Waveform w(sr, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = amp * std::sin(2.0 * std::numbers::pi * freq *
+                          static_cast<double>(i) / sr);
+  }
+  return w;
+}
+
+TEST(Waveform, DefaultIsEmpty) {
+  Waveform w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_DOUBLE_EQ(w.duration_s(), 0.0);
+  EXPECT_DOUBLE_EQ(w.rms(), 0.0);
+  EXPECT_DOUBLE_EQ(w.peak(), 0.0);
+}
+
+TEST(Waveform, DurationFromSamples) {
+  Waveform w(48000.0, std::size_t{24000});
+  EXPECT_DOUBLE_EQ(w.duration_s(), 0.5);
+}
+
+TEST(Waveform, AppendConcatenates) {
+  Waveform a(8000.0, std::vector<double>{1.0, 2.0});
+  Waveform b(8000.0, std::vector<double>{3.0});
+  a.append(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+}
+
+TEST(Waveform, AppendRateMismatchThrows) {
+  Waveform a(8000.0, std::vector<double>{1.0});
+  Waveform b(16000.0, std::vector<double>{1.0});
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+TEST(Waveform, AppendToEmptyAdoptsRate) {
+  Waveform a;
+  Waveform b(16000.0, std::vector<double>{1.0, 2.0});
+  a.append(b);
+  EXPECT_DOUBLE_EQ(a.sample_rate(), 16000.0);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Waveform, AppendSilence) {
+  Waveform w(1000.0, std::vector<double>{1.0});
+  w.append_silence(0.25);
+  ASSERT_EQ(w.size(), 251u);
+  EXPECT_DOUBLE_EQ(w[100], 0.0);
+}
+
+TEST(Waveform, MixAtGrowsBuffer) {
+  Waveform base(1000.0, std::size_t{10});
+  Waveform add(1000.0, std::vector<double>{1.0, 1.0, 1.0});
+  base.mix_at(add, 8);
+  ASSERT_EQ(base.size(), 11u);
+  EXPECT_DOUBLE_EQ(base[8], 1.0);
+  EXPECT_DOUBLE_EQ(base[10], 1.0);
+}
+
+TEST(Waveform, MixAtIsAdditiveWithGain) {
+  Waveform base(1000.0, std::vector<double>{1.0, 1.0});
+  Waveform add(1000.0, std::vector<double>{2.0, 2.0});
+  base.mix_at(add, 0, 0.5);
+  EXPECT_DOUBLE_EQ(base[0], 2.0);
+  EXPECT_DOUBLE_EQ(base[1], 2.0);
+}
+
+TEST(Waveform, MixAtRateMismatchThrows) {
+  Waveform base(1000.0, std::size_t{4});
+  Waveform add(2000.0, std::size_t{4});
+  EXPECT_THROW(base.mix_at(add, 0), std::invalid_argument);
+}
+
+TEST(Waveform, ScaleAndNormalize) {
+  Waveform w(1000.0, std::vector<double>{0.5, -0.25});
+  w.scale(2.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  w.normalize(0.1);
+  EXPECT_DOUBLE_EQ(w.peak(), 0.1);
+}
+
+TEST(Waveform, NormalizeSilenceIsNoOp) {
+  Waveform w(1000.0, std::size_t{8});
+  w.normalize(1.0);
+  EXPECT_DOUBLE_EQ(w.peak(), 0.0);
+}
+
+TEST(Waveform, SliceZeroPadsPastEnd) {
+  Waveform w(1000.0, std::vector<double>{1.0, 2.0, 3.0});
+  const Waveform s = w.slice(2, 4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(s[3], 0.0);
+}
+
+TEST(Waveform, RmsOfSineIsAmplitudeOverSqrt2) {
+  const Waveform w = sine(100.0, 0.8, 48000.0, 1.0);
+  EXPECT_NEAR(w.rms(), 0.8 / std::numbers::sqrt2, 1e-3);
+}
+
+TEST(Waveform, PeakOfSine) {
+  const Waveform w = sine(100.0, 0.8, 48000.0, 1.0);
+  EXPECT_NEAR(w.peak(), 0.8, 1e-4);
+}
+
+TEST(Waveform, IndexAtClampsToBuffer) {
+  Waveform w(1000.0, std::size_t{100});
+  EXPECT_EQ(w.index_at(-1.0), 0u);
+  EXPECT_EQ(w.index_at(0.05), 50u);
+  EXPECT_EQ(w.index_at(10.0), 99u);
+}
+
+}  // namespace
+}  // namespace mdn::audio

@@ -1,0 +1,85 @@
+#include "mdn/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "mdn/controller.h"
+
+namespace mdn::core {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+
+struct RigFixture : ::testing::Test {
+  RigFixture() : channel(kSampleRate) {}
+
+  net::EventLoop loop;
+  audio::AcousticChannel channel;
+  FrequencyPlan plan;
+};
+
+TEST_F(RigFixture, AllocatesDeviceAndSpeaker) {
+  SpeakerRig rig(loop, channel, plan, "s1", {.symbols = 4});
+  EXPECT_EQ(plan.device_count(), 1u);
+  EXPECT_EQ(plan.device_name(rig.device()), "s1");
+  EXPECT_EQ(plan.symbol_count(rig.device()), 4u);
+  EXPECT_EQ(channel.source_count(), 1u);
+  EXPECT_EQ(channel.source_name(rig.speaker()), "s1-speaker");
+  EXPECT_DOUBLE_EQ(rig.frequency(0), plan.frequency(rig.device(), 0));
+}
+
+TEST_F(RigFixture, TwoRigsGetDisjointSets) {
+  SpeakerRig a(loop, channel, plan, "s1", {.symbols = 3});
+  SpeakerRig b(loop, channel, plan, "s2", {.symbols = 3});
+  EXPECT_NE(a.device(), b.device());
+  EXPECT_NE(a.frequency(0), b.frequency(0));
+  EXPECT_EQ(channel.source_count(), 2u);
+}
+
+TEST_F(RigFixture, SingIsHeardEndToEnd) {
+  SpeakerRig rig(loop, channel, plan, "s1", {.symbols = 2});
+  MdnController::Config cfg;
+  cfg.detector.sample_rate = kSampleRate;
+  MdnController listener(loop, channel, cfg);
+  int heard = 0;
+  listener.watch(rig.frequency(1),
+                 [&heard](const ToneEvent&) { ++heard; });
+  listener.start();
+
+  loop.schedule_at(100 * net::kMillisecond,
+                   [&] { EXPECT_TRUE(rig.sing(1, 0.06, 75.0)); });
+  loop.schedule_at(net::from_seconds(0.5), [&] { listener.stop(); });
+  loop.run();
+  EXPECT_EQ(heard, 1);
+}
+
+TEST_F(RigFixture, MinGapPoliceApplies) {
+  SpeakerRig rig(loop, channel, plan, "s1",
+                 {.symbols = 1, .emitter_min_gap = net::kSecond});
+  EXPECT_TRUE(rig.sing(0));
+  EXPECT_FALSE(rig.sing(0));  // policed
+  EXPECT_EQ(rig.emitter().suppressed(), 1u);
+}
+
+TEST_F(RigFixture, PositionSetsDistanceAttenuation) {
+  // Wide slot spacing so the Goertzel level of one tone does not leak
+  // into the other's slot over a short block.
+  FrequencyPlan wide({.base_hz = 500.0, .spacing_hz = 300.0});
+  SpeakerRig near(loop, channel, wide, "near",
+                  {.symbols = 1, .position = {0.5, 0.0}});
+  SpeakerRig far(loop, channel, wide, "far",
+                 {.symbols = 1, .position = {5.0, 0.0}});
+  near.sing(0, 0.05, 94.0);
+  far.sing(0, 0.05, 94.0);
+  loop.run();
+  // Rendered at the origin, the near speaker is ~10x louder.
+  const auto w = channel.render(0.0, 0.06);
+  core::ToneDetectorConfig cfg;
+  cfg.sample_rate = kSampleRate;
+  core::ToneDetector det(cfg);
+  const auto levels = det.set_levels(
+      w.samples(), std::vector<double>{near.frequency(0), far.frequency(0)});
+  EXPECT_NEAR(levels[0] / levels[1], 10.0, 1.5);
+}
+
+}  // namespace
+}  // namespace mdn::core

@@ -1,0 +1,142 @@
+// Multi-class fan anomaly recognition (§7 open question 1).
+#include "mdn/fan_anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/fan.h"
+
+namespace mdn::core {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+
+// The four machine states with audibly distinct signatures.
+audio::FanSpec healthy_fan(std::uint64_t seed = 11) {
+  audio::FanSpec spec;
+  spec.rpm = 4200.0;
+  spec.blades = 7;
+  spec.tone_amplitude = 0.25;
+  spec.broadband_rms = 0.05;
+  spec.seed = seed;
+  return spec;
+}
+
+audio::FanSpec bearing_wear_fan(std::uint64_t seed = 12) {
+  auto spec = healthy_fan(seed);
+  spec.harmonics = 12;          // the rattle excites a rich harmonic stack
+  spec.tone_amplitude = 0.4;    // imbalance pumps the tonal content
+  spec.rpm_jitter = 0.004;      // slight speed instability
+  return spec;
+}
+
+audio::FanSpec obstructed_fan(std::uint64_t seed = 13) {
+  auto spec = healthy_fan(seed);
+  spec.rpm *= 0.7;              // stalled airflow slows the blades
+  spec.broadband_rms = 0.15;    // turbulence roars
+  return spec;
+}
+
+audio::Waveform record(const audio::FanSpec* fan,
+                       const audio::Waveform& room, double duration_s,
+                       std::uint64_t variant = 0) {
+  audio::Waveform mix(kSampleRate,
+                      static_cast<std::size_t>(duration_s * kSampleRate));
+  mix.mix_at(room.slice(0, mix.size()), 0);
+  if (fan != nullptr) {
+    auto spec = *fan;
+    spec.seed += variant * 1000;
+    mix.mix_at(audio::generate_fan(spec, duration_s, kSampleRate), 0);
+  }
+  return mix;
+}
+
+struct AnomalyFixture : ::testing::Test {
+  void SetUp() override {
+    const auto h = healthy_fan();
+    const auto b = bearing_wear_fan();
+    const auto o = obstructed_fan();
+    classifier.add_reference("healthy", record(&h, room, 2.0));
+    classifier.add_reference("stopped", record(nullptr, room, 2.0));
+    classifier.add_reference("bearing-wear", record(&b, room, 2.0));
+    classifier.add_reference("obstructed", record(&o, room, 2.0));
+  }
+
+  audio::Waveform room =
+      audio::generate_office(4.0, kSampleRate, 0.02, 31);
+  FanAnomalyClassifier classifier{kSampleRate};
+};
+
+TEST_F(AnomalyFixture, FourReferencesRegistered) {
+  EXPECT_EQ(classifier.reference_count(), 4u);
+  const auto labels = classifier.labels();
+  EXPECT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], "healthy");
+}
+
+TEST_F(AnomalyFixture, RecognisesEachState) {
+  const auto h = healthy_fan();
+  const auto b = bearing_wear_fan();
+  const auto o = obstructed_fan();
+  // Fresh noise realisations (variant != 0) — not the training audio.
+  EXPECT_EQ(classifier.classify_majority(record(&h, room, 1.0, 1)).label,
+            "healthy");
+  EXPECT_EQ(classifier.classify_majority(record(nullptr, room, 1.0, 1)).label,
+            "stopped");
+  EXPECT_EQ(classifier.classify_majority(record(&b, room, 1.0, 1)).label,
+            "bearing-wear");
+  EXPECT_EQ(classifier.classify_majority(record(&o, room, 1.0, 1)).label,
+            "obstructed");
+}
+
+TEST_F(AnomalyFixture, MarginPositiveOnCleanInputs) {
+  const auto h = healthy_fan();
+  const auto result = classifier.classify(record(&h, room, 1.0, 2));
+  EXPECT_EQ(result.label, "healthy");
+  EXPECT_GT(result.margin, 0.0);
+  EXPECT_GT(result.distance, 0.0);
+}
+
+TEST_F(AnomalyFixture, ReAddingLabelReplacesReference) {
+  const auto h = healthy_fan(99);
+  classifier.add_reference("healthy", record(&h, room, 2.0));
+  EXPECT_EQ(classifier.reference_count(), 4u);
+}
+
+TEST(FanAnomaly, NeedsTwoReferences) {
+  FanAnomalyClassifier c(kSampleRate);
+  const auto room = audio::generate_office(2.0, kSampleRate, 0.02, 1);
+  const auto h = healthy_fan();
+  c.add_reference("healthy", record(&h, room, 2.0));
+  EXPECT_THROW(c.classify(record(&h, room, 1.0)), std::logic_error);
+}
+
+TEST(FanAnomaly, ShortRecordingsRejected) {
+  FanAnomalyClassifier c(kSampleRate);
+  const audio::Waveform tiny(kSampleRate, std::size_t{100});
+  EXPECT_THROW(c.add_reference("x", tiny), std::invalid_argument);
+}
+
+TEST(FanAnomaly, InvalidSampleRateThrows) {
+  EXPECT_THROW(FanAnomalyClassifier(0.0), std::invalid_argument);
+}
+
+TEST_F(AnomalyFixture, WorksInDatacenterNoiseToo) {
+  const auto dc =
+      audio::generate_machine_room(15, 4.0, kSampleRate, 0.15, 32);
+  FanAnomalyClassifier noisy(kSampleRate);
+  const auto h = healthy_fan();
+  const auto b = bearing_wear_fan();
+  noisy.add_reference("healthy", record(&h, dc, 2.0));
+  noisy.add_reference("stopped", record(nullptr, dc, 2.0));
+  noisy.add_reference("bearing-wear", record(&b, dc, 2.0));
+
+  EXPECT_EQ(noisy.classify_majority(record(&h, dc, 1.0, 3)).label,
+            "healthy");
+  EXPECT_EQ(noisy.classify_majority(record(nullptr, dc, 1.0, 3)).label,
+            "stopped");
+  EXPECT_EQ(noisy.classify_majority(record(&b, dc, 1.0, 3)).label,
+            "bearing-wear");
+}
+
+}  // namespace
+}  // namespace mdn::core

@@ -1,0 +1,134 @@
+#include "mdn/fan_failure.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/fan.h"
+
+namespace mdn::core {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+
+audio::FanSpec server_fan() {
+  audio::FanSpec spec;
+  spec.rpm = 4200.0;
+  spec.blades = 7;
+  spec.tone_amplitude = 0.25;
+  spec.broadband_rms = 0.05;
+  spec.seed = 11;
+  return spec;
+}
+
+// Recording of the monitored server with `fan_on`, over `background`.
+audio::Waveform record(bool fan_on, const audio::Waveform& background,
+                       double duration_s, std::uint64_t seed = 21) {
+  audio::Waveform mix(kSampleRate,
+                      static_cast<std::size_t>(duration_s * kSampleRate));
+  mix.mix_at(background.slice(0, mix.size()), 0);
+  if (fan_on) {
+    auto spec = server_fan();
+    spec.seed = seed;
+    mix.mix_at(audio::generate_fan(spec, duration_s, kSampleRate), 0);
+  }
+  return mix;
+}
+
+struct FanFixture : ::testing::Test {
+  // 8192-sample segments -> 4 s baseline gives ~23 segments.
+  audio::Waveform office =
+      audio::generate_office(6.0, kSampleRate, 0.02, 31);
+  audio::Waveform datacenter =
+      audio::generate_machine_room(15, 6.0, kSampleRate, 0.15, 32);
+};
+
+TEST_F(FanFixture, CalibrationRequiresEnoughSegments) {
+  FanFailureDetector det(kSampleRate);
+  const auto tiny = record(true, office, 0.1);
+  EXPECT_THROW(det.calibrate(tiny), std::invalid_argument);
+  EXPECT_FALSE(det.calibrated());
+}
+
+TEST_F(FanFixture, UncalibratedUseThrows) {
+  FanFailureDetector det(kSampleRate);
+  const auto sample = record(true, office, 0.2);
+  EXPECT_THROW(det.difference(sample), std::logic_error);
+  EXPECT_THROW(det.is_failed(sample), std::logic_error);
+  EXPECT_THROW(det.threshold(), std::logic_error);
+}
+
+TEST_F(FanFixture, OfficeOnVsOnStaysBelowThreshold) {
+  FanFailureDetector det(kSampleRate);
+  det.calibrate(record(true, office, 4.0));
+  // A fresh on-recording (different noise phase) is not a failure.
+  const auto fresh = record(true, office, 0.5, /*seed=*/77);
+  EXPECT_FALSE(det.is_failed(fresh));
+}
+
+TEST_F(FanFixture, OfficeOffDetected) {
+  FanFailureDetector det(kSampleRate);
+  det.calibrate(record(true, office, 4.0));
+  const auto off = record(false, office, 0.5);
+  EXPECT_TRUE(det.is_failed(off));
+  // The Fig 7 separation: off-diff well above on-diff.
+  EXPECT_GT(det.difference(off),
+            2.0 * det.difference(record(true, office, 0.5, 78)));
+}
+
+TEST_F(FanFixture, DatacenterOffDetectedDespiteRoomNoise) {
+  // The paper's headline question: "Can we detect the failure of a
+  // single server despite the typical datacenter noise?"
+  FanFailureDetector det(kSampleRate);
+  det.calibrate(record(true, datacenter, 4.0));
+  EXPECT_TRUE(det.is_failed(record(false, datacenter, 0.5)));
+  EXPECT_FALSE(det.is_failed(record(true, datacenter, 0.5, 79)));
+}
+
+TEST_F(FanFixture, ThresholdIsMeanPlusSigmas) {
+  FanDetectorConfig cfg;
+  cfg.sigma_factor = 6.0;
+  FanFailureDetector det(kSampleRate, cfg);
+  det.calibrate(record(true, office, 4.0));
+  EXPECT_NEAR(det.threshold(),
+              det.baseline_mean() + 6.0 * det.baseline_std(), 1e-9);
+  EXPECT_GT(det.baseline_mean(), 0.0);
+}
+
+TEST_F(FanFixture, DifferenceSeriesSeparatesStates) {
+  FanFailureDetector det(kSampleRate);
+  det.calibrate(record(true, datacenter, 4.0));
+
+  const auto on_series = det.difference_series(record(true, datacenter, 2.0, 80));
+  const auto off_series = det.difference_series(record(false, datacenter, 2.0));
+  ASSERT_GT(on_series.size(), 3u);
+  ASSERT_GT(off_series.size(), 3u);
+  double max_on = 0.0, min_off = 1e300;
+  for (double d : on_series) max_on = std::max(max_on, d);
+  for (double d : off_series) min_off = std::min(min_off, d);
+  // Fully separable populations (the blue/red gap of Fig 7).
+  EXPECT_GT(min_off, max_on);
+}
+
+TEST_F(FanFixture, InvalidConfigThrows) {
+  EXPECT_THROW(FanFailureDetector(0.0), std::invalid_argument);
+  FanDetectorConfig bad;
+  bad.band_lo_hz = 5000.0;
+  bad.band_hi_hz = 100.0;
+  EXPECT_THROW(FanFailureDetector(kSampleRate, bad), std::invalid_argument);
+}
+
+TEST_F(FanFixture, DifferentFanSpeedStillDetectedAsChange) {
+  // A failing bearing often shifts speed before stopping: a fan running
+  // 30% slow also exceeds the on-vs-on threshold.
+  FanFailureDetector det(kSampleRate);
+  det.calibrate(record(true, office, 4.0));
+  auto slow_spec = server_fan();
+  slow_spec.rpm *= 0.7;
+  audio::Waveform slow(kSampleRate,
+                       static_cast<std::size_t>(0.5 * kSampleRate));
+  slow.mix_at(office.slice(0, slow.size()), 0);
+  slow.mix_at(audio::generate_fan(slow_spec, 0.5, kSampleRate), 0);
+  EXPECT_TRUE(det.is_failed(slow));
+}
+
+}  // namespace
+}  // namespace mdn::core

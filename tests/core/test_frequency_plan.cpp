@@ -1,0 +1,205 @@
+#include "mdn/frequency_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mdn::core {
+namespace {
+
+TEST(FrequencyPlan, DefaultsMatchPaperParameters) {
+  FrequencyPlan plan;
+  EXPECT_DOUBLE_EQ(plan.config().spacing_hz, 20.0);
+  EXPECT_DOUBLE_EQ(plan.config().base_hz, 500.0);
+}
+
+TEST(FrequencyPlan, AssignsSequentialGrid) {
+  FrequencyPlan plan({.base_hz = 500.0, .spacing_hz = 20.0});
+  const auto dev = plan.add_device("s1", 3);
+  EXPECT_DOUBLE_EQ(plan.frequency(dev, 0), 500.0);
+  EXPECT_DOUBLE_EQ(plan.frequency(dev, 1), 520.0);
+  EXPECT_DOUBLE_EQ(plan.frequency(dev, 2), 540.0);
+}
+
+TEST(FrequencyPlan, DevicesGetDisjointSets) {
+  FrequencyPlan plan;
+  const auto a = plan.add_device("s1", 5);
+  const auto b = plan.add_device("s2", 5);
+  std::set<double> seen;
+  for (std::size_t i = 0; i < 5; ++i) {
+    seen.insert(plan.frequency(a, i));
+    seen.insert(plan.frequency(b, i));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(FrequencyPlan, MinimumSpacingGuaranteed) {
+  FrequencyPlan plan({.base_hz = 600.0, .spacing_hz = 25.0});
+  const auto a = plan.add_device("a", 4);
+  const auto b = plan.add_device("b", 4);
+  std::vector<double> all;
+  for (std::size_t i = 0; i < 4; ++i) {
+    all.push_back(plan.frequency(a, i));
+    all.push_back(plan.frequency(b, i));
+  }
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i] - all[i - 1], 25.0 - 1e-9);
+  }
+}
+
+TEST(FrequencyPlan, IdentifyExactFrequency) {
+  FrequencyPlan plan;
+  const auto a = plan.add_device("s1", 3);
+  const auto b = plan.add_device("s2", 2);
+  const auto hit = plan.identify(plan.frequency(b, 1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->device, b);
+  EXPECT_EQ(hit->symbol, 1u);
+  const auto hit_a = plan.identify(plan.frequency(a, 2));
+  ASSERT_TRUE(hit_a.has_value());
+  EXPECT_EQ(hit_a->device, a);
+  EXPECT_EQ(hit_a->symbol, 2u);
+}
+
+TEST(FrequencyPlan, IdentifyWithinTolerance) {
+  FrequencyPlan plan;
+  const auto dev = plan.add_device("s1", 2);
+  // 7 Hz off, default tolerance is spacing/2 = 10 Hz.
+  const auto hit = plan.identify(plan.frequency(dev, 0) + 7.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->symbol, 0u);
+}
+
+TEST(FrequencyPlan, IdentifyRejectsOutOfTolerance) {
+  FrequencyPlan plan;
+  plan.add_device("s1", 2);
+  EXPECT_FALSE(plan.identify(505.0, 3.0).has_value());
+  EXPECT_FALSE(plan.identify(100.0).has_value());     // below base
+  EXPECT_FALSE(plan.identify(547.0).has_value());     // unallocated slot
+}
+
+TEST(FrequencyPlan, IdentifyUnallocatedSlotFails) {
+  FrequencyPlan plan;
+  plan.add_device("s1", 1);  // only 500 Hz allocated
+  EXPECT_FALSE(plan.identify(520.0).has_value());
+}
+
+TEST(FrequencyPlan, CapacityRoughlyThousandInAudibleBand) {
+  // §5: "we could distinguish up to 1000 distinct frequencies ...
+  // only considering the human-hearable frequency range."
+  FrequencyPlan plan({.base_hz = 500.0, .spacing_hz = 20.0,
+                      .max_hz = 20000.0});
+  const std::size_t capacity = plan.remaining_capacity();
+  EXPECT_GE(capacity, 900u);
+  EXPECT_LE(capacity, 1100u);
+}
+
+TEST(FrequencyPlan, ExhaustionThrows) {
+  FrequencyPlan plan({.base_hz = 500.0, .spacing_hz = 100.0,
+                      .max_hz = 1000.0});
+  EXPECT_EQ(plan.remaining_capacity(), 6u);
+  plan.add_device("s1", 6);
+  EXPECT_EQ(plan.remaining_capacity(), 0u);
+  EXPECT_THROW(plan.add_device("s2", 1), std::length_error);
+}
+
+TEST(FrequencyPlan, CapacityDecrementsPerAllocation) {
+  FrequencyPlan plan({.base_hz = 500.0, .spacing_hz = 20.0,
+                      .max_hz = 1000.0});
+  const auto before = plan.remaining_capacity();
+  plan.add_device("s1", 10);
+  EXPECT_EQ(plan.remaining_capacity(), before - 10);
+}
+
+TEST(FrequencyPlan, InvalidConfigurationThrows) {
+  EXPECT_THROW(FrequencyPlan({.base_hz = 0.0}), std::invalid_argument);
+  EXPECT_THROW(FrequencyPlan({.spacing_hz = 0.0}), std::invalid_argument);
+  EXPECT_THROW(FrequencyPlan({.base_hz = 5000.0, .max_hz = 1000.0}),
+               std::invalid_argument);
+}
+
+TEST(FrequencyPlan, ZeroSymbolDeviceRejected) {
+  FrequencyPlan plan;
+  EXPECT_THROW(plan.add_device("s1", 0), std::invalid_argument);
+}
+
+TEST(FrequencyPlan, NamesAndCountsTracked) {
+  FrequencyPlan plan;
+  const auto a = plan.add_device("edge-switch", 2);
+  EXPECT_EQ(plan.device_name(a), "edge-switch");
+  EXPECT_EQ(plan.symbol_count(a), 2u);
+  EXPECT_EQ(plan.device_count(), 1u);
+  EXPECT_EQ(plan.frequencies(a).size(), 2u);
+}
+
+TEST(FrequencyPlanText, RoundTripPreservesEverything) {
+  FrequencyPlan plan({.base_hz = 600.0, .spacing_hz = 25.0,
+                      .max_hz = 5000.0});
+  plan.add_device("tor-1", 4);
+  plan.add_device("tor-2", 7);
+  plan.add_device("spine", 3);
+
+  const FrequencyPlan copy = FrequencyPlan::from_text(plan.to_text());
+  EXPECT_EQ(copy.device_count(), 3u);
+  EXPECT_EQ(copy.device_name(1), "tor-2");
+  EXPECT_DOUBLE_EQ(copy.config().spacing_hz, 25.0);
+  for (DeviceId d = 0; d < 3; ++d) {
+    ASSERT_EQ(copy.symbol_count(d), plan.symbol_count(d));
+    for (std::size_t s = 0; s < plan.symbol_count(d); ++s) {
+      EXPECT_DOUBLE_EQ(copy.frequency(d, s), plan.frequency(d, s));
+    }
+  }
+}
+
+TEST(FrequencyPlanText, DocumentFormat) {
+  FrequencyPlan plan({.base_hz = 500.0, .spacing_hz = 20.0,
+                      .max_hz = 18000.0});
+  plan.add_device("s1", 3);
+  const std::string text = plan.to_text();
+  EXPECT_NE(text.find("mdn-frequency-plan v1\n"), std::string::npos);
+  EXPECT_NE(text.find("band 500 20 18000"), std::string::npos);
+  EXPECT_NE(text.find("device s1 3"), std::string::npos);
+}
+
+TEST(FrequencyPlanText, MalformedDocumentsRejected) {
+  EXPECT_THROW(FrequencyPlan::from_text(""), std::invalid_argument);
+  EXPECT_THROW(FrequencyPlan::from_text("not-a-plan v1\nband 1 2 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(FrequencyPlan::from_text("mdn-frequency-plan v1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FrequencyPlan::from_text("mdn-frequency-plan v1\nband x y z\n"),
+      std::invalid_argument);
+  EXPECT_THROW(FrequencyPlan::from_text(
+                   "mdn-frequency-plan v1\nband 500 20 18000\ngarbage\n"),
+               std::invalid_argument);
+}
+
+TEST(FrequencyPlanText, EmptyPlanRoundTrips) {
+  FrequencyPlan plan;
+  const FrequencyPlan copy = FrequencyPlan::from_text(plan.to_text());
+  EXPECT_EQ(copy.device_count(), 0u);
+  EXPECT_EQ(copy.remaining_capacity(), plan.remaining_capacity());
+}
+
+TEST(FrequencyPlan, SevenSwitchTestbed) {
+  // The paper's testbed: 7 Zodiac FX switches, each with its own set.
+  FrequencyPlan plan;
+  std::vector<DeviceId> devices;
+  for (int i = 0; i < 7; ++i) {
+    devices.push_back(plan.add_device("zodiac-" + std::to_string(i), 10));
+  }
+  // Every (device, symbol) identifiable and attributed correctly.
+  for (const auto dev : devices) {
+    for (std::size_t s = 0; s < 10; ++s) {
+      const auto hit = plan.identify(plan.frequency(dev, s));
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(hit->device, dev);
+      EXPECT_EQ(hit->symbol, s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdn::core

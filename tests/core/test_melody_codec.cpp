@@ -1,0 +1,217 @@
+#include "mdn/melody_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/audio.h"
+#include "mp/mp.h"
+
+namespace mdn::core {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+
+TEST(MelodyFraming, ChecksumIsXor) {
+  const std::vector<std::uint8_t> payload{0x12, 0x34, 0xff};
+  EXPECT_EQ(melody_checksum(payload), 0x12 ^ 0x34 ^ 0xff);
+  EXPECT_EQ(melody_checksum({}), 0);
+}
+
+TEST(MelodyFraming, FrameLayout) {
+  const std::vector<std::uint8_t> payload{0xab};
+  const auto symbols = melody_frame_symbols(payload);
+  // START, a, b, checksum-hi, checksum-lo, END.
+  ASSERT_EQ(symbols.size(), 6u);
+  EXPECT_EQ(symbols[0], kMelodyStartSymbol);
+  EXPECT_EQ(symbols[1], 0xau);
+  EXPECT_EQ(symbols[2], 0xbu);
+  EXPECT_EQ(symbols[3], 0xau);  // checksum of single byte == byte
+  EXPECT_EQ(symbols[4], 0xbu);
+  EXPECT_EQ(symbols[5], kMelodyEndSymbol);
+}
+
+TEST(MelodyFraming, EmptyPayloadStillFramed) {
+  const auto symbols = melody_frame_symbols({});
+  ASSERT_EQ(symbols.size(), 4u);  // START c1 c2 END
+  EXPECT_EQ(symbols[1], 0u);
+  EXPECT_EQ(symbols[2], 0u);
+}
+
+// ------------------------------------------------------------------
+// Over-the-air round trips.
+class MelodyAirTest : public ::testing::Test {
+ protected:
+  MelodyAirTest()
+      : channel_(kSampleRate),
+        plan_({.base_hz = 1000.0, .spacing_hz = 20.0}),
+        device_(plan_.add_device("s1", kMelodyAlphabetSize)),
+        speaker_(channel_.add_source("pi", 0.5)),
+        bridge_(loop_, channel_, speaker_, 0),
+        emitter_(loop_, bridge_, 0) {
+    make_controller(1e-3);
+  }
+
+  void make_controller(double min_amplitude) {
+    MdnController::Config cfg;
+    cfg.detector.sample_rate = kSampleRate;
+    cfg.detector.min_amplitude = min_amplitude;
+    controller_ = std::make_unique<MdnController>(loop_, channel_, cfg);
+  }
+
+  void run_until(double t_s) {
+    loop_.schedule_at(net::from_seconds(t_s),
+                      [this] { controller_->stop(); });
+    loop_.run();
+  }
+
+  net::EventLoop loop_;
+  audio::AcousticChannel channel_;
+  FrequencyPlan plan_;
+  DeviceId device_;
+  audio::SourceId speaker_;
+  mp::PiSpeakerBridge bridge_;
+  mp::MpEmitter emitter_;
+  std::unique_ptr<MdnController> controller_;
+};
+
+TEST_F(MelodyAirTest, RoundTripShortMessage) {
+  MelodyEncoder encoder(loop_, emitter_, plan_, device_);
+  MelodyDecoder decoder(*controller_, plan_, device_);
+  controller_->start();
+
+  const std::vector<std::uint8_t> payload{'H', 'i', '!'};
+  const double airtime = encoder.send(payload);
+  run_until(airtime + 0.5);
+
+  ASSERT_EQ(decoder.frames_ok(), 1u);
+  EXPECT_EQ(decoder.messages().front(), payload);
+  EXPECT_EQ(decoder.frames_bad_checksum(), 0u);
+  EXPECT_EQ(decoder.frames_malformed(), 0u);
+}
+
+TEST_F(MelodyAirTest, RoundTripAllByteValuesSampled) {
+  MelodyEncoder encoder(loop_, emitter_, plan_, device_);
+  MelodyDecoder decoder(*controller_, plan_, device_);
+  controller_->start();
+
+  std::vector<std::uint8_t> payload;
+  for (int b = 0; b < 256; b += 37) {
+    payload.push_back(static_cast<std::uint8_t>(b));
+  }
+  payload.push_back(0x00);
+  payload.push_back(0xff);
+  const double airtime = encoder.send(payload);
+  run_until(airtime + 0.5);
+
+  ASSERT_EQ(decoder.frames_ok(), 1u);
+  EXPECT_EQ(decoder.messages().front(), payload);
+}
+
+TEST_F(MelodyAirTest, BackToBackFrames) {
+  MelodyEncoder encoder(loop_, emitter_, plan_, device_);
+  MelodyDecoder decoder(*controller_, plan_, device_);
+  controller_->start();
+
+  const std::vector<std::uint8_t> first{0x01, 0x02};
+  const std::vector<std::uint8_t> second{0xaa};
+  const double t1 = encoder.send(first);
+  loop_.schedule_at(net::from_seconds(t1 + 0.3), [&] {
+    encoder.send(second);
+  });
+  run_until(t1 + 0.3 + encoder.airtime_s(second.size()) + 0.5);
+
+  ASSERT_EQ(decoder.frames_ok(), 2u);
+  EXPECT_EQ(decoder.messages()[0], first);
+  EXPECT_EQ(decoder.messages()[1], second);
+}
+
+TEST_F(MelodyAirTest, RoundTripSurvivesBackgroundSong) {
+  audio::Waveform song =
+      audio::generate_song(4.0, kSampleRate, {.amplitude = 1.0});
+  song.scale(0.01 / song.rms());
+  channel_.add_ambient(std::move(song), true, 0.0);
+  // Raise the floor so song partials cannot masquerade as data symbols;
+  // frame tones play 85 dB, far above it.
+  make_controller(0.05);
+
+  MelodyCodecConfig cfg;
+  cfg.intensity_db_spl = 85.0;
+  MelodyEncoder encoder(loop_, emitter_, plan_, device_, cfg);
+  MelodyDecoder decoder(*controller_, plan_, device_, cfg);
+  controller_->start();
+
+  const std::vector<std::uint8_t> payload{'f', 'a', 'n', '7'};
+  const double airtime = encoder.send(payload);
+  run_until(airtime + 0.5);
+
+  ASSERT_EQ(decoder.frames_ok(), 1u);
+  EXPECT_EQ(decoder.messages().front(), payload);
+}
+
+TEST_F(MelodyAirTest, PayloadTooLargeThrows) {
+  MelodyCodecConfig cfg;
+  cfg.max_payload = 4;
+  MelodyEncoder encoder(loop_, emitter_, plan_, device_, cfg);
+  const std::vector<std::uint8_t> big(5, 0x00);
+  EXPECT_THROW(encoder.send(big), std::length_error);
+}
+
+TEST_F(MelodyAirTest, DeviceWithTooFewSymbolsRejected) {
+  const auto small = plan_.add_device("small", 4);
+  EXPECT_THROW(MelodyEncoder(loop_, emitter_, plan_, small),
+               std::invalid_argument);
+  EXPECT_THROW(MelodyDecoder(*controller_, plan_, small),
+               std::invalid_argument);
+}
+
+TEST_F(MelodyAirTest, AirtimeMatchesRelatedWorkBallpark) {
+  // §2: "it can take up to six seconds to send a 20 bytes packet over a
+  // single hop" — our default symbol timing lands in the same regime.
+  MelodyEncoder encoder(loop_, emitter_, plan_, device_);
+  const double t = encoder.airtime_s(20);
+  EXPECT_GT(t, 3.0);
+  EXPECT_LT(t, 9.0);
+}
+
+TEST_F(MelodyAirTest, StrayTonesOutsideFrameIgnored) {
+  MelodyDecoder decoder(*controller_, plan_, device_);
+  controller_->start();
+  // Data symbols with no START: decoder must stay idle.
+  for (int i = 0; i < 4; ++i) {
+    loop_.schedule_at(net::from_seconds(0.2 * (i + 1)), [this, i] {
+      emitter_.emit(plan_.frequency(device_, static_cast<std::size_t>(i)),
+                    0.06, 75.0);
+    });
+  }
+  run_until(1.5);
+  EXPECT_EQ(decoder.frames_ok(), 0u);
+  EXPECT_EQ(decoder.frames_malformed(), 0u);
+}
+
+TEST_F(MelodyAirTest, MidFrameTimeoutAborts) {
+  MelodyCodecConfig cfg;
+  cfg.symbol_timeout_s = 0.5;
+  MelodyDecoder decoder(*controller_, plan_, device_, cfg);
+  controller_->start();
+
+  // START, one nibble ... long silence ... new frame.
+  const auto emit_sym = [this](std::size_t sym, double at) {
+    loop_.schedule_at(net::from_seconds(at), [this, sym] {
+      emitter_.emit(plan_.frequency(device_, sym), 0.06, 75.0);
+    });
+  };
+  emit_sym(kMelodyStartSymbol, 0.2);
+  emit_sym(3, 0.4);
+  // 2 s gap > timeout; then a complete empty frame.
+  emit_sym(kMelodyStartSymbol, 2.4);
+  emit_sym(0, 2.6);
+  emit_sym(0, 2.8);
+  emit_sym(kMelodyEndSymbol, 3.0);
+  run_until(3.6);
+
+  EXPECT_EQ(decoder.frames_ok(), 1u);
+  EXPECT_TRUE(decoder.messages().front().empty());
+  EXPECT_EQ(decoder.frames_malformed(), 1u);  // the aborted one
+}
+
+}  // namespace
+}  // namespace mdn::core

@@ -1,0 +1,182 @@
+#include "mdn/music_fsm.h"
+
+#include <gtest/gtest.h>
+
+namespace mdn::core {
+namespace {
+
+using net::kSecond;
+
+TEST(MusicFsm, InitialState) {
+  MusicFsm fsm(3, 0);
+  EXPECT_EQ(fsm.state(), 0u);
+  EXPECT_EQ(fsm.state_count(), 3u);
+  EXPECT_EQ(fsm.initial_state(), 0u);
+}
+
+TEST(MusicFsm, InvalidInitialThrows) {
+  EXPECT_THROW(MusicFsm(2, 5), std::invalid_argument);
+}
+
+TEST(MusicFsm, LabelledTransitionFollowed) {
+  MusicFsm fsm(3, 0);
+  fsm.add_transition(0, 7, 1);
+  fsm.add_transition(1, 8, 2);
+  EXPECT_EQ(fsm.feed(7, 0), 1u);
+  EXPECT_EQ(fsm.feed(8, 0), 2u);
+  EXPECT_EQ(fsm.transitions_taken(), 2u);
+}
+
+TEST(MusicFsm, UnlabelledSymbolResetsToInitialByDefault) {
+  MusicFsm fsm(3, 0);
+  fsm.add_transition(0, 1, 1);
+  fsm.feed(1, 0);
+  EXPECT_EQ(fsm.feed(99, 0), 0u);
+  EXPECT_EQ(fsm.resets(), 1u);
+}
+
+TEST(MusicFsm, DefaultTransitionOverridesReset) {
+  MusicFsm fsm(3, 0);
+  fsm.add_transition(0, 1, 1);
+  fsm.set_default_transition(1, 2);
+  fsm.feed(1, 0);
+  EXPECT_EQ(fsm.feed(99, 0), 2u);
+}
+
+TEST(MusicFsm, OutOfRangeEdgesThrow) {
+  MusicFsm fsm(2, 0);
+  EXPECT_THROW(fsm.add_transition(5, 0, 0), std::out_of_range);
+  EXPECT_THROW(fsm.add_transition(0, 0, 5), std::out_of_range);
+  EXPECT_THROW(fsm.set_default_transition(5, 0), std::out_of_range);
+}
+
+TEST(MusicFsm, EntryActionFires) {
+  MusicFsm fsm(2, 0);
+  fsm.add_transition(0, 1, 1);
+  int entered = 0;
+  fsm.on_enter(1, [&] { ++entered; });
+  fsm.feed(1, 0);
+  EXPECT_EQ(entered, 1);
+}
+
+TEST(MusicFsm, TimeoutResetsBetweenSymbols) {
+  MusicFsm fsm(3, 0);
+  fsm.add_transition(0, 1, 1);
+  fsm.add_transition(1, 2, 2);
+  fsm.set_timeout(kSecond);
+
+  fsm.feed(1, 0);
+  EXPECT_EQ(fsm.state(), 1u);
+  // The second symbol arrives 5 s later: timed out, so the machine first
+  // resets and the symbol applies from state 0 (no edge -> stays 0).
+  EXPECT_EQ(fsm.feed(2, 5 * kSecond), 0u);
+}
+
+TEST(MusicFsm, WithinTimeoutProceeds) {
+  MusicFsm fsm(3, 0);
+  fsm.add_transition(0, 1, 1);
+  fsm.add_transition(1, 2, 2);
+  fsm.set_timeout(kSecond);
+  fsm.feed(1, 0);
+  EXPECT_EQ(fsm.feed(2, kSecond / 2), 2u);
+}
+
+TEST(MusicFsm, ZeroTimeoutNeverResets) {
+  MusicFsm fsm(3, 0);
+  fsm.add_transition(0, 1, 1);
+  fsm.add_transition(1, 2, 2);
+  fsm.feed(1, 0);
+  EXPECT_EQ(fsm.feed(2, 1'000'000 * kSecond), 2u);
+}
+
+TEST(MusicFsm, ManualResetReturnsToInitial) {
+  MusicFsm fsm(2, 0);
+  fsm.add_transition(0, 1, 1);
+  fsm.feed(1, 0);
+  fsm.reset();
+  EXPECT_EQ(fsm.state(), 0u);
+}
+
+// --- The §4 knock machine -------------------------------------------
+
+TEST(KnockFsm, CorrectSequenceAccepts) {
+  auto fsm = make_knock_fsm({0, 1, 2});
+  int opened = 0;
+  fsm.on_enter(3, [&] { ++opened; });
+  fsm.feed(0, 0);
+  fsm.feed(1, 0);
+  fsm.feed(2, 0);
+  EXPECT_EQ(fsm.state(), 3u);
+  EXPECT_EQ(opened, 1);
+}
+
+TEST(KnockFsm, WrongOrderResets) {
+  auto fsm = make_knock_fsm({0, 1, 2});
+  fsm.feed(0, 0);
+  fsm.feed(2, 0);  // wrong: expected 1
+  EXPECT_EQ(fsm.state(), 0u);
+  // Can still complete afterwards.
+  fsm.feed(0, 0);
+  fsm.feed(1, 0);
+  fsm.feed(2, 0);
+  EXPECT_EQ(fsm.state(), 3u);
+}
+
+TEST(KnockFsm, RepeatedFirstKnockKeepsProgressAtOne) {
+  auto fsm = make_knock_fsm({0, 1, 2});
+  fsm.feed(0, 0);
+  fsm.feed(0, 0);  // knock 0 again: restart at step 1, not 0
+  EXPECT_EQ(fsm.state(), 1u);
+  fsm.feed(1, 0);
+  fsm.feed(2, 0);
+  EXPECT_EQ(fsm.state(), 3u);
+}
+
+TEST(KnockFsm, AcceptingStateIsSticky) {
+  auto fsm = make_knock_fsm({0, 1});
+  fsm.feed(0, 0);
+  fsm.feed(1, 0);
+  EXPECT_EQ(fsm.state(), 2u);
+  fsm.feed(0, 0);
+  fsm.feed(1, 0);
+  fsm.feed(9, 0);
+  EXPECT_EQ(fsm.state(), 2u);
+}
+
+TEST(KnockFsm, SequenceWithRepeatedSymbols) {
+  // Knock 0-0-1: the duplicate first symbol must not break progress.
+  auto fsm = make_knock_fsm({0, 0, 1});
+  fsm.feed(0, 0);
+  EXPECT_EQ(fsm.state(), 1u);
+  fsm.feed(0, 0);
+  EXPECT_EQ(fsm.state(), 2u);
+  fsm.feed(1, 0);
+  EXPECT_EQ(fsm.state(), 3u);
+}
+
+TEST(KnockFsm, SingleKnockSequence) {
+  auto fsm = make_knock_fsm({4});
+  EXPECT_EQ(fsm.feed(4, 0), 1u);
+}
+
+TEST(KnockFsm, EmptySequenceThrows) {
+  EXPECT_THROW(make_knock_fsm({}), std::invalid_argument);
+}
+
+TEST(KnockFsm, BruteForceNeverOpensWithoutFullSequence) {
+  auto fsm = make_knock_fsm({2, 0, 1});
+  bool opened = false;
+  fsm.on_enter(3, [&] { opened = true; });
+  // Feed every pair of symbols — no pair may open a 3-knock lock.
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      fsm.reset();
+      fsm.feed(a, 0);
+      fsm.feed(b, 0);
+      EXPECT_FALSE(opened) << a << "," << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdn::core

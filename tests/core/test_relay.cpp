@@ -1,0 +1,176 @@
+// Multi-hop tone relaying (§8 open question).
+#include "mdn/relay.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/audio.h"
+#include "mdn/melody_codec.h"
+#include "mp/mp.h"
+
+namespace mdn::core {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+
+// Two rooms modelled as separate acoustic channels; the relay's mic is
+// in room A, its speaker in room B.
+struct RelayFixture : ::testing::Test {
+  RelayFixture()
+      : room_a(kSampleRate),
+        room_b(kSampleRate),
+        plan({.base_hz = 900.0, .spacing_hz = 20.0}) {
+    source_dev = plan.add_device("source", 3);
+    relay_dev = plan.add_device("relay", 3);
+
+    src_speaker = room_a.add_source("src-speaker", 0.5);
+
+    MdnController::Config cfg;
+    cfg.detector.sample_rate = kSampleRate;
+    relay_mic = std::make_unique<MdnController>(loop, room_a, cfg);
+    final_mic = std::make_unique<MdnController>(loop, room_b, cfg);
+
+    relay_speaker = room_b.add_source("relay-speaker", 0.5);
+    relay_bridge =
+        std::make_unique<mp::PiSpeakerBridge>(loop, room_b, relay_speaker, 0);
+    relay_emitter = std::make_unique<mp::MpEmitter>(loop, *relay_bridge, 0);
+  }
+
+  void play_in_room_a(std::size_t symbol, double at_s) {
+    audio::ToneSpec spec;
+    spec.frequency_hz = plan.frequency(source_dev, symbol);
+    spec.duration_s = 0.08;
+    spec.amplitude = audio::spl_to_amplitude(80.0);
+    spec.fade_s = 0.01;
+    room_a.emit(src_speaker, audio::make_tone(spec, kSampleRate), at_s);
+  }
+
+  void run_until(double t_s) {
+    loop.schedule_at(net::from_seconds(t_s), [this] {
+      relay_mic->stop();
+      final_mic->stop();
+    });
+    loop.run();
+  }
+
+  net::EventLoop loop;
+  audio::AcousticChannel room_a;
+  audio::AcousticChannel room_b;
+  FrequencyPlan plan;
+  DeviceId source_dev = 0, relay_dev = 0;
+  audio::SourceId src_speaker = 0, relay_speaker = 0;
+  std::unique_ptr<MdnController> relay_mic;
+  std::unique_ptr<MdnController> final_mic;
+  std::unique_ptr<mp::PiSpeakerBridge> relay_bridge;
+  std::unique_ptr<mp::MpEmitter> relay_emitter;
+};
+
+TEST_F(RelayFixture, ToneCrossesRooms) {
+  ToneRelay relay(*relay_mic, plan, source_dev, *relay_emitter, relay_dev);
+  std::vector<std::size_t> heard;
+  for (std::size_t s = 0; s < 3; ++s) {
+    final_mic->watch(plan.frequency(relay_dev, s),
+                     [&heard, s](const ToneEvent&) { heard.push_back(s); });
+  }
+  relay_mic->start();
+  final_mic->start();
+
+  play_in_room_a(1, 0.2);
+  play_in_room_a(2, 0.6);
+  play_in_room_a(0, 1.0);
+  run_until(1.8);
+
+  EXPECT_EQ(relay.relayed(), 3u);
+  EXPECT_EQ(heard, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST_F(RelayFixture, NoLeakWithoutRelay) {
+  // Sanity: the rooms are acoustically separate.
+  int heard = 0;
+  final_mic->watch(plan.frequency(source_dev, 0),
+                   [&heard](const ToneEvent&) { ++heard; });
+  relay_mic->start();
+  final_mic->start();
+  play_in_room_a(0, 0.2);
+  run_until(0.8);
+  EXPECT_EQ(heard, 0);
+}
+
+TEST_F(RelayFixture, SymbolCountValidated) {
+  const auto tiny = plan.add_device("tiny", 1);
+  EXPECT_THROW(
+      ToneRelay(*relay_mic, plan, source_dev, *relay_emitter, tiny),
+      std::invalid_argument);
+}
+
+TEST_F(RelayFixture, TwoHopChain) {
+  // Room A -> (relay1) -> room B -> (relay2) -> room C.
+  audio::AcousticChannel room_c(kSampleRate);
+  MdnController::Config cfg;
+  cfg.detector.sample_rate = kSampleRate;
+  MdnController mic_c(loop, room_c, cfg);
+
+  const auto relay2_dev = plan.add_device("relay2", 3);
+  const auto spk_c = room_c.add_source("relay2-speaker", 0.5);
+  mp::PiSpeakerBridge bridge_c(loop, room_c, spk_c, 0);
+  mp::MpEmitter emitter_c(loop, bridge_c, 0);
+
+  ToneRelay hop1(*relay_mic, plan, source_dev, *relay_emitter, relay_dev);
+  ToneRelay hop2(*final_mic, plan, relay_dev, emitter_c, relay2_dev);
+
+  std::vector<std::size_t> heard;
+  for (std::size_t s = 0; s < 3; ++s) {
+    mic_c.watch(plan.frequency(relay2_dev, s),
+                [&heard, s](const ToneEvent&) { heard.push_back(s); });
+  }
+  relay_mic->start();
+  final_mic->start();
+  mic_c.start();
+
+  play_in_room_a(2, 0.2);
+  play_in_room_a(1, 0.7);
+  loop.schedule_at(net::from_seconds(1.6), [&] {
+    relay_mic->stop();
+    final_mic->stop();
+    mic_c.stop();
+  });
+  loop.run();
+
+  EXPECT_EQ(hop1.relayed(), 2u);
+  EXPECT_EQ(hop2.relayed(), 2u);
+  EXPECT_EQ(heard, (std::vector<std::size_t>{2, 1}));
+}
+
+TEST_F(RelayFixture, MelodyFrameSurvivesARelayHop) {
+  // End-to-end: a melody frame encoded in room A decodes in room B off
+  // the relay's re-emission.  Relay tones must be long enough for the
+  // downstream FSK receiver and the relay must preserve inter-symbol
+  // gaps, so use the codec's own timing for the relayed tones.
+  const auto enc_dev = plan.add_device("encoder", kMelodyAlphabetSize);
+  const auto rel_dev = plan.add_device("relay-wide", kMelodyAlphabetSize);
+
+  const auto spk_a2 = room_a.add_source("enc-speaker", 0.5);
+  mp::PiSpeakerBridge bridge_a(loop, room_a, spk_a2, 0);
+  mp::MpEmitter emitter_a(loop, bridge_a, 0);
+
+  MelodyCodecConfig codec_cfg;
+  ToneRelayConfig relay_cfg;
+  relay_cfg.tone_duration_s = codec_cfg.tone_duration_s;
+  ToneRelay relay(*relay_mic, plan, enc_dev, *relay_emitter, rel_dev,
+                  relay_cfg);
+
+  MelodyEncoder encoder(loop, emitter_a, plan, enc_dev, codec_cfg);
+  MelodyDecoder decoder(*final_mic, plan, rel_dev, codec_cfg);
+
+  relay_mic->start();
+  final_mic->start();
+
+  const std::vector<std::uint8_t> payload{0x42, 0x07};
+  const double airtime = encoder.send(payload);
+  run_until(airtime + 1.0);
+
+  ASSERT_EQ(decoder.frames_ok(), 1u);
+  EXPECT_EQ(decoder.messages().front(), payload);
+}
+
+}  // namespace
+}  // namespace mdn::core

@@ -1,0 +1,143 @@
+// TDM slot coordination of the acoustic medium (§3 research direction).
+#include "mdn/tdm.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/audio.h"
+#include "mdn/tone_detector.h"
+#include "mp/mp.h"
+
+namespace mdn::core {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+using net::kMillisecond;
+
+struct TdmFixture : ::testing::Test {
+  TdmFixture()
+      : channel(kSampleRate),
+        speaker(channel.add_source("spk", 0.5)),
+        bridge(loop, channel, speaker, 0),
+        emitter(loop, bridge, 0) {}
+
+  net::EventLoop loop;
+  audio::AcousticChannel channel;
+  audio::SourceId speaker;
+  mp::PiSpeakerBridge bridge;
+  mp::MpEmitter emitter;
+  TdmSchedule schedule{.frame = 600 * kMillisecond, .slot_count = 2};
+};
+
+TEST_F(TdmFixture, SlotMembershipMath) {
+  TdmEmitter slot0(loop, emitter, schedule, 0);
+  TdmEmitter slot1(loop, emitter, schedule, 1);
+  // Frame 600 ms, two 300 ms slots.
+  EXPECT_TRUE(slot0.in_slot(0));
+  EXPECT_TRUE(slot0.in_slot(299 * kMillisecond));
+  EXPECT_FALSE(slot0.in_slot(300 * kMillisecond));
+  EXPECT_TRUE(slot1.in_slot(300 * kMillisecond));
+  EXPECT_FALSE(slot1.in_slot(0));
+  // Periodicity.
+  EXPECT_TRUE(slot0.in_slot(600 * kMillisecond));
+  EXPECT_TRUE(slot1.in_slot(901 * kMillisecond));
+}
+
+TEST_F(TdmFixture, NextSlotStart) {
+  TdmEmitter slot1(loop, emitter, schedule, 1);
+  EXPECT_EQ(slot1.next_slot_start(0), 300 * kMillisecond);
+  EXPECT_EQ(slot1.next_slot_start(300 * kMillisecond),
+            300 * kMillisecond);
+  EXPECT_EQ(slot1.next_slot_start(301 * kMillisecond),
+            900 * kMillisecond);
+}
+
+TEST_F(TdmFixture, InSlotEmissionIsImmediate) {
+  TdmEmitter slot0(loop, emitter, schedule, 0);
+  EXPECT_TRUE(slot0.emit(700.0, 0.05, 70.0));
+  EXPECT_EQ(slot0.immediate(), 1u);
+  EXPECT_EQ(bridge.played(), 1u);
+}
+
+TEST_F(TdmFixture, OutOfSlotEmissionDeferredToSlotStart) {
+  TdmEmitter slot1(loop, emitter, schedule, 1);
+  EXPECT_FALSE(slot1.emit(700.0, 0.05, 70.0));  // t=0, slot starts at 300ms
+  EXPECT_EQ(bridge.played(), 0u);
+  loop.run();
+  EXPECT_EQ(bridge.played(), 1u);
+  EXPECT_EQ(loop.now(), 300 * kMillisecond);
+  EXPECT_EQ(slot1.deferred(), 1u);
+}
+
+TEST_F(TdmFixture, NewerDeferredRequestReplacesOlder) {
+  TdmEmitter slot1(loop, emitter, schedule, 1);
+  slot1.emit(500.0, 0.05, 70.0);
+  slot1.emit(900.0, 0.05, 70.0);  // replaces the 500 Hz request
+  loop.run();
+  EXPECT_EQ(bridge.played(), 1u);
+  EXPECT_EQ(slot1.replaced(), 1u);
+  // The surviving tone is the 900 Hz one.
+  const auto rendered = channel.render(0.3, 0.06);
+  ToneDetectorConfig cfg;
+  cfg.sample_rate = kSampleRate;
+  ToneDetector det(cfg);
+  EXPECT_TRUE(det.present(rendered.samples(), 900.0));
+  EXPECT_FALSE(det.present(rendered.samples(), 500.0));
+}
+
+TEST_F(TdmFixture, TwoAppsNeverOverlapInTime) {
+  // Both apps emit on demand at random times; emissions must land inside
+  // their own slots only.
+  mp::PiSpeakerBridge bridge2(loop, channel, speaker, 0);
+  mp::MpEmitter raw2(loop, bridge2, 0);
+  TdmEmitter app0(loop, emitter, schedule, 0);
+  TdmEmitter app1(loop, raw2, schedule, 1);
+
+  std::vector<net::SimTime> app0_times, app1_times;
+  audio::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const auto t = static_cast<net::SimTime>(rng.below(3'000'000'000ULL));
+    loop.schedule_at(t, [&, i] {
+      if (i % 2 == 0) {
+        if (app0.emit(500.0, 0.02, 70.0)) app0_times.push_back(loop.now());
+      } else {
+        if (app1.emit(700.0, 0.02, 70.0)) app1_times.push_back(loop.now());
+      }
+    });
+  }
+  // Capture deferred flushes too, via the emitters' own counters + the
+  // slot invariant below (checked on the bridges' play times through the
+  // emit wrappers): we simply re-check in_slot at every immediate emit.
+  loop.run();
+  for (const auto t : app0_times) EXPECT_TRUE(app0.in_slot(t));
+  for (const auto t : app1_times) EXPECT_TRUE(app1.in_slot(t));
+  // Everything requested was eventually played or replaced.
+  EXPECT_EQ(bridge.played() + app0.replaced(),
+            app0.immediate() + app0.deferred());
+  EXPECT_EQ(bridge2.played() + app1.replaced(),
+            app1.immediate() + app1.deferred());
+}
+
+TEST_F(TdmFixture, InvalidScheduleRejected) {
+  EXPECT_THROW(TdmEmitter(loop, emitter, {.frame = 0, .slot_count = 2}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(TdmEmitter(loop, emitter,
+                          {.frame = kMillisecond, .slot_count = 0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      TdmEmitter(loop, emitter, {.frame = kMillisecond, .slot_count = 2}, 2),
+      std::invalid_argument);
+}
+
+TEST_F(TdmFixture, ThreeWaySchedule) {
+  TdmSchedule three{.frame = 900 * kMillisecond, .slot_count = 3};
+  TdmEmitter a(loop, emitter, three, 0);
+  TdmEmitter b(loop, emitter, three, 1);
+  TdmEmitter c(loop, emitter, three, 2);
+  EXPECT_TRUE(a.in_slot(100 * kMillisecond));
+  EXPECT_TRUE(b.in_slot(400 * kMillisecond));
+  EXPECT_TRUE(c.in_slot(700 * kMillisecond));
+  EXPECT_FALSE(c.in_slot(100 * kMillisecond));
+}
+
+}  // namespace
+}  // namespace mdn::core

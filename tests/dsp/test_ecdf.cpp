@@ -1,0 +1,92 @@
+#include "dsp/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mdn::dsp {
+namespace {
+
+TEST(Ecdf, EmptyBehaviour) {
+  Ecdf e;
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.0);
+  EXPECT_THROW(e.quantile(0.5), std::logic_error);
+  EXPECT_THROW(e.min(), std::logic_error);
+  EXPECT_THROW(e.max(), std::logic_error);
+  EXPECT_THROW(e.mean(), std::logic_error);
+  EXPECT_TRUE(e.curve(10).empty());
+}
+
+TEST(Ecdf, CdfStepFunction) {
+  const std::vector<double> samples{1.0, 2.0, 3.0, 4.0};
+  Ecdf e(samples);
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.cdf(100.0), 1.0);
+}
+
+TEST(Ecdf, QuantilesOfKnownSet) {
+  const std::vector<double> samples{5.0, 1.0, 3.0, 2.0, 4.0};
+  Ecdf e(samples);
+  EXPECT_DOUBLE_EQ(e.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.9), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+}
+
+TEST(Ecdf, QuantileClampsOutOfRange) {
+  Ecdf e(std::vector<double>{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(e.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(2.0), 2.0);
+}
+
+TEST(Ecdf, IncrementalAddKeepsOrderCorrect) {
+  Ecdf e;
+  e.add(3.0);
+  e.add(1.0);
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  e.add(0.5);  // add after a sorted read
+  EXPECT_DOUBLE_EQ(e.min(), 0.5);
+  EXPECT_DOUBLE_EQ(e.max(), 3.0);
+  EXPECT_EQ(e.size(), 3u);
+}
+
+TEST(Ecdf, MeanIsArithmeticAverage) {
+  Ecdf e(std::vector<double>{1.0, 2.0, 3.0, 6.0});
+  EXPECT_DOUBLE_EQ(e.mean(), 3.0);
+}
+
+TEST(Ecdf, CurveIsMonotoneAndEndsAtMax) {
+  Ecdf e(std::vector<double>{4.0, 2.0, 9.0, 7.0, 5.0});
+  const auto curve = e.curve(5);
+  ASSERT_EQ(curve.size(), 5u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GT(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().first, 9.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Ecdf, DuplicatesHandled) {
+  Ecdf e(std::vector<double>{2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.quantile(0.75), 2.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.76), 5.0);
+}
+
+TEST(Ecdf, PaperStyleP90Query) {
+  // Mimics the Fig 2b check "~90% of samples processed in <= 0.35 ms".
+  std::vector<double> latencies;
+  for (int i = 1; i <= 100; ++i) latencies.push_back(i * 0.003);  // 3..300 us
+  Ecdf e(latencies);
+  EXPECT_NEAR(e.quantile(0.9), 0.27, 1e-9);
+  EXPECT_GE(e.cdf(0.35), 0.9);
+}
+
+}  // namespace
+}  // namespace mdn::dsp

@@ -1,0 +1,226 @@
+// FFT correctness: oracle comparison, algebraic invariants and the
+// frequency-axis helpers the tone detector depends on.
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "audio/rng.h"
+
+namespace mdn::dsp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  audio::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return v;
+}
+
+void expect_near(const std::vector<Complex>& a, const std::vector<Complex>& b,
+                 double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "bin " << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "bin " << i;
+  }
+}
+
+TEST(Fft, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(fft({}).empty());
+  EXPECT_TRUE(ifft({}).empty());
+}
+
+TEST(Fft, SingleSampleIsIdentity) {
+  const std::vector<Complex> in{Complex{3.5, -1.25}};
+  const auto out = fft(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].real(), 3.5, kTol);
+  EXPECT_NEAR(out[0].imag(), -1.25, kTol);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> in(64, Complex{0.0, 0.0});
+  in[0] = Complex{1.0, 0.0};
+  const auto out = fft(in);
+  for (const auto& x : out) {
+    EXPECT_NEAR(x.real(), 1.0, kTol);
+    EXPECT_NEAR(x.imag(), 0.0, kTol);
+  }
+}
+
+TEST(Fft, DcSignalConcentratesInBinZero) {
+  std::vector<Complex> in(128, Complex{2.0, 0.0});
+  const auto out = fft(in);
+  EXPECT_NEAR(out[0].real(), 256.0, 1e-8);
+  for (std::size_t k = 1; k < out.size(); ++k) {
+    EXPECT_NEAR(std::abs(out[k]), 0.0, 1e-8) << "bin " << k;
+  }
+}
+
+TEST(Fft, PureSineLandsInItsBin) {
+  const std::size_t n = 256;
+  const std::size_t bin = 13;
+  std::vector<Complex> in(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ph = 2.0 * std::numbers::pi * static_cast<double>(bin) *
+                      static_cast<double>(t) / static_cast<double>(n);
+    in[t] = Complex{std::cos(ph), 0.0};
+  }
+  const auto mag = magnitude(fft(in));
+  // cos splits between bin and N-bin, each N/2.
+  EXPECT_NEAR(mag[bin], 128.0, 1e-7);
+  EXPECT_NEAR(mag[n - bin], 128.0, 1e-7);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != bin && k != n - bin) {
+      EXPECT_LT(mag[k], 1e-7) << "bin " << k;
+    }
+  }
+}
+
+TEST(Fft, MatchesReferenceDftPowerOfTwo) {
+  const auto in = random_signal(64, 1);
+  expect_near(fft(in), dft_reference(in), 1e-8);
+}
+
+TEST(Fft, MatchesReferenceDftNonPowerOfTwo) {
+  for (std::size_t n : {3u, 5u, 12u, 100u, 241u}) {
+    const auto in = random_signal(n, n);
+    expect_near(fft(in), dft_reference(in), 1e-7);
+  }
+}
+
+TEST(Fft, InverseRoundTripPowerOfTwo) {
+  const auto in = random_signal(512, 7);
+  expect_near(ifft(fft(in)), in, 1e-9);
+}
+
+TEST(Fft, InverseRoundTripBluestein) {
+  const auto in = random_signal(300, 9);
+  expect_near(ifft(fft(in)), in, 1e-8);
+}
+
+TEST(Fft, LinearityHolds) {
+  const auto a = random_signal(128, 11);
+  const auto b = random_signal(128, 13);
+  std::vector<Complex> combo(128);
+  const Complex alpha{2.0, 0.5};
+  const Complex beta{-1.0, 3.0};
+  for (std::size_t i = 0; i < 128; ++i) combo[i] = alpha * a[i] + beta * b[i];
+
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  auto expected = fa;
+  for (std::size_t i = 0; i < 128; ++i) {
+    expected[i] = alpha * fa[i] + beta * fb[i];
+  }
+  expect_near(fft(combo), expected, 1e-8);
+}
+
+TEST(Fft, ParsevalEnergyConserved) {
+  const auto in = random_signal(1024, 17);
+  double time_energy = 0.0;
+  for (const auto& x : in) time_energy += std::norm(x);
+  const auto out = fft(in);
+  double freq_energy = 0.0;
+  for (const auto& x : out) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(in.size()), time_energy,
+              1e-6);
+}
+
+TEST(Fft, RealFftMatchesReferenceDft) {
+  // The packed-real fast path must agree with the oracle exactly.
+  for (std::size_t n : {4u, 8u, 64u, 256u, 2048u}) {
+    audio::Rng rng(n);
+    std::vector<double> in(n);
+    std::vector<Complex> cin(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = rng.uniform(-1.0, 1.0);
+      cin[i] = Complex{in[i], 0.0};
+    }
+    expect_near(fft_real(in), dft_reference(cin), 1e-7);
+  }
+}
+
+TEST(Fft, RealFftNonPowerOfTwoFallback) {
+  audio::Rng rng(99);
+  std::vector<double> in(120);
+  std::vector<Complex> cin(120);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = rng.uniform(-1.0, 1.0);
+    cin[i] = Complex{in[i], 0.0};
+  }
+  expect_near(fft_real(in), dft_reference(cin), 1e-7);
+}
+
+TEST(Fft, RealInputIsConjugateSymmetric) {
+  audio::Rng rng(23);
+  std::vector<double> in(256);
+  for (auto& x : in) x = rng.uniform(-1.0, 1.0);
+  const auto out = fft_real(in);
+  for (std::size_t k = 1; k < in.size() / 2; ++k) {
+    EXPECT_NEAR(out[k].real(), out[in.size() - k].real(), 1e-9);
+    EXPECT_NEAR(out[k].imag(), -out[in.size() - k].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, Radix2RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fft_radix2_inplace(data, false), std::invalid_argument);
+}
+
+TEST(Fft, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(0), 1u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+  EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+TEST(Fft, IsPowerOfTwo) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(4096));
+  EXPECT_FALSE(is_power_of_two(4095));
+}
+
+TEST(Fft, BinFrequencyAndInverse) {
+  // 48 kHz, 4096-point: bin width ~11.72 Hz.
+  EXPECT_NEAR(bin_frequency(100, 4096, 48000.0), 1171.875, 1e-9);
+  EXPECT_EQ(frequency_bin(1171.875, 4096, 48000.0), 100u);
+  EXPECT_EQ(frequency_bin(0.0, 4096, 48000.0), 0u);
+  // Clamps to the last bin.
+  EXPECT_EQ(frequency_bin(1e9, 4096, 48000.0), 4095u);
+}
+
+TEST(Fft, MagnitudeAndPowerAgree) {
+  const auto in = random_signal(32, 31);
+  const auto spec = fft(in);
+  const auto mag = magnitude(spec);
+  const auto pow = power(spec);
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    EXPECT_NEAR(mag[i] * mag[i], pow[i], 1e-9);
+  }
+}
+
+// Property sweep: round trip over many sizes, both kernels.
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, ForwardInverseIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto in = random_signal(n, 1000 + n);
+  expect_near(ifft(fft(in)), in, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 7, 16, 33, 64, 100, 128,
+                                           255, 256, 257, 480, 512, 1000,
+                                           1024, 2400, 4096));
+
+}  // namespace
+}  // namespace mdn::dsp

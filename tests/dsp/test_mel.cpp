@@ -1,0 +1,123 @@
+#include "dsp/mel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mdn::dsp {
+namespace {
+
+TEST(Mel, KnownAnchors) {
+  EXPECT_NEAR(hz_to_mel(0.0), 0.0, 1e-12);
+  // The HTK formula puts 1000 Hz at ~999.99 mel.
+  EXPECT_NEAR(hz_to_mel(1000.0), 1000.0, 1.0);
+}
+
+TEST(Mel, RoundTrip) {
+  for (double hz : {20.0, 100.0, 440.0, 1000.0, 4000.0, 12000.0}) {
+    EXPECT_NEAR(mel_to_hz(hz_to_mel(hz)), hz, hz * 1e-10);
+  }
+}
+
+TEST(Mel, MonotonicAndCompressive) {
+  EXPECT_LT(hz_to_mel(100.0), hz_to_mel(200.0));
+  // Equal Hz steps shrink in mel at higher frequency (log-like axis —
+  // the reason the port scan of Fig 4c bends).
+  const double low_step = hz_to_mel(200.0) - hz_to_mel(100.0);
+  const double high_step = hz_to_mel(10100.0) - hz_to_mel(10000.0);
+  EXPECT_GT(low_step, 10.0 * high_step);
+}
+
+TEST(MelFilterBank, BandCentersAreEvenlySpacedInMel) {
+  MelFilterBank bank(40, 2048, 48000.0, 100.0, 8000.0);
+  const double first_gap =
+      bank.band_center_mel(1) - bank.band_center_mel(0);
+  for (std::size_t b = 2; b < bank.bands(); ++b) {
+    EXPECT_NEAR(bank.band_center_mel(b) - bank.band_center_mel(b - 1),
+                first_gap, 1e-9);
+  }
+}
+
+TEST(MelFilterBank, CentersWithinRequestedRange) {
+  MelFilterBank bank(32, 2048, 48000.0, 300.0, 6000.0);
+  for (std::size_t b = 0; b < bank.bands(); ++b) {
+    EXPECT_GT(bank.band_center_hz(b), 300.0);
+    EXPECT_LT(bank.band_center_hz(b), 6000.0);
+  }
+}
+
+TEST(MelFilterBank, ToneEnergyLandsInNearestBand) {
+  const std::size_t fft_size = 4096;
+  const double sr = 48000.0;
+  MelFilterBank bank(64, fft_size, sr, 100.0, 12000.0);
+
+  // Synthetic linear spectrum: one hot bin at 2 kHz.
+  std::vector<double> spectrum(fft_size / 2 + 1, 0.0);
+  const auto bin = static_cast<std::size_t>(2000.0 * fft_size / sr + 0.5);
+  spectrum[bin] = 1.0;
+
+  const auto bands = bank.apply(spectrum);
+  const std::size_t hot = static_cast<std::size_t>(
+      std::distance(bands.begin(),
+                    std::max_element(bands.begin(), bands.end())));
+  // The winning band's centre should be close to 2 kHz.
+  EXPECT_NEAR(bank.band_center_hz(hot), 2000.0, 250.0);
+}
+
+TEST(MelFilterBank, ApplyRejectsWrongSize) {
+  MelFilterBank bank(16, 1024, 48000.0, 100.0, 8000.0);
+  const std::vector<double> wrong(100, 0.0);
+  EXPECT_THROW(bank.apply(wrong), std::invalid_argument);
+}
+
+TEST(MelFilterBank, InvalidConfigThrows) {
+  EXPECT_THROW(MelFilterBank(0, 1024, 48000.0, 100.0, 8000.0),
+               std::invalid_argument);
+  EXPECT_THROW(MelFilterBank(16, 1024, 48000.0, 8000.0, 100.0),
+               std::invalid_argument);
+}
+
+TEST(MelFilterBank, EveryBandHasSupport) {
+  // Even narrow low-frequency bands must not be empty (the guarantee that
+  // makes low tones visible on the mel spectrograms).
+  MelFilterBank bank(80, 2048, 48000.0, 50.0, 16000.0);
+  std::vector<double> flat(2048 / 2 + 1, 1.0);
+  const auto bands = bank.apply(flat);
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    EXPECT_GT(bands[b], 0.0) << "band " << b;
+  }
+}
+
+TEST(MelSpectrogram, TrackToneAcrossTime) {
+  const double sr = 48000.0;
+  const std::size_t n = 48000;
+  std::vector<double> s(n);
+  // First half 500 Hz, second half 4 kHz.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = i < n / 2 ? 500.0 : 4000.0;
+    s[i] = std::sin(2.0 * std::numbers::pi * f * static_cast<double>(i) / sr);
+  }
+  const auto lin = stft(s, sr, {.fft_size = 2048, .hop = 1024});
+  const auto mel = mel_spectrogram(lin, 48, 100.0, 8000.0);
+  ASSERT_EQ(mel.frames.size(), lin.frames());
+  ASSERT_EQ(mel.band_count(), 48u);
+
+  // Early frames peak near 500 Hz, late frames near 4 kHz.
+  const std::size_t early = mel.argmax_band(2);
+  const std::size_t late = mel.argmax_band(mel.frames.size() - 5);
+  EXPECT_NEAR(mel.band_centers_hz[early], 500.0, 150.0);
+  EXPECT_NEAR(mel.band_centers_hz[late], 4000.0, 600.0);
+}
+
+TEST(MelSpectrogram, AxesSizesConsistent) {
+  const std::vector<double> s(8192, 0.1);
+  const auto lin = stft(s, 48000.0, {.fft_size = 1024, .hop = 512});
+  const auto mel = mel_spectrogram(lin, 24, 100.0, 8000.0);
+  EXPECT_EQ(mel.band_centers_hz.size(), 24u);
+  EXPECT_EQ(mel.band_centers_mel.size(), 24u);
+  EXPECT_EQ(mel.frame_times_s.size(), lin.frames());
+}
+
+}  // namespace
+}  // namespace mdn::dsp

@@ -1,0 +1,117 @@
+#include "dsp/spectrogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mdn::dsp {
+namespace {
+
+std::vector<double> sine(double freq, double amp, double sample_rate,
+                         std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = amp * std::sin(2.0 * std::numbers::pi * freq *
+                          static_cast<double>(i) / sample_rate);
+  }
+  return v;
+}
+
+TEST(Spectrogram, FrameAndBinCounts) {
+  const double sr = 48000.0;
+  const auto s = sine(1000.0, 1.0, sr, 48000);  // 1 s
+  StftConfig cfg{.fft_size = 1024, .hop = 256};
+  const auto sg = stft(s, sr, cfg);
+  EXPECT_EQ(sg.bins(), 513u);
+  // ceil-ish frame count: (N-1)/hop + 1.
+  EXPECT_EQ(sg.frames(), (48000u - 1) / 256 + 1);
+}
+
+TEST(Spectrogram, ShortSignalYieldsZeroFrames) {
+  const std::vector<double> s(10, 1.0);
+  const auto sg = stft(s, 48000.0, {.fft_size = 1024, .hop = 256});
+  EXPECT_EQ(sg.frames(), 0u);
+}
+
+TEST(Spectrogram, InvalidConfigThrows) {
+  const std::vector<double> s(1000, 0.0);
+  EXPECT_THROW(stft(s, 48000.0, {.fft_size = 0, .hop = 256}),
+               std::invalid_argument);
+  EXPECT_THROW(stft(s, 48000.0, {.fft_size = 1024, .hop = 0}),
+               std::invalid_argument);
+}
+
+TEST(Spectrogram, SteadyToneDominatesItsBinInEveryFullFrame) {
+  const double sr = 48000.0;
+  const auto s = sine(2000.0, 0.8, sr, 24000);
+  StftConfig cfg{.fft_size = 1024, .hop = 512};
+  const auto sg = stft(s, sr, cfg);
+  const std::size_t expected_bin = 2000.0 * 1024.0 / sr + 0.5;
+  // Skip trailing frames that are mostly zero padding.
+  for (std::size_t f = 0; f + 3 < sg.frames(); ++f) {
+    EXPECT_NEAR(static_cast<double>(sg.argmax_bin(f)),
+                static_cast<double>(expected_bin), 1.0)
+        << "frame " << f;
+  }
+}
+
+TEST(Spectrogram, ToneBurstLocalisedInTime) {
+  const double sr = 48000.0;
+  std::vector<double> s(48000, 0.0);  // 1 s of silence
+  const auto burst = sine(1500.0, 1.0, sr, 4800);  // 100 ms
+  // Place the burst at t = 0.5 s.
+  std::copy(burst.begin(), burst.end(), s.begin() + 24000);
+
+  StftConfig cfg{.fft_size = 1024, .hop = 512};
+  const auto sg = stft(s, sr, cfg);
+  const std::size_t tone_bin = 1500.0 * 1024.0 / sr + 0.5;
+
+  double on_energy = 0.0, off_energy = 0.0;
+  for (std::size_t f = 0; f < sg.frames(); ++f) {
+    const double t = sg.frame_time(f);
+    const double e = sg.at(f, tone_bin);
+    if (t > 0.51 && t < 0.59) {
+      on_energy += e;
+    } else if (t < 0.45 || t > 0.68) {
+      off_energy += e;
+    }
+  }
+  EXPECT_GT(on_energy, 100.0 * off_energy);
+}
+
+TEST(Spectrogram, FrameTimesAreMonotonic) {
+  const auto s = sine(500.0, 1.0, 48000.0, 9600);
+  const auto sg = stft(s, 48000.0, {.fft_size = 512, .hop = 128});
+  for (std::size_t f = 1; f < sg.frames(); ++f) {
+    EXPECT_GT(sg.frame_time(f), sg.frame_time(f - 1));
+  }
+}
+
+TEST(Spectrogram, BinFrequencyAxis) {
+  const auto s = sine(500.0, 1.0, 48000.0, 2048);
+  const auto sg = stft(s, 48000.0, {.fft_size = 1024, .hop = 512});
+  EXPECT_DOUBLE_EQ(sg.bin_frequency(0), 0.0);
+  EXPECT_NEAR(sg.bin_frequency(512), 24000.0, 1e-9);  // Nyquist
+}
+
+TEST(Spectrogram, AtThrowsOutOfRange) {
+  const auto s = sine(500.0, 1.0, 48000.0, 2048);
+  const auto sg = stft(s, 48000.0, {.fft_size = 1024, .hop = 512});
+  EXPECT_THROW(sg.at(sg.frames(), 0), std::out_of_range);
+  EXPECT_THROW(sg.at(0, sg.bins()), std::out_of_range);
+  EXPECT_THROW(sg.frame(sg.frames()), std::out_of_range);
+}
+
+TEST(Spectrogram, SilenceIsAllZero) {
+  const std::vector<double> s(4096, 0.0);
+  const auto sg = stft(s, 48000.0, {.fft_size = 1024, .hop = 512});
+  for (std::size_t f = 0; f < sg.frames(); ++f) {
+    for (std::size_t b = 0; b < sg.bins(); ++b) {
+      EXPECT_DOUBLE_EQ(sg.at(f, b), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdn::dsp

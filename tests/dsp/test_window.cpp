@@ -1,0 +1,92 @@
+#include "dsp/window.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdn::dsp {
+namespace {
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannStartsAtZeroPeaksAtCentre) {
+  const auto w = make_window(WindowKind::kHann, 64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);  // periodic form: peak at N/2
+}
+
+TEST(Window, HammingEndpointsNonZero) {
+  const auto w = make_window(WindowKind::kHamming, 64);
+  EXPECT_NEAR(w[0], 0.08, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, BlackmanNearZeroAtEdges) {
+  const auto w = make_window(WindowKind::kBlackman, 64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, PeriodicSymmetryAboutCentre) {
+  for (auto kind : {WindowKind::kHann, WindowKind::kHamming,
+                    WindowKind::kBlackman}) {
+    const auto w = make_window(kind, 128);
+    for (std::size_t i = 1; i < 64; ++i) {
+      EXPECT_NEAR(w[i], w[128 - i], 1e-12)
+          << window_name(kind) << " index " << i;
+    }
+  }
+}
+
+TEST(Window, ValuesBounded) {
+  for (auto kind : {WindowKind::kRectangular, WindowKind::kHann,
+                    WindowKind::kHamming, WindowKind::kBlackman}) {
+    for (double v : make_window(kind, 257)) {
+      EXPECT_GE(v, -1e-12);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Window, CoherentGainMatchesKnownAverages) {
+  // Mean of periodic Hann is exactly 0.5, Hamming 0.54, Blackman 0.42.
+  const std::size_t n = 1024;
+  EXPECT_NEAR(window_coherent_gain(make_window(WindowKind::kHann, n)),
+              0.5 * n, 1e-6);
+  EXPECT_NEAR(window_coherent_gain(make_window(WindowKind::kHamming, n)),
+              0.54 * n, 1e-6);
+  EXPECT_NEAR(window_coherent_gain(make_window(WindowKind::kBlackman, n)),
+              0.42 * n, 1e-6);
+}
+
+TEST(Window, ApplyWindowMultipliesElementwise) {
+  std::vector<double> signal(8, 2.0);
+  const std::vector<double> window{0.0, 0.5, 1.0, 1.0, 1.0, 1.0, 0.5, 0.0};
+  apply_window(signal, window);
+  EXPECT_DOUBLE_EQ(signal[0], 0.0);
+  EXPECT_DOUBLE_EQ(signal[1], 1.0);
+  EXPECT_DOUBLE_EQ(signal[2], 2.0);
+}
+
+TEST(Window, ApplyWindowSizeMismatchThrows) {
+  std::vector<double> signal(8, 1.0);
+  const std::vector<double> window(4, 1.0);
+  EXPECT_THROW(apply_window(signal, window), std::invalid_argument);
+}
+
+TEST(Window, ZeroLengthIsEmpty) {
+  EXPECT_TRUE(make_window(WindowKind::kHann, 0).empty());
+}
+
+TEST(Window, NamesAreStable) {
+  EXPECT_EQ(window_name(WindowKind::kRectangular), "rectangular");
+  EXPECT_EQ(window_name(WindowKind::kHann), "hann");
+  EXPECT_EQ(window_name(WindowKind::kHamming), "hamming");
+  EXPECT_EQ(window_name(WindowKind::kBlackman), "blackman");
+}
+
+}  // namespace
+}  // namespace mdn::dsp

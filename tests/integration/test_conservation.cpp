@@ -1,0 +1,130 @@
+// System-wide conservation invariants over a long, busy run: every
+// packet and every tone is accounted for.  Catches leaks and
+// double-counting that scenario tests (which check outcomes, not
+// bookkeeping) would miss.
+#include <gtest/gtest.h>
+
+#include "audio/audio.h"
+#include "mdn/mdn.h"
+#include "mp/mp.h"
+#include "net/net.h"
+
+namespace mdn {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+
+TEST(Conservation, PacketsAreNeverCreatedOrDestroyedSilently) {
+  // Mixed workload over a bottleneck for 10 simulated seconds.
+  net::Network net;
+  auto& sw = net.add_switch("s1");
+  auto& h1 = net.add_host("h1", net::make_ipv4(10, 0, 0, 1));
+  auto& h2 = net.add_host("h2", net::make_ipv4(10, 0, 0, 2));
+  net::LinkSpec fast;
+  fast.rate_bps = 1e9;
+  net::LinkSpec slow;
+  slow.rate_bps = 8e6;
+  slow.queue_capacity = 50;
+  net.connect(h1, sw, fast);
+  const std::size_t out = net.connect(h2, sw, slow);
+  net::FlowEntry fwd;
+  fwd.priority = 1;
+  fwd.actions = {net::Action::output(out)};
+  sw.flow_table().add(fwd, 0);
+
+  net::SourceConfig cbr_cfg;
+  cbr_cfg.flow = {h1.ip(), h2.ip(), 41000, 80, net::IpProto::kTcp};
+  cbr_cfg.stop = net::from_seconds(10.0);
+  net::CbrSource cbr(h1, cbr_cfg, 800.0);
+  cbr.start();
+
+  net::SourceConfig onoff_cfg = cbr_cfg;
+  onoff_cfg.flow.dst_port = 81;
+  net::OnOffSource onoff(h1, onoff_cfg, 2000.0, 200 * net::kMillisecond,
+                         300 * net::kMillisecond, 3);
+  onoff.start();
+
+  net.loop().run();
+
+  // Sent == received + dropped at the bottleneck queue (+0 in flight
+  // after the loop drains).
+  const std::uint64_t sent = h1.tx_packets();
+  const std::uint64_t received = h2.rx_packets();
+  const std::uint64_t queue_drops = sw.port(out).drops();
+  EXPECT_EQ(sent, cbr.sent() + onoff.sent());
+  EXPECT_EQ(sent, received + queue_drops);
+  EXPECT_EQ(sw.forwarded(), sent);  // everything matched the one rule
+  EXPECT_EQ(sw.table_misses(), 0u);
+  EXPECT_EQ(sw.port(out).backlog(), 0u);
+
+  // Byte accounting agrees with packet accounting.
+  EXPECT_EQ(h2.rx_bytes(), received * 1000);
+}
+
+TEST(Conservation, EveryEmittedToneIsPlayedOrPoliced) {
+  net::Network net;
+  audio::AcousticChannel channel(kSampleRate);
+  core::FrequencyPlan plan({.base_hz = 1000.0, .spacing_hz = 20.0});
+  const auto dev = plan.add_device("s1", 8);
+  const auto spk = channel.add_source("spk", 0.5);
+  mp::PiSpeakerBridge bridge(net.loop(), channel, spk);
+  mp::MpEmitter emitter(net.loop(), bridge, 40 * net::kMillisecond);
+
+  audio::Rng rng(9);
+  int requests = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto t = static_cast<net::SimTime>(rng.below(4'000'000'000ULL));
+    net.loop().schedule_at(t, [&, i] {
+      ++requests;
+      emitter.emit(plan.frequency(dev, static_cast<std::size_t>(i % 8)),
+                   0.03, 70.0);
+    });
+  }
+  net.loop().run();
+
+  EXPECT_EQ(requests, 200);
+  EXPECT_EQ(emitter.emitted() + emitter.suppressed(), 200u);
+  EXPECT_EQ(bridge.played(), emitter.emitted());
+  EXPECT_EQ(bridge.malformed(), 0u);
+}
+
+TEST(Conservation, OnsetsNeverExceedPlayedTones) {
+  // A long listening session: the controller may miss tones (overlaps,
+  // noise) but must never invent them.
+  net::Network net;
+  audio::AcousticChannel channel(kSampleRate);
+  core::FrequencyPlan plan({.base_hz = 1000.0, .spacing_hz = 20.0});
+  const auto dev = plan.add_device("s1", 4);
+  const auto spk = channel.add_source("spk", 0.5);
+  mp::PiSpeakerBridge bridge(net.loop(), channel, spk);
+  mp::MpEmitter emitter(net.loop(), bridge,
+                        150 * net::kMillisecond);
+
+  core::MdnController::Config cfg;
+  cfg.detector.sample_rate = kSampleRate;
+  core::MdnController controller(net.loop(), channel, cfg);
+  std::size_t onsets = 0;
+  controller.watch_all(plan.frequencies(dev),
+                       [&](const core::ToneEvent&) { ++onsets; });
+  controller.start();
+
+  audio::Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    const auto t = static_cast<net::SimTime>(rng.below(9'000'000'000ULL));
+    net.loop().schedule_at(t, [&, i] {
+      emitter.emit(plan.frequency(dev, static_cast<std::size_t>(i % 4)),
+                   0.06, 75.0);
+    });
+  }
+  net.loop().schedule_at(net::from_seconds(10.0),
+                         [&] { controller.stop(); });
+  net.loop().run();
+
+  EXPECT_LE(onsets, bridge.played());
+  // With 150 ms policing the vast majority must be heard.
+  EXPECT_GE(onsets, bridge.played() * 8 / 10);
+  EXPECT_EQ(controller.event_log().size(), onsets);
+}
+
+}  // namespace
+}  // namespace mdn

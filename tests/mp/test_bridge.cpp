@@ -1,0 +1,137 @@
+#include "mp/bridge.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/fft.h"
+#include "dsp/spectrum.h"
+#include "dsp/window.h"
+
+namespace mdn::mp {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+
+struct BridgeFixture : ::testing::Test {
+  BridgeFixture()
+      : channel(kSampleRate),
+        source(channel.add_source("pi", 1.0)),
+        bridge(loop, channel, source, /*processing_delay=*/0) {}
+
+  double tone_amplitude_at(double freq, double start_s, double dur_s) {
+    const auto w = channel.render(start_s, dur_s);
+    const auto window = dsp::make_window(dsp::WindowKind::kHann, w.size());
+    const auto spec = dsp::amplitude_spectrum(w.samples(), window);
+    const auto bin = dsp::frequency_bin(freq, w.size(), kSampleRate);
+    double best = 0.0;
+    for (std::size_t k = bin >= 2 ? bin - 2 : 0;
+         k <= bin + 2 && k < spec.size(); ++k) {
+      best = std::max(best, spec[k]);
+    }
+    return best;
+  }
+
+  net::EventLoop loop;
+  audio::AcousticChannel channel;
+  audio::SourceId source;
+  PiSpeakerBridge bridge;
+};
+
+TEST_F(BridgeFixture, PlayEmitsToneAtRequestedFrequency) {
+  MpMessage msg;
+  msg.frequency_hz = 880.0;
+  msg.duration_s = 0.1;
+  msg.intensity_db_spl = 94.0;  // amplitude 1.0 at 1 m
+  bridge.play(msg);
+  EXPECT_EQ(bridge.played(), 1u);
+  EXPECT_NEAR(tone_amplitude_at(880.0, 0.0, 0.1), 1.0, 0.1);
+  EXPECT_LT(tone_amplitude_at(2000.0, 0.0, 0.1), 0.01);
+}
+
+TEST_F(BridgeFixture, IntensityControlsAmplitude) {
+  MpMessage quiet;
+  quiet.frequency_hz = 700.0;
+  quiet.duration_s = 0.1;
+  quiet.intensity_db_spl = 74.0;  // 20 dB below reference -> 0.1
+  bridge.play(quiet);
+  EXPECT_NEAR(tone_amplitude_at(700.0, 0.0, 0.1), 0.1, 0.02);
+}
+
+TEST_F(BridgeFixture, ProcessingDelayShiftsTone) {
+  PiSpeakerBridge slow(loop, channel, source,
+                       /*processing_delay=*/50 * net::kMillisecond);
+  MpMessage msg;
+  msg.frequency_hz = 600.0;
+  msg.duration_s = 0.04;
+  msg.intensity_db_spl = 94.0;
+  slow.play(msg);
+  // Nothing during the Pi's processing window...
+  EXPECT_LT(tone_amplitude_at(600.0, 0.0, 0.04), 0.01);
+  // ...tone appears afterwards.
+  EXPECT_GT(tone_amplitude_at(600.0, 0.05, 0.04), 0.5);
+}
+
+TEST_F(BridgeFixture, WirePathRoundTrips) {
+  MpMessage msg;
+  msg.frequency_hz = 1234.0;
+  msg.duration_s = 0.05;
+  msg.intensity_db_spl = 94.0;
+  bridge.on_wire(marshal(msg));
+  EXPECT_EQ(bridge.played(), 1u);
+  EXPECT_EQ(bridge.malformed(), 0u);
+  EXPECT_GT(tone_amplitude_at(1234.0, 0.0, 0.05), 0.5);
+}
+
+TEST_F(BridgeFixture, MalformedWireCountedAndIgnored) {
+  auto wire = marshal(MpMessage{});
+  wire[6] ^= 0xff;  // corrupt frequency -> checksum fails
+  bridge.on_wire(wire);
+  EXPECT_EQ(bridge.played(), 0u);
+  EXPECT_EQ(bridge.malformed(), 1u);
+  EXPECT_EQ(bridge.last_error(), MpError::kBadChecksum);
+}
+
+TEST_F(BridgeFixture, EmitterMarshalsThroughBridge) {
+  MpEmitter emitter(loop, bridge, /*min_gap=*/0);
+  EXPECT_TRUE(emitter.emit(500.0, 0.05, 94.0));
+  EXPECT_EQ(emitter.emitted(), 1u);
+  EXPECT_EQ(bridge.played(), 1u);
+  EXPECT_GT(tone_amplitude_at(500.0, 0.0, 0.05), 0.5);
+}
+
+TEST_F(BridgeFixture, EmitterEnforcesMinGap) {
+  MpEmitter emitter(loop, bridge, /*min_gap=*/100 * net::kMillisecond);
+  EXPECT_TRUE(emitter.emit(500.0, 0.03, 70.0));
+  EXPECT_FALSE(emitter.emit(500.0, 0.03, 70.0));  // same instant
+  EXPECT_EQ(emitter.suppressed(), 1u);
+
+  loop.run_until(50 * net::kMillisecond);
+  EXPECT_FALSE(emitter.emit(500.0, 0.03, 70.0));  // still inside the gap
+
+  loop.run_until(150 * net::kMillisecond);
+  EXPECT_TRUE(emitter.emit(500.0, 0.03, 70.0));
+  EXPECT_EQ(emitter.emitted(), 2u);
+  EXPECT_EQ(emitter.suppressed(), 2u);
+}
+
+TEST_F(BridgeFixture, EmitterSequenceNumbersAdvance) {
+  MpEmitter emitter(loop, bridge, 0);
+  emitter.emit(500.0, 0.01, 70.0);
+  emitter.emit(600.0, 0.01, 70.0);
+  // Two distinct tones scheduled (sequence uniqueness is internal; we
+  // assert both got through).
+  EXPECT_EQ(bridge.played(), 2u);
+}
+
+TEST_F(BridgeFixture, DistanceAttenuatesBridgeOutput) {
+  const auto far_source = channel.add_source("far-pi", 2.0);
+  PiSpeakerBridge far_bridge(loop, channel, far_source, 0);
+  MpMessage msg;
+  msg.frequency_hz = 750.0;
+  msg.duration_s = 0.1;
+  msg.intensity_db_spl = 94.0;
+  far_bridge.play(msg);
+  EXPECT_NEAR(tone_amplitude_at(750.0, 0.0, 0.1), 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace mdn::mp

@@ -1,0 +1,149 @@
+#include "net/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mdn::net {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.3), 300 * kMillisecond);
+  EXPECT_EQ(from_millis(50.0), 50 * kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(1500 * kMillisecond), 1.5);
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, EqualTimesRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, ScheduleInIsRelative) {
+  EventLoop loop;
+  SimTime observed = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_in(50, [&] { observed = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(EventLoop, PastEventsRunAtCurrentTime) {
+  EventLoop loop;
+  SimTime observed = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_at(10, [&] { observed = loop.now(); });  // in the past
+  });
+  loop.run();
+  EXPECT_EQ(observed, 100);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const auto id = loop.schedule_at(10, [&] { ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, CancelledEventDoesNotBlockOthers) {
+  EventLoop loop;
+  bool ran = false;
+  const auto id = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [&] { ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    loop.schedule_at(t, [&fired, &loop] { fired.push_back(loop.now()); });
+  }
+  loop.run_until(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(loop.now(), 25);
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.run_until(100);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventLoop, RunUntilIncludesBoundaryEvents) {
+  EventLoop loop;
+  bool ran = false;
+  loop.schedule_at(25, [&] { ran = true; });
+  loop.run_until(25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockWithoutEvents) {
+  EventLoop loop;
+  loop.run_until(1000);
+  EXPECT_EQ(loop.now(), 1000);
+}
+
+TEST(EventLoop, PeriodicFiresUntilStopped) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_periodic(10, 10, [&] { return ++count < 5; });
+  loop.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now(), 50);
+}
+
+TEST(EventLoop, PeriodicFirstDelayIndependentOfPeriod) {
+  EventLoop loop;
+  std::vector<SimTime> fires;
+  loop.schedule_periodic(5, 100, [&] {
+    fires.push_back(loop.now());
+    return fires.size() < 3;
+  });
+  loop.run();
+  EXPECT_EQ(fires, (std::vector<SimTime>{5, 105, 205}));
+}
+
+TEST(EventLoop, NestedSchedulingDuringDispatch) {
+  // An event scheduling another event at the same timestamp runs it in
+  // the same run() pass.
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) loop.schedule_at(loop.now(), recurse);
+  };
+  loop.schedule_at(1, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(EventLoop, PendingCountsLiveEventsOnly) {
+  EventLoop loop;
+  const auto a = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace mdn::net

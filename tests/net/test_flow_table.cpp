@@ -1,0 +1,196 @@
+#include "net/flow_table.h"
+
+#include <gtest/gtest.h>
+
+namespace mdn::net {
+namespace {
+
+Packet make_pkt(std::uint16_t dst_port, IpProto proto = IpProto::kTcp) {
+  Packet p;
+  p.flow = {make_ipv4(10, 0, 0, 1), make_ipv4(10, 0, 0, 2), 5555, dst_port,
+            proto};
+  p.size_bytes = 500;
+  return p;
+}
+
+FlowEntry entry(int priority, Match match, Action action) {
+  FlowEntry e;
+  e.priority = priority;
+  e.match = match;
+  e.actions = {action};
+  return e;
+}
+
+TEST(Match, WildcardMatchesEverything) {
+  const Match m = Match::any();
+  EXPECT_TRUE(m.matches(make_pkt(80), 0));
+  EXPECT_TRUE(m.matches(make_pkt(443, IpProto::kUdp), 7));
+}
+
+TEST(Match, EachFieldFilters) {
+  Match m;
+  m.dst_port = 80;
+  EXPECT_TRUE(m.matches(make_pkt(80), 0));
+  EXPECT_FALSE(m.matches(make_pkt(81), 0));
+
+  Match mp;
+  mp.proto = IpProto::kUdp;
+  EXPECT_FALSE(mp.matches(make_pkt(80), 0));
+
+  Match mi;
+  mi.in_port = 2;
+  EXPECT_TRUE(mi.matches(make_pkt(80), 2));
+  EXPECT_FALSE(mi.matches(make_pkt(80), 3));
+
+  Match ms;
+  ms.src_ip = make_ipv4(10, 0, 0, 1);
+  EXPECT_TRUE(ms.matches(make_pkt(80), 0));
+  ms.src_ip = make_ipv4(10, 0, 0, 9);
+  EXPECT_FALSE(ms.matches(make_pkt(80), 0));
+}
+
+TEST(Match, CompoundMatchRequiresAllFields) {
+  Match m;
+  m.dst_port = 80;
+  m.proto = IpProto::kTcp;
+  m.in_port = 1;
+  EXPECT_TRUE(m.matches(make_pkt(80), 1));
+  EXPECT_FALSE(m.matches(make_pkt(80), 2));
+  EXPECT_FALSE(m.matches(make_pkt(80, IpProto::kUdp), 1));
+}
+
+TEST(FlowTable, HighestPriorityWins) {
+  FlowTable table;
+  Match port80;
+  port80.dst_port = 80;
+  table.add(entry(1, Match::any(), Action::output(1)), 0);
+  table.add(entry(100, port80, Action::drop()), 0);
+
+  FlowEntry* hit = table.lookup(make_pkt(80), 0, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 100);
+  EXPECT_EQ(hit->actions[0].type, ActionType::kDrop);
+
+  hit = table.lookup(make_pkt(22), 0, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->priority, 1);
+}
+
+TEST(FlowTable, InsertionOrderPreservedAmongEqualPriorities) {
+  FlowTable table;
+  table.add(entry(5, Match::any(), Action::output(1)), 0);
+  table.add(entry(5, Match::any(), Action::output(2)), 0);
+  FlowEntry* hit = table.lookup(make_pkt(80), 0, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actions[0].port, 1u);
+}
+
+TEST(FlowTable, MissReturnsNull) {
+  FlowTable table;
+  Match m;
+  m.dst_port = 443;
+  table.add(entry(1, m, Action::output(1)), 0);
+  EXPECT_EQ(table.lookup(make_pkt(80), 0, 0), nullptr);
+}
+
+TEST(FlowTable, CountersAccumulate) {
+  FlowTable table;
+  const auto cookie = table.add(entry(1, Match::any(), Action::output(1)), 0);
+  table.lookup(make_pkt(80), 0, 10);
+  table.lookup(make_pkt(81), 0, 20);
+  const auto& e = table.entries().front();
+  EXPECT_EQ(e.cookie, cookie);
+  EXPECT_EQ(e.packets, 2u);
+  EXPECT_EQ(e.bytes, 1000u);
+  EXPECT_EQ(e.last_matched, 20);
+}
+
+TEST(FlowTable, CookiesAutoAssignedUnique) {
+  FlowTable table;
+  const auto c1 = table.add(entry(1, Match::any(), Action::drop()), 0);
+  const auto c2 = table.add(entry(2, Match::any(), Action::drop()), 0);
+  EXPECT_NE(c1, c2);
+  EXPECT_NE(c1, 0u);
+}
+
+TEST(FlowTable, ExplicitCookiePreserved) {
+  FlowTable table;
+  FlowEntry e = entry(1, Match::any(), Action::drop());
+  e.cookie = 777;
+  EXPECT_EQ(table.add(e, 0), 777u);
+}
+
+TEST(FlowTable, RemoveByCookie) {
+  FlowTable table;
+  const auto c = table.add(entry(1, Match::any(), Action::drop()), 0);
+  table.add(entry(2, Match::any(), Action::drop()), 0);
+  EXPECT_EQ(table.remove_by_cookie(c), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.remove_by_cookie(c), 0u);
+}
+
+TEST(FlowTable, RemoveByMatch) {
+  FlowTable table;
+  Match m;
+  m.dst_port = 80;
+  table.add(entry(1, m, Action::drop()), 0);
+  table.add(entry(2, Match::any(), Action::drop()), 0);
+  EXPECT_EQ(table.remove_by_match(m), 1u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, HardTimeoutExpires) {
+  FlowTable table;
+  FlowEntry e = entry(1, Match::any(), Action::output(0));
+  e.hard_timeout = 100;
+  table.add(e, 0);
+  EXPECT_NE(table.lookup(make_pkt(80), 0, 50), nullptr);
+  EXPECT_EQ(table.lookup(make_pkt(80), 0, 150), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, IdleTimeoutRefreshedByTraffic) {
+  FlowTable table;
+  FlowEntry e = entry(1, Match::any(), Action::output(0));
+  e.idle_timeout = 100;
+  table.add(e, 0);
+  EXPECT_NE(table.lookup(make_pkt(80), 0, 90), nullptr);   // refresh
+  EXPECT_NE(table.lookup(make_pkt(80), 0, 180), nullptr);  // still alive
+  EXPECT_EQ(table.lookup(make_pkt(80), 0, 290), nullptr);  // idled out
+}
+
+TEST(FlowTable, HardTimeoutNotRefreshedByTraffic) {
+  FlowTable table;
+  FlowEntry e = entry(1, Match::any(), Action::output(0));
+  e.hard_timeout = 100;
+  table.add(e, 0);
+  EXPECT_NE(table.lookup(make_pkt(80), 0, 99), nullptr);
+  EXPECT_EQ(table.lookup(make_pkt(80), 0, 100), nullptr);
+}
+
+TEST(FlowTable, ZeroTimeoutMeansForever) {
+  FlowTable table;
+  table.add(entry(1, Match::any(), Action::output(0)), 0);
+  EXPECT_NE(table.lookup(make_pkt(80), 0, 1'000'000'000'000LL), nullptr);
+}
+
+TEST(FlowTable, ClearEmptiesTable) {
+  FlowTable table;
+  table.add(entry(1, Match::any(), Action::drop()), 0);
+  table.add(entry(2, Match::any(), Action::drop()), 0);
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, ActionFactories) {
+  EXPECT_EQ(Action::output(3).type, ActionType::kOutput);
+  EXPECT_EQ(Action::output(3).port, 3u);
+  EXPECT_EQ(Action::drop().type, ActionType::kDrop);
+  EXPECT_EQ(Action::flood().type, ActionType::kFlood);
+  const auto g = Action::group({1, 2});
+  EXPECT_EQ(g.type, ActionType::kGroup);
+  EXPECT_EQ(g.group_ports.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mdn::net

@@ -1,0 +1,151 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mdn::net {
+namespace {
+
+// Minimal packet sink node.
+class SinkNode : public Node {
+ public:
+  explicit SinkNode(std::string name) : Node(std::move(name)) {}
+  void receive(Packet pkt, std::size_t in_port) override {
+    arrivals.push_back({pkt, in_port});
+  }
+  std::vector<std::pair<Packet, std::size_t>> arrivals;
+};
+
+Packet pkt(std::uint32_t bytes) {
+  Packet p;
+  p.size_bytes = bytes;
+  return p;
+}
+
+struct LinkFixture : ::testing::Test {
+  EventLoop loop;
+  SinkNode a{"a"};
+  SinkNode b{"b"};
+};
+
+TEST_F(LinkFixture, TransmitTimeFollowsRate) {
+  Link link(loop, 8e6, 0);  // 8 Mbit/s -> 1 us per byte
+  EXPECT_EQ(link.transmit_time(1), 1 * kMicrosecond);
+  EXPECT_EQ(link.transmit_time(1000), 1 * kMillisecond);
+}
+
+TEST_F(LinkFixture, ZeroRateRejected) {
+  EXPECT_THROW(Link(loop, 0.0, 0), std::invalid_argument);
+}
+
+TEST_F(LinkFixture, DeliveryLatencyIsTxPlusPropagation) {
+  Link link(loop, 8e6, 5 * kMillisecond);
+  Port pa(loop, a, 0, 10);
+  Port pb(loop, b, 0, 10);
+  link.attach(pa, pb);
+
+  pa.send(pkt(1000));  // tx 1 ms + prop 5 ms
+  loop.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(loop.now(), 6 * kMillisecond);
+}
+
+TEST_F(LinkFixture, BidirectionalDelivery) {
+  Link link(loop, 8e6, kMillisecond);
+  Port pa(loop, a, 0, 10);
+  Port pb(loop, b, 0, 10);
+  link.attach(pa, pb);
+  pa.send(pkt(100));
+  pb.send(pkt(100));
+  loop.run();
+  EXPECT_EQ(a.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals.size(), 1u);
+}
+
+TEST_F(LinkFixture, DoubleAttachThrows) {
+  Link link(loop, 8e6, 0);
+  Port pa(loop, a, 0, 10);
+  Port pb(loop, b, 0, 10);
+  link.attach(pa, pb);
+  EXPECT_THROW(link.attach(pa, pb), std::logic_error);
+}
+
+TEST_F(LinkFixture, SerialisationQueuesBackToBackPackets) {
+  Link link(loop, 8e6, 0);  // 1 ms per 1000B packet
+  Port pa(loop, a, 0, 10);
+  Port pb(loop, b, 0, 10);
+  link.attach(pa, pb);
+
+  std::vector<SimTime> arrival_times;
+  for (int i = 0; i < 3; ++i) pa.send(pkt(1000));
+  // Replace sink behaviour: track times via a wrapper loop run.
+  loop.run();
+  ASSERT_EQ(b.arrivals.size(), 3u);
+  // All three serialised: last leaves at 3 ms.
+  EXPECT_EQ(loop.now(), 3 * kMillisecond);
+  EXPECT_EQ(pa.tx_packets(), 3u);
+  EXPECT_EQ(pa.tx_bytes(), 3000u);
+}
+
+TEST_F(LinkFixture, QueueOverflowDrops) {
+  Link link(loop, 8e6, 0);
+  Port pa(loop, a, 0, 2);  // 1 transmitting + 2 queued max
+  Port pb(loop, b, 0, 10);
+  link.attach(pa, pb);
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pa.send(pkt(1000))) ++accepted;
+  }
+  loop.run();
+  EXPECT_EQ(accepted, 3);
+  EXPECT_EQ(b.arrivals.size(), 3u);
+  EXPECT_EQ(pa.drops(), 7u);
+}
+
+TEST_F(LinkFixture, BacklogIncludesInFlightPacket) {
+  Link link(loop, 8e6, 0);
+  Port pa(loop, a, 0, 10);
+  Port pb(loop, b, 0, 10);
+  link.attach(pa, pb);
+  EXPECT_EQ(pa.backlog(), 0u);
+  pa.send(pkt(1000));
+  pa.send(pkt(1000));
+  EXPECT_EQ(pa.backlog(), 2u);  // 1 transmitting + 1 queued
+  EXPECT_EQ(pa.queue().size(), 1u);
+  loop.run();
+  EXPECT_EQ(pa.backlog(), 0u);
+}
+
+TEST_F(LinkFixture, UnconnectedPortDropsAndCounts) {
+  Port pa(loop, a, 0, 10);
+  EXPECT_FALSE(pa.send(pkt(100)));
+  EXPECT_EQ(pa.drops(), 1u);
+  EXPECT_FALSE(pa.connected());
+}
+
+TEST_F(LinkFixture, RxCountersOnPeer) {
+  Link link(loop, 8e6, 0);
+  Port pa(loop, a, 0, 10);
+  Port pb(loop, b, 0, 10);
+  link.attach(pa, pb);
+  pa.send(pkt(700));
+  loop.run();
+  EXPECT_EQ(pb.rx_packets(), 1u);
+  EXPECT_EQ(pb.rx_bytes(), 700u);
+  EXPECT_EQ(pa.rx_packets(), 0u);
+}
+
+TEST_F(LinkFixture, InPortReportedToReceiver) {
+  Link link(loop, 8e6, 0);
+  Port pa(loop, a, 0, 10);
+  Port pb(loop, b, 3, 10);  // receiver port index 3
+  link.attach(pa, pb);
+  pa.send(pkt(100));
+  loop.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].second, 3u);
+}
+
+}  // namespace
+}  // namespace mdn::net

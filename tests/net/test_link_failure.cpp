@@ -1,0 +1,96 @@
+// Link failure injection: the data-plane failure mode that motivates
+// out-of-band management (§1).
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace mdn::net {
+namespace {
+
+Packet make_pkt(std::uint32_t src, std::uint32_t dst) {
+  Packet p;
+  p.flow = {src, dst, 40000, 80, IpProto::kTcp};
+  p.size_bytes = 100;
+  return p;
+}
+
+struct FailureFixture : ::testing::Test {
+  void SetUp() override {
+    sw = &net.add_switch("s1");
+    h1 = &net.add_host("h1", make_ipv4(10, 0, 0, 1));
+    h2 = &net.add_host("h2", make_ipv4(10, 0, 0, 2));
+    net.connect(*h1, *sw);
+    out = net.connect(*h2, *sw);
+    FlowEntry e;
+    e.priority = 1;
+    e.actions = {Action::output(out)};
+    sw->flow_table().add(e, 0);
+  }
+
+  Network net;
+  Switch* sw = nullptr;
+  Host* h1 = nullptr;
+  Host* h2 = nullptr;
+  std::size_t out = 0;
+};
+
+TEST_F(FailureFixture, LinksStartUp) {
+  ASSERT_EQ(net.link_count(), 2u);
+  EXPECT_TRUE(net.link_at(0).is_up());
+  EXPECT_TRUE(net.link_at(1).is_up());
+}
+
+TEST_F(FailureFixture, DownLinkLosesPackets) {
+  net.link_at(1).set_up(false);  // h2's link
+  h1->send(make_pkt(h1->ip(), h2->ip()));
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 0u);
+  EXPECT_EQ(net.link_at(1).lost_packets(), 1u);
+}
+
+TEST_F(FailureFixture, RepairRestoresDelivery) {
+  net.link_at(1).set_up(false);
+  h1->send(make_pkt(h1->ip(), h2->ip()));
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 0u);
+
+  net.link_at(1).set_up(true);
+  h1->send(make_pkt(h1->ip(), h2->ip()));
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 1u);
+}
+
+TEST_F(FailureFixture, MidFlightFailureDropsInFlightPacket) {
+  // Fail the link while the packet is serialising: it is lost at
+  // delivery time, like a cable cut mid-frame.
+  h1->send(make_pkt(h1->ip(), h2->ip()));
+  net.link_at(0).set_up(false);
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 0u);
+  EXPECT_EQ(net.link_at(0).lost_packets(), 1u);
+}
+
+TEST_F(FailureFixture, PortLinkAccessor) {
+  ASSERT_NE(h1->port().attached_link(), nullptr);
+  EXPECT_EQ(h1->port().attached_link(), &net.link_at(0));
+  h1->port().attached_link()->set_up(false);
+  h1->send(make_pkt(h1->ip(), h2->ip()));
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 0u);
+}
+
+TEST_F(FailureFixture, FailureIsDirectionless) {
+  net.link_at(0).set_up(false);
+  // Traffic in the reverse direction dies too.
+  FlowEntry back;
+  back.priority = 2;
+  back.match.dst_ip = h1->ip();
+  back.actions = {Action::output(0)};
+  sw->flow_table().add(back, 0);
+  h2->send(make_pkt(h2->ip(), h1->ip()));
+  net.loop().run();
+  EXPECT_EQ(h1->rx_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace mdn::net

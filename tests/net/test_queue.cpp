@@ -1,0 +1,99 @@
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace mdn::net {
+namespace {
+
+Packet pkt(std::uint64_t id, std::uint32_t bytes = 100) {
+  Packet p;
+  p.id = id;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Queue, FifoOrder) {
+  DropTailQueue q(10);
+  q.push(pkt(1));
+  q.push(pkt(2));
+  q.push(pkt(3));
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_EQ(q.pop()->id, 2u);
+  EXPECT_EQ(q.pop()->id, 3u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Queue, CapacityEnforced) {
+  DropTailQueue q(2);
+  EXPECT_TRUE(q.push(pkt(1)));
+  EXPECT_TRUE(q.push(pkt(2)));
+  EXPECT_FALSE(q.push(pkt(3)));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(Queue, DropDoesNotAffectContents) {
+  DropTailQueue q(1);
+  q.push(pkt(1));
+  q.push(pkt(2));  // dropped
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Queue, ByteAccounting) {
+  DropTailQueue q(10);
+  q.push(pkt(1, 100));
+  q.push(pkt(2, 250));
+  EXPECT_EQ(q.bytes(), 350u);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 250u);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 0u);
+}
+
+TEST(Queue, ConservationInvariant) {
+  // enqueued == dequeued + still-queued + never (drops are not enqueued).
+  DropTailQueue q(5);
+  for (std::uint64_t i = 0; i < 20; ++i) q.push(pkt(i));
+  std::size_t popped = 0;
+  while (q.pop()) ++popped;
+  EXPECT_EQ(q.enqueued(), 5u);
+  EXPECT_EQ(q.dequeued(), popped);
+  EXPECT_EQ(q.drops(), 15u);
+  EXPECT_EQ(q.enqueued(), q.dequeued());
+}
+
+TEST(Queue, HighWatermarkTracksPeak) {
+  DropTailQueue q(100);
+  for (std::uint64_t i = 0; i < 30; ++i) q.push(pkt(i));
+  for (int i = 0; i < 25; ++i) q.pop();
+  for (std::uint64_t i = 0; i < 10; ++i) q.push(pkt(100 + i));
+  EXPECT_EQ(q.high_watermark(), 30u);
+}
+
+TEST(Queue, ZeroCapacityDropsEverything) {
+  DropTailQueue q(0);
+  EXPECT_FALSE(q.push(pkt(1)));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Queue, PaperThresholdsObservable) {
+  // The §6 bands: fill to 80 packets, check the 25/75 thresholds are
+  // crossed as occupancy evolves.
+  DropTailQueue q(200);
+  std::size_t below25 = 0, mid = 0, above75 = 0;
+  for (std::uint64_t i = 0; i < 80; ++i) {
+    q.push(pkt(i));
+    const std::size_t n = q.size();
+    if (n < 25) ++below25;
+    else if (n <= 75) ++mid;
+    else ++above75;
+  }
+  EXPECT_EQ(below25, 24u);
+  EXPECT_EQ(mid, 51u);
+  EXPECT_EQ(above75, 5u);
+}
+
+}  // namespace
+}  // namespace mdn::net

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace mdn::net {
+namespace {
+
+Packet make_pkt(std::uint32_t src, std::uint32_t dst, std::uint16_t dport) {
+  Packet p;
+  p.flow = {src, dst, 40000, dport, IpProto::kTcp};
+  p.size_bytes = 200;
+  return p;
+}
+
+struct TwoHostFixture : ::testing::Test {
+  void SetUp() override {
+    sw = &net.add_switch("s1");
+    h1 = &net.add_host("h1", make_ipv4(10, 0, 0, 1));
+    h2 = &net.add_host("h2", make_ipv4(10, 0, 0, 2));
+    p1 = net.connect(*h1, *sw);
+    p2 = net.connect(*h2, *sw);
+  }
+
+  Network net;
+  Switch* sw = nullptr;
+  Host* h1 = nullptr;
+  Host* h2 = nullptr;
+  std::size_t p1 = 0, p2 = 0;
+};
+
+TEST_F(TwoHostFixture, ForwardingViaFlowEntry) {
+  FlowEntry e;
+  e.priority = 1;
+  e.match.dst_ip = h2->ip();
+  e.actions = {Action::output(p2)};
+  sw->flow_table().add(e, 0);
+
+  h1->send(make_pkt(h1->ip(), h2->ip(), 80));
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 1u);
+  EXPECT_EQ(sw->forwarded(), 1u);
+}
+
+TEST_F(TwoHostFixture, TableMissDropsByDefault) {
+  h1->send(make_pkt(h1->ip(), h2->ip(), 80));
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 0u);
+  EXPECT_EQ(sw->table_misses(), 1u);
+  EXPECT_EQ(sw->dropped(), 1u);
+}
+
+TEST_F(TwoHostFixture, MissHandlerInvoked) {
+  std::size_t seen_port = 99;
+  Packet seen_pkt;
+  sw->set_miss_handler([&](const Packet& pkt, std::size_t in_port) {
+    seen_pkt = pkt;
+    seen_port = in_port;
+  });
+  h1->send(make_pkt(h1->ip(), h2->ip(), 8080));
+  net.loop().run();
+  EXPECT_EQ(seen_port, p1);
+  EXPECT_EQ(seen_pkt.flow.dst_port, 8080);
+}
+
+TEST_F(TwoHostFixture, DropActionCountsDropped) {
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {Action::drop()};
+  sw->flow_table().add(e, 0);
+  h1->send(make_pkt(h1->ip(), h2->ip(), 80));
+  net.loop().run();
+  EXPECT_EQ(sw->dropped(), 1u);
+  EXPECT_EQ(h2->rx_packets(), 0u);
+}
+
+TEST_F(TwoHostFixture, FloodSkipsIngress) {
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {Action::flood()};
+  sw->flow_table().add(e, 0);
+  h1->send(make_pkt(h1->ip(), h2->ip(), 80));
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 1u);
+  EXPECT_EQ(h1->rx_packets(), 0u);  // not reflected
+}
+
+TEST_F(TwoHostFixture, GroupActionRoundRobins) {
+  // Add a third host to see the split.
+  Host& h3 = net.add_host("h3", make_ipv4(10, 0, 0, 3));
+  const std::size_t p3 = net.connect(h3, *sw);
+
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {Action::group({p2, p3})};
+  sw->flow_table().add(e, 0);
+
+  for (int i = 0; i < 10; ++i) {
+    h1->send(make_pkt(h1->ip(), h2->ip(), 80));
+  }
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 5u);
+  EXPECT_EQ(h3.rx_packets(), 5u);
+}
+
+TEST_F(TwoHostFixture, PacketHooksRunInOrder) {
+  std::vector<int> order;
+  sw->add_packet_hook([&](const Packet&, std::size_t) { order.push_back(1); });
+  sw->add_packet_hook([&](const Packet&, std::size_t) { order.push_back(2); });
+  h1->send(make_pkt(h1->ip(), h2->ip(), 80));
+  net.loop().run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(TwoHostFixture, HookSeesPacketEvenOnMiss) {
+  int hook_count = 0;
+  sw->add_packet_hook([&](const Packet&, std::size_t) { ++hook_count; });
+  h1->send(make_pkt(h1->ip(), h2->ip(), 80));  // miss -> drop
+  net.loop().run();
+  EXPECT_EQ(hook_count, 1);
+}
+
+TEST_F(TwoHostFixture, HostSeriesTracksCumulativeBytes) {
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {Action::output(p2)};
+  sw->flow_table().add(e, 0);
+
+  for (int i = 0; i < 3; ++i) h1->send(make_pkt(h1->ip(), h2->ip(), 80));
+  net.loop().run();
+
+  ASSERT_EQ(h1->tx_series().size(), 3u);
+  EXPECT_EQ(h1->tx_series().back().bytes, 600u);
+  ASSERT_EQ(h2->rx_series().size(), 3u);
+  EXPECT_EQ(h2->rx_series().back().bytes, 600u);
+  // rx lags tx in time.
+  EXPECT_GT(h2->rx_series().front().time, h1->tx_series().front().time);
+}
+
+TEST_F(TwoHostFixture, RxHookFires) {
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {Action::output(p2)};
+  sw->flow_table().add(e, 0);
+  int got = 0;
+  h2->set_rx_hook([&](const Packet&) { ++got; });
+  h1->send(make_pkt(h1->ip(), h2->ip(), 80));
+  net.loop().run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(TwoHostFixture, PacketIdsAssignedSequentially) {
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {Action::output(p2)};
+  sw->flow_table().add(e, 0);
+  std::vector<std::uint64_t> ids;
+  h2->set_rx_hook([&](const Packet& pkt) { ids.push_back(pkt.id); });
+  for (int i = 0; i < 3; ++i) h1->send(make_pkt(h1->ip(), h2->ip(), 80));
+  net.loop().run();
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Network, FindByName) {
+  Network net;
+  net.add_switch("alpha");
+  net.add_host("beta", make_ipv4(10, 0, 0, 1));
+  EXPECT_NE(net.find_switch("alpha"), nullptr);
+  EXPECT_EQ(net.find_switch("missing"), nullptr);
+  EXPECT_NE(net.find_host("beta"), nullptr);
+  EXPECT_EQ(net.find_host("missing"), nullptr);
+}
+
+TEST(Network, ChainDeliversEndToEnd) {
+  Network net;
+  Host* src = nullptr;
+  Host* dst = nullptr;
+  auto switches = build_chain(net, 3, &src, &dst);
+  EXPECT_EQ(switches.size(), 3u);
+
+  Packet p = make_pkt(src->ip(), dst->ip(), 80);
+  src->send(p);
+  net.loop().run();
+  EXPECT_EQ(dst->rx_packets(), 1u);
+  for (auto* sw : switches) EXPECT_EQ(sw->forwarded(), 1u);
+}
+
+TEST(Network, RhombusSingleAndSplitPaths) {
+  Network net;
+  auto topo = build_rhombus(net);
+
+  // Single path: everything via the upper branch.
+  FlowEntry single;
+  single.priority = 10;
+  single.actions = {Action::output(topo.entry_upper_port)};
+  topo.entry->flow_table().add(single, 0);
+
+  for (int i = 0; i < 6; ++i) {
+    topo.src->send(make_pkt(topo.src->ip(), topo.dst->ip(), 80));
+  }
+  net.loop().run();
+  EXPECT_EQ(topo.dst->rx_packets(), 6u);
+  EXPECT_EQ(topo.upper->forwarded(), 6u);
+  EXPECT_EQ(topo.lower->forwarded(), 0u);
+
+  // Split: group action over both branches beats the single-path rule.
+  FlowEntry split;
+  split.priority = 20;
+  split.actions = {
+      Action::group({topo.entry_upper_port, topo.entry_lower_port})};
+  topo.entry->flow_table().add(split, net.loop().now());
+
+  for (int i = 0; i < 6; ++i) {
+    topo.src->send(make_pkt(topo.src->ip(), topo.dst->ip(), 80));
+  }
+  net.loop().run();
+  EXPECT_EQ(topo.dst->rx_packets(), 12u);
+  EXPECT_EQ(topo.lower->forwarded(), 3u);
+  EXPECT_EQ(topo.upper->forwarded(), 9u);
+}
+
+}  // namespace
+}  // namespace mdn::net

@@ -1,0 +1,199 @@
+#include "net/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network.h"
+
+namespace mdn::net {
+namespace {
+
+// Fixture: h1 -- s1 -- h2 with a forward-everything rule.
+struct TrafficFixture : ::testing::Test {
+  void SetUp() override {
+    sw = &net.add_switch("s1");
+    h1 = &net.add_host("h1", make_ipv4(10, 0, 0, 1));
+    h2 = &net.add_host("h2", make_ipv4(10, 0, 0, 2));
+    LinkSpec fat;
+    fat.rate_bps = 1e9;
+    net.connect(*h1, *sw, fat);
+    const std::size_t out = net.connect(*h2, *sw, fat);
+    FlowEntry e;
+    e.priority = 1;
+    e.actions = {Action::output(out)};
+    sw->flow_table().add(e, 0);
+  }
+
+  FlowKey flow(std::uint16_t dport = 80) const {
+    return {h1->ip(), h2->ip(), 41000, dport, IpProto::kTcp};
+  }
+
+  Network net;
+  Switch* sw = nullptr;
+  Host* h1 = nullptr;
+  Host* h2 = nullptr;
+};
+
+TEST_F(TrafficFixture, CbrSendsExpectedCount) {
+  SourceConfig cfg;
+  cfg.flow = flow();
+  cfg.start = 0;
+  cfg.stop = kSecond;
+  CbrSource src(*h1, cfg, 100.0);
+  src.start();
+  net.loop().run();
+  EXPECT_EQ(src.sent(), 100u);
+  EXPECT_EQ(h2->rx_packets(), 100u);
+}
+
+TEST_F(TrafficFixture, CbrRespectsStartTime) {
+  SourceConfig cfg;
+  cfg.flow = flow();
+  cfg.start = 500 * kMillisecond;
+  cfg.stop = kSecond;
+  CbrSource src(*h1, cfg, 100.0);
+  src.start();
+  net.loop().run();
+  EXPECT_EQ(src.sent(), 50u);
+  EXPECT_GE(h1->tx_series().front().time, 500 * kMillisecond);
+}
+
+TEST_F(TrafficFixture, CbrRejectsNonPositiveRate) {
+  SourceConfig cfg;
+  cfg.flow = flow();
+  EXPECT_THROW(CbrSource(*h1, cfg, 0.0), std::invalid_argument);
+}
+
+TEST_F(TrafficFixture, RampRateIncreases) {
+  SourceConfig cfg;
+  cfg.flow = flow();
+  cfg.start = 0;
+  cfg.stop = 2 * kSecond;
+  RampSource src(*h1, cfg, 10.0, 200.0);
+  src.start();
+  net.loop().run();
+
+  // Inter-send gaps must shrink over time.
+  const auto& series = h1->tx_series();
+  ASSERT_GT(series.size(), 20u);
+  const SimTime early_gap = series[2].time - series[1].time;
+  const SimTime late_gap =
+      series[series.size() - 1].time - series[series.size() - 2].time;
+  EXPECT_LT(late_gap, early_gap / 3);
+  // Total roughly integrates the ramp: mean rate ~105 pps over 2 s.
+  EXPECT_NEAR(static_cast<double>(src.sent()), 210.0, 25.0);
+}
+
+TEST_F(TrafficFixture, RampRateAtEndpoints) {
+  SourceConfig cfg;
+  cfg.start = kSecond;
+  cfg.stop = 3 * kSecond;
+  RampSource src(*h1, cfg, 10.0, 110.0);
+  EXPECT_DOUBLE_EQ(src.rate_at(0), 10.0);
+  EXPECT_DOUBLE_EQ(src.rate_at(2 * kSecond), 60.0);
+  EXPECT_DOUBLE_EQ(src.rate_at(5 * kSecond), 110.0);
+}
+
+TEST_F(TrafficFixture, FlowMixRespectsWeights) {
+  std::vector<FlowMixSource::WeightedFlow> flows;
+  flows.push_back({flow(80), 8.0});   // elephant
+  flows.push_back({flow(81), 1.0});   // mouse
+  flows.push_back({flow(82), 1.0});   // mouse
+  FlowMixSource src(*h1, flows, 1000.0, 0, kSecond, /*seed=*/3);
+  src.start();
+  net.loop().run();
+
+  EXPECT_EQ(src.sent(), 1000u);
+  const auto elephant = src.sent_for(flow(80));
+  const auto mouse = src.sent_for(flow(81));
+  EXPECT_GT(elephant, 700u);
+  EXPECT_LT(mouse, 200u);
+  EXPECT_EQ(src.sent_for(flow(99)), 0u);  // unknown flow
+}
+
+TEST_F(TrafficFixture, FlowMixValidatesInput) {
+  EXPECT_THROW(FlowMixSource(*h1, {}, 10.0, 0, kSecond, 1),
+               std::invalid_argument);
+  std::vector<FlowMixSource::WeightedFlow> zero{{flow(), 0.0}};
+  EXPECT_THROW(FlowMixSource(*h1, zero, 10.0, 0, kSecond, 1),
+               std::invalid_argument);
+}
+
+TEST_F(TrafficFixture, PortScanCoversRangeOnce) {
+  std::set<std::uint16_t> seen;
+  h2->set_rx_hook(
+      [&](const Packet& pkt) { seen.insert(pkt.flow.dst_port); });
+
+  SourceConfig cfg;
+  cfg.flow = flow();
+  cfg.start = 0;
+  cfg.stop = 10 * kSecond;
+  PortScanSource scan(*h1, cfg, 20, 59, 10 * kMillisecond);
+  scan.start();
+  net.loop().run();
+
+  EXPECT_EQ(scan.sent(), 40u);
+  EXPECT_EQ(seen.size(), 40u);
+  EXPECT_TRUE(seen.contains(20));
+  EXPECT_TRUE(seen.contains(59));
+}
+
+TEST_F(TrafficFixture, PortScanPacketsAreSyns) {
+  bool all_syn = true;
+  h2->set_rx_hook([&](const Packet& pkt) { all_syn &= pkt.tcp_syn; });
+  SourceConfig cfg;
+  cfg.flow = flow();
+  PortScanSource scan(*h1, cfg, 1, 5, kMillisecond);
+  scan.start();
+  net.loop().run();
+  EXPECT_TRUE(all_syn);
+}
+
+TEST_F(TrafficFixture, PortScanValidatesRange) {
+  SourceConfig cfg;
+  cfg.flow = flow();
+  EXPECT_THROW(PortScanSource(*h1, cfg, 100, 50, kMillisecond),
+               std::invalid_argument);
+}
+
+TEST_F(TrafficFixture, OnOffAlternatesBursts) {
+  SourceConfig cfg;
+  cfg.flow = flow();
+  cfg.start = 0;
+  cfg.stop = 5 * kSecond;
+  OnOffSource src(*h1, cfg, 1000.0, 100 * kMillisecond,
+                  100 * kMillisecond, 7);
+  src.start();
+  net.loop().run();
+
+  // ~50% duty cycle at 1000 pps over 5 s -> very roughly 2500 packets.
+  EXPECT_GT(src.sent(), 500u);
+  EXPECT_LT(src.sent(), 4800u);
+
+  // Gaps should show both ~1 ms (in-burst) and >10 ms (off) intervals.
+  const auto& series = h1->tx_series();
+  bool has_small = false, has_large = false;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const SimTime gap = series[i].time - series[i - 1].time;
+    if (gap <= 2 * kMillisecond) has_small = true;
+    if (gap >= 10 * kMillisecond) has_large = true;
+  }
+  EXPECT_TRUE(has_small);
+  EXPECT_TRUE(has_large);
+}
+
+TEST_F(TrafficFixture, SourcesStopAtStopTime) {
+  SourceConfig cfg;
+  cfg.flow = flow();
+  cfg.start = 0;
+  cfg.stop = 100 * kMillisecond;
+  CbrSource src(*h1, cfg, 1000.0);
+  src.start();
+  net.loop().run();
+  EXPECT_LE(net.loop().now(), 200 * kMillisecond);
+  EXPECT_NEAR(static_cast<double>(src.sent()), 100.0, 2.0);
+}
+
+}  // namespace
+}  // namespace mdn::net

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sdn/controller.h"
+
+namespace mdn::sdn {
+namespace {
+
+using net::Action;
+using net::FlowEntry;
+using net::IpProto;
+using net::make_ipv4;
+using net::Match;
+using net::Packet;
+
+Packet make_pkt(std::uint16_t dport = 80) {
+  Packet p;
+  p.flow = {make_ipv4(10, 0, 0, 1), make_ipv4(10, 0, 0, 2), 40000, dport,
+            IpProto::kTcp};
+  p.size_bytes = 300;
+  return p;
+}
+
+class RecordingController : public Controller {
+ public:
+  void on_packet_in(DatapathId dpid, const PacketIn& msg) override {
+    packet_ins.push_back({dpid, msg});
+  }
+  void on_switch_attached(DatapathId dpid, net::Switch&) override {
+    attached.push_back(dpid);
+  }
+  std::vector<std::pair<DatapathId, PacketIn>> packet_ins;
+  std::vector<DatapathId> attached;
+};
+
+struct SdnFixture : ::testing::Test {
+  void SetUp() override {
+    sw = &net.add_switch("s1");
+    h1 = &net.add_host("h1", make_ipv4(10, 0, 0, 1));
+    h2 = &net.add_host("h2", make_ipv4(10, 0, 0, 2));
+    p1 = net.connect(*h1, *sw);
+    p2 = net.connect(*h2, *sw);
+  }
+
+  net::Network net;
+  net::Switch* sw = nullptr;
+  net::Host* h1 = nullptr;
+  net::Host* h2 = nullptr;
+  std::size_t p1 = 0, p2 = 0;
+};
+
+TEST_F(SdnFixture, AttachAssignsSequentialDpids) {
+  ControlChannel channel(net.loop());
+  RecordingController ctl;
+  net::Switch& s2 = net.add_switch("s2");
+  EXPECT_EQ(channel.attach(*sw, ctl), 0u);
+  EXPECT_EQ(channel.attach(s2, ctl), 1u);
+  EXPECT_EQ(ctl.attached, (std::vector<DatapathId>{0, 1}));
+  EXPECT_EQ(&channel.switch_for(1), &s2);
+  EXPECT_THROW(channel.switch_for(7), std::out_of_range);
+}
+
+TEST_F(SdnFixture, TableMissBecomesPacketIn) {
+  ControlChannel channel(net.loop(), net::kMillisecond);
+  RecordingController ctl;
+  const auto dpid = channel.attach(*sw, ctl);
+
+  h1->send(make_pkt(8080));
+  net.loop().run();
+
+  ASSERT_EQ(ctl.packet_ins.size(), 1u);
+  EXPECT_EQ(ctl.packet_ins[0].first, dpid);
+  EXPECT_EQ(ctl.packet_ins[0].second.in_port, p1);
+  EXPECT_EQ(ctl.packet_ins[0].second.packet.flow.dst_port, 8080);
+  EXPECT_EQ(channel.packet_ins_delivered(), 1u);
+}
+
+TEST_F(SdnFixture, PacketInDelayedByChannelLatency) {
+  const net::SimTime latency = 5 * net::kMillisecond;
+  ControlChannel channel(net.loop(), latency);
+  RecordingController ctl;
+  channel.attach(*sw, ctl);
+
+  net::SimTime delivery = -1;
+  h1->send(make_pkt());
+  // Poll: capture the time the PacketIn lands by wrapping run_until.
+  while (net.loop().pending() > 0) {
+    net.loop().run();
+  }
+  if (!ctl.packet_ins.empty()) delivery = net.loop().now();
+  // Link tx (~2.4 us) + prop (10 us) + latency 5 ms.
+  EXPECT_GE(delivery, latency);
+}
+
+TEST_F(SdnFixture, FlowModAddTakesEffectAfterLatency) {
+  ControlChannel channel(net.loop(), net::kMillisecond);
+  RecordingController ctl;
+  const auto dpid = channel.attach(*sw, ctl);
+
+  FlowEntry e;
+  e.priority = 5;
+  e.actions = {Action::output(p2)};
+  channel.send_flow_mod(dpid, FlowMod::add(e));
+  EXPECT_EQ(sw->flow_table().size(), 0u);  // not yet applied
+  net.loop().run();
+  EXPECT_EQ(sw->flow_table().size(), 1u);
+  EXPECT_EQ(channel.flow_mods_sent(), 1u);
+
+  h1->send(make_pkt());
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 1u);
+}
+
+TEST_F(SdnFixture, FlowModDeleteByCookie) {
+  ControlChannel channel(net.loop(), 0);
+  RecordingController ctl;
+  const auto dpid = channel.attach(*sw, ctl);
+  FlowEntry e;
+  e.priority = 5;
+  e.cookie = 42;
+  e.actions = {Action::drop()};
+  channel.send_flow_mod(dpid, FlowMod::add(e));
+  net.loop().run();
+  EXPECT_EQ(sw->flow_table().size(), 1u);
+  channel.send_flow_mod(dpid, FlowMod::delete_by_cookie(42));
+  net.loop().run();
+  EXPECT_EQ(sw->flow_table().size(), 0u);
+}
+
+TEST_F(SdnFixture, FlowModDeleteByMatch) {
+  ControlChannel channel(net.loop(), 0);
+  RecordingController ctl;
+  const auto dpid = channel.attach(*sw, ctl);
+  FlowEntry e;
+  e.priority = 5;
+  e.match.dst_port = 80;
+  e.actions = {Action::drop()};
+  channel.send_flow_mod(dpid, FlowMod::add(e));
+  net.loop().run();
+
+  Match m;
+  m.dst_port = 80;
+  channel.send_flow_mod(dpid, FlowMod::delete_by_match(m));
+  net.loop().run();
+  EXPECT_EQ(sw->flow_table().size(), 0u);
+}
+
+TEST_F(SdnFixture, FlowModClear) {
+  ControlChannel channel(net.loop(), 0);
+  RecordingController ctl;
+  const auto dpid = channel.attach(*sw, ctl);
+  for (int i = 0; i < 3; ++i) {
+    FlowEntry e;
+    e.priority = i;
+    e.actions = {Action::drop()};
+    channel.send_flow_mod(dpid, FlowMod::add(e));
+  }
+  net.loop().run();
+  EXPECT_EQ(sw->flow_table().size(), 3u);
+  FlowMod clear;
+  clear.command = FlowMod::Command::kClear;
+  channel.send_flow_mod(dpid, clear);
+  net.loop().run();
+  EXPECT_EQ(sw->flow_table().size(), 0u);
+}
+
+TEST_F(SdnFixture, PacketOutInjectsOnPort) {
+  ControlChannel channel(net.loop(), 0);
+  RecordingController ctl;
+  const auto dpid = channel.attach(*sw, ctl);
+  channel.send_packet_out(dpid,
+                          PacketOut{make_pkt(), Action::output(p2), {}});
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 1u);
+}
+
+TEST_F(SdnFixture, PacketOutFloodSkipsInPort) {
+  ControlChannel channel(net.loop(), 0);
+  RecordingController ctl;
+  const auto dpid = channel.attach(*sw, ctl);
+  channel.send_packet_out(dpid,
+                          PacketOut{make_pkt(), Action::flood(), p1});
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 1u);
+  EXPECT_EQ(h1->rx_packets(), 0u);
+}
+
+TEST_F(SdnFixture, PortStatsSnapshot) {
+  ControlChannel channel(net.loop(), 0);
+  RecordingController ctl;
+  const auto dpid = channel.attach(*sw, ctl);
+  FlowEntry e;
+  e.priority = 1;
+  e.actions = {Action::output(p2)};
+  channel.send_flow_mod(dpid, FlowMod::add(e));
+  net.loop().run();
+
+  for (int i = 0; i < 4; ++i) h1->send(make_pkt());
+  net.loop().run();
+
+  const auto stats = channel.query_port_stats(dpid);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[p1].rx_packets, 4u);
+  EXPECT_EQ(stats[p2].tx_packets, 4u);
+  EXPECT_EQ(stats[p2].tx_bytes, 1200u);
+}
+
+}  // namespace
+}  // namespace mdn::sdn

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sdn/controller.h"
+
+namespace mdn::sdn {
+namespace {
+
+using net::IpProto;
+using net::make_ipv4;
+using net::Packet;
+
+Packet pkt_between(const net::Host& from, const net::Host& to,
+                   std::uint16_t dport = 80) {
+  Packet p;
+  p.flow = {from.ip(), to.ip(), 40000, dport, IpProto::kTcp};
+  p.size_bytes = 100;
+  return p;
+}
+
+struct LearningFixture : ::testing::Test {
+  void SetUp() override {
+    sw = &net.add_switch("s1");
+    h1 = &net.add_host("h1", make_ipv4(10, 0, 0, 1));
+    h2 = &net.add_host("h2", make_ipv4(10, 0, 0, 2));
+    net.connect(*h1, *sw);
+    net.connect(*h2, *sw);
+    channel = std::make_unique<ControlChannel>(net.loop(), net::kMillisecond);
+    ctl = std::make_unique<LearningController>(*channel);
+    channel->attach(*sw, *ctl);
+  }
+
+  net::Network net;
+  net::Switch* sw = nullptr;
+  net::Host* h1 = nullptr;
+  net::Host* h2 = nullptr;
+  std::unique_ptr<ControlChannel> channel;
+  std::unique_ptr<LearningController> ctl;
+};
+
+TEST_F(LearningFixture, FirstPacketFloodsAndReaches) {
+  h1->send(pkt_between(*h1, *h2));
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), 1u);
+  EXPECT_EQ(ctl->floods(), 1u);
+  EXPECT_EQ(ctl->installs(), 0u);
+}
+
+TEST_F(LearningFixture, ReverseTrafficInstallsFlow) {
+  h1->send(pkt_between(*h1, *h2));
+  net.loop().run();
+  // h2 replies: controller knows where h1 lives -> install + packet-out.
+  h2->send(pkt_between(*h2, *h1));
+  net.loop().run();
+  EXPECT_EQ(h1->rx_packets(), 1u);
+  EXPECT_EQ(ctl->installs(), 1u);
+  EXPECT_GE(sw->flow_table().size(), 1u);
+}
+
+TEST_F(LearningFixture, SubsequentTrafficBypassesController) {
+  // Bootstrap both directions.
+  h1->send(pkt_between(*h1, *h2));
+  net.loop().run();
+  h2->send(pkt_between(*h2, *h1));
+  net.loop().run();
+  h1->send(pkt_between(*h1, *h2));
+  net.loop().run();
+
+  const auto installs_before = ctl->installs();
+  const auto pktins_before = channel->packet_ins_delivered();
+  for (int i = 0; i < 5; ++i) h1->send(pkt_between(*h1, *h2));
+  net.loop().run();
+
+  EXPECT_EQ(h2->rx_packets(), 1u + 1u + 5u);
+  EXPECT_EQ(channel->packet_ins_delivered(), pktins_before);
+  EXPECT_EQ(ctl->installs(), installs_before);
+}
+
+TEST_F(LearningFixture, ThreeHostsConvergePairwise) {
+  net::Host& h3 = net.add_host("h3", make_ipv4(10, 0, 0, 3));
+  net.connect(h3, *sw);
+
+  // Everyone greets everyone.
+  h1->send(pkt_between(*h1, *h2));
+  net.loop().run();
+  h2->send(pkt_between(*h2, h3));
+  net.loop().run();
+  h3.send(pkt_between(h3, *h1));
+  net.loop().run();
+
+  const auto before_h2 = h2->rx_packets();
+  h1->send(pkt_between(*h1, *h2));
+  h3.send(pkt_between(h3, *h2));
+  net.loop().run();
+  EXPECT_EQ(h2->rx_packets(), before_h2 + 2);
+}
+
+}  // namespace
+}  // namespace mdn::sdn
