@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_acoustic_throughput.dir/bench_ablation_acoustic_throughput.cpp.o"
+  "CMakeFiles/bench_ablation_acoustic_throughput.dir/bench_ablation_acoustic_throughput.cpp.o.d"
+  "bench_ablation_acoustic_throughput"
+  "bench_ablation_acoustic_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_acoustic_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ecn_vs_mdn.dir/bench_ablation_ecn_vs_mdn.cpp.o"
+  "CMakeFiles/bench_ablation_ecn_vs_mdn.dir/bench_ablation_ecn_vs_mdn.cpp.o.d"
+  "bench_ablation_ecn_vs_mdn"
+  "bench_ablation_ecn_vs_mdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ecn_vs_mdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_ecn_vs_mdn.
+# This may be replaced when dependencies are built.

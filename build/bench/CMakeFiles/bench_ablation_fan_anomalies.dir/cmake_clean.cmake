@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fan_anomalies.dir/bench_ablation_fan_anomalies.cpp.o"
+  "CMakeFiles/bench_ablation_fan_anomalies.dir/bench_ablation_fan_anomalies.cpp.o.d"
+  "bench_ablation_fan_anomalies"
+  "bench_ablation_fan_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fan_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_freq_spacing.dir/bench_ablation_freq_spacing.cpp.o"
+  "CMakeFiles/bench_ablation_freq_spacing.dir/bench_ablation_freq_spacing.cpp.o.d"
+  "bench_ablation_freq_spacing"
+  "bench_ablation_freq_spacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_freq_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

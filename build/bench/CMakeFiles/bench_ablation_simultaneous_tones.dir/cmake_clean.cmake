@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_simultaneous_tones.dir/bench_ablation_simultaneous_tones.cpp.o"
+  "CMakeFiles/bench_ablation_simultaneous_tones.dir/bench_ablation_simultaneous_tones.cpp.o.d"
+  "bench_ablation_simultaneous_tones"
+  "bench_ablation_simultaneous_tones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_simultaneous_tones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_window_kind.dir/bench_ablation_window_kind.cpp.o"
+  "CMakeFiles/bench_ablation_window_kind.dir/bench_ablation_window_kind.cpp.o.d"
+  "bench_ablation_window_kind"
+  "bench_ablation_window_kind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_window_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_multiswitch_fft.dir/bench_fig2a_multiswitch_fft.cpp.o"
+  "CMakeFiles/bench_fig2a_multiswitch_fft.dir/bench_fig2a_multiswitch_fft.cpp.o.d"
+  "bench_fig2a_multiswitch_fft"
+  "bench_fig2a_multiswitch_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_multiswitch_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_port_knocking.dir/bench_fig3_port_knocking.cpp.o"
+  "CMakeFiles/bench_fig3_port_knocking.dir/bench_fig3_port_knocking.cpp.o.d"
+  "bench_fig3_port_knocking"
+  "bench_fig3_port_knocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_port_knocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

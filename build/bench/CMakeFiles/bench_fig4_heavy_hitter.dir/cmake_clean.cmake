@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_heavy_hitter.dir/bench_fig4_heavy_hitter.cpp.o"
+  "CMakeFiles/bench_fig4_heavy_hitter.dir/bench_fig4_heavy_hitter.cpp.o.d"
+  "bench_fig4_heavy_hitter"
+  "bench_fig4_heavy_hitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_heavy_hitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

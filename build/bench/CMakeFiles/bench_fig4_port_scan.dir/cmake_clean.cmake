@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_port_scan.dir/bench_fig4_port_scan.cpp.o"
+  "CMakeFiles/bench_fig4_port_scan.dir/bench_fig4_port_scan.cpp.o.d"
+  "bench_fig4_port_scan"
+  "bench_fig4_port_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_port_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fan_spectrogram.dir/bench_fig6_fan_spectrogram.cpp.o"
+  "CMakeFiles/bench_fig6_fan_spectrogram.dir/bench_fig6_fan_spectrogram.cpp.o.d"
+  "bench_fig6_fan_spectrogram"
+  "bench_fig6_fan_spectrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fan_spectrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

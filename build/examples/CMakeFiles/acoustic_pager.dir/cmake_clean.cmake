@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_pager.dir/acoustic_pager.cpp.o"
+  "CMakeFiles/acoustic_pager.dir/acoustic_pager.cpp.o.d"
+  "acoustic_pager"
+  "acoustic_pager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_pager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

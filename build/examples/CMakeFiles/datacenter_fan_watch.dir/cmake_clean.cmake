@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_fan_watch.dir/datacenter_fan_watch.cpp.o"
+  "CMakeFiles/datacenter_fan_watch.dir/datacenter_fan_watch.cpp.o.d"
+  "datacenter_fan_watch"
+  "datacenter_fan_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_fan_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_plan_tool.dir/frequency_plan_tool.cpp.o"
+  "CMakeFiles/frequency_plan_tool.dir/frequency_plan_tool.cpp.o.d"
+  "frequency_plan_tool"
+  "frequency_plan_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_plan_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancer_demo.dir/load_balancer_demo.cpp.o"
+  "CMakeFiles/load_balancer_demo.dir/load_balancer_demo.cpp.o.d"
+  "load_balancer_demo"
+  "load_balancer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_knocking_demo.dir/port_knocking_demo.cpp.o"
+  "CMakeFiles/port_knocking_demo.dir/port_knocking_demo.cpp.o.d"
+  "port_knocking_demo"
+  "port_knocking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_knocking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_dashboard.dir/telemetry_dashboard.cpp.o"
+  "CMakeFiles/telemetry_dashboard.dir/telemetry_dashboard.cpp.o.d"
+  "telemetry_dashboard"
+  "telemetry_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

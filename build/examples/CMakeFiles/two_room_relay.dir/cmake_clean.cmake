@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_room_relay.dir/two_room_relay.cpp.o"
+  "CMakeFiles/two_room_relay.dir/two_room_relay.cpp.o.d"
+  "two_room_relay"
+  "two_room_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_room_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

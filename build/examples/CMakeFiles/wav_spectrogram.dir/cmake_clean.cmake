@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wav_spectrogram.dir/wav_spectrogram.cpp.o"
+  "CMakeFiles/wav_spectrogram.dir/wav_spectrogram.cpp.o.d"
+  "wav_spectrogram"
+  "wav_spectrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wav_spectrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wav_spectrogram.
+# This may be replaced when dependencies are built.

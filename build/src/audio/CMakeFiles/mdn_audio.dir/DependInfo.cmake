@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/channel.cpp" "src/audio/CMakeFiles/mdn_audio.dir/channel.cpp.o" "gcc" "src/audio/CMakeFiles/mdn_audio.dir/channel.cpp.o.d"
+  "/root/repo/src/audio/fan.cpp" "src/audio/CMakeFiles/mdn_audio.dir/fan.cpp.o" "gcc" "src/audio/CMakeFiles/mdn_audio.dir/fan.cpp.o.d"
+  "/root/repo/src/audio/noise.cpp" "src/audio/CMakeFiles/mdn_audio.dir/noise.cpp.o" "gcc" "src/audio/CMakeFiles/mdn_audio.dir/noise.cpp.o.d"
+  "/root/repo/src/audio/resample.cpp" "src/audio/CMakeFiles/mdn_audio.dir/resample.cpp.o" "gcc" "src/audio/CMakeFiles/mdn_audio.dir/resample.cpp.o.d"
+  "/root/repo/src/audio/rng.cpp" "src/audio/CMakeFiles/mdn_audio.dir/rng.cpp.o" "gcc" "src/audio/CMakeFiles/mdn_audio.dir/rng.cpp.o.d"
+  "/root/repo/src/audio/song.cpp" "src/audio/CMakeFiles/mdn_audio.dir/song.cpp.o" "gcc" "src/audio/CMakeFiles/mdn_audio.dir/song.cpp.o.d"
+  "/root/repo/src/audio/synth.cpp" "src/audio/CMakeFiles/mdn_audio.dir/synth.cpp.o" "gcc" "src/audio/CMakeFiles/mdn_audio.dir/synth.cpp.o.d"
+  "/root/repo/src/audio/wav.cpp" "src/audio/CMakeFiles/mdn_audio.dir/wav.cpp.o" "gcc" "src/audio/CMakeFiles/mdn_audio.dir/wav.cpp.o.d"
+  "/root/repo/src/audio/waveform.cpp" "src/audio/CMakeFiles/mdn_audio.dir/waveform.cpp.o" "gcc" "src/audio/CMakeFiles/mdn_audio.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/mdn_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

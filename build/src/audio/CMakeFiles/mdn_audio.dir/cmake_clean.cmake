@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdn_audio.dir/channel.cpp.o"
+  "CMakeFiles/mdn_audio.dir/channel.cpp.o.d"
+  "CMakeFiles/mdn_audio.dir/fan.cpp.o"
+  "CMakeFiles/mdn_audio.dir/fan.cpp.o.d"
+  "CMakeFiles/mdn_audio.dir/noise.cpp.o"
+  "CMakeFiles/mdn_audio.dir/noise.cpp.o.d"
+  "CMakeFiles/mdn_audio.dir/resample.cpp.o"
+  "CMakeFiles/mdn_audio.dir/resample.cpp.o.d"
+  "CMakeFiles/mdn_audio.dir/rng.cpp.o"
+  "CMakeFiles/mdn_audio.dir/rng.cpp.o.d"
+  "CMakeFiles/mdn_audio.dir/song.cpp.o"
+  "CMakeFiles/mdn_audio.dir/song.cpp.o.d"
+  "CMakeFiles/mdn_audio.dir/synth.cpp.o"
+  "CMakeFiles/mdn_audio.dir/synth.cpp.o.d"
+  "CMakeFiles/mdn_audio.dir/wav.cpp.o"
+  "CMakeFiles/mdn_audio.dir/wav.cpp.o.d"
+  "CMakeFiles/mdn_audio.dir/waveform.cpp.o"
+  "CMakeFiles/mdn_audio.dir/waveform.cpp.o.d"
+  "libmdn_audio.a"
+  "libmdn_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdn_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdn_dsp.dir/ecdf.cpp.o"
+  "CMakeFiles/mdn_dsp.dir/ecdf.cpp.o.d"
+  "CMakeFiles/mdn_dsp.dir/fft.cpp.o"
+  "CMakeFiles/mdn_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/mdn_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/mdn_dsp.dir/goertzel.cpp.o.d"
+  "CMakeFiles/mdn_dsp.dir/mel.cpp.o"
+  "CMakeFiles/mdn_dsp.dir/mel.cpp.o.d"
+  "CMakeFiles/mdn_dsp.dir/spectrogram.cpp.o"
+  "CMakeFiles/mdn_dsp.dir/spectrogram.cpp.o.d"
+  "CMakeFiles/mdn_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/mdn_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/mdn_dsp.dir/window.cpp.o"
+  "CMakeFiles/mdn_dsp.dir/window.cpp.o.d"
+  "libmdn_dsp.a"
+  "libmdn_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdn_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

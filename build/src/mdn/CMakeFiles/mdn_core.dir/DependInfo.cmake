@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdn/controller.cpp" "src/mdn/CMakeFiles/mdn_core.dir/controller.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/controller.cpp.o.d"
+  "/root/repo/src/mdn/ddos.cpp" "src/mdn/CMakeFiles/mdn_core.dir/ddos.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/ddos.cpp.o.d"
+  "/root/repo/src/mdn/deployment.cpp" "src/mdn/CMakeFiles/mdn_core.dir/deployment.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/mdn/fan_anomaly.cpp" "src/mdn/CMakeFiles/mdn_core.dir/fan_anomaly.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/fan_anomaly.cpp.o.d"
+  "/root/repo/src/mdn/fan_failure.cpp" "src/mdn/CMakeFiles/mdn_core.dir/fan_failure.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/fan_failure.cpp.o.d"
+  "/root/repo/src/mdn/frequency_plan.cpp" "src/mdn/CMakeFiles/mdn_core.dir/frequency_plan.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/frequency_plan.cpp.o.d"
+  "/root/repo/src/mdn/heavy_hitter.cpp" "src/mdn/CMakeFiles/mdn_core.dir/heavy_hitter.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/heavy_hitter.cpp.o.d"
+  "/root/repo/src/mdn/melody_codec.cpp" "src/mdn/CMakeFiles/mdn_core.dir/melody_codec.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/melody_codec.cpp.o.d"
+  "/root/repo/src/mdn/mic_array.cpp" "src/mdn/CMakeFiles/mdn_core.dir/mic_array.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/mic_array.cpp.o.d"
+  "/root/repo/src/mdn/music_fsm.cpp" "src/mdn/CMakeFiles/mdn_core.dir/music_fsm.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/music_fsm.cpp.o.d"
+  "/root/repo/src/mdn/port_knocking.cpp" "src/mdn/CMakeFiles/mdn_core.dir/port_knocking.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/port_knocking.cpp.o.d"
+  "/root/repo/src/mdn/port_scan.cpp" "src/mdn/CMakeFiles/mdn_core.dir/port_scan.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/port_scan.cpp.o.d"
+  "/root/repo/src/mdn/relay.cpp" "src/mdn/CMakeFiles/mdn_core.dir/relay.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/relay.cpp.o.d"
+  "/root/repo/src/mdn/tdm.cpp" "src/mdn/CMakeFiles/mdn_core.dir/tdm.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/tdm.cpp.o.d"
+  "/root/repo/src/mdn/tone_detector.cpp" "src/mdn/CMakeFiles/mdn_core.dir/tone_detector.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/tone_detector.cpp.o.d"
+  "/root/repo/src/mdn/traffic_engineering.cpp" "src/mdn/CMakeFiles/mdn_core.dir/traffic_engineering.cpp.o" "gcc" "src/mdn/CMakeFiles/mdn_core.dir/traffic_engineering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/mdn_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/mdn_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/mdn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mdn_mp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdn_mp.dir/bridge.cpp.o"
+  "CMakeFiles/mdn_mp.dir/bridge.cpp.o.d"
+  "CMakeFiles/mdn_mp.dir/message.cpp.o"
+  "CMakeFiles/mdn_mp.dir/message.cpp.o.d"
+  "libmdn_mp.a"
+  "libmdn_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdn_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdn_mp.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ecn.cpp" "src/net/CMakeFiles/mdn_net.dir/ecn.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/ecn.cpp.o.d"
+  "/root/repo/src/net/event_loop.cpp" "src/net/CMakeFiles/mdn_net.dir/event_loop.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/event_loop.cpp.o.d"
+  "/root/repo/src/net/flow_table.cpp" "src/net/CMakeFiles/mdn_net.dir/flow_table.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/flow_table.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/mdn_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/mdn_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/mdn_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/mdn_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/mdn_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/queue.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/mdn_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/switch.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/mdn_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/mdn_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/audio/CMakeFiles/mdn_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mdn_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

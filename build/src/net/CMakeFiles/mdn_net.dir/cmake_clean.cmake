@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdn_net.dir/ecn.cpp.o"
+  "CMakeFiles/mdn_net.dir/ecn.cpp.o.d"
+  "CMakeFiles/mdn_net.dir/event_loop.cpp.o"
+  "CMakeFiles/mdn_net.dir/event_loop.cpp.o.d"
+  "CMakeFiles/mdn_net.dir/flow_table.cpp.o"
+  "CMakeFiles/mdn_net.dir/flow_table.cpp.o.d"
+  "CMakeFiles/mdn_net.dir/host.cpp.o"
+  "CMakeFiles/mdn_net.dir/host.cpp.o.d"
+  "CMakeFiles/mdn_net.dir/link.cpp.o"
+  "CMakeFiles/mdn_net.dir/link.cpp.o.d"
+  "CMakeFiles/mdn_net.dir/network.cpp.o"
+  "CMakeFiles/mdn_net.dir/network.cpp.o.d"
+  "CMakeFiles/mdn_net.dir/packet.cpp.o"
+  "CMakeFiles/mdn_net.dir/packet.cpp.o.d"
+  "CMakeFiles/mdn_net.dir/queue.cpp.o"
+  "CMakeFiles/mdn_net.dir/queue.cpp.o.d"
+  "CMakeFiles/mdn_net.dir/switch.cpp.o"
+  "CMakeFiles/mdn_net.dir/switch.cpp.o.d"
+  "CMakeFiles/mdn_net.dir/traffic.cpp.o"
+  "CMakeFiles/mdn_net.dir/traffic.cpp.o.d"
+  "libmdn_net.a"
+  "libmdn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

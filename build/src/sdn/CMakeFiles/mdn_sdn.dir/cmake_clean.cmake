@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdn_sdn.dir/controller.cpp.o"
+  "CMakeFiles/mdn_sdn.dir/controller.cpp.o.d"
+  "libmdn_sdn.a"
+  "libmdn_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdn_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

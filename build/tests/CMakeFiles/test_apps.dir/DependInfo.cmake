@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_ddos.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_ddos.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_ddos.cpp.o.d"
+  "/root/repo/tests/apps/test_heavy_hitter.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_heavy_hitter.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_heavy_hitter.cpp.o.d"
+  "/root/repo/tests/apps/test_port_knocking.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_port_knocking.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_port_knocking.cpp.o.d"
+  "/root/repo/tests/apps/test_port_scan.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_port_scan.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_port_scan.cpp.o.d"
+  "/root/repo/tests/apps/test_traffic_engineering.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_traffic_engineering.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_traffic_engineering.cpp.o.d"
+  "/root/repo/tests/apps/test_zodiac_profile.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_zodiac_profile.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_zodiac_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdn/CMakeFiles/mdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/mdn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mdn_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/mdn_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mdn_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

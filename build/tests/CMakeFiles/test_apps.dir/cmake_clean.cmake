@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_ddos.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_ddos.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_heavy_hitter.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_heavy_hitter.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_port_knocking.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_port_knocking.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_port_scan.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_port_scan.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_traffic_engineering.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_traffic_engineering.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_zodiac_profile.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_zodiac_profile.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

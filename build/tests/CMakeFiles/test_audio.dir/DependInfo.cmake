@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/audio/test_channel.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_channel.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_channel.cpp.o.d"
+  "/root/repo/tests/audio/test_channel_property.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_channel_property.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_channel_property.cpp.o.d"
+  "/root/repo/tests/audio/test_fan.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_fan.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_fan.cpp.o.d"
+  "/root/repo/tests/audio/test_noise.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_noise.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_noise.cpp.o.d"
+  "/root/repo/tests/audio/test_resample.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_resample.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_resample.cpp.o.d"
+  "/root/repo/tests/audio/test_rng.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_rng.cpp.o.d"
+  "/root/repo/tests/audio/test_song.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_song.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_song.cpp.o.d"
+  "/root/repo/tests/audio/test_synth.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_synth.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_synth.cpp.o.d"
+  "/root/repo/tests/audio/test_wav.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_wav.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_wav.cpp.o.d"
+  "/root/repo/tests/audio/test_waveform.cpp" "tests/CMakeFiles/test_audio.dir/audio/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/test_audio.dir/audio/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdn/CMakeFiles/mdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/mdn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mdn_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/mdn_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mdn_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_audio.dir/audio/test_channel.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_channel.cpp.o.d"
+  "CMakeFiles/test_audio.dir/audio/test_channel_property.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_channel_property.cpp.o.d"
+  "CMakeFiles/test_audio.dir/audio/test_fan.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_fan.cpp.o.d"
+  "CMakeFiles/test_audio.dir/audio/test_noise.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_noise.cpp.o.d"
+  "CMakeFiles/test_audio.dir/audio/test_resample.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_resample.cpp.o.d"
+  "CMakeFiles/test_audio.dir/audio/test_rng.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_rng.cpp.o.d"
+  "CMakeFiles/test_audio.dir/audio/test_song.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_song.cpp.o.d"
+  "CMakeFiles/test_audio.dir/audio/test_synth.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_synth.cpp.o.d"
+  "CMakeFiles/test_audio.dir/audio/test_wav.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_wav.cpp.o.d"
+  "CMakeFiles/test_audio.dir/audio/test_waveform.cpp.o"
+  "CMakeFiles/test_audio.dir/audio/test_waveform.cpp.o.d"
+  "test_audio"
+  "test_audio.pdb"
+  "test_audio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_controller.cpp" "tests/CMakeFiles/test_core.dir/core/test_controller.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "/root/repo/tests/core/test_deployment.cpp" "tests/CMakeFiles/test_core.dir/core/test_deployment.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_deployment.cpp.o.d"
+  "/root/repo/tests/core/test_fan_anomaly.cpp" "tests/CMakeFiles/test_core.dir/core/test_fan_anomaly.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fan_anomaly.cpp.o.d"
+  "/root/repo/tests/core/test_fan_failure.cpp" "tests/CMakeFiles/test_core.dir/core/test_fan_failure.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fan_failure.cpp.o.d"
+  "/root/repo/tests/core/test_frequency_plan.cpp" "tests/CMakeFiles/test_core.dir/core/test_frequency_plan.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_frequency_plan.cpp.o.d"
+  "/root/repo/tests/core/test_melody_codec.cpp" "tests/CMakeFiles/test_core.dir/core/test_melody_codec.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_melody_codec.cpp.o.d"
+  "/root/repo/tests/core/test_melody_property.cpp" "tests/CMakeFiles/test_core.dir/core/test_melody_property.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_melody_property.cpp.o.d"
+  "/root/repo/tests/core/test_mic_array.cpp" "tests/CMakeFiles/test_core.dir/core/test_mic_array.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mic_array.cpp.o.d"
+  "/root/repo/tests/core/test_music_fsm.cpp" "tests/CMakeFiles/test_core.dir/core/test_music_fsm.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_music_fsm.cpp.o.d"
+  "/root/repo/tests/core/test_relay.cpp" "tests/CMakeFiles/test_core.dir/core/test_relay.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_relay.cpp.o.d"
+  "/root/repo/tests/core/test_tdm.cpp" "tests/CMakeFiles/test_core.dir/core/test_tdm.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_tdm.cpp.o.d"
+  "/root/repo/tests/core/test_tone_detector.cpp" "tests/CMakeFiles/test_core.dir/core/test_tone_detector.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_tone_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdn/CMakeFiles/mdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/mdn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mdn_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/mdn_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mdn_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_deployment.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_deployment.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fan_anomaly.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fan_anomaly.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fan_failure.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fan_failure.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_frequency_plan.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_frequency_plan.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_melody_codec.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_melody_codec.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_melody_property.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_melody_property.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mic_array.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mic_array.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_music_fsm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_music_fsm.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_relay.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_relay.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tdm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tdm.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tone_detector.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tone_detector.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/test_ecdf.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_ecdf.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_goertzel.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_goertzel.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_mel.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_mel.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_spectrogram.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_spectrogram.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_spectrum.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_ecn.cpp" "tests/CMakeFiles/test_net.dir/net/test_ecn.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_ecn.cpp.o.d"
+  "/root/repo/tests/net/test_event_loop.cpp" "tests/CMakeFiles/test_net.dir/net/test_event_loop.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_event_loop.cpp.o.d"
+  "/root/repo/tests/net/test_flow_table.cpp" "tests/CMakeFiles/test_net.dir/net/test_flow_table.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_flow_table.cpp.o.d"
+  "/root/repo/tests/net/test_flow_table_property.cpp" "tests/CMakeFiles/test_net.dir/net/test_flow_table_property.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_flow_table_property.cpp.o.d"
+  "/root/repo/tests/net/test_link.cpp" "tests/CMakeFiles/test_net.dir/net/test_link.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_link.cpp.o.d"
+  "/root/repo/tests/net/test_link_failure.cpp" "tests/CMakeFiles/test_net.dir/net/test_link_failure.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_link_failure.cpp.o.d"
+  "/root/repo/tests/net/test_packet.cpp" "tests/CMakeFiles/test_net.dir/net/test_packet.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_packet.cpp.o.d"
+  "/root/repo/tests/net/test_queue.cpp" "tests/CMakeFiles/test_net.dir/net/test_queue.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_queue.cpp.o.d"
+  "/root/repo/tests/net/test_switch_host.cpp" "tests/CMakeFiles/test_net.dir/net/test_switch_host.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_switch_host.cpp.o.d"
+  "/root/repo/tests/net/test_traffic.cpp" "tests/CMakeFiles/test_net.dir/net/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdn/CMakeFiles/mdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/mdn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mdn_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/mdn_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mdn_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_ecn.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_ecn.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_event_loop.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_event_loop.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_flow_table.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_flow_table.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_flow_table_property.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_flow_table_property.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_link.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_link.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_link_failure.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_link_failure.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_packet.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_packet.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_queue.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_queue.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_switch_host.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_switch_host.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_traffic.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_traffic.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mp/test_bridge.cpp" "tests/CMakeFiles/test_sdn_mp.dir/mp/test_bridge.cpp.o" "gcc" "tests/CMakeFiles/test_sdn_mp.dir/mp/test_bridge.cpp.o.d"
+  "/root/repo/tests/mp/test_message.cpp" "tests/CMakeFiles/test_sdn_mp.dir/mp/test_message.cpp.o" "gcc" "tests/CMakeFiles/test_sdn_mp.dir/mp/test_message.cpp.o.d"
+  "/root/repo/tests/sdn/test_control_channel.cpp" "tests/CMakeFiles/test_sdn_mp.dir/sdn/test_control_channel.cpp.o" "gcc" "tests/CMakeFiles/test_sdn_mp.dir/sdn/test_control_channel.cpp.o.d"
+  "/root/repo/tests/sdn/test_inband_management.cpp" "tests/CMakeFiles/test_sdn_mp.dir/sdn/test_inband_management.cpp.o" "gcc" "tests/CMakeFiles/test_sdn_mp.dir/sdn/test_inband_management.cpp.o.d"
+  "/root/repo/tests/sdn/test_learning_controller.cpp" "tests/CMakeFiles/test_sdn_mp.dir/sdn/test_learning_controller.cpp.o" "gcc" "tests/CMakeFiles/test_sdn_mp.dir/sdn/test_learning_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdn/CMakeFiles/mdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/mdn_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mdn_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/mdn_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mdn_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

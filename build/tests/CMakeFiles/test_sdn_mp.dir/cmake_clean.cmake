@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdn_mp.dir/mp/test_bridge.cpp.o"
+  "CMakeFiles/test_sdn_mp.dir/mp/test_bridge.cpp.o.d"
+  "CMakeFiles/test_sdn_mp.dir/mp/test_message.cpp.o"
+  "CMakeFiles/test_sdn_mp.dir/mp/test_message.cpp.o.d"
+  "CMakeFiles/test_sdn_mp.dir/sdn/test_control_channel.cpp.o"
+  "CMakeFiles/test_sdn_mp.dir/sdn/test_control_channel.cpp.o.d"
+  "CMakeFiles/test_sdn_mp.dir/sdn/test_inband_management.cpp.o"
+  "CMakeFiles/test_sdn_mp.dir/sdn/test_inband_management.cpp.o.d"
+  "CMakeFiles/test_sdn_mp.dir/sdn/test_learning_controller.cpp.o"
+  "CMakeFiles/test_sdn_mp.dir/sdn/test_learning_controller.cpp.o.d"
+  "test_sdn_mp"
+  "test_sdn_mp.pdb"
+  "test_sdn_mp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdn_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
