@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "audio/audio.h"
+#include "bench_util.h"
 #include "dsp/dsp.h"
 #include "mdn/tone_detector.h"
 
@@ -50,4 +51,13 @@ BENCHMARK(BM_FullFftDetect);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mdn::bench::print_header(
+      "Ablation: Goertzel vs FFT",
+      "closed-set Goertzel cost vs one full FFT sweep per block");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

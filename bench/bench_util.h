@@ -4,16 +4,106 @@
 // regenerates, (b) the data series behind that figure as aligned columns
 // (ready to plot), and (c) a PASS/FAIL style summary of the qualitative
 // claim the paper makes about the figure.
+//
+// In addition, everything printed through these helpers is accumulated
+// into a JSON report that is written on exit as "<figure>.bench.json"
+// (override the path with MDN_BENCH_JSON=<path>, or disable with
+// MDN_BENCH_JSON=0).  The report always carries the obs registry under
+// the stable "metrics" key, so every BENCH run ships its per-stage
+// counter/histogram breakdown and perf-trajectory tooling can diff runs.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace mdn::bench {
 
+namespace detail {
+
+struct Report {
+  std::string name;  // sanitized first header, e.g. "figure_2b"
+  std::vector<std::pair<std::string, double>> kv;
+  std::vector<std::pair<std::string, bool>> claims;
+  bool written = false;
+};
+
+inline Report& report() {
+  static Report r;
+  return r;
+}
+
+inline std::string sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      out += static_cast<char>(c - 'A' + 'a');
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+}  // namespace detail
+
+/// Serialises the accumulated report (plus the global metrics registry
+/// under "metrics") to `path`.  Never throws; returns false on I/O error.
+inline bool write_json(const std::string& path) {
+  detail::Report& r = detail::report();
+  std::string out = "{\"bench\":\"" + obs::json_escape(r.name) + "\",";
+  out += "\"claims\":[";
+  for (std::size_t i = 0; i < r.claims.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"claim\":\"" + obs::json_escape(r.claims[i].first) +
+           "\",\"reproduced\":" + (r.claims[i].second ? "true" : "false") +
+           "}";
+  }
+  out += "],\"kv\":{";
+  for (std::size_t i = 0; i < r.kv.size(); ++i) {
+    if (i > 0) out += ',';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", r.kv[i].second);
+    out += "\"" + obs::json_escape(r.kv[i].first) + "\":" + buf;
+  }
+  // The stable key downstream tooling diffs: the whole obs registry.
+  out += "},\"metrics\":" + obs::to_json(obs::Registry::global().snapshot());
+  out += "}\n";
+  r.written = true;
+  return obs::write_file(path, out);
+}
+
+namespace detail {
+
+inline void write_json_at_exit() {
+  Report& r = report();
+  if (r.written || r.name.empty()) return;
+  const char* env = std::getenv("MDN_BENCH_JSON");
+  std::string path = env != nullptr ? env : r.name + ".bench.json";
+  if (path.empty() || path == "0" || path == "off") return;
+  write_json(path);
+}
+
+}  // namespace detail
+
 inline void print_header(const std::string& figure,
                          const std::string& description) {
+  detail::Report& r = detail::report();
+  if (r.name.empty()) {
+    r.name = detail::sanitize(figure);
+    // Construct the global registry before registering the hook: exit
+    // teardown runs in reverse order, so the registry must come first
+    // for the hook to snapshot it while still alive.
+    (void)obs::Registry::global();
+    std::atexit(&detail::write_json_at_exit);
+  }
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", figure.c_str(), description.c_str());
   std::printf("================================================================\n");
@@ -33,11 +123,13 @@ inline void print_series(const std::string& title,
 }
 
 inline void print_claim(const std::string& claim, bool held) {
+  detail::report().claims.emplace_back(claim, held);
   std::printf("[%s] %s\n", held ? "REPRODUCED" : "DIVERGED  ", claim.c_str());
 }
 
 inline void print_kv(const std::string& key, double value,
                      const std::string& unit = "") {
+  detail::report().kv.emplace_back(key, value);
   std::printf("  %-44s %12.4f %s\n", key.c_str(), value, unit.c_str());
 }
 

@@ -1,23 +1,75 @@
-// Music-defined telemetry dashboard (§5): one listener, three detectors.
+// Music-defined telemetry dashboard (§5): one listener, three detectors —
+// and the whole run instrumented through mdn::obs.
 //
 // A switch carries a mixed workload — an elephant flow, background mice,
 // and (halfway through) a port scan.  Heavy-hitter, port-scan and
 // superspreader detectors run simultaneously on disjoint frequency sets
-// of the same switch, sharing a single microphone.
+// of the same switch, sharing a single microphone.  At the end the
+// dashboard is rendered from the metrics registry (not ad-hoc counters),
+// and the run is exported as Prometheus text, JSONL and a Chrome
+// trace_event timeline you can open in chrome://tracing / Perfetto.
 //
 // Run: ./telemetry_dashboard
 #include <cstdio>
+#include <string>
 
 #include "audio/audio.h"
 #include "mdn/mdn.h"
 #include "mp/mp.h"
 #include "net/net.h"
+#include "obs/obs.h"
+
+namespace {
+
+// Renders every registry metric under `prefix` as a dashboard section.
+void render_section(const mdn::obs::Snapshot& snap,
+                    const std::string& title, const std::string& prefix) {
+  std::printf("\n  [%s]\n", title.c_str());
+  for (const auto& m : snap) {
+    if (m.name.rfind(prefix, 0) != 0) continue;
+    switch (m.kind) {
+      case mdn::obs::Kind::kCounter:
+        std::printf("    %-44s %12llu\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.counter));
+        break;
+      case mdn::obs::Kind::kGauge:
+        std::printf("    %-44s %12lld  (max %lld)\n", m.name.c_str(),
+                    static_cast<long long>(m.gauge),
+                    static_cast<long long>(m.gauge_max));
+        break;
+      case mdn::obs::Kind::kHistogram:
+        if (m.hist.count == 0) break;
+        std::printf("    %-44s n=%llu p50=%.3f ms p90=%.3f ms p99=%.3f ms\n",
+                    m.name.c_str(),
+                    static_cast<unsigned long long>(m.hist.count),
+                    m.hist.quantile(0.5) / 1e6, m.hist.quantile(0.9) / 1e6,
+                    m.hist.quantile(0.99) / 1e6);
+        break;
+    }
+  }
+}
+
+std::uint64_t counter_value(const mdn::obs::Snapshot& snap,
+                            const std::string& name) {
+  for (const auto& m : snap) {
+    if (m.name == name) return m.counter;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main() {
   using namespace mdn;
   constexpr double kSampleRate = 48000.0;
 
+  // Fresh registry state so the dashboard shows this run only, and
+  // sim-time tracing on: the whole experiment becomes a timeline.
+  obs::Registry::global().reset();
+
   net::Network net;
+  net.loop().tracer().enable();
+
   audio::AcousticChannel channel(kSampleRate);
   // Office-grade ambience.
   channel.add_ambient(audio::generate_office(
@@ -108,17 +160,40 @@ int main() {
                          [&] { controller.stop(); });
   net.loop().run();
 
-  std::printf("\nsummary:\n");
+  std::printf("\nalerts:\n");
   std::printf("  heavy-hitter alerts : %zu (elephant bin %zu)\n",
               hh_detector.alerts().size(),
               hh_reporter.bin_for(elephant));
   std::printf("  port-scan alerts    : %zu\n", ps_detector.alerts().size());
   std::printf("  superspreader alerts: %zu\n", ss_detector.alerts().size());
-  std::printf("  tones played        : %llu\n",
-              static_cast<unsigned long long>(bridge.played()));
+
+  // --- Dashboard: rendered from the metrics registry -----------------
+  const auto snap = obs::Registry::global().snapshot();
+  std::printf("\ndashboard (from the obs registry):\n");
+  render_section(snap, "event loop", "net/loop/");
+  render_section(snap, "switch s1", "net/switch/s1/");
+  render_section(snap, "MDN controller", "mdn/controller/");
+  render_section(snap, "DSP", "dsp/");
+  render_section(snap, "music protocol", "mp/");
+
+  // --- Exports -------------------------------------------------------
+  if (obs::write_file("telemetry_dashboard.prom", obs::to_prometheus(snap))) {
+    std::printf("\nwrote telemetry_dashboard.prom\n");
+  }
+  if (obs::write_file("telemetry_dashboard.metrics.jsonl",
+                      obs::to_jsonl(snap))) {
+    std::printf("wrote telemetry_dashboard.metrics.jsonl\n");
+  }
+  if (obs::write_file("telemetry_dashboard.trace.json",
+                      obs::to_chrome_trace(net.loop().tracer()))) {
+    std::printf("wrote telemetry_dashboard.trace.json "
+                "(load in chrome://tracing or ui.perfetto.dev)\n");
+  }
 
   const bool ok = !hh_detector.alerts().empty() &&
-                  !ps_detector.alerts().empty();
+                  !ps_detector.alerts().empty() &&
+                  counter_value(snap, "mp/bridge/tones_played") > 0 &&
+                  counter_value(snap, "mdn/controller/blocks") > 0;
   std::printf("%s\n", ok ? "dashboard caught both events out-of-band"
                          : "UNEXPECTED: something was missed");
   return ok ? 0 : 1;

@@ -12,7 +12,15 @@ MdnController::MdnController(net::EventLoop& loop,
       config_(config),
       detector_(config.detector),
       microphone_(config.microphone, channel.sample_rate()),
-      recording_(channel.sample_rate()) {}
+      recording_(channel.sample_rate()) {
+  auto& registry = obs::Registry::global();
+  blocks_counter_ = &registry.counter("mdn/controller/blocks");
+  onsets_counter_ = &registry.counter("mdn/controller/onsets");
+  record_wall_ns_ = &registry.histogram("mdn/controller/record_wall_ns");
+  detect_wall_ns_ = &registry.histogram("mdn/controller/detect_wall_ns");
+  match_wall_ns_ = &registry.histogram("mdn/controller/match_wall_ns");
+  trace_track_ = loop_.tracer().track("mdn/controller");
+}
 
 void MdnController::watch(double frequency_hz, Handler handler) {
   watches_.push_back({frequency_hz, std::move(handler), false});
@@ -36,34 +44,57 @@ void MdnController::start() {
 
 bool MdnController::tick() {
   if (!running_) return false;
-  const double now_s = net::to_seconds(loop_.now());
+  obs::Tracer& tracer = loop_.tracer();
+  const net::SimTime sim_now = loop_.now();
+  const double now_s = net::to_seconds(sim_now);
   const double start_s = now_s - config_.hop_s;
-  const audio::Waveform block =
-      microphone_.record(channel_, start_s, config_.hop_s);
+
+  // Stage 1: record the last hop off the acoustic channel.
+  audio::Waveform block(channel_.sample_rate());
+  {
+    obs::TraceSpan span(&tracer, "controller/record", trace_track_, sim_now);
+    obs::ScopedTimerNs timer(record_wall_ns_);
+    block = microphone_.record(channel_, start_s, config_.hop_s);
+  }
   ++blocks_;
+  blocks_counter_->inc();
   if (config_.keep_recording) recording_.append(block);
 
   for (const auto& observer : block_observers_) {
     observer(start_s, block.samples());
   }
 
-  const auto tones = detector_.detect(block.samples());
-  for (auto& w : watches_) {
-    double best_amp = 0.0;
-    bool found = false;
-    for (const auto& t : tones) {
-      if (std::abs(t.frequency_hz - w.frequency_hz) <=
-          detector_.config().match_tolerance_hz) {
-        found = true;
-        best_amp = std::max(best_amp, t.amplitude);
+  // Stage 2: windowed FFT + peak picking (also feeds "dsp/fft/wall_ns").
+  std::vector<DetectedTone> tones;
+  {
+    obs::TraceSpan span(&tracer, "controller/detect", trace_track_, sim_now);
+    obs::ScopedTimerNs timer(detect_wall_ns_);
+    tones = detector_.detect(block.samples());
+  }
+
+  // Stage 3: match detected peaks against the watch list.
+  {
+    obs::TraceSpan span(&tracer, "controller/match", trace_track_, sim_now);
+    obs::ScopedTimerNs timer(match_wall_ns_);
+    for (auto& w : watches_) {
+      double best_amp = 0.0;
+      bool found = false;
+      for (const auto& t : tones) {
+        if (std::abs(t.frequency_hz - w.frequency_hz) <=
+            detector_.config().match_tolerance_hz) {
+          found = true;
+          best_amp = std::max(best_amp, t.amplitude);
+        }
       }
+      if (found && !w.active) {
+        const ToneEvent event{start_s, w.frequency_hz, best_amp};
+        log_.push_back(event);
+        onsets_counter_->inc();
+        tracer.instant("onset", trace_track_, sim_now);
+        if (w.handler) w.handler(event);
+      }
+      w.active = found;
     }
-    if (found && !w.active) {
-      const ToneEvent event{start_s, w.frequency_hz, best_amp};
-      log_.push_back(event);
-      if (w.handler) w.handler(event);
-    }
-    w.active = found;
   }
   return running_;
 }

@@ -15,6 +15,8 @@
 #include "audio/channel.h"
 #include "mdn/tone_detector.h"
 #include "net/event_loop.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mdn::core {
 
@@ -88,6 +90,14 @@ class MdnController {
   audio::Waveform recording_;
   bool running_ = false;
   std::uint64_t blocks_ = 0;
+  // Registry instruments under "mdn/controller/..." plus the per-stage
+  // wall timers behind §3's latency claims; spans go to the loop tracer.
+  obs::Counter* blocks_counter_;
+  obs::Counter* onsets_counter_;
+  obs::Histogram* record_wall_ns_;
+  obs::Histogram* detect_wall_ns_;
+  obs::Histogram* match_wall_ns_;
+  std::uint32_t trace_track_;
 };
 
 }  // namespace mdn::core

@@ -10,7 +10,10 @@ namespace mdn::core {
 
 ToneDetector::ToneDetector(const ToneDetectorConfig& config)
     : config_(config),
-      window_(dsp::make_window(config.window, config.fft_size)) {
+      window_(dsp::make_window(config.window, config.fft_size)),
+      fft_wall_ns_(&obs::Registry::global().histogram("dsp/fft/wall_ns")),
+      goertzel_wall_ns_(
+          &obs::Registry::global().histogram("dsp/goertzel/wall_ns")) {
   if (config.sample_rate <= 0.0 || config.fft_size == 0) {
     throw std::invalid_argument("ToneDetector: invalid configuration");
   }
@@ -18,6 +21,9 @@ ToneDetector::ToneDetector(const ToneDetectorConfig& config)
 
 std::vector<DetectedTone> ToneDetector::detect(
     std::span<const double> block) const {
+  // The paper's Fig 2b "FFT processing time" covers this whole path:
+  // window + zero-padded FFT + peak picking over one microphone block.
+  obs::ScopedTimerNs timer(fft_wall_ns_);
   // Window the data (not the pad) and zero-pad up to the FFT size, so a
   // 50 ms block keeps its full spectral resolution and the pad only
   // interpolates between bins.
@@ -49,6 +55,7 @@ std::vector<DetectedTone> ToneDetector::detect(
 
 std::vector<double> ToneDetector::set_levels(
     std::span<const double> block, std::span<const double> watch_hz) const {
+  obs::ScopedTimerNs timer(goertzel_wall_ns_);
   std::vector<double> levels;
   levels.reserve(watch_hz.size());
   const double n = static_cast<double>(block.size());

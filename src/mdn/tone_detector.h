@@ -16,6 +16,7 @@
 #include "audio/waveform.h"
 #include "dsp/spectrum.h"
 #include "dsp/window.h"
+#include "obs/metrics.h"
 
 namespace mdn::core {
 
@@ -64,6 +65,9 @@ class ToneDetector {
   // Window matching the most recent short-block length (blocks shorter
   // than the FFT size are windowed at their own length, then padded).
   mutable std::vector<double> cached_window_;
+  // Wall-time histograms ("dsp/fft/wall_ns" is the Fig 2b CDF source).
+  obs::Histogram* fft_wall_ns_;
+  obs::Histogram* goertzel_wall_ns_;
 };
 
 /// A tone onset: `frequency_hz` rose above threshold at `time_s`.

@@ -12,13 +12,18 @@ PiSpeakerBridge::PiSpeakerBridge(net::EventLoop& loop,
     : loop_(loop),
       channel_(channel),
       source_(source),
-      processing_delay_(processing_delay) {}
+      processing_delay_(processing_delay),
+      played_counter_(
+          &obs::Registry::global().counter("mp/bridge/tones_played")),
+      malformed_counter_(
+          &obs::Registry::global().counter("mp/bridge/malformed")) {}
 
 void PiSpeakerBridge::on_wire(std::span<const std::uint8_t> wire) {
   MpError err = MpError::kNone;
   const auto msg = unmarshal(wire, &err);
   if (!msg) {
     ++malformed_;
+    malformed_counter_->inc();
     last_error_ = err;
     return;
   }
@@ -39,17 +44,24 @@ void PiSpeakerBridge::play(const MpMessage& msg) {
   channel_.emit(source_, audio::make_tone(spec, channel_.sample_rate()),
                 start_s);
   ++played_;
+  played_counter_->inc();
 }
 
 MpEmitter::MpEmitter(net::EventLoop& loop, PiSpeakerBridge& bridge,
                      net::SimTime min_gap)
-    : loop_(loop), bridge_(bridge), min_gap_(min_gap) {}
+    : loop_(loop),
+      bridge_(bridge),
+      min_gap_(min_gap),
+      emitted_counter_(&obs::Registry::global().counter("mp/emitter/emitted")),
+      suppressed_counter_(
+          &obs::Registry::global().counter("mp/emitter/suppressed")) {}
 
 bool MpEmitter::emit(double frequency_hz, double duration_s,
                      double intensity_db_spl) {
   const net::SimTime now = loop_.now();
   if (last_emit_ >= 0 && now - last_emit_ < min_gap_) {
     ++suppressed_;
+    suppressed_counter_->inc();
     return false;
   }
   last_emit_ = now;
@@ -63,6 +75,7 @@ bool MpEmitter::emit(double frequency_hz, double duration_s,
   // same wire path the firmware uses.
   bridge_.on_wire(marshal(msg));
   ++emitted_;
+  emitted_counter_->inc();
   return true;
 }
 

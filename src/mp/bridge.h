@@ -13,6 +13,7 @@
 #include "audio/channel.h"
 #include "mp/message.h"
 #include "net/event_loop.h"
+#include "obs/metrics.h"
 
 namespace mdn::mp {
 
@@ -43,6 +44,8 @@ class PiSpeakerBridge {
   std::uint64_t played_ = 0;
   std::uint64_t malformed_ = 0;
   MpError last_error_ = MpError::kNone;
+  obs::Counter* played_counter_;
+  obs::Counter* malformed_counter_;
 };
 
 /// Switch-side emitter: builds MP messages, marshals them and hands the
@@ -69,6 +72,8 @@ class MpEmitter {
   std::uint16_t next_sequence_ = 0;
   std::uint64_t emitted_ = 0;
   std::uint64_t suppressed_ = 0;
+  obs::Counter* emitted_counter_;
+  obs::Counter* suppressed_counter_;
 };
 
 }  // namespace mdn::mp

@@ -6,6 +6,14 @@
 
 namespace mdn::net {
 
+EventLoop::EventLoop()
+    : events_dispatched_(
+          &obs::Registry::global().counter("net/loop/events_dispatched")),
+      callback_wall_ns_(
+          &obs::Registry::global().histogram("net/loop/callback_wall_ns")),
+      queue_depth_(&obs::Registry::global().gauge("net/loop/queue_depth")),
+      track_(tracer_.track("net/loop")) {}
+
 EventLoop::EventId EventLoop::schedule_at(SimTime t, Callback cb) {
   const EventId id = next_id_++;
   queue_.push(Event{std::max(t, now_), id});
@@ -40,7 +48,14 @@ bool EventLoop::step() {
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     now_ = ev.time;
-    cb();
+    {
+      obs::TraceSpan span(&tracer_, "event", track_, now_);
+      obs::ScopedTimerNs timer(callback_wall_ns_);
+      cb();
+    }
+    ++dispatched_count_;
+    events_dispatched_->inc();
+    queue_depth_->set(static_cast<std::int64_t>(callbacks_.size()));
     return true;
   }
   return false;

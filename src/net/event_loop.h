@@ -13,11 +13,15 @@
 #include <vector>
 
 #include "net/sim_time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mdn::net {
 
 class EventLoop {
  public:
+  EventLoop();
+
   using Callback = std::function<void()>;
   using EventId = std::uint64_t;
 
@@ -47,6 +51,17 @@ class EventLoop {
   /// Number of pending (non-cancelled) events.
   std::size_t pending() const noexcept { return callbacks_.size(); }
 
+  /// Events dispatched since construction of the loop's process-wide
+  /// counters (aggregated across loops under "net/loop/*").
+  std::uint64_t dispatched() const noexcept { return dispatched_count_; }
+
+  /// The loop's sim-time tracer.  Disabled by default; enabling it only
+  /// records — it never schedules — so event ordering is unchanged.
+  obs::Tracer& tracer() noexcept { return tracer_; }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+  /// Track id for spans recorded by the loop itself.
+  std::uint32_t trace_track() const noexcept { return track_; }
+
  private:
   struct Event {
     SimTime time;
@@ -65,6 +80,14 @@ class EventLoop {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   // Cancellation removes the entry here; the heap entry is skipped lazily.
   std::unordered_map<EventId, Callback> callbacks_;
+
+  std::uint64_t dispatched_count_ = 0;
+  // Process-wide instruments, resolved once at construction.
+  obs::Counter* events_dispatched_;
+  obs::Histogram* callback_wall_ns_;
+  obs::Gauge* queue_depth_;
+  obs::Tracer tracer_;
+  std::uint32_t track_;
 };
 
 }  // namespace mdn::net

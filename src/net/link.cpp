@@ -14,6 +14,12 @@ void Port::attach(Link& link, int end) noexcept {
   end_ = end;
 }
 
+void Port::bind_queue_metrics(const std::string& prefix) {
+  auto& registry = obs::Registry::global();
+  queue_.bind_metrics(&registry.gauge(prefix + "/queue_depth"),
+                      &registry.counter(prefix + "/queue_drops"));
+}
+
 bool Port::send(Packet pkt) {
   if (link_ == nullptr) {
     ++unconnected_drops_;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "net/event_loop.h"
 #include "net/node.h"
@@ -43,6 +44,12 @@ class Port {
   Node& owner() noexcept { return owner_; }
   /// The attached link (nullptr before attach) — e.g. to fail it.
   Link* attached_link() noexcept { return link_; }
+
+  /// Registers "<prefix>/queue_depth" (gauge) and "<prefix>/queue_drops"
+  /// (counter) in the global registry and mirrors this port's egress
+  /// queue into them.  Owners with meaningful names (Switch::add_port)
+  /// call this; anonymous ports stay unmetered.
+  void bind_queue_metrics(const std::string& prefix);
 
   const DropTailQueue& queue() const noexcept { return queue_; }
   /// Packets in flight through this port right now: egress queue plus the

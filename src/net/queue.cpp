@@ -7,12 +7,16 @@ namespace mdn::net {
 bool DropTailQueue::push(Packet pkt) {
   if (items_.size() >= capacity_) {
     ++drops_;
+    if (drop_counter_ != nullptr) drop_counter_->inc();
     return false;
   }
   bytes_ += pkt.size_bytes;
   items_.push_back(std::move(pkt));
   ++enqueued_;
   high_watermark_ = std::max(high_watermark_, items_.size());
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
+  }
   return true;
 }
 
@@ -22,6 +26,9 @@ std::optional<Packet> DropTailQueue::pop() {
   items_.pop_front();
   bytes_ -= pkt.size_bytes;
   ++dequeued_;
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
+  }
   return pkt;
 }
 

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
 
 namespace mdn::net {
 
@@ -17,6 +18,14 @@ class DropTailQueue {
  public:
   explicit DropTailQueue(std::size_t capacity_packets)
       : capacity_(capacity_packets) {}
+
+  /// Mirrors occupancy into `depth` and drops into `drops` (either may
+  /// be null).  Called by whoever knows the queue's hierarchical name —
+  /// e.g. Switch::add_port registers "net/switch/<name>/port<i>/...".
+  void bind_metrics(obs::Gauge* depth, obs::Counter* drops) noexcept {
+    depth_gauge_ = depth;
+    drop_counter_ = drops;
+  }
 
   /// Returns false (and counts a drop) when the queue is full.
   bool push(Packet pkt);
@@ -44,6 +53,8 @@ class DropTailQueue {
   std::uint64_t enqueued_ = 0;
   std::uint64_t dequeued_ = 0;
   std::size_t high_watermark_ = 0;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace mdn::net

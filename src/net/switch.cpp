@@ -5,12 +5,22 @@
 namespace mdn::net {
 
 Switch::Switch(EventLoop& loop, std::string name)
-    : Node(std::move(name)), loop_(loop) {}
+    : Node(std::move(name)), loop_(loop) {
+  auto& registry = obs::Registry::global();
+  const std::string prefix = "net/switch/" + this->name();
+  packets_counter_ = &registry.counter(prefix + "/packets");
+  forwarded_counter_ = &registry.counter(prefix + "/forwarded");
+  dropped_counter_ = &registry.counter(prefix + "/dropped");
+  miss_counter_ = &registry.counter(prefix + "/table_misses");
+}
 
 Port& Switch::add_port(std::size_t queue_capacity) {
   ports_.push_back(
       std::make_unique<Port>(loop_, *this, ports_.size(), queue_capacity));
-  return *ports_.back();
+  Port& port = *ports_.back();
+  port.bind_queue_metrics("net/switch/" + name() + "/port" +
+                          std::to_string(port.index()));
+  return port;
 }
 
 Port& Switch::port(std::size_t index) { return *ports_.at(index); }
@@ -20,15 +30,18 @@ const Port& Switch::port(std::size_t index) const {
 }
 
 void Switch::receive(Packet pkt, std::size_t in_port) {
+  packets_counter_->inc();
   for (const auto& hook : packet_hooks_) hook(pkt, in_port);
 
   FlowEntry* entry = table_.lookup(pkt, in_port, loop_.now());
   if (entry == nullptr) {
     ++table_misses_;
+    miss_counter_->inc();
     if (miss_handler_) {
       miss_handler_(pkt, in_port);
     } else {
       ++dropped_;
+      dropped_counter_->inc();
     }
     return;
   }
@@ -48,6 +61,7 @@ void Switch::apply_actions(FlowEntry& entry, Packet pkt,
         break;
       case ActionType::kDrop:
         ++dropped_;
+        dropped_counter_->inc();
         return;
       case ActionType::kFlood:
         for (auto& p : ports_) {
@@ -72,8 +86,10 @@ void Switch::apply_actions(FlowEntry& entry, Packet pkt,
   }
   if (output) {
     ++forwarded_;
+    forwarded_counter_->inc();
   } else {
     ++dropped_;
+    dropped_counter_->inc();
   }
 }
 

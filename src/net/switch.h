@@ -66,6 +66,11 @@ class Switch : public Node {
   std::uint64_t table_misses_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;
+  // Registry mirrors under "net/switch/<name>/...", resolved once.
+  obs::Counter* packets_counter_;
+  obs::Counter* forwarded_counter_;
+  obs::Counter* dropped_counter_;
+  obs::Counter* miss_counter_;
 };
 
 }  // namespace mdn::net

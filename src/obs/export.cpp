@@ -1,0 +1,191 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace mdn::obs {
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Shared JSON body (without the surrounding name key) for one metric.
+std::string metric_json_value(const MetricSnapshot& m) {
+  std::string out;
+  switch (m.kind) {
+    case Kind::kCounter:
+      out += "{\"kind\":\"counter\",\"value\":" + std::to_string(m.counter) +
+             "}";
+      break;
+    case Kind::kGauge:
+      out += "{\"kind\":\"gauge\",\"value\":" + std::to_string(m.gauge) +
+             ",\"max\":" + std::to_string(m.gauge_max) + "}";
+      break;
+    case Kind::kHistogram: {
+      const HistogramSnapshot& h = m.hist;
+      out += "{\"kind\":\"histogram\",\"count\":" + std::to_string(h.count) +
+             ",\"sum\":" + format_double(h.sum) +
+             ",\"min\":" + format_double(h.min) +
+             ",\"max\":" + format_double(h.max) +
+             ",\"mean\":" + format_double(h.mean()) +
+             ",\"p50\":" + format_double(h.quantile(0.5)) +
+             ",\"p90\":" + format_double(h.quantile(0.9)) +
+             ",\"p99\":" + format_double(h.quantile(0.99)) + ",\"buckets\":[";
+      // Only occupied buckets: [upper_bound, count] pairs.
+      bool first = true;
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] == 0) continue;
+        if (!first) out += ',';
+        first = false;
+        out += "[" + format_double(h.bounds[i]) + "," +
+               std::to_string(h.buckets[i]) + "]";
+      }
+      out += "]}";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "mdn_";
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& m : snapshot) {
+    const std::string name = prometheus_name(m.name);
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(m.counter) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(m.gauge) + "\n";
+        out += "# TYPE " + name + "_max gauge\n";
+        out += name + "_max " + std::to_string(m.gauge_max) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot& h = m.hist;
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+          if (h.buckets[i] == 0) continue;  // keep the dump compact
+          cumulative += h.buckets[i];
+          out += name + "_bucket{le=\"" + format_double(h.bounds[i]) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) +
+               "\n";
+        out += name + "_sum " + format_double(h.sum) + "\n";
+        out += name + "_count " + std::to_string(h.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const Snapshot& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& m : snapshot) {
+    std::string line = "{\"name\":\"" + json_escape(m.name) + "\",";
+    std::string body = metric_json_value(m);
+    line += body.substr(1);  // merge: drop body's opening brace
+    out += line + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + json_escape(m.name) + "\":" + metric_json_value(m);
+  }
+  out += "}";
+  return out;
+}
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto& tracks = tracer.track_names();
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(i) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json_escape(tracks[i]) + "\"}}";
+  }
+  char buf[64];
+  for (const TraceEvent& ev : tracer.events()) {
+    if (!first) out += ',';
+    first = false;
+    // trace_event timestamps are microseconds; keep sub-us precision.
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ev.sim_ns) / 1000.0);
+    out += "{\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"pid\":0,\"tid\":" + std::to_string(ev.track) +
+           ",\"name\":\"" + json_escape(ev.name) + "\",\"ts\":" + buf;
+    if (ev.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(ev.wall_dur_ns) / 1000.0);
+      out += ",\"dur\":";
+      out += buf;
+    }
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"args\":{\"sim_ns\":" + std::to_string(ev.sim_ns) +
+           ",\"wall_ns\":" + std::to_string(ev.wall_ns) + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(content.data(),
+          static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace mdn::obs

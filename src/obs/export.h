@@ -1,0 +1,39 @@
+// Exporters: turn a metrics Snapshot or a Tracer into portable text.
+//
+//   * to_prometheus()   — Prometheus exposition format ("# TYPE" lines,
+//                         cumulative histogram buckets with le labels);
+//   * to_jsonl()        — one JSON object per metric per line;
+//   * to_json()         — a single JSON object keyed by metric name (the
+//                         stable "metrics" payload of bench JSON files);
+//   * to_chrome_trace() — Chrome trace_event JSON, loadable in
+//                         chrome://tracing or https://ui.perfetto.dev.
+//                         Timestamps are simulated microseconds; span
+//                         durations are wall-clock, so the viewer shows
+//                         where wall time went along the sim timeline.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mdn::obs {
+
+std::string to_prometheus(const Snapshot& snapshot);
+std::string to_jsonl(const Snapshot& snapshot);
+std::string to_json(const Snapshot& snapshot);
+std::string to_chrome_trace(const Tracer& tracer);
+
+/// Escapes a string for inclusion inside JSON quotes.
+std::string json_escape(std::string_view s);
+
+/// Maps a hierarchical metric name to a Prometheus-legal one
+/// ("net/switch/s1/queue_depth" -> "mdn_net_switch_s1_queue_depth").
+std::string prometheus_name(std::string_view name);
+
+/// Writes `content` to `path`; returns false (without throwing) on I/O
+/// failure so instrumented binaries never die on a read-only directory.
+bool write_file(const std::string& path, std::string_view content);
+
+}  // namespace mdn::obs

@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace mdn::obs {
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next =
+        static_cast<double>(cumulative) + static_cast<double>(buckets[i]);
+    if (next >= target) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      // The overflow bucket has no finite upper bound; use the observed
+      // maximum (exact for the largest sample).
+      const double hi = i + 1 == buckets.size() ? std::max(max, lo)
+                                                : bounds[i];
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(buckets[i]);
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    cumulative = static_cast<std::uint64_t>(next);
+  }
+  return max;
+}
+
+double HistogramSnapshot::cdf(double x) const {
+  if (count == 0) return 0.0;
+  if (x >= max) return 1.0;
+  if (x < min) return 0.0;
+  double below = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi =
+        i + 1 == buckets.size() ? std::max(max, lo) : bounds[i];
+    if (x >= hi) {
+      below += static_cast<double>(buckets[i]);
+    } else {
+      if (x > lo && hi > lo) {
+        below += static_cast<double>(buckets[i]) * (x - lo) / (hi - lo);
+      }
+      break;
+    }
+  }
+  return std::clamp(below / static_cast<double>(count), 0.0, 1.0);
+}
+
+std::vector<std::pair<double, double>> HistogramSnapshot::curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (count == 0 || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(const HistogramOptions& options)
+    : options_(options),
+      inv_log_growth_(1.0 / std::log(options.growth)),
+      buckets_(new std::atomic<std::uint64_t>[options.buckets]) {
+  if (options.first_bound <= 0.0 || options.growth <= 1.0 ||
+      options.buckets < 2) {
+    throw std::invalid_argument("Histogram: invalid bucket layout");
+  }
+  bounds_.reserve(options.buckets);
+  double bound = options.first_bound;
+  for (std::size_t i = 0; i < options.buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+  for (std::size_t i = 0; i < options.buckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Histogram::bucket_index(double value) const noexcept {
+  if (!(value > options_.first_bound)) return 0;  // also catches NaN
+  const double steps =
+      std::log(value / options_.first_bound) * inv_log_growth_;
+  const auto idx = static_cast<std::size_t>(std::ceil(steps));
+  return std::min(idx, options_.buckets - 1);
+}
+
+void Histogram::record(double value) noexcept {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+  detail::atomic_min(min_, value);
+  detail::atomic_max(max_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  snap.bounds = bounds_;
+  snap.buckets.resize(options_.buckets);
+  for (std::size_t i = 0; i < options_.buckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i < options_.buckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = Kind::kCounter;
+    it->second.counter = std::make_unique<Counter>();
+  } else if (it->second.kind != Kind::kCounter) {
+    throw std::logic_error("Registry: '" + name + "' is not a counter");
+  }
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = Kind::kGauge;
+    it->second.gauge = std::make_unique<Gauge>();
+  } else if (it->second.kind != Kind::kGauge) {
+    throw std::logic_error("Registry: '" + name + "' is not a gauge");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = Kind::kHistogram;
+    it->second.histogram = std::make_unique<Histogram>(options);
+  } else if (it->second.kind != Kind::kHistogram) {
+    throw std::logic_error("Registry: '" + name + "' is not a histogram");
+  }
+  return *it->second.histogram;
+}
+
+bool Registry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.contains(name);
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        m.counter = entry.counter->value();
+        break;
+      case Kind::kGauge:
+        m.gauge = entry.gauge->value();
+        // A never-set gauge keeps the INT64_MIN sentinel; report the
+        // current value instead.
+        m.gauge_max = std::max(entry.gauge->max_seen(), m.gauge);
+        break;
+      case Kind::kHistogram:
+        m.hist = entry.histogram->snapshot();
+        break;
+    }
+    snap.push_back(std::move(m));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace mdn::obs

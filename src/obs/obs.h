@@ -1,0 +1,20 @@
+// Umbrella header for mdn::obs — the observability layer.
+//
+//   metrics.h  counters / gauges / log-bucketed histograms, Registry
+//   trace.h    sim-time spans and instant events (per-EventLoop Tracer)
+//   export.h   Prometheus text, JSONL, JSON, Chrome trace_event JSON
+//
+// Metric naming scheme: hierarchical slash-separated paths,
+// "<layer>/<component>[/<instance>]/<quantity>[_<unit>]", e.g.
+//   net/loop/events_dispatched        counter
+//   net/loop/callback_wall_ns         histogram
+//   net/switch/s1/forwarded           counter
+//   net/switch/s1/port0/queue_depth   gauge
+//   dsp/fft/wall_ns                   histogram (Fig 2b comes from this)
+//   mdn/controller/blocks             counter
+//   mp/bridge/tones_played            counter
+#pragma once
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"

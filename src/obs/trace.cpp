@@ -1,0 +1,39 @@
+#include "obs/trace.h"
+
+namespace mdn::obs {
+
+std::uint32_t Tracer::track(std::string_view name) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  tracks_.emplace_back(name);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void Tracer::instant(std::string_view name, std::uint32_t track,
+                     std::int64_t sim_ns) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name.assign(name);
+  ev.phase = 'i';
+  ev.track = track;
+  ev.sim_ns = sim_ns;
+  ev.wall_ns = clock_();
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::complete(std::string_view name, std::uint32_t track,
+                      std::int64_t sim_ns, std::int64_t wall_start_ns,
+                      std::int64_t wall_dur_ns) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name.assign(name);
+  ev.phase = 'X';
+  ev.track = track;
+  ev.sim_ns = sim_ns;
+  ev.wall_ns = wall_start_ns;
+  ev.wall_dur_ns = wall_dur_ns;
+  events_.push_back(std::move(ev));
+}
+
+}  // namespace mdn::obs

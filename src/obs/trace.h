@@ -1,0 +1,103 @@
+// Sim-time tracing: spans and instant events stamped with BOTH the
+// simulated clock (net::SimTime nanoseconds, passed in by the caller)
+// and the wall clock, so a whole experiment replays as a timeline in
+// chrome://tracing / Perfetto (see obs::to_chrome_trace).
+//
+// A Tracer is owned by the recording context — each net::EventLoop has
+// one — and is disabled by default: when off, recording is a single
+// branch, so tracing-capable code costs nothing in production runs and
+// cannot perturb event ordering either way (it only ever observes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mdn::obs {
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';              ///< 'X' complete span, 'i' instant
+  std::uint32_t track = 0;       ///< index into Tracer::track_names()
+  std::int64_t sim_ns = 0;       ///< simulated timestamp
+  std::int64_t wall_ns = 0;      ///< wall-clock stamp when recorded
+  std::int64_t wall_dur_ns = 0;  ///< span wall duration ('X' only)
+};
+
+class Tracer {
+ public:
+  using WallClock = std::int64_t (*)();
+
+  void enable(bool on = true) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Registers (or finds) a named track — one horizontal lane in the
+  /// trace viewer, e.g. "net/loop" or "mdn/controller".
+  std::uint32_t track(std::string_view name);
+
+  /// Records an instant event at simulated time `sim_ns`.  No-op while
+  /// disabled.
+  void instant(std::string_view name, std::uint32_t track,
+               std::int64_t sim_ns);
+
+  /// Records a completed span that started at simulated time `sim_ns`
+  /// and wall time `wall_start_ns`, lasting `wall_dur_ns` of wall time.
+  /// (Spans are instantaneous in simulated time — the sim clock does not
+  /// advance inside a callback — so the wall duration is the payload.)
+  void complete(std::string_view name, std::uint32_t track,
+                std::int64_t sim_ns, std::int64_t wall_start_ns,
+                std::int64_t wall_dur_ns);
+
+  std::int64_t wall_now() const { return clock_(); }
+  /// Tests inject a deterministic clock to make traces golden-testable.
+  void set_wall_clock(WallClock clock) noexcept { clock_ = clock; }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  const std::vector<std::string>& track_names() const noexcept {
+    return tracks_;
+  }
+
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  WallClock clock_ = &wall_now_ns;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> tracks_;
+};
+
+/// RAII span: measures wall time from construction to destruction and
+/// records a complete event.  Entirely a no-op when the tracer is null
+/// or disabled (one branch at construction).
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, std::string_view name, std::uint32_t track,
+            std::int64_t sim_ns) noexcept
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name),
+        track_(track),
+        sim_ns_(sim_ns),
+        wall_start_ns_(tracer_ != nullptr ? tracer_->wall_now() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->complete(name_, track_, sim_ns_,
+                        wall_start_ns_, tracer_->wall_now() - wall_start_ns_);
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  std::string_view name_;
+  std::uint32_t track_;
+  std::int64_t sim_ns_;
+  std::int64_t wall_start_ns_;
+};
+
+}  // namespace mdn::obs

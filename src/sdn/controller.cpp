@@ -5,7 +5,12 @@
 namespace mdn::sdn {
 
 ControlChannel::ControlChannel(net::EventLoop& loop, net::SimTime latency)
-    : loop_(loop), latency_(latency) {}
+    : loop_(loop), latency_(latency) {
+  auto& registry = obs::Registry::global();
+  flow_mod_counter_ = &registry.counter("sdn/controller/flow_mods");
+  packet_in_counter_ = &registry.counter("sdn/controller/packet_ins");
+  failed_send_counter_ = &registry.counter("sdn/controller/failed_sends");
+}
 
 DatapathId ControlChannel::attach(net::Switch& sw, Controller& controller) {
   const DatapathId dpid = switches_.size();
@@ -15,6 +20,7 @@ DatapathId ControlChannel::attach(net::Switch& sw, Controller& controller) {
       [this, dpid, &controller](const net::Packet& pkt, std::size_t in_port) {
         if (!session_up_[dpid]) {
           ++failed_sends_;
+          failed_send_counter_->inc();
           return;
         }
         PacketIn msg;
@@ -23,6 +29,7 @@ DatapathId ControlChannel::attach(net::Switch& sw, Controller& controller) {
         msg.datapath = dpid;
         loop_.schedule_in(latency_, [this, &controller, msg]() {
           ++packet_ins_delivered_;
+          packet_in_counter_->inc();
           controller.on_packet_in(msg.datapath, msg);
         });
       });
@@ -62,9 +69,11 @@ void ControlChannel::send_flow_mod(DatapathId dpid, FlowMod mod) {
   net::Switch& sw = switch_for(dpid);
   if (!session_up_[dpid]) {
     ++failed_sends_;
+    failed_send_counter_->inc();
     return;
   }
   ++flow_mods_sent_;
+  flow_mod_counter_->inc();
   loop_.schedule_in(latency_, [this, &sw, mod = std::move(mod)]() {
     apply_flow_mod(sw, mod);
   });
@@ -91,6 +100,7 @@ void ControlChannel::send_packet_out(DatapathId dpid, PacketOut out) {
   net::Switch& sw = switch_for(dpid);
   if (!session_up_[dpid]) {
     ++failed_sends_;
+    failed_send_counter_->inc();
     return;
   }
   loop_.schedule_in(latency_, [this, &sw, out = std::move(out)]() mutable {
@@ -121,6 +131,7 @@ std::vector<PortStats> ControlChannel::query_port_stats(
     DatapathId dpid) const {
   if (!session_up_[dpid]) {
     ++failed_sends_;
+    failed_send_counter_->inc();
     throw std::runtime_error(
         "ControlChannel: management session to switch is down");
   }
@@ -139,6 +150,7 @@ std::optional<std::vector<PortStats>> ControlChannel::try_query_port_stats(
     DatapathId dpid) const {
   if (!session_up_[dpid]) {
     ++failed_sends_;
+    failed_send_counter_->inc();
     return std::nullopt;
   }
   return query_port_stats(dpid);

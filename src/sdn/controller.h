@@ -13,6 +13,7 @@
 
 #include "net/event_loop.h"
 #include "net/switch.h"
+#include "obs/metrics.h"
 #include "sdn/messages.h"
 
 namespace mdn::sdn {
@@ -76,6 +77,10 @@ class ControlChannel {
   std::uint64_t flow_mods_sent_ = 0;
   std::uint64_t packet_ins_delivered_ = 0;
   mutable std::uint64_t failed_sends_ = 0;
+  // Registry mirrors under "sdn/controller/...".
+  obs::Counter* flow_mod_counter_;
+  obs::Counter* packet_in_counter_;
+  obs::Counter* failed_send_counter_;
 };
 
 /// In-band congestion-monitoring baseline (what MDN replaces): polls a

@@ -1,0 +1,98 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mdn::obs {
+namespace {
+
+Registry& sample_registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry();
+    reg->counter("net/switch/s1/packets").add(7);
+    reg->gauge("net/loop/queue_depth").set(3);
+    auto& h = reg->histogram("dsp/fft/wall_ns",
+                             {.first_bound = 10.0, .growth = 10.0,
+                              .buckets = 4});
+    h.record(5.0);    // bucket le=10
+    h.record(50.0);   // bucket le=100
+    h.record(50.0);
+    return reg;
+  }();
+  return *r;
+}
+
+TEST(ExportTest, PrometheusNames) {
+  EXPECT_EQ(prometheus_name("net/switch/s1/queue_depth"),
+            "mdn_net_switch_s1_queue_depth");
+  EXPECT_EQ(prometheus_name("dsp/fft/wall_ns"), "mdn_dsp_fft_wall_ns");
+}
+
+TEST(ExportTest, PrometheusText) {
+  const std::string out = to_prometheus(sample_registry().snapshot());
+  EXPECT_NE(out.find("# TYPE mdn_net_switch_s1_packets counter\n"
+                     "mdn_net_switch_s1_packets 7\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE mdn_net_loop_queue_depth gauge\n"
+                     "mdn_net_loop_queue_depth 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE mdn_dsp_fft_wall_ns histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: 1 sample <= 10, 3 samples <= 100 and <= +Inf.
+  EXPECT_NE(out.find("mdn_dsp_fft_wall_ns_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("mdn_dsp_fft_wall_ns_bucket{le=\"100\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("mdn_dsp_fft_wall_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("mdn_dsp_fft_wall_ns_sum 105\n"), std::string::npos);
+  EXPECT_NE(out.find("mdn_dsp_fft_wall_ns_count 3\n"), std::string::npos);
+}
+
+TEST(ExportTest, JsonlOneLinePerMetric) {
+  const std::string out = to_jsonl(sample_registry().snapshot());
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(out.find("{\"name\":\"net/switch/s1/packets\","
+                     "\"kind\":\"counter\",\"value\":7}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"histogram\""), std::string::npos);
+}
+
+TEST(ExportTest, JsonObjectKeyedByName) {
+  const std::string out = to_json(sample_registry().snapshot());
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+  EXPECT_NE(out.find("\"net/switch/s1/packets\":{\"kind\":\"counter\","
+                     "\"value\":7}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"dsp/fft/wall_ns\":{\"kind\":\"histogram\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"buckets\":[[10,1],[100,2]]"), std::string::npos);
+}
+
+TEST(ExportTest, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(ExportTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "obs_export_test.txt";
+  ASSERT_TRUE(write_file(path, "hello"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "hello");
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, WriteFileFailsGracefully) {
+  EXPECT_FALSE(write_file("/nonexistent-dir/x/y/z.txt", "data"));
+}
+
+}  // namespace
+}  // namespace mdn::obs

@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "dsp/ecdf.h"
+
+namespace mdn::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddAndMaxSeen) {
+  Gauge g;
+  g.set(10);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max_seen(), 10);
+  g.add(5);
+  EXPECT_EQ(g.value(), 8);
+  g.add(-20);
+  EXPECT_EQ(g.value(), -12);
+  EXPECT_EQ(g.max_seen(), 10);
+}
+
+TEST(RegistryTest, LookupReturnsSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("net/switch/s1/packets");
+  Counter& b = r.counter("net/switch/s1/packets");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.contains("net/switch/s1/packets"));
+  EXPECT_FALSE(r.contains("net/switch/s2/packets"));
+}
+
+TEST(RegistryTest, KindMismatchThrows) {
+  Registry r;
+  r.counter("x");
+  EXPECT_THROW(r.gauge("x"), std::logic_error);
+  EXPECT_THROW(r.histogram("x"), std::logic_error);
+  r.histogram("h");
+  EXPECT_THROW(r.counter("h"), std::logic_error);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  Registry r;
+  r.counter("z/last");
+  r.gauge("a/first");
+  r.histogram("m/middle");
+  const Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a/first");
+  EXPECT_EQ(snap[1].name, "m/middle");
+  EXPECT_EQ(snap[2].name, "z/last");
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsPointersValid) {
+  Registry r;
+  Counter& c = r.counter("c");
+  Gauge& g = r.gauge("g");
+  Histogram& h = r.histogram("h");
+  c.add(7);
+  g.set(5);
+  h.record(123.0);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  c.inc();  // the same instrument keeps working after reset
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(RegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram h;
+  h.record(10.0);
+  h.record(20.0);
+  h.record(30.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 60.0);
+  EXPECT_DOUBLE_EQ(snap.min, 10.0);
+  EXPECT_DOUBLE_EQ(snap.max, 30.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 20.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsBenign) {
+  Histogram h;
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.cdf(123.0), 0.0);
+  EXPECT_TRUE(snap.curve(10).empty());
+}
+
+TEST(HistogramTest, InvalidLayoutThrows) {
+  EXPECT_THROW(Histogram({.first_bound = 0.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({.growth = 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({.buckets = 1}), std::invalid_argument);
+}
+
+// Quantiles against a known uniform distribution, cross-checked against
+// the exact dsp::Ecdf the repo already trusts for CDFs.
+TEST(HistogramTest, QuantilesMatchEcdfOnUniform) {
+  Histogram h;
+  dsp::Ecdf exact;
+  for (int i = 1; i <= 10000; ++i) {
+    h.record(static_cast<double>(i));
+    exact.add(static_cast<double>(i));
+  }
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+    const double approx = h.quantile(q);
+    const double truth = exact.quantile(q);
+    // Geometric buckets at 2^(1/8) growth: within ~10% relative error.
+    EXPECT_NEAR(approx, truth, 0.1 * truth) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantilesMatchEcdfOnExponential) {
+  Histogram h;
+  dsp::Ecdf exact;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    // Inverse-CDF sampling of Exp(mean=1e5) at evenly spaced quantiles.
+    const double u = (static_cast<double>(i) + 0.5) / kN;
+    const double v = -std::log(1.0 - u) * 1e5;
+    h.record(v);
+    exact.add(v);
+  }
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double truth = exact.quantile(q);
+    EXPECT_NEAR(h.quantile(q), truth, 0.1 * truth) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, CdfBracketsAndInterpolates) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.cdf(0.5), 0.0);      // below min
+  EXPECT_DOUBLE_EQ(snap.cdf(1000.0), 1.0);   // at max
+  EXPECT_DOUBLE_EQ(snap.cdf(5000.0), 1.0);   // above max
+  EXPECT_NEAR(snap.cdf(500.0), 0.5, 0.05);   // interpolated interior
+}
+
+TEST(HistogramTest, QuantileEndpointsClampToObserved) {
+  Histogram h;
+  h.record(100.0);
+  h.record(200.0);
+  h.record(400.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 400.0);
+}
+
+TEST(HistogramTest, CurveIsMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i * i));
+  const auto curve = h.snapshot().curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GT(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(HistogramTest, OverflowBucketUsesObservedMax) {
+  // Two buckets: everything above first_bound lands in the overflow.
+  Histogram h({.first_bound = 1.0, .growth = 2.0, .buckets = 2});
+  h.record(1e9);
+  h.record(2e9);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2e9);
+  EXPECT_LE(h.quantile(0.25), 2e9);
+}
+
+TEST(HistogramTest, NegativeAndNanInputsAreSafe) {
+  Histogram h;
+  h.record(-5.0);  // clamped to 0
+  h.record(std::nan(""));  // dropped
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.snapshot().min, 0.0);
+}
+
+}  // namespace
+}  // namespace mdn::obs
