@@ -3,6 +3,7 @@
 
 #include "dsp/ecdf.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/goertzel.h"
 #include "dsp/mel.h"
 #include "dsp/spectrogram.h"

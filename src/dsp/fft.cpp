@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "dsp/fft_plan.h"
+
 namespace mdn::dsp {
 namespace {
 
@@ -22,41 +24,6 @@ void bit_reverse_permute(std::span<Complex> data) noexcept {
     j |= bit;
     if (i < j) std::swap(data[i], data[j]);
   }
-}
-
-// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
-// convolution, evaluated with power-of-two FFTs.
-std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
-  const std::size_t n = input.size();
-  const double sign = inverse ? 1.0 : -1.0;
-
-  // Chirp factors w[k] = exp(sign * i * pi * k^2 / n).  k^2 mod 2n keeps
-  // the argument small for large n without changing the value.
-  std::vector<Complex> w(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const auto k2 = static_cast<double>((k * k) % (2 * n));
-    const double angle = sign * kPi * k2 / static_cast<double>(n);
-    w[k] = Complex{std::cos(angle), std::sin(angle)};
-  }
-
-  const std::size_t m = next_power_of_two(2 * n - 1);
-  std::vector<Complex> a(m), b(m);
-  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * w[k];
-  b[0] = std::conj(w[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = std::conj(w[k]);
-    b[m - k] = b[k];
-  }
-
-  fft_radix2_inplace(a, /*inverse=*/false);
-  fft_radix2_inplace(b, /*inverse=*/false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_radix2_inplace(a, /*inverse=*/true);
-
-  std::vector<Complex> out(n);
-  const double scale = 1.0 / static_cast<double>(m);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * w[k] * scale;
-  return out;
 }
 
 }  // namespace
@@ -93,25 +60,16 @@ void fft_radix2_inplace(std::span<Complex> data, bool inverse) {
 }
 
 std::vector<Complex> fft(std::span<const Complex> input) {
-  std::vector<Complex> data(input.begin(), input.end());
-  if (data.empty()) return data;
-  if (is_power_of_two(data.size())) {
-    fft_radix2_inplace(data, /*inverse=*/false);
-    return data;
-  }
-  return bluestein(input, /*inverse=*/false);
+  if (input.empty()) return {};
+  const auto plan = PlanCache::global().complex_plan(input.size(), false);
+  return plan->transform(input);
 }
 
 std::vector<Complex> ifft(std::span<const Complex> input) {
   const std::size_t n = input.size();
   if (n == 0) return {};
-  std::vector<Complex> data;
-  if (is_power_of_two(n)) {
-    data.assign(input.begin(), input.end());
-    fft_radix2_inplace(data, /*inverse=*/true);
-  } else {
-    data = bluestein(input, /*inverse=*/true);
-  }
+  const auto plan = PlanCache::global().complex_plan(n, true);
+  auto data = plan->transform(input);
   const double scale = 1.0 / static_cast<double>(n);
   for (auto& x : data) x *= scale;
   return data;
@@ -119,51 +77,17 @@ std::vector<Complex> ifft(std::span<const Complex> input) {
 
 std::vector<Complex> fft_real(std::span<const double> input) {
   const std::size_t n = input.size();
-  // Packed-real trick for power-of-two sizes >= 4: transform the N real
-  // samples as an N/2-point complex FFT, then untangle.  Roughly halves
-  // the cost of the naive promote-to-complex path — this is the hot loop
-  // of the tone detector (Fig 2b).
-  if (n >= 4 && is_power_of_two(n)) {
-    const std::size_t half = n / 2;
-    std::vector<Complex> z(half);
-    for (std::size_t i = 0; i < half; ++i) {
-      z[i] = Complex{input[2 * i], input[2 * i + 1]};
-    }
-    fft_radix2_inplace(z, /*inverse=*/false);
-
-    std::vector<Complex> out(n);
-    const double step = -2.0 * kPi / static_cast<double>(n);
-    for (std::size_t k = 0; k <= half / 2; ++k) {
-      const std::size_t km = (half - k) % half;
-      const Complex a = z[k];
-      const Complex b = std::conj(z[km]);
-      const Complex even = 0.5 * (a + b);
-      const Complex odd = Complex{0.0, -0.5} * (a - b);
-      const double angle = step * static_cast<double>(k);
-      const Complex w{std::cos(angle), std::sin(angle)};
-      const Complex xk = even + w * odd;
-      // And the mirrored half-spectrum entry X[half - k].
-      const Complex even_m = std::conj(even);
-      const Complex odd_m = std::conj(odd);
-      const double angle_m = step * static_cast<double>(half - k);
-      const Complex w_m{std::cos(angle_m), std::sin(angle_m)};
-      const Complex xm = even_m + w_m * odd_m;
-
-      out[k] = xk;
-      out[half - k] = xm;
-    }
-    // X[half] (Nyquist) from the even/odd split at k=0.
-    out[half] = Complex{z[0].real() - z[0].imag(), 0.0};
-    // Conjugate symmetry for the upper half.
-    for (std::size_t k = 1; k < half; ++k) {
-      out[n - k] = std::conj(out[k]);
-    }
-    return out;
+  if (n == 0) return {};
+  const auto plan = PlanCache::global().real_plan(n);
+  const auto half = plan->spectrum(input);
+  // Expand the single-sided result into the full conjugate-symmetric
+  // spectrum this function has always returned.
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < half.size() && k < n; ++k) out[k] = half[k];
+  for (std::size_t k = n / 2 + 1; k < n; ++k) {
+    out[k] = std::conj(out[n - k]);
   }
-
-  std::vector<Complex> data(n);
-  for (std::size_t i = 0; i < n; ++i) data[i] = Complex{input[i], 0.0};
-  return fft(data);
+  return out;
 }
 
 std::vector<Complex> dft_reference(std::span<const Complex> input) {
@@ -195,9 +119,16 @@ std::vector<double> power(std::span<const Complex> spectrum) {
 
 std::size_t frequency_bin(double frequency_hz, std::size_t n,
                           double sample_rate) noexcept {
+  if (n == 0) return 0;
   const double bin = frequency_hz * static_cast<double>(n) / sample_rate;
-  const auto rounded = static_cast<std::size_t>(std::llround(std::max(0.0, bin)));
-  return std::min(rounded, n == 0 ? 0 : n - 1);
+  const auto rounded =
+      static_cast<std::size_t>(std::llround(std::max(0.0, bin)));
+  // Clamp to the Nyquist bin n/2: every real-signal consumer indexes a
+  // single-sided spectrum of n/2 + 1 values, and a frequency above
+  // Nyquist is not representable in any case.  Clamping to n - 1 (the
+  // old behaviour) silently aliased out-of-range requests into the
+  // mirrored upper half.
+  return std::min(rounded, n / 2);
 }
 
 }  // namespace mdn::dsp

@@ -6,6 +6,11 @@
 // an iterative radix-2 Cooley-Tukey transform for power-of-two sizes and a
 // Bluestein chirp-z fallback so callers may transform buffers of any length
 // (microphone captures are rarely a power of two).
+//
+// The free functions below are the convenient allocating interface; they
+// fetch precomputed plans from dsp::PlanCache (dsp/fft_plan.h), so
+// repeated same-size transforms share twiddle/permutation tables.  Hot
+// paths should hold a plan directly and execute into reusable buffers.
 #pragma once
 
 #include <complex>
@@ -57,7 +62,9 @@ constexpr double bin_frequency(std::size_t k, std::size_t n,
   return static_cast<double>(k) * sample_rate / static_cast<double>(n);
 }
 
-/// Closest bin index for `frequency_hz` in an N-point transform.
+/// Closest bin index for `frequency_hz` in an N-point transform, clamped
+/// to the Nyquist bin n/2 (the last entry of a single-sided spectrum);
+/// frequencies above Nyquist are not representable.
 std::size_t frequency_bin(double frequency_hz, std::size_t n,
                           double sample_rate) noexcept;
 

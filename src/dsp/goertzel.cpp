@@ -39,4 +39,48 @@ double goertzel_power(std::span<const double> signal, double frequency_hz,
   return g.block_power();
 }
 
+GoertzelBank::GoertzelBank(std::span<const double> frequencies_hz,
+                           double sample_rate)
+    : frequencies_(frequencies_hz.begin(), frequencies_hz.end()),
+      sample_rate_(sample_rate) {
+  coeff_.reserve(frequencies_.size());
+  cos_w_.reserve(frequencies_.size());
+  sin_w_.reserve(frequencies_.size());
+  for (double f : frequencies_) {
+    const double w = 2.0 * std::numbers::pi * f / sample_rate;
+    coeff_.push_back(2.0 * std::cos(w));
+    cos_w_.push_back(std::cos(w));
+    sin_w_.push_back(std::sin(w));
+  }
+}
+
+void GoertzelBank::block_powers(std::span<const double> block,
+                                std::span<double> out) const {
+  // Filter-major order: each filter streams the block with its state in
+  // registers, so the inner loop is two fmas per sample and no memory
+  // traffic beyond the block itself.
+  for (std::size_t i = 0; i < coeff_.size(); ++i) {
+    const double c = coeff_[i];
+    double s1 = 0.0, s2 = 0.0;
+    for (double x : block) {
+      const double s0 = x + c * s1 - s2;
+      s2 = s1;
+      s1 = s0;
+    }
+    const double real = s1 - s2 * cos_w_[i];
+    const double imag = s2 * sin_w_[i];
+    out[i] = real * real + imag * imag;
+  }
+}
+
+void GoertzelBank::block_amplitudes(std::span<const double> block,
+                                    std::span<double> out) const {
+  block_powers(block, out);
+  const double n = static_cast<double>(block.size());
+  const double scale = n > 0.0 ? 2.0 / n : 0.0;
+  for (std::size_t i = 0; i < coeff_.size(); ++i) {
+    out[i] = scale * std::sqrt(out[i]);
+  }
+}
+
 }  // namespace mdn::dsp

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 namespace mdn::dsp {
 
@@ -39,6 +40,38 @@ class Goertzel {
   double s1_ = 0.0;
   double s2_ = 0.0;
   std::size_t count_ = 0;
+};
+
+/// A fixed bank of Goertzel filters with precomputed per-frequency
+/// coefficients — the "plan" for closed-set detection.  Build it once
+/// for a watch list, then evaluate whole blocks into caller-provided
+/// storage with zero allocation (ToneDetector::set_levels rides this).
+class GoertzelBank {
+ public:
+  GoertzelBank(std::span<const double> frequencies_hz, double sample_rate);
+
+  std::size_t size() const noexcept { return coeff_.size(); }
+  double sample_rate() const noexcept { return sample_rate_; }
+  std::span<const double> frequencies_hz() const noexcept {
+    return frequencies_;
+  }
+
+  /// |X|^2 of `block` at each bank frequency; writes size() values into
+  /// `out`.  No allocation.
+  void block_powers(std::span<const double> block,
+                    std::span<double> out) const;
+
+  /// Amplitude of the underlying sine at each bank frequency
+  /// (A = 2*sqrt(P)/N for a rectangular window); writes size() values.
+  void block_amplitudes(std::span<const double> block,
+                        std::span<double> out) const;
+
+ private:
+  std::vector<double> frequencies_;
+  std::vector<double> coeff_;  // 2*cos(w) per frequency
+  std::vector<double> cos_w_;
+  std::vector<double> sin_w_;
+  double sample_rate_;
 };
 
 }  // namespace mdn::dsp

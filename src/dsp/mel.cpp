@@ -81,10 +81,19 @@ double MelFilterBank::band_center_mel(std::size_t b) const {
 
 std::vector<double> MelFilterBank::apply(
     std::span<const double> linear_spectrum) const {
+  std::vector<double> out(bands_, 0.0);
+  apply_into(linear_spectrum, out);
+  return out;
+}
+
+void MelFilterBank::apply_into(std::span<const double> linear_spectrum,
+                               std::span<double> out) const {
   if (linear_spectrum.size() != spectrum_size_) {
     throw std::invalid_argument("MelFilterBank::apply: spectrum size");
   }
-  std::vector<double> out(bands_, 0.0);
+  if (out.size() < bands_) {
+    throw std::invalid_argument("MelFilterBank::apply_into: out too small");
+  }
   for (std::size_t b = 0; b < bands_; ++b) {
     const auto& f = filters_[b];
     double acc = 0.0;
@@ -95,7 +104,6 @@ std::vector<double> MelFilterBank::apply(
     }
     out[b] = acc;
   }
-  return out;
 }
 
 std::size_t MelSpectrogram::argmax_band(std::size_t f) const {
@@ -110,10 +118,12 @@ MelSpectrogram mel_spectrogram(const Spectrogram& linear, std::size_t bands,
   MelFilterBank bank(bands, fft_size, linear.sample_rate(), fmin_hz,
                      fmax_hz);
   MelSpectrogram out;
-  out.frames.reserve(linear.frames());
+  // Batched: each row is sized once and filled in place; the bank never
+  // allocates per frame.
+  out.frames.assign(linear.frames(), std::vector<double>(bands, 0.0));
   out.frame_times_s.reserve(linear.frames());
   for (std::size_t f = 0; f < linear.frames(); ++f) {
-    out.frames.push_back(bank.apply(linear.frame(f)));
+    bank.apply_into(linear.frame(f), out.frames[f]);
     out.frame_times_s.push_back(linear.frame_time(f));
   }
   out.band_centers_hz.resize(bands);

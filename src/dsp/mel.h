@@ -36,6 +36,10 @@ class MelFilterBank {
   /// values); returns `bands` mel-band amplitudes.
   std::vector<double> apply(std::span<const double> linear_spectrum) const;
 
+  /// Zero-allocation variant: writes bands() amplitudes into `out`.
+  void apply_into(std::span<const double> linear_spectrum,
+                  std::span<double> out) const;
+
  private:
   std::size_t bands_;
   std::size_t spectrum_size_;

@@ -65,12 +65,18 @@ Spectrogram stft(std::span<const double> signal, double sample_rate,
     throw std::invalid_argument("stft: fft_size and hop must be positive");
   }
   const std::size_t bins = config.fft_size / 2 + 1;
+  // Every sample belongs to some frame: (N-1)/hop + 1 frames, the final
+  // (or only) one zero-padded.  A non-empty signal shorter than a hop
+  // still yields its one padded frame.
   const std::size_t frames =
-      signal.size() < config.hop ? 0
-                                 : (signal.size() - 1) / config.hop + 1;
+      signal.empty() ? 0 : (signal.size() - 1) / config.hop + 1;
   Spectrogram out(frames, bins, sample_rate, config.fft_size, config.hop);
   if (frames == 0) return out;
 
+  // Batched loop: one plan and one workspace serve every frame, so the
+  // per-frame cost is copy + window + execute with no allocation.
+  const auto plan = PlanCache::global().real_plan(config.fft_size);
+  SpectrumWorkspace ws(*plan);
   const auto window = make_window(config.window, config.fft_size);
   std::vector<double> chunk(config.fft_size);
   for (std::size_t f = 0; f < frames; ++f) {
@@ -83,8 +89,7 @@ Spectrogram stft(std::span<const double> signal, double sample_rate,
                 chunk.begin());
     std::fill(chunk.begin() + static_cast<std::ptrdiff_t>(avail), chunk.end(),
               0.0);
-    const auto spec = amplitude_spectrum(chunk, window);
-    std::copy(spec.begin(), spec.end(), out.frame(f).begin());
+    amplitude_spectrum_into(chunk, window, *plan, ws, out.frame(f));
   }
   return out;
 }

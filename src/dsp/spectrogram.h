@@ -52,9 +52,11 @@ class Spectrogram {
   std::vector<double> data_;  // row-major frames x bins
 };
 
-/// Computes the single-sided amplitude STFT of `signal`.  The final
-/// partial frame is zero-padded.  Returns an empty spectrogram (0 frames)
-/// for signals shorter than one hop.
+/// Computes the single-sided amplitude STFT of `signal` with a single
+/// cached FFT plan and one reused scratch frame (no per-frame
+/// allocation).  Partial frames — including the single frame of a
+/// non-empty signal shorter than one hop — are zero-padded.  Only an
+/// empty signal yields 0 frames.
 Spectrogram stft(std::span<const double> signal, double sample_rate,
                  const StftConfig& config);
 

@@ -19,6 +19,57 @@ double db_to_amplitude(double db, double reference) noexcept {
   return reference * std::pow(10.0, db / 20.0);
 }
 
+void SpectrumWorkspace::resize_for(const RealFftPlan& plan) {
+  if (padded.size() < plan.size()) padded.resize(plan.size());
+  if (bins.size() < plan.bins()) bins.resize(plan.bins());
+  if (scratch.size() < plan.scratch_size()) {
+    scratch.resize(plan.scratch_size());
+  }
+}
+
+void amplitude_spectrum_into(std::span<const double> signal,
+                             std::span<const double> window,
+                             const RealFftPlan& plan, SpectrumWorkspace& ws,
+                             std::span<double> out) {
+  if (signal.size() != window.size()) {
+    throw std::invalid_argument(
+        "amplitude_spectrum_into: window size mismatch");
+  }
+  if (signal.size() > plan.size()) {
+    throw std::invalid_argument(
+        "amplitude_spectrum_into: plan smaller than signal");
+  }
+  if (out.size() < plan.bins()) {
+    throw std::invalid_argument("amplitude_spectrum_into: out too small");
+  }
+  const std::size_t fft_size = plan.size();
+  if (fft_size == 0) return;
+  ws.resize_for(plan);
+
+  // Window the data (not the pad); padding only interpolates the
+  // spectrum.
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    ws.padded[i] = signal[i] * window[i];
+  }
+  std::fill(ws.padded.begin() + static_cast<std::ptrdiff_t>(signal.size()),
+            ws.padded.begin() + static_cast<std::ptrdiff_t>(fft_size), 0.0);
+  plan.execute(std::span<const double>(ws.padded.data(), fft_size), ws.bins,
+               ws.scratch);
+
+  // A sine of amplitude A contributes A * gain / 2 to its bin (the other
+  // half lands in the conjugate bin), where gain is the coherent window
+  // gain; scale so the reported value is A.
+  const double gain = window_coherent_gain(window);
+  const double scale = gain > 0.0 ? 2.0 / gain : 0.0;
+  const std::size_t bins = plan.bins();
+  for (std::size_t k = 0; k < bins; ++k) {
+    out[k] = std::abs(ws.bins[k]) * scale;
+  }
+  // DC and Nyquist have no conjugate partner.
+  out[0] /= 2.0;
+  if (fft_size % 2 == 0) out[bins - 1] /= 2.0;
+}
+
 std::vector<double> amplitude_spectrum(std::span<const double> signal,
                                        std::span<const double> window) {
   if (signal.size() != window.size()) {
@@ -27,23 +78,10 @@ std::vector<double> amplitude_spectrum(std::span<const double> signal,
   const std::size_t n = signal.size();
   if (n == 0) return {};
 
-  std::vector<double> windowed(signal.begin(), signal.end());
-  apply_window(windowed, window);
-  const auto spectrum = fft_real(windowed);
-
-  // A sine of amplitude A contributes A * gain / 2 to its bin (the other
-  // half lands in the conjugate bin), where gain is the coherent window
-  // gain; scale so the reported value is A.
-  const double gain = window_coherent_gain(window);
-  const double scale = gain > 0.0 ? 2.0 / gain : 0.0;
-
-  std::vector<double> out(n / 2 + 1);
-  for (std::size_t k = 0; k < out.size(); ++k) {
-    out[k] = std::abs(spectrum[k]) * scale;
-  }
-  // DC and Nyquist have no conjugate partner.
-  out.front() /= 2.0;
-  if (n % 2 == 0) out.back() /= 2.0;
+  const auto plan = PlanCache::global().real_plan(n);
+  SpectrumWorkspace ws(*plan);
+  std::vector<double> out(plan->bins());
+  amplitude_spectrum_into(signal, window, *plan, ws, out);
   return out;
 }
 
@@ -58,20 +96,11 @@ std::vector<double> amplitude_spectrum_padded(std::span<const double> signal,
     throw std::invalid_argument(
         "amplitude_spectrum_padded: fft_size smaller than signal");
   }
-  std::vector<double> padded(fft_size, 0.0);
-  for (std::size_t i = 0; i < signal.size(); ++i) {
-    padded[i] = signal[i] * window[i];
-  }
-  const auto spectrum = fft_real(padded);
-
-  const double gain = window_coherent_gain(window);
-  const double scale = gain > 0.0 ? 2.0 / gain : 0.0;
-  std::vector<double> out(fft_size / 2 + 1);
-  for (std::size_t k = 0; k < out.size(); ++k) {
-    out[k] = std::abs(spectrum[k]) * scale;
-  }
-  out.front() /= 2.0;
-  if (fft_size % 2 == 0) out.back() /= 2.0;
+  if (fft_size == 0) return {};
+  const auto plan = PlanCache::global().real_plan(fft_size);
+  SpectrumWorkspace ws(*plan);
+  std::vector<double> out(plan->bins());
+  amplitude_spectrum_into(signal, window, *plan, ws, out);
   return out;
 }
 
@@ -80,8 +109,18 @@ std::vector<SpectralPeak> find_peaks(std::span<const double> spectrum,
                                      double min_amplitude,
                                      std::size_t neighborhood) {
   std::vector<SpectralPeak> peaks;
+  find_peaks_into(spectrum, sample_rate, fft_size, min_amplitude,
+                  neighborhood, peaks);
+  return peaks;
+}
+
+void find_peaks_into(std::span<const double> spectrum, double sample_rate,
+                     std::size_t fft_size, double min_amplitude,
+                     std::size_t neighborhood,
+                     std::vector<SpectralPeak>& peaks) {
+  peaks.clear();
   const std::size_t n = spectrum.size();
-  if (n < 3 || fft_size == 0) return peaks;
+  if (n < 3 || fft_size == 0) return;
   const std::size_t radius = std::max<std::size_t>(1, neighborhood);
 
   for (std::size_t k = 1; k + 1 < n; ++k) {
@@ -115,7 +154,6 @@ std::vector<SpectralPeak> find_peaks(std::span<const double> spectrum,
     p.amplitude = a;
     peaks.push_back(p);
   }
-  return peaks;
 }
 
 double spectral_difference(std::span<const double> a,

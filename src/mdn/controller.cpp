@@ -3,6 +3,19 @@
 #include <cmath>
 
 namespace mdn::core {
+namespace {
+
+// Tell the detector the exact block length the periodic tick will hand
+// it, so its short-block analysis window is precomputed at construction
+// ("plan cold, execute hot") rather than synthesised on first detect.
+ToneDetectorConfig with_block_size(ToneDetectorConfig detector, double hop_s,
+                                   double sample_rate) {
+  detector.block_size = static_cast<std::size_t>(
+      std::llround(hop_s * sample_rate));
+  return detector;
+}
+
+}  // namespace
 
 MdnController::MdnController(net::EventLoop& loop,
                              audio::AcousticChannel& channel,
@@ -10,7 +23,8 @@ MdnController::MdnController(net::EventLoop& loop,
     : loop_(loop),
       channel_(channel),
       config_(config),
-      detector_(config.detector),
+      detector_(with_block_size(config.detector, config.hop_s,
+                                channel.sample_rate())),
       microphone_(config.microphone, channel.sample_rate()),
       recording_(channel.sample_rate()) {
   auto& registry = obs::Registry::global();
@@ -65,11 +79,13 @@ bool MdnController::tick() {
   }
 
   // Stage 2: windowed FFT + peak picking (also feeds "dsp/fft/wall_ns").
-  std::vector<DetectedTone> tones;
+  // The tones vector is a reused member, so steady-state ticks detect
+  // with zero heap allocation.
+  std::vector<DetectedTone>& tones = tones_scratch_;
   {
     obs::TraceSpan span(&tracer, "controller/detect", trace_track_, sim_now);
     obs::ScopedTimerNs timer(detect_wall_ns_);
-    tones = detector_.detect(block.samples());
+    detector_.detect_into(block.samples(), tones);
   }
 
   // Stage 3: match detected peaks against the watch list.

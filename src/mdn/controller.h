@@ -86,6 +86,7 @@ class MdnController {
   audio::Microphone microphone_;
   std::vector<Watch> watches_;
   std::vector<BlockObserver> block_observers_;
+  std::vector<DetectedTone> tones_scratch_;  // reused by tick()
   std::vector<ToneEvent> log_;
   audio::Waveform recording_;
   bool running_ = false;

@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "dsp/fft.h"
-#include "dsp/spectrum.h"
 
 namespace mdn::core {
 
@@ -13,6 +12,7 @@ FanFailureDetector::FanFailureDetector(double sample_rate,
                                        const FanDetectorConfig& config)
     : sample_rate_(sample_rate),
       config_(config),
+      plan_(dsp::PlanCache::global().real_plan(config.fft_size)),
       window_(dsp::make_window(config.window, config.fft_size)) {
   if (sample_rate <= 0.0) {
     throw std::invalid_argument("FanFailureDetector: sample rate");
@@ -20,25 +20,32 @@ FanFailureDetector::FanFailureDetector(double sample_rate,
   if (config.band_hi_hz <= config.band_lo_hz) {
     throw std::invalid_argument("FanFailureDetector: band");
   }
+  band_lo_bin_ =
+      dsp::frequency_bin(config_.band_lo_hz, config_.fft_size, sample_rate_);
+  band_hi_bin_ =
+      dsp::frequency_bin(config_.band_hi_hz, config_.fft_size, sample_rate_);
 }
 
-std::vector<double> FanFailureDetector::band_spectrum(
-    std::span<const double> segment) const {
-  std::vector<double> chunk(config_.fft_size, 0.0);
+void FanFailureDetector::band_spectrum_into(std::span<const double> segment,
+                                            BandScratch& scratch,
+                                            std::vector<double>& band) const {
+  // Zero-pad into an FFT-sized chunk and apply the full-size window, so
+  // short segments are normalised by the same coherent gain as full
+  // ones.
+  scratch.chunk.assign(config_.fft_size, 0.0);
   const std::size_t n = std::min(segment.size(), config_.fft_size);
-  std::copy_n(segment.begin(), n, chunk.begin());
-  const auto full = dsp::amplitude_spectrum(chunk, window_);
-
-  const std::size_t lo =
-      dsp::frequency_bin(config_.band_lo_hz, config_.fft_size, sample_rate_);
-  const std::size_t hi =
-      dsp::frequency_bin(config_.band_hi_hz, config_.fft_size, sample_rate_);
-  std::vector<double> band;
-  band.reserve(hi - lo + 1);
-  for (std::size_t k = lo; k <= hi && k < full.size(); ++k) {
-    band.push_back(full[k]);
+  std::copy_n(segment.begin(), n, scratch.chunk.begin());
+  if (scratch.spectrum.size() < plan_->bins()) {
+    scratch.spectrum.resize(plan_->bins());
   }
-  return band;
+  dsp::amplitude_spectrum_into(scratch.chunk, window_, *plan_, scratch.ws,
+                               scratch.spectrum);
+
+  band.clear();
+  for (std::size_t k = band_lo_bin_;
+       k <= band_hi_bin_ && k < plan_->bins(); ++k) {
+    band.push_back(scratch.spectrum[k]);
+  }
 }
 
 void FanFailureDetector::calibrate(const audio::Waveform& baseline) {
@@ -49,12 +56,15 @@ void FanFailureDetector::calibrate(const audio::Waveform& baseline) {
         "FanFailureDetector::calibrate: need >= 4 FFT-size segments");
   }
 
-  // Pass 1: mean spectrum.
+  // Pass 1: mean spectrum (one scratch set batched across segments).
+  BandScratch scratch;
   std::vector<std::vector<double>> spectra;
   spectra.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    spectra.push_back(
-        band_spectrum(baseline.samples().subspan(i * seg, seg)));
+    std::vector<double> band;
+    band_spectrum_into(baseline.samples().subspan(i * seg, seg), scratch,
+                       band);
+    spectra.push_back(std::move(band));
   }
   reference_.assign(spectra.front().size(), 0.0);
   for (const auto& s : spectra) {
@@ -82,19 +92,23 @@ double FanFailureDetector::difference(const audio::Waveform& sample) const {
   if (!calibrated_) {
     throw std::logic_error("FanFailureDetector: not calibrated");
   }
-  return dsp::spectral_difference(band_spectrum(sample.samples()),
-                                  reference_);
+  BandScratch scratch;
+  std::vector<double> band;
+  band_spectrum_into(sample.samples(), scratch, band);
+  return dsp::spectral_difference(band, reference_);
 }
 
 std::vector<double> FanFailureDetector::difference_series(
     const audio::Waveform& recording) const {
   std::vector<double> out;
   const std::size_t seg = config_.fft_size;
+  BandScratch scratch;
+  std::vector<double> band;
   for (std::size_t start = 0; start + seg <= recording.size();
        start += seg) {
-    out.push_back(dsp::spectral_difference(
-        band_spectrum(recording.samples().subspan(start, seg)),
-        reference_));
+    band_spectrum_into(recording.samples().subspan(start, seg), scratch,
+                       band);
+    out.push_back(dsp::spectral_difference(band, reference_));
   }
   return out;
 }

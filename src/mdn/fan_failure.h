@@ -14,9 +14,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "audio/waveform.h"
+#include "dsp/fft_plan.h"
+#include "dsp/spectrum.h"
 #include "dsp/window.h"
 
 namespace mdn::core {
@@ -60,11 +63,26 @@ class FanFailureDetector {
   double baseline_std() const;
 
  private:
-  std::vector<double> band_spectrum(std::span<const double> segment) const;
+  /// Reused buffers for segment analysis: one set serves a whole
+  /// calibrate() or difference_series() batch, so the per-segment cost
+  /// is copy + window + planned FFT with no allocation once warm.
+  struct BandScratch {
+    dsp::SpectrumWorkspace ws;
+    std::vector<double> chunk;     // segment zero-padded to fft_size
+    std::vector<double> spectrum;  // full single-sided spectrum
+  };
+
+  /// Writes the in-band amplitude spectrum of `segment` into `band`.
+  void band_spectrum_into(std::span<const double> segment,
+                          BandScratch& scratch,
+                          std::vector<double>& band) const;
 
   double sample_rate_;
   FanDetectorConfig config_;
+  std::shared_ptr<const dsp::RealFftPlan> plan_;
   std::vector<double> window_;
+  std::size_t band_lo_bin_ = 0;
+  std::size_t band_hi_bin_ = 0;  // inclusive
   std::vector<double> reference_;  // mean in-band amplitude spectrum
   double mean_diff_ = 0.0;         // on-vs-on mean difference
   double std_diff_ = 0.0;          // on-vs-on std deviation

@@ -2,14 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
-#include "dsp/goertzel.h"
-
 namespace mdn::core {
+namespace {
+
+// Per-thread scratch for the zero-allocation detect path.  Keeping it
+// thread-local (instead of as a mutable member) is what makes a shared
+// const ToneDetector race-free: every thread windows, transforms and
+// peak-picks in its own buffers.  Buffers only grow, so a thread in
+// steady state with one detector never reallocates.
+struct DetectScratch {
+  dsp::SpectrumWorkspace ws;
+  std::vector<double> spectrum;
+  std::vector<dsp::SpectralPeak> peaks;
+  // Fallback window for block lengths the detector was not configured
+  // for (cold path; cached per thread so repeats stay allocation-free).
+  std::vector<double> window;
+  dsp::WindowKind window_kind = dsp::WindowKind::kRectangular;
+};
+
+DetectScratch& detect_scratch() {
+  thread_local DetectScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 ToneDetector::ToneDetector(const ToneDetectorConfig& config)
     : config_(config),
+      plan_(dsp::PlanCache::global().real_plan(config.fft_size)),
       window_(dsp::make_window(config.window, config.fft_size)),
       fft_wall_ns_(&obs::Registry::global().histogram("dsp/fft/wall_ns")),
       goertzel_wall_ns_(
@@ -17,10 +40,24 @@ ToneDetector::ToneDetector(const ToneDetectorConfig& config)
   if (config.sample_rate <= 0.0 || config.fft_size == 0) {
     throw std::invalid_argument("ToneDetector: invalid configuration");
   }
+  // Blocks longer than the FFT size are truncated at detect time and use
+  // the full-size window, so only a genuinely shorter block needs its
+  // own precomputed window.
+  if (config.block_size > 0 && config.block_size < config.fft_size) {
+    block_window_ = dsp::make_window(config.window, config.block_size);
+  }
 }
 
 std::vector<DetectedTone> ToneDetector::detect(
     std::span<const double> block) const {
+  std::vector<DetectedTone> tones;
+  detect_into(block, tones);
+  return tones;
+}
+
+void ToneDetector::detect_into(std::span<const double> block,
+                               std::vector<DetectedTone>& out) const {
+  out.clear();
   // The paper's Fig 2b "FFT processing time" covers this whole path:
   // window + zero-padded FFT + peak picking over one microphone block.
   obs::ScopedTimerNs timer(fft_wall_ns_);
@@ -28,45 +65,62 @@ std::vector<DetectedTone> ToneDetector::detect(
   // 50 ms block keeps its full spectral resolution and the pad only
   // interpolates between bins.
   const std::size_t n = std::min(block.size(), config_.fft_size);
-  if (n == 0) return {};
+  if (n == 0) return;
   const auto data = block.first(n);
-  std::vector<double> spectrum;
+
+  DetectScratch& scratch = detect_scratch();
+  std::span<const double> window;
   if (n == config_.fft_size) {
-    spectrum = dsp::amplitude_spectrum(data, window_);
+    window = window_;
+  } else if (n == block_window_.size()) {
+    window = block_window_;
   } else {
-    if (cached_window_.size() != n) {
-      cached_window_ = dsp::make_window(config_.window, n);
+    if (scratch.window.size() != n || scratch.window_kind != config_.window) {
+      scratch.window = dsp::make_window(config_.window, n);
+      scratch.window_kind = config_.window;
     }
-    spectrum =
-        dsp::amplitude_spectrum_padded(data, cached_window_, config_.fft_size);
+    window = scratch.window;
   }
+
+  if (scratch.spectrum.size() < plan_->bins()) {
+    scratch.spectrum.resize(plan_->bins());
+  }
+  dsp::amplitude_spectrum_into(data, window, *plan_, scratch.ws,
+                               scratch.spectrum);
+
   // Padding interpolates the spectrum, so one spectral lobe spans
   // ~pad_factor more bins; widen the peak neighbourhood accordingly.
   const std::size_t pad_factor = config_.fft_size / n;
   const std::size_t neighborhood = std::max<std::size_t>(2, 2 * pad_factor);
-  const auto peaks =
-      dsp::find_peaks(spectrum, config_.sample_rate, config_.fft_size,
-                      config_.min_amplitude, neighborhood);
-  std::vector<DetectedTone> tones;
-  tones.reserve(peaks.size());
-  for (const auto& p : peaks) tones.push_back({p.frequency_hz, p.amplitude});
-  return tones;
+  dsp::find_peaks_into(
+      std::span<const double>(scratch.spectrum.data(), plan_->bins()),
+      config_.sample_rate, config_.fft_size, config_.min_amplitude,
+      neighborhood, scratch.peaks);
+  for (const auto& p : scratch.peaks) {
+    out.push_back({p.frequency_hz, p.amplitude});
+  }
 }
 
 std::vector<double> ToneDetector::set_levels(
     std::span<const double> block, std::span<const double> watch_hz) const {
-  obs::ScopedTimerNs timer(goertzel_wall_ns_);
-  std::vector<double> levels;
-  levels.reserve(watch_hz.size());
-  const double n = static_cast<double>(block.size());
-  for (double f : watch_hz) {
-    const double p = dsp::goertzel_power(block, f, config_.sample_rate);
-    // |X|^2 -> amplitude of the underlying sine: A = 2*sqrt(P)/N for a
-    // rectangular window.
-    const double amp = n > 0.0 ? 2.0 * std::sqrt(p) / n : 0.0;
-    levels.push_back(amp);
+  // Per-thread bank cache: rebuilding precomputed coefficients only when
+  // the watch list actually changes keeps the common fixed-watch-list
+  // case allocation-free after the first block.
+  thread_local std::optional<dsp::GoertzelBank> bank;
+  if (!bank.has_value() || bank->sample_rate() != config_.sample_rate ||
+      !std::ranges::equal(bank->frequencies_hz(), watch_hz)) {
+    bank.emplace(watch_hz, config_.sample_rate);
   }
+  std::vector<double> levels(watch_hz.size());
+  set_levels_into(block, *bank, levels);
   return levels;
+}
+
+void ToneDetector::set_levels_into(std::span<const double> block,
+                                   const dsp::GoertzelBank& bank,
+                                   std::span<double> out) const {
+  obs::ScopedTimerNs timer(goertzel_wall_ns_);
+  bank.block_amplitudes(block, out);
 }
 
 bool ToneDetector::present(std::span<const double> block,
@@ -90,10 +144,11 @@ std::vector<ToneEvent> extract_tone_events(
   if (hop == 0 || recording.empty()) return events;
 
   std::vector<bool> active(watch_hz.size(), false);
+  std::vector<DetectedTone> tones;
   for (std::size_t start = 0; start < recording.size(); start += hop) {
     const std::size_t len = std::min(hop, recording.size() - start);
     const auto block = recording.samples().subspan(start, len);
-    const auto tones = detector.detect(block);
+    detector.detect_into(block, tones);
     const double t = static_cast<double>(start) / recording.sample_rate();
 
     for (std::size_t i = 0; i < watch_hz.size(); ++i) {

@@ -3,17 +3,28 @@
 // The MDN controller records short blocks of audio, computes a windowed
 // FFT and matches spectral peaks against the frequency plan (§3, Fig 2a).
 // Two interfaces are provided:
-//   * detect()      — open-set peak picking over a block;
+//   * detect() / detect_into() — open-set peak picking over a block;
 //   * set_levels()  — closed-set Goertzel evaluation of known frequencies
 //                     (cheaper when the watch list is small, e.g. §6).
 // extract_tone_events() turns a whole recording into onset events, which
 // is what the FSM (§4) and telemetry counters (§5) consume.
+//
+// The detector follows the plan layer's "plan cold, execute hot" rule:
+// the FFT plan and both analysis windows (full FFT-size and expected
+// block-size) are built at construction, and detect_into() runs with
+// zero heap allocations at steady state.  detect() and detect_into()
+// are const and thread-safe: the detector's members are immutable after
+// construction and all per-call scratch lives in thread-local storage,
+// so one detector may serve many threads concurrently.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "audio/waveform.h"
+#include "dsp/fft_plan.h"
+#include "dsp/goertzel.h"
 #include "dsp/spectrum.h"
 #include "dsp/window.h"
 #include "obs/metrics.h"
@@ -28,6 +39,12 @@ struct DetectedTone {
 struct ToneDetectorConfig {
   double sample_rate = 48000.0;
   std::size_t fft_size = 4096;  ///< zero-pad target; blocks may be shorter
+  /// Expected microphone block length in samples; blocks shorter than
+  /// the FFT size are windowed at their own length and zero-padded.  The
+  /// default is the paper's 50 ms capture at 48 kHz.  Set to 0 when the
+  /// block length is unknown; detect() then synthesises the short-block
+  /// window on first use per thread (one-time cost, still thread-safe).
+  std::size_t block_size = 2400;
   /// Blackman by default: its -58 dB sidelobes keep one switch's loud
   /// tone from masquerading as another switch's frequency slot.
   dsp::WindowKind window = dsp::WindowKind::kBlackman;
@@ -50,10 +67,23 @@ class ToneDetector {
   /// it is zero-padded or truncated to the configured FFT size.
   std::vector<DetectedTone> detect(std::span<const double> block) const;
 
+  /// Zero-allocation variant of detect(): clears and refills `out`,
+  /// keeping its capacity, so a caller-reused vector stops allocating
+  /// once warm.  Thread-safe with one `out` per thread.
+  void detect_into(std::span<const double> block,
+                   std::vector<DetectedTone>& out) const;
+
   /// Amplitude of each watched frequency in `block` (closed set,
   /// Goertzel).  Result is parallel to `watch_hz`.
   std::vector<double> set_levels(std::span<const double> block,
                                  std::span<const double> watch_hz) const;
+
+  /// Closed-set levels through a prebuilt bank: writes bank.size()
+  /// amplitudes into `out` with zero allocation.  Build the bank once
+  /// with dsp::GoertzelBank(watch_hz, config().sample_rate).
+  void set_levels_into(std::span<const double> block,
+                       const dsp::GoertzelBank& bank,
+                       std::span<double> out) const;
 
   /// True when any detected tone lies within the match tolerance of
   /// `frequency_hz`.
@@ -61,10 +91,13 @@ class ToneDetector {
 
  private:
   ToneDetectorConfig config_;
-  std::vector<double> window_;
-  // Window matching the most recent short-block length (blocks shorter
-  // than the FFT size are windowed at their own length, then padded).
-  mutable std::vector<double> cached_window_;
+  // Shared immutable plan from the process-wide cache; execution scratch
+  // is thread-local inside detect_into, so detect stays const-correct
+  // with no mutable members (two threads sharing one detector no longer
+  // race on a cached window).
+  std::shared_ptr<const dsp::RealFftPlan> plan_;
+  std::vector<double> window_;        // fft_size analysis window
+  std::vector<double> block_window_;  // block_size window (may be empty)
   // Wall-time histograms ("dsp/fft/wall_ns" is the Fig 2b CDF source).
   obs::Histogram* fft_wall_ns_;
   obs::Histogram* goertzel_wall_ns_;

@@ -1,0 +1,111 @@
+// Steady-state allocation audit for the tone-detection hot path.
+//
+// This test lives in its own binary because it replaces the global
+// operator new/delete with counting versions: after one warm-up call
+// (which sizes the thread-local scratch and the caller's output vector),
+// ToneDetector::detect_into and set_levels_into must perform zero heap
+// allocations — the "execute hot" half of the plan layer's contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <numbers>
+#include <vector>
+
+#include "dsp/goertzel.h"
+#include "mdn/tone_detector.h"
+
+namespace {
+
+std::atomic<long long> g_news{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mdn::core {
+namespace {
+
+std::vector<double> tone_block(double freq, std::size_t n, double sr) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 0.5 * std::sin(2.0 * std::numbers::pi * freq *
+                          static_cast<double>(i) / sr);
+  }
+  return v;
+}
+
+TEST(DetectAlloc, SteadyStateDetectIntoAllocatesNothing) {
+  ToneDetectorConfig cfg;  // block_size = 2400 matches the block below
+  const ToneDetector detector(cfg);
+  const auto block = tone_block(440.0, 2400, cfg.sample_rate);
+
+  std::vector<DetectedTone> out;
+  // Warm-up: builds the thread-local scratch and sizes `out`.
+  detector.detect_into(block, out);
+  ASSERT_FALSE(out.empty());
+
+  const long long before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    detector.detect_into(block, out);
+  }
+  const long long after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << (after - before) << " allocations across 100 steady-state calls";
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(DetectAlloc, SteadyStateGoertzelBankAllocatesNothing) {
+  ToneDetectorConfig cfg;
+  const ToneDetector detector(cfg);
+  const std::vector<double> watch{440.0, 880.0, 1320.0};
+  const dsp::GoertzelBank bank(watch, cfg.sample_rate);
+  const auto block = tone_block(880.0, 2400, cfg.sample_rate);
+
+  std::vector<double> levels(bank.size());
+  detector.set_levels_into(block, bank, levels);  // warm-up
+
+  const long long before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    detector.set_levels_into(block, bank, levels);
+  }
+  const long long after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << (after - before) << " allocations across 100 steady-state calls";
+  EXPECT_GT(levels[1], levels[0]);
+}
+
+}  // namespace
+}  // namespace mdn::core

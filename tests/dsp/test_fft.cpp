@@ -8,6 +8,7 @@
 #include <numbers>
 
 #include "audio/rng.h"
+#include "dsp/spectrum.h"
 
 namespace mdn::dsp {
 namespace {
@@ -194,8 +195,26 @@ TEST(Fft, BinFrequencyAndInverse) {
   EXPECT_NEAR(bin_frequency(100, 4096, 48000.0), 1171.875, 1e-9);
   EXPECT_EQ(frequency_bin(1171.875, 4096, 48000.0), 100u);
   EXPECT_EQ(frequency_bin(0.0, 4096, 48000.0), 0u);
-  // Clamps to the last bin.
-  EXPECT_EQ(frequency_bin(1e9, 4096, 48000.0), 4095u);
+}
+
+TEST(Fft, FrequencyBinClampsToNyquist) {
+  // Out-of-range frequencies clamp to the Nyquist bin n/2 — the last
+  // entry of a single-sided spectrum — never into the mirrored upper
+  // half (the old n - 1 clamp aliased them there).
+  EXPECT_EQ(frequency_bin(1e9, 4096, 48000.0), 2048u);
+  EXPECT_EQ(frequency_bin(24000.0, 4096, 48000.0), 2048u);  // exactly Nyquist
+  // Just below Nyquist rounds to its own bin, not the clamp.
+  EXPECT_EQ(frequency_bin(24000.0 - 11.72, 4096, 48000.0), 2047u);
+  // A half-spectrum consumer indexing amplitude_spectrum output
+  // (n/2 + 1 values) can always index the result directly.
+  const std::size_t n = 256;
+  const std::vector<double> sig(n, 1.0);
+  const std::vector<double> win(n, 1.0);
+  const auto spec = amplitude_spectrum_padded(sig, win, n);
+  EXPECT_LT(frequency_bin(1e9, n, 48000.0), spec.size());
+  // Degenerate sizes stay in range.
+  EXPECT_EQ(frequency_bin(100.0, 0, 48000.0), 0u);
+  EXPECT_EQ(frequency_bin(100.0, 1, 48000.0), 0u);
 }
 
 TEST(Fft, MagnitudeAndPowerAgree) {

@@ -100,6 +100,54 @@ TEST(Goertzel, SumOfTonesSeparable) {
   EXPECT_NEAR(a900, 0.25, 0.01);
 }
 
+TEST(GoertzelBank, MatchesSingleFilterPowers) {
+  const double sr = 48000.0;
+  const std::size_t n = 4800;
+  auto s = sine(600.0, 0.5, sr, n);
+  const auto t = sine(900.0, 0.25, sr, n);
+  for (std::size_t i = 0; i < n; ++i) s[i] += t[i];
+
+  const std::vector<double> freqs{500.0, 600.0, 900.0, 1200.0};
+  const GoertzelBank bank(freqs, sr);
+  ASSERT_EQ(bank.size(), freqs.size());
+
+  std::vector<double> powers(bank.size());
+  bank.block_powers(s, powers);
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    EXPECT_NEAR(powers[i], goertzel_power(s, freqs[i], sr),
+                1e-9 * std::max(1.0, powers[i]))
+        << freqs[i] << " Hz";
+  }
+}
+
+TEST(GoertzelBank, AmplitudesMatchGenerated) {
+  const double sr = 48000.0;
+  const std::size_t n = 9600;
+  auto s = sine(600.0, 0.5, sr, n);
+  const auto t = sine(900.0, 0.25, sr, n);
+  for (std::size_t i = 0; i < n; ++i) s[i] += t[i];
+
+  const std::vector<double> freqs{600.0, 900.0, 1500.0};
+  const GoertzelBank bank(freqs, sr);
+  std::vector<double> amps(bank.size());
+  bank.block_amplitudes(s, amps);
+  EXPECT_NEAR(amps[0], 0.5, 0.01);
+  EXPECT_NEAR(amps[1], 0.25, 0.01);
+  EXPECT_LT(amps[2], 0.01);
+}
+
+TEST(GoertzelBank, EmptyBankAndEmptyBlock) {
+  const GoertzelBank empty({}, 48000.0);
+  EXPECT_EQ(empty.size(), 0u);
+  empty.block_powers({}, {});  // no-op, must not crash
+
+  const std::vector<double> freqs{440.0};
+  const GoertzelBank bank(freqs, 48000.0);
+  std::vector<double> out(1, -1.0);
+  bank.block_powers({}, out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
 // Parameterised sweep across the frequency plan band: amplitude recovery
 // within 2% everywhere.
 class GoertzelSweep : public ::testing::TestWithParam<double> {};

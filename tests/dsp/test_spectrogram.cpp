@@ -28,10 +28,32 @@ TEST(Spectrogram, FrameAndBinCounts) {
   EXPECT_EQ(sg.frames(), (48000u - 1) / 256 + 1);
 }
 
-TEST(Spectrogram, ShortSignalYieldsZeroFrames) {
+TEST(Spectrogram, ShortSignalYieldsOnePaddedFrame) {
+  // Regression: signals shorter than one hop used to produce 0 frames
+  // and the whole recording vanished from the spectrogram.  A non-empty
+  // signal always yields at least one (zero-padded) frame.
   const std::vector<double> s(10, 1.0);
   const auto sg = stft(s, 48000.0, {.fft_size = 1024, .hop = 256});
+  ASSERT_EQ(sg.frames(), 1u);
+  // The padded frame still carries the signal's energy.
+  double energy = 0.0;
+  for (std::size_t b = 0; b < sg.bins(); ++b) energy += sg.at(0, b);
+  EXPECT_GT(energy, 0.0);
+}
+
+TEST(Spectrogram, EmptySignalYieldsZeroFrames) {
+  const auto sg = stft({}, 48000.0, {.fft_size = 1024, .hop = 256});
   EXPECT_EQ(sg.frames(), 0u);
+}
+
+TEST(Spectrogram, FrameCountCoversEverySample) {
+  // (N - 1) / hop + 1 frames: the last frame's start offset is within
+  // the signal for every non-empty length, including exact multiples.
+  for (std::size_t n : {1u, 255u, 256u, 257u, 512u, 1000u}) {
+    const std::vector<double> s(n, 1.0);
+    const auto sg = stft(s, 48000.0, {.fft_size = 1024, .hop = 256});
+    EXPECT_EQ(sg.frames(), (n - 1) / 256 + 1) << "n=" << n;
+  }
 }
 
 TEST(Spectrogram, InvalidConfigThrows) {
