@@ -217,8 +217,8 @@ int run_cdf(int samples) {
   mdn::bench::write_json("bench_fig2b_fft_latency.bench.json");
 
   int diverged = 0;
-  for (const auto& [claim, held] : mdn::bench::detail::report().claims) {
-    if (!held) ++diverged;
+  for (const auto& claim : mdn::bench::detail::report().claims) {
+    if (!claim.held) ++diverged;
   }
   return diverged;
 }

@@ -1,0 +1,213 @@
+// Worker-pool scaling for the streaming detection runtime (mdn::rt).
+//
+// The paper's controller decodes one microphone inline (§3: one FFT per
+// ~50 ms hop).  This bench feeds the same pre-recorded block schedule to
+// (a) a single-threaded reference loop and (b) the StreamRuntime at
+// several worker counts, then reports:
+//
+//   * equivalence — the merged event stream must be *identical* to the
+//     serial stream (every field, every event, every worker count), and
+//   * throughput — wall-clock speedup over the serial loop per worker
+//     count, carried in the .bench.json claims under a "threads" key.
+//
+// --smoke: CI mode — reduced workload, exit non-zero when any claim
+// diverges.  The ≥2× @ 4 workers claim needs ≥ 4 hardware threads and is
+// skipped (with a note) on smaller machines; equivalence is always
+// enforced.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <numbers>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "rt/rt.h"
+
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+constexpr std::size_t kBlockSize = 2400;  // 50 ms hop
+constexpr std::size_t kMics = 8;
+constexpr double kHopS = 0.05;
+
+using mdn::rt::StreamEvent;
+
+std::vector<double> make_block(std::uint32_t mic, std::uint64_t hop,
+                               const std::vector<double>& watch) {
+  std::vector<double> v(kBlockSize, 0.0);
+  // Each mic cycles tone bursts of "its" frequency: 3 hops on, 5 off,
+  // phase-shifted per mic so onsets land on every mic and collide on
+  // equal hops across mics.
+  const bool on = (hop + 2 * mic) % 8 < 3;
+  if (!on) return v;
+  const double freq = watch[mic % watch.size()];
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    v[i] = 0.2 * std::sin(2.0 * std::numbers::pi * freq *
+                          static_cast<double>(i) / kSampleRate);
+  }
+  return v;
+}
+
+mdn::rt::StreamRuntimeConfig runtime_config(std::size_t workers) {
+  mdn::rt::StreamRuntimeConfig cfg;
+  cfg.workers = workers;
+  cfg.ring_capacity = 64;
+  cfg.detector.sample_rate = kSampleRate;
+  cfg.detector.block_size = kBlockSize;
+  cfg.watch_hz = {800.0, 820.0, 840.0, 860.0};
+  return cfg;
+}
+
+/// The single-threaded paper path: detect + match every block in
+/// (hop, mic) order, exactly like MdnController::tick does inline.
+std::vector<StreamEvent> serial_run(
+    const std::vector<std::vector<std::vector<double>>>& blocks,
+    const mdn::rt::StreamRuntimeConfig& cfg, double* wall_ms) {
+  const mdn::core::ToneDetector detector(cfg.detector);
+  std::vector<std::vector<char>> active(
+      kMics, std::vector<char>(cfg.watch_hz.size(), 0));
+  std::vector<StreamEvent> events;
+  std::vector<mdn::core::DetectedTone> tones;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t hop = 0; hop < blocks.size(); ++hop) {
+    for (std::uint32_t mic = 0; mic < kMics; ++mic) {
+      detector.detect_into(blocks[hop][mic], tones);
+      for (std::size_t w = 0; w < cfg.watch_hz.size(); ++w) {
+        double best_amp = 0.0;
+        bool found = false;
+        for (const auto& t : tones) {
+          if (std::abs(t.frequency_hz - cfg.watch_hz[w]) <=
+              detector.config().match_tolerance_hz) {
+            found = true;
+            best_amp = std::max(best_amp, t.amplitude);
+          }
+        }
+        if (found && active[mic][w] == 0) {
+          events.push_back({hop, mic, static_cast<std::uint32_t>(w),
+                            static_cast<double>(hop) * kHopS, cfg.watch_hz[w],
+                            best_amp});
+        }
+        active[mic][w] = found ? 1 : 0;
+      }
+    }
+  }
+  *wall_ms = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
+  return events;
+}
+
+std::vector<StreamEvent> runtime_run(
+    const std::vector<std::vector<std::vector<double>>>& blocks,
+    std::size_t workers, double* wall_ms) {
+  mdn::rt::StreamRuntime runtime(runtime_config(workers));
+  for (std::size_t m = 0; m < kMics; ++m) {
+    runtime.add_mic("mic-" + std::to_string(m));
+  }
+  runtime.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t hop = 0; hop < blocks.size(); ++hop) {
+    for (std::uint32_t mic = 0; mic < kMics; ++mic) {
+      runtime.submit_block(mic, static_cast<double>(hop) * kHopS,
+                           blocks[hop][mic]);
+    }
+  }
+  runtime.finish();
+  *wall_ms = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
+  return runtime.events();
+}
+
+bool identical(const std::vector<StreamEvent>& a,
+               const std::vector<StreamEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+int run(bool smoke) {
+  const std::uint64_t hops = smoke ? 60 : 240;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  mdn::bench::print_header(
+      "rt scaling",
+      "parallel streaming runtime vs the single-threaded controller path");
+  std::printf("mics=%zu hops=%llu block=%zu hardware_threads=%u%s\n", kMics,
+              static_cast<unsigned long long>(hops), kBlockSize, hw,
+              smoke ? " (smoke)" : "");
+
+  // Pre-record every block so producers cost the same in every run.
+  const auto cfg = runtime_config(1);
+  std::vector<std::vector<std::vector<double>>> blocks(hops);
+  for (std::uint64_t hop = 0; hop < hops; ++hop) {
+    blocks[hop].reserve(kMics);
+    for (std::uint32_t mic = 0; mic < kMics; ++mic) {
+      blocks[hop].push_back(make_block(mic, hop, cfg.watch_hz));
+    }
+  }
+
+  double serial_ms = 0.0;
+  const auto reference = serial_run(blocks, cfg, &serial_ms);
+  mdn::bench::print_kv("events (serial reference)",
+                       static_cast<double>(reference.size()));
+  mdn::bench::print_kv("serial wall", serial_ms, "ms");
+
+  const std::vector<std::size_t> worker_counts{1, 2, 4};
+  std::vector<std::vector<double>> rows;
+  for (std::size_t workers : worker_counts) {
+    double wall_ms = 0.0;
+    const auto events = runtime_run(blocks, workers, &wall_ms);
+    const bool equal = identical(events, reference);
+    const double speedup = wall_ms > 0.0 ? serial_ms / wall_ms : 0.0;
+    rows.push_back({static_cast<double>(workers), wall_ms, speedup,
+                    equal ? 1.0 : 0.0});
+    mdn::bench::print_kv(
+        "runtime wall @ " + std::to_string(workers) + " workers", wall_ms,
+        "ms");
+    mdn::bench::print_claim_at(
+        "merged event stream identical to the serial controller path",
+        equal, static_cast<int>(workers));
+  }
+  mdn::bench::print_series(
+      "scaling", {"workers", "wall_ms", "speedup", "identical"}, rows);
+
+  // Throughput claim: meaningful only with real parallel hardware.  The
+  // merge order being deterministic, equivalence above already covers
+  // correctness on any machine.
+  const double speedup4 = rows.back()[2];
+  if (hw >= 4) {
+    mdn::bench::print_claim_at(
+        "4-worker runtime at least 2x faster than the serial path",
+        speedup4 >= 2.0, 4);
+  } else {
+    std::printf(
+        "note: %u hardware thread(s) < 4 — speedup claim skipped "
+        "(measured %.2fx)\n",
+        hw, speedup4);
+  }
+
+  mdn::bench::write_json("rt_scaling.bench.json");
+  std::printf("wrote rt_scaling.bench.json\n");
+
+  int diverged = 0;
+  for (const auto& claim : mdn::bench::detail::report().claims) {
+    if (!claim.held) ++diverged;
+  }
+  return diverged;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return run(smoke);
+}

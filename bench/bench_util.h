@@ -25,10 +25,18 @@ namespace mdn::bench {
 
 namespace detail {
 
+struct Claim {
+  std::string text;
+  bool held = false;
+  /// Worker/thread count the claim was measured at; -1 when the claim
+  /// has no thread dimension (the default for single-threaded benches).
+  int threads = -1;
+};
+
 struct Report {
   std::string name;  // sanitized first header, e.g. "figure_2b"
   std::vector<std::pair<std::string, double>> kv;
-  std::vector<std::pair<std::string, bool>> claims;
+  std::vector<Claim> claims;
   bool written = false;
 };
 
@@ -62,9 +70,12 @@ inline bool write_json(const std::string& path) {
   out += "\"claims\":[";
   for (std::size_t i = 0; i < r.claims.size(); ++i) {
     if (i > 0) out += ',';
-    out += "{\"claim\":\"" + obs::json_escape(r.claims[i].first) +
-           "\",\"reproduced\":" + (r.claims[i].second ? "true" : "false") +
-           "}";
+    out += "{\"claim\":\"" + obs::json_escape(r.claims[i].text) +
+           "\",\"reproduced\":" + (r.claims[i].held ? "true" : "false");
+    if (r.claims[i].threads >= 0) {
+      out += ",\"threads\":" + std::to_string(r.claims[i].threads);
+    }
+    out += "}";
   }
   out += "],\"kv\":{";
   for (std::size_t i = 0; i < r.kv.size(); ++i) {
@@ -123,8 +134,18 @@ inline void print_series(const std::string& title,
 }
 
 inline void print_claim(const std::string& claim, bool held) {
-  detail::report().claims.emplace_back(claim, held);
+  detail::report().claims.push_back({claim, held, -1});
   std::printf("[%s] %s\n", held ? "REPRODUCED" : "DIVERGED  ", claim.c_str());
+}
+
+/// Claim measured at a specific worker/thread count; the JSON entry
+/// carries a "threads" field so trajectory tooling can diff scaling runs
+/// point-by-point.
+inline void print_claim_at(const std::string& claim, bool held,
+                           int threads) {
+  detail::report().claims.push_back({claim, held, threads});
+  std::printf("[%s] [T=%d] %s\n", held ? "REPRODUCED" : "DIVERGED  ",
+              threads, claim.c_str());
 }
 
 inline void print_kv(const std::string& key, double value,

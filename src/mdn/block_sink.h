@@ -1,0 +1,32 @@
+// BlockSink: the seam between the listening controller and an external
+// detection runtime.
+//
+// An MdnController normally detects inline — record a hop, FFT, match,
+// dispatch — on the simulation thread.  At scale (many microphones, the
+// §8 mic-array direction) detection moves into the parallel streaming
+// runtime (rt::StreamRuntime): the controller becomes a pure producer
+// that records blocks and hands them to a sink, and onset events come
+// back through the runtime's deterministic ordered merge.  The interface
+// lives here, in the core layer, so mdn_core does not depend on mdn_rt;
+// the runtime implements it one layer up.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mdn::core {
+
+class BlockSink {
+ public:
+  virtual ~BlockSink() = default;
+
+  /// Hands one recorded microphone block to the runtime.  `mic` is the
+  /// id the sink assigned at registration; `start_s` is the block start
+  /// time in channel seconds.  The samples are copied before returning
+  /// (the caller may reuse its buffer).  Returns false when the sink
+  /// dropped the block under backpressure.
+  virtual bool submit_block(std::uint32_t mic, double start_s,
+                            std::span<const double> samples) = 0;
+};
+
+}  // namespace mdn::core

@@ -78,6 +78,15 @@ bool MdnController::tick() {
     observer(start_s, block.samples());
   }
 
+  // Runtime mode: hand the block to the streaming runtime and return —
+  // detection happens on its sharded workers and onsets come back
+  // through the ordered merge, not through this controller's watches.
+  if (config_.sink != nullptr) {
+    obs::TraceSpan span(&tracer, "controller/submit", trace_track_, sim_now);
+    config_.sink->submit_block(config_.sink_mic, start_s, block.samples());
+    return running_;
+  }
+
   // Stage 2: windowed FFT + peak picking (also feeds "dsp/fft/wall_ns").
   // The tones vector is a reused member, so steady-state ticks detect
   // with zero heap allocation.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "audio/channel.h"
+#include "mdn/block_sink.h"
 #include "mdn/tone_detector.h"
 #include "net/event_loop.h"
 #include "obs/metrics.h"
@@ -30,6 +31,14 @@ class MdnController {
     audio::MicrophoneSpec microphone;
     /// Keep the raw microphone signal for later spectrogram rendering.
     bool keep_recording = false;
+    /// Runtime mode (constructor-injected): when non-null the controller
+    /// becomes a pure producer — every recorded block is forwarded to
+    /// `sink` under id `sink_mic` (from rt::StreamRuntime::add_mic) and
+    /// the inline detect/match stages are skipped.  Onsets then arrive
+    /// through the runtime's deterministic ordered merge instead of the
+    /// controller's own watch handlers and event_log().  Non-owning.
+    BlockSink* sink = nullptr;
+    std::uint32_t sink_mic = 0;
   };
 
   using Handler = std::function<void(const ToneEvent&)>;

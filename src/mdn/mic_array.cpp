@@ -12,11 +12,11 @@ void MicArray::attach(MdnController& controller,
   ++mics_;
   auto name = std::make_shared<std::string>(std::move(mic_name));
   controller.watch_all(watch_hz, [this, name](const ToneEvent& ev) {
-    ingest(*name, ev);
+    ingest_event(*name, ev);
   });
 }
 
-void MicArray::ingest(const std::string& mic, const ToneEvent& event) {
+void MicArray::ingest_event(const std::string& mic, const ToneEvent& event) {
   // Search recent merged events for the same tone.  Events arrive in
   // near time order, so scanning backwards terminates quickly.
   for (auto it = merged_.rbegin(); it != merged_.rend(); ++it) {

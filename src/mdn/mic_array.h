@@ -36,9 +36,18 @@ class MicArray {
       : dedup_window_s_(dedup_window_s) {}
 
   /// Subscribes `controller` (one microphone) to `watch_hz` and routes
-  /// its onsets into the merged stream under `mic_name`.
+  /// its onsets into the merged stream under `mic_name`.  When the
+  /// controller is in runtime mode (Config::sink set) its handlers never
+  /// fire; route the runtime's merged events here instead with
+  /// rt::StreamRuntime::deliver_to(array), which feeds ingest_event() in
+  /// the runtime's deterministic order.
   void attach(MdnController& controller, std::span<const double> watch_hz,
               std::string mic_name);
+
+  /// Feeds one onset heard by `mic` into the merged stream — the entry
+  /// point used by attach()'s handlers and by the streaming runtime's
+  /// ordered merge.
+  void ingest_event(const std::string& mic, const ToneEvent& event);
 
   /// Fires once per *merged* event, on first hearing.
   void on_event(Handler handler) { handler_ = std::move(handler); }
@@ -52,8 +61,6 @@ class MicArray {
   std::size_t events_heard_by_at_least(std::size_t k) const;
 
  private:
-  void ingest(const std::string& mic, const ToneEvent& event);
-
   double dedup_window_s_;
   std::size_t mics_ = 0;
   std::vector<MergedEvent> merged_;

@@ -1,0 +1,119 @@
+// Fixed-capacity lock-free ring buffer — the hot-path queue of the
+// streaming detection runtime (rt/stream_runtime.h).
+//
+// Each microphone feeds its shard worker through one of these rings:
+// single producer (the submitting thread), single consumer (the worker).
+// The cells carry per-slot sequence numbers in the style of Vyukov's
+// bounded queue, which buys two things the classic head/tail SPSC ring
+// cannot offer:
+//   * push and pop are safe from *any* thread, so the DropOldest
+//     backpressure policy may reclaim the stalest queued block from the
+//     producer side while the worker is popping — no data race, no lock;
+//   * a slot is published only after its value is fully constructed
+//     (seq store with release), so readers never observe torn blocks.
+// Operations are lock-free and allocation-free; all memory is laid out
+// at construction.  Capacity is rounded up to a power of two.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace mdn::rt {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit RingBuffer(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// False when the ring is full (value is left untouched).
+  bool try_push(T&& value) noexcept {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t dif = static_cast<std::ptrdiff_t>(seq) -
+                                 static_cast<std::ptrdiff_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the ring is empty (out is left untouched).
+  bool try_pop(T& out) noexcept {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t dif = static_cast<std::ptrdiff_t>(seq) -
+                                 static_cast<std::ptrdiff_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact only when producers and consumers are
+  /// quiescent) — feed for queue-depth gauges, never for control flow.
+  std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+  bool full() const noexcept { return size() >= capacity(); }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 1;
+  // Producer and consumer cursors on separate cache lines so a busy
+  // producer does not invalidate the consumer's line on every push.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace mdn::rt

@@ -1,0 +1,152 @@
+#include "rt/stream_runtime.h"
+
+#include <stdexcept>
+#include <thread>
+
+#include "mdn/mic_array.h"
+
+namespace mdn::rt {
+
+StreamRuntime::StreamRuntime(StreamRuntimeConfig config)
+    : config_(std::move(config)), detector_(config_.detector) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.ring_capacity == 0) config_.ring_capacity = 2;
+  auto& registry = obs::Registry::global();
+  submitted_counter_ = &registry.counter("rt/runtime/blocks_submitted");
+  drops_oldest_counter_ = &registry.counter("rt/runtime/drops_oldest");
+  drops_newest_counter_ = &registry.counter("rt/runtime/drops_newest");
+}
+
+StreamRuntime::~StreamRuntime() {
+  // Stop workers without delivering remaining events: user objects wired
+  // into the handler may already be gone.  Call finish() for a clean,
+  // fully delivered shutdown.
+  if (pool_ != nullptr) {
+    pool_->finish();
+    pool_->join();
+  }
+}
+
+std::uint32_t StreamRuntime::add_mic(std::string name) {
+  if (started_) {
+    throw std::logic_error("StreamRuntime: add_mic after start");
+  }
+  mic_names_.push_back(std::move(name));
+  queues_.push_back(std::make_unique<MicQueue>(config_.ring_capacity));
+  queues_.back()->depth = &obs::Registry::global().gauge(
+      "rt/mic/" + std::to_string(mic_names_.size() - 1) + "/queue_depth");
+  next_seq_.push_back(0);
+  const std::uint32_t id = merge_.add_source();
+  return id;
+}
+
+void StreamRuntime::deliver_to(core::MicArray& array) {
+  on_event([this, &array](const StreamEvent& event) {
+    array.ingest_event(mic_names_[event.mic],
+                       core::ToneEvent{event.time_s, event.frequency_hz,
+                                       event.amplitude});
+  });
+}
+
+void StreamRuntime::start() {
+  if (started_) return;
+  started_ = true;
+  // Enough recycled buffers for every ring slot plus blocks in flight.
+  const std::size_t pool_size =
+      queues_.size() * config_.ring_capacity + config_.workers +
+      queues_.size() + 1;
+  free_buffers_ = std::make_unique<RingBuffer<std::vector<double>>>(pool_size);
+  pool_ = std::make_unique<WorkerPool>(detector_, config_.watch_hz, queues_,
+                                       merge_, *free_buffers_,
+                                       config_.workers);
+  pool_->start();
+}
+
+std::vector<double> StreamRuntime::acquire_buffer() {
+  std::vector<double> buffer;
+  if (free_buffers_ != nullptr) {
+    (void)free_buffers_->try_pop(buffer);  // empty vector when none free
+  }
+  return buffer;
+}
+
+bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
+                                 std::span<const double> samples) {
+  if (finished_) {
+    throw std::logic_error("StreamRuntime: submit after finish()");
+  }
+  std::vector<double> buffer = acquire_buffer();
+  buffer.assign(samples.begin(), samples.end());
+  AudioBlock block{next_seq_[mic], mic, start_s, std::move(buffer)};
+  MicQueue& q = *queues_[mic];
+
+  switch (config_.drop_policy) {
+    case DropPolicy::kBlock:
+      while (!q.ring.try_push(std::move(block))) {
+        std::this_thread::yield();
+      }
+      break;
+    case DropPolicy::kDropNewest:
+      if (!q.ring.try_push(std::move(block))) {
+        dropped_newest_.fetch_add(1, std::memory_order_relaxed);
+        drops_newest_counter_->inc();
+        return false;  // seq not consumed: the stream stays contiguous
+      }
+      break;
+    case DropPolicy::kDropOldest:
+      while (!q.ring.try_push(std::move(block))) {
+        AudioBlock oldest;
+        if (q.ring.try_pop(oldest)) {
+          if (q.depth != nullptr) q.depth->add(-1);
+          dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+          drops_oldest_counter_->inc();
+          oldest.samples.clear();
+          if (free_buffers_ != nullptr) {
+            (void)free_buffers_->try_push(std::move(oldest.samples));
+          }
+        } else {
+          std::this_thread::yield();  // worker got there first
+        }
+      }
+      break;
+  }
+  ++next_seq_[mic];
+  if (q.depth != nullptr) q.depth->add(1);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_counter_->inc();
+  return true;
+}
+
+std::size_t StreamRuntime::poll() {
+  ready_scratch_.clear();
+  const std::size_t released = merge_.drain_ready(ready_scratch_);
+  for (const StreamEvent& event : ready_scratch_) {
+    if (record_events_) events_.push_back(event);
+    if (handler_) handler_(event);
+  }
+  delivered_ += released;
+  return released;
+}
+
+void StreamRuntime::finish() {
+  if (finished_) return;
+  // Blocks may have been queued before start(); spin the workers up so
+  // nothing submitted is ever silently lost.
+  if (!started_) start();
+  pool_->finish();
+  pool_->join();
+  finished_ = true;
+  poll();  // every source closed: watermark is infinite, all events out
+}
+
+StreamRuntimeStats StreamRuntime::stats() const {
+  StreamRuntimeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.processed = pool_ != nullptr ? pool_->blocks_processed() : 0;
+  s.dropped_oldest = dropped_oldest_.load(std::memory_order_relaxed);
+  s.dropped_newest = dropped_newest_.load(std::memory_order_relaxed);
+  s.delivered = delivered_;
+  return s;
+}
+
+}  // namespace mdn::rt

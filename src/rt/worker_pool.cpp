@@ -1,0 +1,119 @@
+#include "rt/worker_pool.h"
+
+#include <cmath>
+#include <string>
+
+namespace mdn::rt {
+
+WorkerPool::WorkerPool(const core::ToneDetector& detector,
+                       std::vector<double> watch_hz,
+                       std::vector<std::unique_ptr<MicQueue>>& queues,
+                       OrderedMerge& merge,
+                       RingBuffer<std::vector<double>>& free_buffers,
+                       std::size_t workers)
+    : detector_(detector),
+      watch_hz_(std::move(watch_hz)),
+      queues_(queues),
+      merge_(merge),
+      free_buffers_(free_buffers),
+      workers_(workers == 0 ? 1 : workers) {
+  auto& registry = obs::Registry::global();
+  processed_counter_ = &registry.counter("rt/runtime/blocks_processed");
+  events_counter_ = &registry.counter("rt/runtime/events");
+  block_wall_ns_.reserve(workers_);
+  for (std::size_t t = 0; t < workers_; ++t) {
+    block_wall_ns_.push_back(&registry.histogram(
+        "rt/worker/" + std::to_string(t) + "/block_wall_ns"));
+  }
+  active_.resize(queues_.size());
+  for (auto& row : active_) row.assign(watch_hz_.size(), 0);
+}
+
+WorkerPool::~WorkerPool() {
+  finish();
+  join();
+}
+
+void WorkerPool::start() {
+  if (!threads_.empty()) return;
+  threads_.reserve(workers_);
+  for (std::size_t t = 0; t < workers_; ++t) {
+    threads_.emplace_back([this, t] { run_worker(t); });
+  }
+}
+
+void WorkerPool::join() {
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+}
+
+void WorkerPool::run_worker(std::size_t index) {
+  obs::Histogram* wall_ns = block_wall_ns_[index];
+  std::vector<core::DetectedTone> tones;
+  std::vector<char> closed(queues_.size(), 0);
+  AudioBlock block;
+  for (;;) {
+    bool did_work = false;
+    bool all_closed = true;
+    for (std::size_t mic = index; mic < queues_.size(); mic += workers_) {
+      if (closed[mic]) continue;
+      MicQueue& q = *queues_[mic];
+      if (q.ring.try_pop(block)) {
+        if (q.depth != nullptr) q.depth->add(-1);
+        process_block(block, active_[mic], tones, wall_ns);
+        did_work = true;
+        all_closed = false;
+      } else if (producers_done_.load(std::memory_order_acquire)) {
+        // Ring drained and no producer will refill it: this microphone
+        // is finished — stop gating the merge watermark on it.
+        merge_.close(static_cast<std::uint32_t>(mic));
+        closed[mic] = 1;
+      } else {
+        all_closed = false;
+      }
+    }
+    if (all_closed) break;
+    if (!did_work) std::this_thread::yield();
+  }
+}
+
+void WorkerPool::process_block(AudioBlock& block, std::vector<char>& active,
+                               std::vector<core::DetectedTone>& tones,
+                               obs::Histogram* wall_ns) {
+  {
+    obs::ScopedTimerNs timer(wall_ns);
+    detector_.detect_into(block.samples, tones);
+    // Identical matching arithmetic to MdnController::tick so the merged
+    // stream is bit-equal to the serial controller path.
+    const double tolerance = detector_.config().match_tolerance_hz;
+    for (std::size_t i = 0; i < watch_hz_.size(); ++i) {
+      double best_amp = 0.0;
+      bool found = false;
+      for (const auto& t : tones) {
+        if (std::abs(t.frequency_hz - watch_hz_[i]) <= tolerance) {
+          found = true;
+          best_amp = std::max(best_amp, t.amplitude);
+        }
+      }
+      if (found && active[i] == 0) {
+        merge_.push({block.seq, block.mic, static_cast<std::uint32_t>(i),
+                     block.start_s, watch_hz_[i], best_amp});
+        events_.fetch_add(1, std::memory_order_relaxed);
+        events_counter_->inc();
+      }
+      active[i] = found ? 1 : 0;
+    }
+  }
+  // Events of a block are pushed before the watermark moves past it —
+  // the merge relies on this ordering.
+  merge_.advance(block.mic, block.seq + 1);
+  processed_.fetch_add(1, std::memory_order_relaxed);
+  processed_counter_->inc();
+  // Recycle the sample buffer; if the free ring is full the buffer is
+  // simply deallocated (cold path).
+  block.samples.clear();
+  (void)free_buffers_.try_push(std::move(block.samples));
+}
+
+}  // namespace mdn::rt

@@ -1,0 +1,104 @@
+// Sharded detection workers for the streaming runtime.
+//
+// Microphones are sharded over workers by `mic % workers`, so every
+// microphone's blocks are consumed by exactly one thread: the per-mic
+// ring stays single-producer/single-consumer on the hot path, and the
+// per-mic onset state machine (which watch frequencies were present in
+// the previous block) needs no synchronisation at all.  All workers
+// share one const ToneDetector — its detect_into() is thread-safe with
+// thread-local scratch (see tone_detector.h) — and push onsets into the
+// OrderedMerge, which restores the canonical (seq, mic, watch) order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "mdn/tone_detector.h"
+#include "obs/metrics.h"
+#include "rt/ordered_merge.h"
+#include "rt/ring_buffer.h"
+
+namespace mdn::rt {
+
+/// How submit behaves when a microphone's ring is full.
+enum class DropPolicy {
+  kBlock,       ///< spin until the worker frees a slot (lossless)
+  kDropOldest,  ///< reclaim the stalest queued block, keep the new one
+  kDropNewest,  ///< discard the incoming block, keep the queue
+};
+
+/// One microphone block in flight: per-mic sequence number, source id,
+/// block start time and the samples (a recycled buffer owned by value).
+struct AudioBlock {
+  std::uint64_t seq = 0;
+  std::uint32_t mic = 0;
+  double start_s = 0.0;
+  std::vector<double> samples;
+};
+
+/// The SPSC lane between one microphone's producer and its shard worker.
+struct MicQueue {
+  explicit MicQueue(std::size_t capacity) : ring(capacity) {}
+  RingBuffer<AudioBlock> ring;
+  obs::Gauge* depth = nullptr;  ///< "rt/mic/<i>/queue_depth"
+};
+
+class WorkerPool {
+ public:
+  /// `detector`, `queues` and `merge` must outlive the pool.  The watch
+  /// list is copied; onset matching uses the detector's tolerance.
+  WorkerPool(const core::ToneDetector& detector,
+             std::vector<double> watch_hz,
+             std::vector<std::unique_ptr<MicQueue>>& queues,
+             OrderedMerge& merge,
+             RingBuffer<std::vector<double>>& free_buffers,
+             std::size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void start();
+
+  /// Producers promise not to submit again; workers drain their rings,
+  /// close their microphones in the merge and exit.
+  void finish() noexcept { producers_done_.store(true, std::memory_order_release); }
+
+  void join();
+
+  std::size_t worker_count() const noexcept { return workers_; }
+  std::uint64_t blocks_processed() const noexcept {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t events_emitted() const noexcept {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run_worker(std::size_t index);
+  void process_block(AudioBlock& block, std::vector<char>& active,
+                     std::vector<core::DetectedTone>& tones,
+                     obs::Histogram* wall_ns);
+
+  const core::ToneDetector& detector_;
+  std::vector<double> watch_hz_;
+  std::vector<std::unique_ptr<MicQueue>>& queues_;
+  OrderedMerge& merge_;
+  RingBuffer<std::vector<double>>& free_buffers_;
+  std::size_t workers_;
+
+  std::vector<std::thread> threads_;
+  // active_[mic][watch]: tone present in the previous block.  Each row is
+  // touched only by the worker that owns the microphone.
+  std::vector<std::vector<char>> active_;
+  std::atomic<bool> producers_done_{false};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> events_{0};
+  obs::Counter* processed_counter_;
+  obs::Counter* events_counter_;
+  std::vector<obs::Histogram*> block_wall_ns_;  // per worker
+};
+
+}  // namespace mdn::rt

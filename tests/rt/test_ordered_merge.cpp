@@ -1,0 +1,136 @@
+// Unit tests for the deterministic ordered merge: watermark gating,
+// canonical (seq, mic, watch) ordering, close semantics, sequence gaps
+// (dropped blocks) and drain idempotence.
+#include "rt/ordered_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace mdn::rt {
+namespace {
+
+StreamEvent make_event(std::uint64_t seq, std::uint32_t mic,
+                       std::uint32_t watch) {
+  StreamEvent e;
+  e.seq = seq;
+  e.mic = mic;
+  e.watch = watch;
+  e.time_s = static_cast<double>(seq) * 0.05;
+  e.frequency_hz = 800.0 + 20.0 * watch;
+  e.amplitude = 0.1;
+  return e;
+}
+
+TEST(OrderedMerge, NothingReleasedBeforeEverySourceAdvances) {
+  OrderedMerge merge;
+  const auto a = merge.add_source();
+  const auto b = merge.add_source();
+  merge.push(make_event(0, a, 0));
+  merge.advance(a, 1);
+  std::vector<StreamEvent> out;
+  // Source b has not reported anything: its block 0 may still produce an
+  // earlier-keyed event, so nothing is releasable.
+  EXPECT_EQ(merge.drain_ready(out), 0u);
+  EXPECT_TRUE(out.empty());
+  merge.advance(b, 1);
+  EXPECT_EQ(merge.drain_ready(out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].mic, a);
+}
+
+TEST(OrderedMerge, ReleasesInCanonicalSeqMicWatchOrder) {
+  OrderedMerge merge;
+  const auto a = merge.add_source();
+  const auto b = merge.add_source();
+  // Push deliberately scrambled.
+  merge.push(make_event(1, b, 0));
+  merge.push(make_event(0, b, 1));
+  merge.push(make_event(0, a, 0));
+  merge.push(make_event(1, a, 2));
+  merge.push(make_event(0, b, 0));
+  merge.advance(a, 2);
+  merge.advance(b, 2);
+  std::vector<StreamEvent> out;
+  EXPECT_EQ(merge.drain_ready(out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_TRUE(stream_event_before(out[i - 1], out[i]));
+  }
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[0].mic, a);
+  EXPECT_EQ(out[4].seq, 1u);
+  EXPECT_EQ(out[4].mic, b);
+}
+
+TEST(OrderedMerge, WatermarkIsMinOverOpenSources) {
+  OrderedMerge merge;
+  const auto a = merge.add_source();
+  const auto b = merge.add_source();
+  EXPECT_EQ(merge.watermark(), 0u);
+  merge.advance(a, 7);
+  EXPECT_EQ(merge.watermark(), 0u);
+  merge.advance(b, 3);
+  EXPECT_EQ(merge.watermark(), 3u);
+  merge.close(b);
+  EXPECT_EQ(merge.watermark(), 7u);
+  merge.close(a);
+  EXPECT_EQ(merge.watermark(), UINT64_MAX);
+}
+
+TEST(OrderedMerge, AdvanceIsMonotonic) {
+  OrderedMerge merge;
+  const auto a = merge.add_source();
+  merge.advance(a, 5);
+  merge.advance(a, 2);  // ignored
+  EXPECT_EQ(merge.watermark(), 5u);
+}
+
+TEST(OrderedMerge, SequenceGapsFromDropsDoNotStall) {
+  OrderedMerge merge;
+  const auto a = merge.add_source();
+  merge.push(make_event(0, a, 0));
+  merge.push(make_event(5, a, 0));
+  // Blocks 1..4 were dropped by backpressure; the worker advances
+  // straight from 1 to 6.
+  merge.advance(a, 1);
+  std::vector<StreamEvent> out;
+  EXPECT_EQ(merge.drain_ready(out), 1u);
+  merge.advance(a, 6);
+  EXPECT_EQ(merge.drain_ready(out), 1u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].seq, 5u);
+}
+
+TEST(OrderedMerge, CloseReleasesRemainingEvents) {
+  OrderedMerge merge;
+  const auto a = merge.add_source();
+  const auto b = merge.add_source();
+  merge.push(make_event(3, a, 0));
+  merge.advance(a, 4);
+  std::vector<StreamEvent> out;
+  EXPECT_EQ(merge.drain_ready(out), 0u);  // b gates at 0
+  merge.close(b);
+  merge.close(a);
+  EXPECT_EQ(merge.drain_ready(out), 1u);
+  EXPECT_EQ(merge.pending(), 0u);
+}
+
+TEST(OrderedMerge, SuccessiveDrainsNeverDuplicateOrReorder) {
+  OrderedMerge merge;
+  const auto a = merge.add_source();
+  std::vector<StreamEvent> out;
+  for (std::uint64_t seq = 0; seq < 50; ++seq) {
+    merge.push(make_event(seq, a, 0));
+    merge.advance(a, seq + 1);
+    merge.drain_ready(out);  // drain incrementally
+  }
+  ASSERT_EQ(out.size(), 50u);
+  for (std::uint64_t seq = 0; seq < 50; ++seq) {
+    EXPECT_EQ(out[seq].seq, seq);
+  }
+}
+
+}  // namespace
+}  // namespace mdn::rt

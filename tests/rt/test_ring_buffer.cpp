@@ -1,0 +1,156 @@
+// Unit tests for the runtime's lock-free bounded ring: wrap-around,
+// full/empty boundaries, move-only payloads, and single-producer/
+// single-consumer interleavings (the concurrency tests double as the
+// ThreadSanitizer workload for the CI tsan job).
+#include "rt/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace mdn::rt {
+namespace {
+
+TEST(RingBuffer, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(RingBuffer<int>(0).capacity(), 2u);
+  EXPECT_EQ(RingBuffer<int>(1).capacity(), 2u);
+  EXPECT_EQ(RingBuffer<int>(2).capacity(), 2u);
+  EXPECT_EQ(RingBuffer<int>(3).capacity(), 4u);
+  EXPECT_EQ(RingBuffer<int>(64).capacity(), 64u);
+  EXPECT_EQ(RingBuffer<int>(65).capacity(), 128u);
+}
+
+TEST(RingBuffer, PopOnEmptyFails) {
+  RingBuffer<int> ring(4);
+  int out = -1;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(out, -1);  // untouched
+}
+
+TEST(RingBuffer, PushOnFullFails) {
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.try_push(99));
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);  // FIFO, and the rejected 99 was not enqueued
+}
+
+TEST(RingBuffer, FifoOrderAcrossWrapAround) {
+  RingBuffer<int> ring(4);
+  int out = 0;
+  int next_push = 0;
+  int next_pop = 0;
+  // Push/pop far more items than the capacity, crossing the index mask
+  // many times, with a varying in-flight depth.
+  for (int round = 0; round < 100; ++round) {
+    const int burst = 1 + round % 4;
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(ring.try_push(int{next_push}));
+      ++next_push;
+    }
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, FullEmptyBoundaryIsExact) {
+  RingBuffer<int> ring(8);
+  // Fill to exactly capacity, drain to exactly empty, twice.
+  for (int lap = 0; lap < 2; ++lap) {
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(ring.try_push(int{i}));
+    EXPECT_FALSE(ring.try_push(8));
+    EXPECT_EQ(ring.size(), 8u);
+    int out;
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_FALSE(ring.try_pop(out));
+    EXPECT_EQ(ring.size(), 0u);
+  }
+}
+
+TEST(RingBuffer, MoveOnlyPayload) {
+  RingBuffer<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(RingBuffer, ProducerSidePopSupportsDropOldest) {
+  // The DropOldest policy reclaims the stalest element from the producer
+  // side; per-slot sequence numbers make that a plain pop.
+  RingBuffer<int> ring(2);
+  ASSERT_TRUE(ring.try_push(1));
+  ASSERT_TRUE(ring.try_push(2));
+  ASSERT_FALSE(ring.try_push(3));
+  int oldest;
+  ASSERT_TRUE(ring.try_pop(oldest));
+  EXPECT_EQ(oldest, 1);
+  ASSERT_TRUE(ring.try_push(3));
+  int out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(RingBuffer, SpscInterleavingDeliversEverythingInOrder) {
+  constexpr int kItems = 100000;
+  RingBuffer<int> ring(16);
+  std::thread producer([&ring] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!ring.try_push(int{i})) std::this_thread::yield();
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    int out;
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, SpscVectorPayloadTransfersIntact) {
+  // The runtime moves whole sample buffers through the ring; verify the
+  // payload arrives unscrambled under concurrency.
+  constexpr int kItems = 5000;
+  RingBuffer<std::vector<int>> ring(8);
+  std::thread producer([&ring] {
+    for (int i = 0; i < kItems; ++i) {
+      std::vector<int> v{i, i + 1, i + 2};
+      while (!ring.try_push(std::move(v))) std::this_thread::yield();
+    }
+  });
+  int received = 0;
+  std::vector<int> out;
+  while (received < kItems) {
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out.size(), 3u);
+      ASSERT_EQ(out[0], received);
+      ASSERT_EQ(out[1], received + 1);
+      ASSERT_EQ(out[2], received + 2);
+      ++received;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace mdn::rt

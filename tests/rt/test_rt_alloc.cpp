@@ -1,0 +1,128 @@
+// Steady-state allocation audit for the streaming runtime hot path.
+//
+// Own binary (it replaces global operator new/delete with counting
+// versions, like tests/core/test_detect_alloc.cpp).  After warm-up the
+// submit → ring → worker → merge → poll cycle must be allocation-free on
+// the producer/owner thread: sample buffers recycle through the free
+// ring, the merge partitions in place, and poll() reuses its scratch.
+// Worker threads allocate only while warming their thread-local FFT
+// scratch, so the audit runs the producer side against a quiesced pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <numbers>
+#include <thread>
+#include <vector>
+
+#include "rt/stream_runtime.h"
+
+namespace {
+
+std::atomic<long long> g_news{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mdn::rt {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+constexpr std::size_t kBlockSize = 2400;
+
+std::vector<double> tone_block(double freq) {
+  std::vector<double> v(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    v[i] = 0.2 * std::sin(2.0 * std::numbers::pi * freq *
+                          static_cast<double>(i) / kSampleRate);
+  }
+  return v;
+}
+
+/// Submits `n` blocks and waits until the workers processed all of them,
+/// so every sample buffer is back in the free ring before returning.
+void pump(StreamRuntime& runtime, std::uint32_t mic,
+          const std::vector<double>& block, int n, double* t_s) {
+  const std::uint64_t target = runtime.stats().processed + n;
+  for (int i = 0; i < n; ++i) {
+    runtime.submit_block(mic, *t_s, block);
+    *t_s += 0.05;
+  }
+  while (runtime.stats().processed < target) {
+    std::this_thread::yield();
+  }
+  runtime.poll();
+}
+
+TEST(RtAlloc, SteadyStateSubmitProcessPollAllocatesNothing) {
+  StreamRuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.ring_capacity = 8;
+  cfg.detector.sample_rate = kSampleRate;
+  cfg.detector.block_size = kBlockSize;
+  cfg.watch_hz = {800.0};
+  StreamRuntime runtime(cfg);
+  const auto mic = runtime.add_mic("m");
+  runtime.set_record_events(false);  // long-running mode: no event log
+  runtime.start();
+
+  // Alternate tone/silence so onsets keep flowing through the merge and
+  // its pending vector reaches its high-water capacity.
+  const auto tone = tone_block(800.0);
+  const std::vector<double> silence(kBlockSize, 0.0);
+  double t_s = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    pump(runtime, mic, tone, 8, &t_s);
+    pump(runtime, mic, silence, 8, &t_s);
+  }
+
+  const long long before = g_news.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    pump(runtime, mic, tone, 8, &t_s);
+    pump(runtime, mic, silence, 8, &t_s);
+  }
+  const long long after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << (after - before)
+      << " allocations across 160 steady-state submit/process/poll cycles";
+
+  runtime.finish();
+  EXPECT_GT(runtime.stats().delivered, 0u);
+}
+
+}  // namespace
+}  // namespace mdn::rt

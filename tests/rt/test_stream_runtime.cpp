@@ -1,0 +1,254 @@
+// StreamRuntime behaviour: serial equivalence across worker counts,
+// drop-policy semantics, backpressure accounting, lifecycle guards and
+// incremental delivery.  The equivalence tests are also part of the CI
+// ThreadSanitizer workload.
+#include "rt/stream_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace mdn::rt {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+constexpr std::size_t kBlockSize = 2400;  // 50 ms at 48 kHz
+constexpr double kHopS = 0.05;
+
+std::vector<double> tone_block(double freq, double amplitude = 0.2) {
+  std::vector<double> v(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    v[i] = amplitude * std::sin(2.0 * std::numbers::pi * freq *
+                                static_cast<double>(i) / kSampleRate);
+  }
+  return v;
+}
+
+std::vector<double> silent_block() {
+  return std::vector<double>(kBlockSize, 0.0);
+}
+
+StreamRuntimeConfig base_config(std::size_t workers) {
+  StreamRuntimeConfig cfg;
+  cfg.workers = workers;
+  cfg.ring_capacity = 64;
+  cfg.detector.sample_rate = kSampleRate;
+  cfg.detector.block_size = kBlockSize;
+  cfg.watch_hz = {800.0, 820.0, 840.0, 860.0};
+  return cfg;
+}
+
+/// The per-mic block schedule of a deterministic scenario: mic m plays
+/// its own watch frequency during hops [2m, 2m+3), everyone is silent
+/// otherwise, and mic 0 additionally fires a late burst — so onsets land
+/// on different mics at different and at equal hops.
+std::vector<double> scenario_block(std::uint32_t mic, std::uint64_t hop,
+                                   const std::vector<double>& watch) {
+  const double freq = watch[mic % watch.size()];
+  const bool on = (hop >= 2 * mic && hop < 2 * mic + 3) ||
+                  (mic == 0 && hop >= 12 && hop < 14);
+  return on ? tone_block(freq) : silent_block();
+}
+
+/// Single-threaded reference: identical detector, identical matching
+/// arithmetic, blocks visited in canonical (hop, mic, watch) order.
+std::vector<StreamEvent> serial_reference(const StreamRuntimeConfig& cfg,
+                                          std::size_t mics,
+                                          std::uint64_t hops) {
+  const core::ToneDetector detector(cfg.detector);
+  std::vector<std::vector<char>> active(
+      mics, std::vector<char>(cfg.watch_hz.size(), 0));
+  std::vector<StreamEvent> events;
+  std::vector<core::DetectedTone> tones;
+  for (std::uint64_t hop = 0; hop < hops; ++hop) {
+    for (std::uint32_t mic = 0; mic < mics; ++mic) {
+      const auto block = scenario_block(mic, hop, cfg.watch_hz);
+      detector.detect_into(block, tones);
+      for (std::size_t w = 0; w < cfg.watch_hz.size(); ++w) {
+        double best_amp = 0.0;
+        bool found = false;
+        for (const auto& t : tones) {
+          if (std::abs(t.frequency_hz - cfg.watch_hz[w]) <=
+              detector.config().match_tolerance_hz) {
+            found = true;
+            best_amp = std::max(best_amp, t.amplitude);
+          }
+        }
+        if (found && active[mic][w] == 0) {
+          events.push_back({hop, mic, static_cast<std::uint32_t>(w),
+                            static_cast<double>(hop) * kHopS, cfg.watch_hz[w],
+                            best_amp});
+        }
+        active[mic][w] = found ? 1 : 0;
+      }
+    }
+  }
+  return events;
+}
+
+std::vector<StreamEvent> run_runtime(const StreamRuntimeConfig& cfg,
+                                     std::size_t mics, std::uint64_t hops) {
+  StreamRuntime runtime(cfg);
+  for (std::size_t m = 0; m < mics; ++m) {
+    runtime.add_mic("mic-" + std::to_string(m));
+  }
+  runtime.start();
+  for (std::uint64_t hop = 0; hop < hops; ++hop) {
+    for (std::uint32_t mic = 0; mic < mics; ++mic) {
+      const auto block = scenario_block(mic, hop, cfg.watch_hz);
+      runtime.submit_block(mic, static_cast<double>(hop) * kHopS, block);
+    }
+  }
+  runtime.finish();
+  return runtime.events();
+}
+
+TEST(StreamRuntime, MergedStreamMatchesSerialAtEveryWorkerCount) {
+  const std::size_t mics = 4;
+  const std::uint64_t hops = 16;
+  const auto reference = serial_reference(base_config(1), mics, hops);
+  ASSERT_FALSE(reference.empty());
+  for (std::size_t workers : {1u, 2u, 4u, 7u}) {
+    const auto events = run_runtime(base_config(workers), mics, hops);
+    ASSERT_EQ(events.size(), reference.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_TRUE(events[i] == reference[i])
+          << "workers=" << workers << " event " << i;
+    }
+  }
+}
+
+TEST(StreamRuntime, RepeatedRunsAreBitIdentical) {
+  const auto a = run_runtime(base_config(4), 3, 12);
+  const auto b = run_runtime(base_config(4), 3, 12);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+TEST(StreamRuntime, BlockPolicyLosesNothingUnderTinyRings) {
+  auto cfg = base_config(2);
+  cfg.ring_capacity = 2;
+  cfg.drop_policy = DropPolicy::kBlock;
+  const std::size_t mics = 4;
+  const std::uint64_t hops = 16;
+  const auto reference = serial_reference(cfg, mics, hops);
+  const auto events = run_runtime(cfg, mics, hops);
+  const auto stats_equivalent = events.size() == reference.size();
+  EXPECT_TRUE(stats_equivalent);
+  for (std::size_t i = 0; i < std::min(events.size(), reference.size());
+       ++i) {
+    EXPECT_TRUE(events[i] == reference[i]) << "event " << i;
+  }
+}
+
+TEST(StreamRuntime, DropNewestKeepsTheEarliestBlocks) {
+  auto cfg = base_config(1);
+  cfg.ring_capacity = 2;
+  cfg.drop_policy = DropPolicy::kDropNewest;
+  StreamRuntime runtime(cfg);
+  const auto mic = runtime.add_mic("m");
+  // Workers not started yet: the ring fills deterministically.  Blocks
+  // 0..1 carry a tone, the rest are silent.
+  EXPECT_TRUE(runtime.submit_block(mic, 0.00, tone_block(800.0)));
+  EXPECT_TRUE(runtime.submit_block(mic, 0.05, tone_block(800.0)));
+  EXPECT_FALSE(runtime.submit_block(mic, 0.10, silent_block()));
+  EXPECT_FALSE(runtime.submit_block(mic, 0.15, silent_block()));
+  runtime.finish();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.processed, 2u);
+  EXPECT_EQ(stats.dropped_newest, 2u);
+  EXPECT_EQ(stats.dropped_oldest, 0u);
+  // The surviving pair of tone blocks yields exactly one onset at t=0.
+  ASSERT_EQ(runtime.events().size(), 1u);
+  EXPECT_EQ(runtime.events()[0].seq, 0u);
+  EXPECT_DOUBLE_EQ(runtime.events()[0].time_s, 0.0);
+}
+
+TEST(StreamRuntime, DropOldestKeepsTheLatestBlocks) {
+  auto cfg = base_config(1);
+  cfg.ring_capacity = 2;
+  cfg.drop_policy = DropPolicy::kDropOldest;
+  StreamRuntime runtime(cfg);
+  const auto mic = runtime.add_mic("m");
+  // Tone first, then silence: DropOldest must shed the tone blocks and
+  // keep the two most recent silent ones.
+  EXPECT_TRUE(runtime.submit_block(mic, 0.00, tone_block(800.0)));
+  EXPECT_TRUE(runtime.submit_block(mic, 0.05, tone_block(800.0)));
+  EXPECT_TRUE(runtime.submit_block(mic, 0.10, silent_block()));
+  EXPECT_TRUE(runtime.submit_block(mic, 0.15, silent_block()));
+  runtime.finish();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.processed, 2u);
+  EXPECT_EQ(stats.dropped_oldest, 2u);
+  EXPECT_EQ(stats.dropped_newest, 0u);
+  EXPECT_TRUE(runtime.events().empty());  // only silence survived
+}
+
+TEST(StreamRuntime, HandlerSeesEventsInCanonicalOrder) {
+  auto cfg = base_config(3);
+  std::vector<StreamEvent> seen;
+  StreamRuntime runtime(cfg);
+  for (int m = 0; m < 3; ++m) runtime.add_mic("m" + std::to_string(m));
+  runtime.on_event([&seen](const StreamEvent& e) { seen.push_back(e); });
+  runtime.start();
+  for (std::uint64_t hop = 0; hop < 10; ++hop) {
+    for (std::uint32_t mic = 0; mic < 3; ++mic) {
+      runtime.submit_block(mic, static_cast<double>(hop) * kHopS,
+                           scenario_block(mic, hop, cfg.watch_hz));
+    }
+    runtime.poll();  // incremental delivery is allowed mid-stream
+  }
+  runtime.finish();
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.size(), runtime.events().size());
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_TRUE(stream_event_before(seen[i - 1], seen[i]));
+  }
+  EXPECT_EQ(runtime.stats().delivered, seen.size());
+}
+
+TEST(StreamRuntime, SubmitAfterFinishThrows) {
+  StreamRuntime runtime(base_config(1));
+  const auto mic = runtime.add_mic("m");
+  runtime.start();
+  runtime.finish();
+  EXPECT_THROW(runtime.submit_block(mic, 0.0, silent_block()),
+               std::logic_error);
+}
+
+TEST(StreamRuntime, AddMicAfterStartThrows) {
+  StreamRuntime runtime(base_config(1));
+  runtime.add_mic("m");
+  runtime.start();
+  EXPECT_THROW(runtime.add_mic("late"), std::logic_error);
+  runtime.finish();
+}
+
+TEST(StreamRuntime, FinishIsIdempotentAndStartsLazyWorkers) {
+  auto cfg = base_config(2);
+  cfg.drop_policy = DropPolicy::kDropNewest;
+  StreamRuntime runtime(cfg);
+  const auto mic = runtime.add_mic("m");
+  // Submitted before start(): finish() must still process it.
+  runtime.submit_block(mic, 0.0, tone_block(800.0));
+  runtime.finish();
+  runtime.finish();
+  EXPECT_EQ(runtime.stats().processed, 1u);
+  EXPECT_EQ(runtime.events().size(), 1u);
+}
+
+TEST(StreamRuntime, MicNamesRoundTrip) {
+  StreamRuntime runtime(base_config(1));
+  const auto a = runtime.add_mic("alpha");
+  const auto b = runtime.add_mic("beta");
+  EXPECT_EQ(runtime.mic_count(), 2u);
+  EXPECT_EQ(runtime.mic_name(a), "alpha");
+  EXPECT_EQ(runtime.mic_name(b), "beta");
+}
+
+}  // namespace
+}  // namespace mdn::rt
