@@ -11,6 +11,7 @@
 #include "mdn/mdn.h"
 #include "mp/mp.h"
 #include "net/net.h"
+#include "obs/obs.h"
 #include "sdn/sdn.h"
 
 int main() {
@@ -19,6 +20,12 @@ int main() {
   bench::print_header("Figure 3",
                       "Port knocking: bytes sent/received and the knock-"
                       "tone spectrogram");
+
+  // Flight recorder on: at the end we explain the opening FlowMod back
+  // to the three knock tones and score emitted vs detected.
+  obs::Journal& journal = obs::Journal::global();
+  journal.enable();
+  journal.clear();
 
   net::Network net;
   audio::AcousticChannel channel(kSampleRate);
@@ -145,5 +152,30 @@ int main() {
       opened_after_third);
   bench::print_claim("traffic flows after opening",
                      h2->rx_bytes() > 50'000);
+
+  // ---- Flight recorder: provenance + scoreboard ----------------------
+  const obs::Scoreboard board = obs::Scoreboard::build(journal);
+  std::printf("\n-- scoreboard (emitted vs detected knock tones) --\n%s",
+              board.render().c_str());
+  std::size_t emitted = 0, detected = 0, transitions = 0, mods = 0;
+  const auto chain = journal.explain(app.flow_mod_action());
+  for (const auto& r : chain) {
+    switch (r.kind) {
+      case obs::JournalKind::kToneEmitted: ++emitted; break;
+      case obs::JournalKind::kToneDetected: ++detected; break;
+      case obs::JournalKind::kFsmTransition: ++transitions; break;
+      case obs::JournalKind::kFlowMod: ++mods; break;
+      default: break;
+    }
+  }
+  std::printf("\n-- explain(opening flow mod) --\n%s",
+              obs::explain_text(journal, app.flow_mod_action()).c_str());
+  bench::print_claim(
+      "flow mod explains back to 3 tones + 3 detections + 3 FSM steps",
+      emitted == 3 && detected == 3 && transitions == 3 && mods == 1);
+  bench::print_claim("scoreboard: every knock tone heard (recall 1.0)",
+                     board.mic_count() > 0 && board.recall(0) == 1.0);
+  journal.disable();
+  journal.clear();
   return opened_after_third ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include "mdn/mdn.h"
 #include "mp/mp.h"
 #include "net/net.h"
+#include "obs/obs.h"
 #include "sdn/sdn.h"
 
 int main() {
@@ -17,6 +18,13 @@ int main() {
   bench::print_header("Figure 5a-b",
                       "Load balancing: queue length vs time and the "
                       "queue-band tones");
+
+  // Flight recorder on: the splitting FlowMod is explained back to the
+  // congested queue-band tone, and the scoreboard reconciles every
+  // queue tone the switch sang against what the controller heard.
+  obs::Journal& journal = obs::Journal::global();
+  journal.enable();
+  journal.clear();
 
   net::Network net;
   audio::AcousticChannel channel(kSampleRate);
@@ -111,5 +119,22 @@ int main() {
       "after the split both paths carry traffic and the queue leaves the "
       "congested band",
       topo.lower->forwarded() > 100 && drained);
+
+  // ---- Flight recorder: provenance + scoreboard ----------------------
+  const obs::Scoreboard board = obs::Scoreboard::build(journal);
+  std::printf("\n-- scoreboard (emitted vs detected queue-band tones) --\n%s",
+              board.render().c_str());
+  std::printf("\n-- explain(splitting flow mod) --\n%s",
+              obs::explain_text(journal, balancer.flow_mod_action()).c_str());
+  const auto chain = journal.explain(balancer.flow_mod_action());
+  const bool chain_rooted =
+      !chain.empty() &&
+      chain.front().kind == obs::JournalKind::kToneEmitted &&
+      chain.back().kind == obs::JournalKind::kFlowMod;
+  bench::print_claim(
+      "splitting flow mod explains back to an emitted queue tone",
+      chain_rooted);
+  journal.disable();
+  journal.clear();
   return split && drained ? 0 : 1;
 }

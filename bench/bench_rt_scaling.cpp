@@ -14,6 +14,11 @@
 // diverges.  The ≥2× @ 4 workers claim needs ≥ 4 hardware threads and is
 // skipped (with a note) on smaller machines; equivalence is always
 // enforced.
+//
+// --journal: run with the flight-recorder journal enabled.  Provenance
+// must be pure metadata — the merged stream stays identical to the
+// serial reference (StreamEvent identity excludes the cause id), so the
+// equivalence claims must hold in this mode too.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -24,6 +29,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/journal.h"
 #include "rt/rt.h"
 
 namespace {
@@ -131,16 +137,20 @@ bool identical(const std::vector<StreamEvent>& a,
   return true;
 }
 
-int run(bool smoke) {
+int run(bool smoke, bool journal_on) {
   const std::uint64_t hops = smoke ? 60 : 240;
   const unsigned hw = std::thread::hardware_concurrency();
+
+  if (journal_on) {
+    mdn::obs::Journal::global().enable(std::size_t{1} << 16);
+  }
 
   mdn::bench::print_header(
       "rt scaling",
       "parallel streaming runtime vs the single-threaded controller path");
-  std::printf("mics=%zu hops=%llu block=%zu hardware_threads=%u%s\n", kMics,
-              static_cast<unsigned long long>(hops), kBlockSize, hw,
-              smoke ? " (smoke)" : "");
+  std::printf("mics=%zu hops=%llu block=%zu hardware_threads=%u%s%s\n",
+              kMics, static_cast<unsigned long long>(hops), kBlockSize, hw,
+              smoke ? " (smoke)" : "", journal_on ? " (journal on)" : "");
 
   // Pre-record every block so producers cost the same in every run.
   const auto cfg = runtime_config(1);
@@ -161,6 +171,7 @@ int run(bool smoke) {
   const std::vector<std::size_t> worker_counts{1, 2, 4};
   std::vector<std::vector<double>> rows;
   for (std::size_t workers : worker_counts) {
+    if (journal_on) mdn::obs::Journal::global().clear();
     double wall_ms = 0.0;
     const auto events = runtime_run(blocks, workers, &wall_ms);
     const bool equal = identical(events, reference);
@@ -192,6 +203,17 @@ int run(bool smoke) {
         hw, speedup4);
   }
 
+  if (journal_on) {
+    mdn::obs::Journal& journal = mdn::obs::Journal::global();
+    mdn::bench::print_kv("journal records (4-worker run)",
+                         static_cast<double>(journal.size()));
+    mdn::bench::print_claim(
+        "journal minted one detection record per merged event",
+        journal.size() == reference.size());
+    journal.disable();
+    journal.clear();
+  }
+
   mdn::bench::write_json("rt_scaling.bench.json");
   std::printf("wrote rt_scaling.bench.json\n");
 
@@ -206,8 +228,10 @@ int run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool journal_on = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--journal") == 0) journal_on = true;
   }
-  return run(smoke);
+  return run(smoke, journal_on);
 }

@@ -9,8 +9,17 @@
 // and the run is exported as Prometheus text, JSONL and a Chrome
 // trace_event timeline you can open in chrome://tracing / Perfetto.
 //
-// Run: ./telemetry_dashboard
+// The flight recorder runs too: the journal captures every hop from the
+// reporters' emitted tones to the FlowMod the dashboard installs against
+// the heavy hitter, the scoreboard reconciles emitted vs detected per
+// watch, and the causal chain of the last FlowMods can be dumped with
+//
+//   ./telemetry_dashboard explain [n]     (default n=1)
+//
+// Run: ./telemetry_dashboard [explain [n]]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "audio/audio.h"
@@ -18,6 +27,7 @@
 #include "mp/mp.h"
 #include "net/net.h"
 #include "obs/obs.h"
+#include "sdn/sdn.h"
 
 namespace {
 
@@ -59,13 +69,23 @@ std::uint64_t counter_value(const mdn::obs::Snapshot& snap,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mdn;
   constexpr double kSampleRate = 48000.0;
 
-  // Fresh registry state so the dashboard shows this run only, and
-  // sim-time tracing on: the whole experiment becomes a timeline.
+  std::size_t explain_n = 0;
+  if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
+    explain_n = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 1;
+    if (explain_n == 0) explain_n = 1;
+  }
+
+  // Fresh registry state so the dashboard shows this run only, sim-time
+  // tracing on, and the flight recorder rolling: the whole experiment
+  // becomes a timeline plus a causal journal.
   obs::Registry::global().reset();
+  obs::Journal& journal = obs::Journal::global();
+  journal.enable(std::size_t{1} << 16);
+  journal.clear();
 
   net::Network net;
   net.loop().tracer().enable();
@@ -79,6 +99,13 @@ int main() {
   net::Host* h2 = nullptr;
   auto switches = net::build_chain(net, 1, &h1, &h2);
   net::Switch& sw = *switches.front();
+
+  // Actuation path: the dashboard reacts to the first heavy-hitter alert
+  // by installing a drop rule over a plain OpenFlow session — the
+  // journal ties that FlowMod all the way back to the emitted tones.
+  sdn::Controller null_controller;
+  sdn::ControlChannel sdn_channel(net.loop(), net::kMillisecond);
+  const sdn::DatapathId dpid = sdn_channel.attach(sw, null_controller);
 
   // Disjoint frequency sets: one per application (§3: "each task uses a
   // different set of frequencies").
@@ -103,10 +130,21 @@ int main() {
   core::HeavyHitterReporter hh_reporter(sw, hh_emitter, plan, hh_dev,
                                         hh_cfg);
   core::HeavyHitterDetector hh_detector(controller, plan, hh_dev, hh_cfg);
+  obs::CauseId hh_flow_mod = 0;
   hh_detector.on_alert([&](const core::HeavyHitterDetector::Alert& a) {
     std::printf("[%6.2f s] HEAVY HITTER  bin %zu (%.0f Hz), %zu tones in "
                 "window\n",
                 a.time_s, a.bin, a.frequency_hz, a.count_in_window);
+    if (hh_flow_mod != 0) return;
+    // Throttle the elephant: the rule's provenance is the alert record,
+    // which in turn cites the detected (and emitted) tone.
+    net::FlowEntry drop;
+    drop.priority = 300;
+    drop.match.dst_port = 80;
+    drop.match.proto = net::IpProto::kTcp;
+    drop.actions = {net::Action::drop()};
+    hh_flow_mod = sdn_channel.send_flow_mod(dpid, sdn::FlowMod::add(drop),
+                                            a.cause);
   });
 
   core::PortScanConfig ps_cfg;
@@ -166,6 +204,18 @@ int main() {
               hh_reporter.bin_for(elephant));
   std::printf("  port-scan alerts    : %zu\n", ps_detector.alerts().size());
   std::printf("  superspreader alerts: %zu\n", ss_detector.alerts().size());
+  std::printf("  throttle flow mod   : %s (journal record %llu)\n",
+              hh_flow_mod != 0 ? "installed" : "missing",
+              static_cast<unsigned long long>(hh_flow_mod));
+
+  // --- Scoreboard: emitted vs detected, from the journal -------------
+  // export_to() feeds the registry before the snapshot so the counts and
+  // latency histograms ride the standard exporters too.
+  const obs::Scoreboard board = obs::Scoreboard::build(journal);
+  board.export_to(obs::Registry::global());
+  const std::string mic_names[] = {std::string("s1-mic")};
+  std::printf("\nscoreboard (ground truth vs heard, per watch):\n%s",
+              board.render(mic_names).c_str());
 
   // --- Dashboard: rendered from the metrics registry -----------------
   const auto snap = obs::Registry::global().snapshot();
@@ -177,7 +227,11 @@ int main() {
   render_section(snap, "music protocol", "mp/");
 
   // --- Exports -------------------------------------------------------
-  if (obs::write_file("telemetry_dashboard.prom", obs::to_prometheus(snap))) {
+  // The .prom file carries the registry metrics plus the scoreboard's
+  // labeled per-(mic, watch) series.
+  if (obs::write_file("telemetry_dashboard.prom",
+                      obs::to_prometheus(snap) +
+                          board.to_prometheus(mic_names))) {
     std::printf("\nwrote telemetry_dashboard.prom\n");
   }
   if (obs::write_file("telemetry_dashboard.metrics.jsonl",
@@ -185,13 +239,34 @@ int main() {
     std::printf("wrote telemetry_dashboard.metrics.jsonl\n");
   }
   if (obs::write_file("telemetry_dashboard.trace.json",
-                      obs::to_chrome_trace(net.loop().tracer()))) {
+                      obs::to_chrome_trace(net.loop().tracer(), journal))) {
     std::printf("wrote telemetry_dashboard.trace.json "
-                "(load in chrome://tracing or ui.perfetto.dev)\n");
+                "(journal flow arrows overlaid; load in chrome://tracing "
+                "or ui.perfetto.dev)\n");
+  }
+  if (obs::write_file("telemetry_dashboard.journal.jsonl",
+                      obs::to_journal_jsonl(journal))) {
+    std::printf("wrote telemetry_dashboard.journal.jsonl "
+                "(canonical flight-recorder export, %zu records)\n",
+                journal.size());
+  }
+
+  // --- explain [n]: causal chains of the last n FlowMods -------------
+  if (explain_n > 0) {
+    const auto mods = journal.recent_of(obs::JournalKind::kFlowMod,
+                                        explain_n);
+    std::printf("\nexplain: last %zu flow mod(s), oldest first\n",
+                mods.size());
+    if (mods.empty()) std::printf("  (no flow mods in the journal)\n");
+    for (const obs::CauseId id : mods) {
+      std::printf("-- flow mod #%llu --\n%s",
+                  static_cast<unsigned long long>(id),
+                  obs::explain_text(journal, id).c_str());
+    }
   }
 
   const bool ok = !hh_detector.alerts().empty() &&
-                  !ps_detector.alerts().empty() &&
+                  !ps_detector.alerts().empty() && hh_flow_mod != 0 &&
                   counter_value(snap, "mp/bridge/tones_played") > 0 &&
                   counter_value(snap, "mdn/controller/blocks") > 0;
   std::printf("%s\n", ok ? "dashboard caught both events out-of-band"

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Prometheus text-format linter for the exporters' .prom output.
+
+Validates the exposition-format subset mdn::obs emits:
+
+  * metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*,
+  * label values are double-quoted with only \\, \" and \n escapes,
+  * sample values parse as floats (incl. +Inf/-Inf/NaN),
+  * `# TYPE` lines are well-formed, name a known type, appear at most
+    once per family and precede that family's samples,
+  * histogram families expose _bucket/_sum/_count with an +Inf bucket
+    and non-decreasing cumulative bucket counts.
+
+Usage: lint_prom.py FILE [FILE...]   (exit 1 on the first bad file)
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(raw, errors, where):
+    """Parses `k="v",k2="v2"` (the body between braces); returns a dict."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        m = re.match(r"([a-zA-Z_][a-zA-Z0-9_]*)=\"", raw[i:])
+        if not m:
+            errors.append(f"{where}: bad label syntax at ...{raw[i:]!r}")
+            return labels
+        name = m.group(1)
+        i += m.end()
+        value = []
+        while i < len(raw):
+            c = raw[i]
+            if c == "\\":
+                if i + 1 >= len(raw) or raw[i + 1] not in ('\\', '"', 'n'):
+                    errors.append(f"{where}: illegal escape in label {name}")
+                    return labels
+                value.append(raw[i : i + 2])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            else:
+                value.append(c)
+                i += 1
+        else:
+            errors.append(f"{where}: unterminated label value for {name}")
+            return labels
+        labels[name] = "".join(value)
+        if i < len(raw):
+            if raw[i] != ",":
+                errors.append(f"{where}: expected ',' between labels")
+                return labels
+            i += 1
+    return labels
+
+
+def family_of(name):
+    for suffix in HIST_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(path):
+    errors = []
+    declared = {}  # family -> type
+    sampled_families = set()
+    buckets = {}  # family -> list of (le, count) in file order
+
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().split("\n")
+
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                continue  # plain comment
+            if parts[1] == "HELP":
+                if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                    errors.append(f"{where}: malformed HELP line")
+                continue
+            if len(parts) != 4 or parts[3] not in TYPES:
+                errors.append(f"{where}: malformed TYPE line: {line!r}")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                errors.append(f"{where}: illegal metric name {name!r}")
+            if name in declared:
+                errors.append(f"{where}: duplicate TYPE for {name}")
+            if name in sampled_families:
+                errors.append(f"{where}: TYPE for {name} after its samples")
+            declared[name] = parts[3]
+            continue
+
+        # Sample line: name[{labels}] value [timestamp]
+        m = re.match(r"^([^ {]+)(\{(.*)\})? (\S+)( \d+)?$", line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        name, _, labelbody, value = m.group(1), m.group(2), m.group(3), m.group(4)
+        if not NAME_RE.match(name):
+            errors.append(f"{where}: illegal metric name {name!r}")
+        labels = parse_labels(labelbody, errors, where) if labelbody else {}
+        try:
+            float(value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            errors.append(f"{where}: non-numeric sample value {value!r}")
+            continue
+
+        family = family_of(name)
+        sampled_families.add(family)
+        if declared.get(family) == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"{where}: histogram bucket without le label")
+            else:
+                buckets.setdefault((family, tuple(
+                    sorted((k, v) for k, v in labels.items() if k != "le")
+                )), []).append((labels["le"], float(
+                    value.replace("+Inf", "inf"))))
+
+    for (family, _), series in buckets.items():
+        if not any(le == "+Inf" for le, _ in series):
+            errors.append(f"{path}: histogram {family} lacks an +Inf bucket")
+        counts = [c for _, c in series]
+        if counts != sorted(counts):
+            errors.append(
+                f"{path}: histogram {family} buckets not cumulative")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        errors = lint(path)
+        if errors:
+            status = 1
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

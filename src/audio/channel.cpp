@@ -61,6 +61,11 @@ const std::string& AcousticChannel::source_name(SourceId id) const {
 }
 
 void AcousticChannel::emit(SourceId id, Waveform sound, double start_time_s) {
+  emit(id, std::move(sound), start_time_s, EmissionTag{});
+}
+
+void AcousticChannel::emit(SourceId id, Waveform sound, double start_time_s,
+                           EmissionTag tag) {
   if (sound.sample_rate() != sample_rate_) {
     throw std::invalid_argument("emit: sample rate mismatch");
   }
@@ -69,7 +74,22 @@ void AcousticChannel::emit(SourceId id, Waveform sound, double start_time_s) {
   }
   emissions_.push_back(
       {std::move(sound), start_time_s, id, /*ambient=*/false,
-       /*loop=*/false});
+       /*loop=*/false, tag});
+}
+
+std::size_t AcousticChannel::collect_tags(
+    double start_s, double end_s, std::span<EmissionTag> out) const noexcept {
+  std::size_t n = 0;
+  for (const Emission& e : emissions_) {
+    if (e.tag.cause == 0) continue;
+    const double e_end =
+        e.start_s + static_cast<double>(e.sound.size()) / sample_rate_;
+    if (e.start_s < end_s && e_end > start_s) {
+      if (n == out.size()) break;  // truncate: fixed listener scratch
+      out[n++] = e.tag;
+    }
+  }
+  return n;
 }
 
 void AcousticChannel::add_ambient(Waveform sound, bool loop,

@@ -22,9 +22,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "audio/emission_tag.h"
 #include "audio/rng.h"
 #include "audio/waveform.h"
 
@@ -80,6 +82,19 @@ class AcousticChannel {
   /// `start_time_s` (channel time).
   void emit(SourceId id, Waveform sound, double start_time_s);
 
+  /// Same, carrying a provenance tag (the journal id of the emission
+  /// record) that listeners can recover with collect_tags().
+  void emit(SourceId id, Waveform sound, double start_time_s,
+            EmissionTag tag);
+
+  /// Copies the tags of every tagged emission overlapping
+  /// [start_s, end_s) into `out` (at most out.size(); excess is
+  /// truncated).  Returns the number written.  Zero-allocation: this is
+  /// how a listening controller recovers the ground-truth tone ids for
+  /// the block it just recorded.
+  std::size_t collect_tags(double start_s, double end_s,
+                           std::span<EmissionTag> out) const noexcept;
+
   /// Adds an ambient bed heard at unit gain from everywhere (room
   /// noise).  When `loop` is true the waveform repeats forever from
   /// `start_time_s` onwards.
@@ -111,6 +126,7 @@ class AcousticChannel {
     SourceId source = 0;
     bool ambient = false;
     bool loop = false;
+    EmissionTag tag{};
   };
 
   double sample_rate_;

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <span>
 
+#include "audio/emission_tag.h"
+
 namespace mdn::core {
 
 class BlockSink {
@@ -23,10 +25,19 @@ class BlockSink {
   /// Hands one recorded microphone block to the runtime.  `mic` is the
   /// id the sink assigned at registration; `start_s` is the block start
   /// time in channel seconds.  The samples are copied before returning
-  /// (the caller may reuse its buffer).  Returns false when the sink
+  /// (the caller may reuse its buffer).  `tags` are the provenance tags
+  /// of emissions overlapping the block (journal ground truth; may be
+  /// empty, copied before returning).  Returns false when the sink
   /// dropped the block under backpressure.
   virtual bool submit_block(std::uint32_t mic, double start_s,
-                            std::span<const double> samples) = 0;
+                            std::span<const double> samples,
+                            std::span<const audio::EmissionTag> tags) = 0;
+
+  /// Untagged convenience (journal disabled or no provenance source).
+  bool submit_block(std::uint32_t mic, double start_s,
+                    std::span<const double> samples) {
+    return submit_block(mic, start_s, samples, {});
+  }
 };
 
 }  // namespace mdn::core

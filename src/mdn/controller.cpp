@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/journal.h"
+
 namespace mdn::core {
 namespace {
 
@@ -78,12 +80,25 @@ bool MdnController::tick() {
     observer(start_s, block.samples());
   }
 
+  // Provenance: recover the ground-truth tags of emissions overlapping
+  // this block (journal on only; a single predicted-false branch when
+  // off).  The tags ride to the runtime with the block, or resolve
+  // inline detections below.
+  obs::Journal& journal = obs::Journal::global();
+  std::size_t ntags = 0;
+  if (journal.enabled()) {
+    ntags = channel_.collect_tags(start_s, now_s,
+                                  std::span<audio::EmissionTag>(tag_scratch_));
+  }
+
   // Runtime mode: hand the block to the streaming runtime and return —
   // detection happens on its sharded workers and onsets come back
   // through the ordered merge, not through this controller's watches.
   if (config_.sink != nullptr) {
     obs::TraceSpan span(&tracer, "controller/submit", trace_track_, sim_now);
-    config_.sink->submit_block(config_.sink_mic, start_s, block.samples());
+    config_.sink->submit_block(
+        config_.sink_mic, start_s, block.samples(),
+        std::span<const audio::EmissionTag>(tag_scratch_.data(), ntags));
     return running_;
   }
 
@@ -101,7 +116,8 @@ bool MdnController::tick() {
   {
     obs::TraceSpan span(&tracer, "controller/match", trace_track_, sim_now);
     obs::ScopedTimerNs timer(match_wall_ns_);
-    for (auto& w : watches_) {
+    for (std::size_t wi = 0; wi < watches_.size(); ++wi) {
+      Watch& w = watches_[wi];
       double best_amp = 0.0;
       bool found = false;
       for (const auto& t : tones) {
@@ -112,7 +128,28 @@ bool MdnController::tick() {
         }
       }
       if (found && !w.active) {
-        const ToneEvent event{start_s, w.frequency_hz, best_amp};
+        ToneEvent event{start_s, w.frequency_hz, best_amp};
+        if (journal.enabled()) {
+          // Detection record: cite the emitted tone whose frequency this
+          // watch matched, when one overlapped the block (else 0 — a
+          // false positive the scoreboard will count).
+          obs::JournalRecord rec;
+          rec.kind = obs::JournalKind::kToneDetected;
+          rec.sim_ns = sim_now;
+          rec.frequency_hz = w.frequency_hz;
+          rec.value = best_amp;
+          rec.mic = config_.sink_mic;
+          rec.watch = static_cast<std::int32_t>(wi);
+          for (std::size_t t = 0; t < ntags; ++t) {
+            if (std::abs(tag_scratch_[t].frequency_hz - w.frequency_hz) <=
+                detector_.config().match_tolerance_hz) {
+              rec.cause = tag_scratch_[t].cause;
+              break;
+            }
+          }
+          obs::set_journal_label(rec, "onset");
+          event.cause = journal.append(rec);
+        }
         log_.push_back(event);
         onsets_counter_->inc();
         tracer.instant("onset", trace_track_, sim_now);

@@ -8,6 +8,7 @@
 // and dispatches onset events to registered handlers.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -96,6 +97,11 @@ class MdnController {
   std::vector<Watch> watches_;
   std::vector<BlockObserver> block_observers_;
   std::vector<DetectedTone> tones_scratch_;  // reused by tick()
+  // Ground-truth emission tags overlapping the current block, collected
+  // only while the journal is enabled.  Fixed-size so the hot loop stays
+  // allocation-free; config_.sink_mic doubles as the journal mic id for
+  // inline (sink-less) controllers.
+  std::array<audio::EmissionTag, 16> tag_scratch_{};
   std::vector<ToneEvent> log_;
   audio::Waveform recording_;
   bool running_ = false;

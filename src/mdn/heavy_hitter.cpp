@@ -1,5 +1,7 @@
 #include "mdn/heavy_hitter.h"
 
+#include "obs/journal.h"
+
 namespace mdn::core {
 
 HeavyHitterReporter::HeavyHitterReporter(net::Switch& sw,
@@ -54,6 +56,20 @@ void HeavyHitterDetector::on_event(std::size_t bin, const ToneEvent& event) {
     if (!alerted_[bin]) {
       alerted_[bin] = true;
       Alert alert{bin, plan_.frequency(device_, bin), event.time_s, count};
+      obs::Journal& journal = obs::Journal::global();
+      if (journal.enabled()) {
+        // The alert's cause is the onset that pushed the window over the
+        // threshold; the earlier onsets are context, not causes.
+        obs::JournalRecord rec;
+        rec.kind = obs::JournalKind::kAppAction;
+        rec.cause = event.cause;
+        rec.sim_ns = net::from_seconds(event.time_s);
+        rec.frequency_hz = alert.frequency_hz;
+        rec.value = static_cast<double>(count);
+        rec.aux = bin;
+        obs::set_journal_label(rec, "hh_alert");
+        alert.cause = journal.append(rec);
+      }
       alerts_.push_back(alert);
       if (handler_) handler_(alert);
     }

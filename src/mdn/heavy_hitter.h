@@ -58,6 +58,9 @@ class HeavyHitterDetector {
     double frequency_hz = 0.0;
     double time_s = 0.0;
     std::size_t count_in_window = 0;
+    /// Journal id of the alert's kAppAction record, chained from the
+    /// tone detection that crossed the threshold (0 = journal disabled).
+    std::uint64_t cause = 0;
   };
   using AlertHandler = std::function<void(const Alert&)>;
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/journal.h"
+
 namespace mdn::core {
 
 void MicArray::attach(MdnController& controller,
@@ -35,6 +37,20 @@ void MicArray::ingest_event(const std::string& mic, const ToneEvent& event) {
   merged.amplitude = event.amplitude;
   merged.first_mic = mic;
   merged.heard_by = 1;
+  merged.cause = event.cause;
+  obs::Journal& journal = obs::Journal::global();
+  if (journal.enabled()) {
+    // Fusion link: the merged event cites the first hearing's detection
+    // record; later hearings fold into the same merged event silently.
+    obs::JournalRecord rec;
+    rec.kind = obs::JournalKind::kMergedEvent;
+    rec.cause = event.cause;
+    rec.sim_ns = net::from_seconds(event.time_s);
+    rec.frequency_hz = event.frequency_hz;
+    rec.value = event.amplitude;
+    obs::set_journal_label(rec, mic);
+    merged.cause = journal.append(rec);
+  }
   merged_.push_back(merged);
   if (handler_) handler_(merged_.back());
 }

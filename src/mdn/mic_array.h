@@ -27,6 +27,9 @@ class MicArray {
     double amplitude = 0.0;     ///< strongest hearing
     std::string first_mic;      ///< microphone that heard it first
     std::size_t heard_by = 0;   ///< number of microphones that heard it
+    /// Journal id of the kMergedEvent record, chained from the first
+    /// hearing's detection (0 = journal disabled).
+    std::uint64_t cause = 0;
   };
   using Handler = std::function<void(const MergedEvent&)>;
 

@@ -33,6 +33,11 @@ void MusicFsm::on_enter(State state, std::function<void()> action) {
 }
 
 MusicFsm::State MusicFsm::feed(Symbol symbol, net::SimTime now) {
+  return feed(symbol, now, 0);
+}
+
+MusicFsm::State MusicFsm::feed(Symbol symbol, net::SimTime now,
+                               obs::CauseId cause) {
   if (timeout_ > 0 && saw_symbol_ && now - last_symbol_at_ > timeout_ &&
       current_ != initial_) {
     current_ = initial_;
@@ -41,6 +46,7 @@ MusicFsm::State MusicFsm::feed(Symbol symbol, net::SimTime now) {
   last_symbol_at_ = now;
   saw_symbol_ = true;
 
+  const State from = current_;
   State next;
   const auto it = edges_.find(Key{current_, symbol});
   if (it != edges_.end()) {
@@ -55,6 +61,23 @@ MusicFsm::State MusicFsm::feed(Symbol symbol, net::SimTime now) {
   }
   current_ = next;
   ++transitions_;
+  obs::Journal& journal = obs::Journal::global();
+  if (journal.enabled()) {
+    // Two causal links: the detection that carried the symbol, and the
+    // previous transition — explain() walks both, so the full symbol
+    // history behind an accepting state is recoverable.  Minted before
+    // the entry action so the action can cite this transition.
+    obs::JournalRecord rec;
+    rec.kind = obs::JournalKind::kFsmTransition;
+    rec.cause = cause;
+    rec.cause2 = last_record_;
+    rec.sim_ns = now;
+    rec.value = static_cast<double>(symbol);
+    rec.aux = (static_cast<std::uint64_t>(from) << 32) |
+              static_cast<std::uint64_t>(current_ & 0xffffffffu);
+    obs::set_journal_label(rec, label_);
+    last_record_ = journal.append(rec);
+  }
   if (entry_actions_[current_]) entry_actions_[current_]();
   return current_;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/sim_time.h"
+#include "obs/journal.h"
 
 namespace mdn::core {
 
@@ -47,7 +48,23 @@ class MusicFsm {
   /// Feeds a symbol observed at time `now`; returns the new state.
   State feed(Symbol symbol, net::SimTime now);
 
+  /// Same, citing the journal record (a tone detection) that produced
+  /// the symbol.  When the journal is enabled the transition is recorded
+  /// with two causal links — the detection and the previous transition —
+  /// so Journal::explain() recovers the whole knock sequence from the
+  /// final transition.  The record is minted *before* the entry action
+  /// runs: actions read last_record() as their own cause.
+  State feed(Symbol symbol, net::SimTime now, obs::CauseId cause);
+
   void reset() noexcept { current_ = initial_; }
+
+  /// Journal id of the most recent transition record (0 when the journal
+  /// is disabled or feed() has not run).
+  obs::CauseId last_record() const noexcept { return last_record_; }
+
+  /// Label stamped on this machine's journal records (default "fsm";
+  /// truncated to the record's fixed label width).
+  void set_label(std::string label) { label_ = std::move(label); }
 
   std::uint64_t transitions_taken() const noexcept { return transitions_; }
   std::uint64_t resets() const noexcept { return resets_; }
@@ -74,6 +91,8 @@ class MusicFsm {
   bool saw_symbol_ = false;
   std::uint64_t transitions_ = 0;
   std::uint64_t resets_ = 0;
+  obs::CauseId last_record_ = 0;
+  std::string label_ = "fsm";
 };
 
 /// Builds the §4 port-knocking machine: symbols must arrive in the exact

@@ -57,11 +57,12 @@ void PortKnockingApp::install_switch_side(net::Switch& sw) {
 
 void PortKnockingApp::install_controller_side(MdnController& controller) {
   net::EventLoop& loop = controller.loop();
+  fsm_.set_label("knock_fsm");
   for (std::size_t k = 0; k < config_.knock_ports.size(); ++k) {
     controller.watch(plan_.frequency(device_, k),
-                     [this, k, &loop](const ToneEvent&) {
+                     [this, k, &loop](const ToneEvent& ev) {
                        ++knocks_heard_;
-                       if (!opened_) fsm_.feed(k, loop.now());
+                       if (!opened_) fsm_.feed(k, loop.now(), ev.cause);
                      });
   }
 }
@@ -78,7 +79,11 @@ void PortKnockingApp::open_port() {
   open.match.dst_port = config_.protected_port;
   open.match.proto = net::IpProto::kTcp;
   open.actions = {net::Action::output(config_.open_out_port)};
-  channel_.send_flow_mod(dpid_, sdn::FlowMod::add(open));
+  // The accepting transition just ran (we're inside its entry action),
+  // so last_record() is the final link of the knock chain.
+  flow_mod_action_ =
+      channel_.send_flow_mod(dpid_, sdn::FlowMod::add(open),
+                             fsm_.last_record());
 
   if (open_callback_) open_callback_();
 }

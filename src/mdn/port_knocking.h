@@ -50,6 +50,11 @@ class PortKnockingApp {
   const MusicFsm& fsm() const noexcept { return fsm_; }
   std::uint64_t knocks_heard() const noexcept { return knocks_heard_; }
 
+  /// Journal id of the kFlowMod record that opened the port — the entry
+  /// point for Journal::explain() to reconstruct the knock chain (0 when
+  /// the journal was disabled or the port is still closed).
+  obs::CauseId flow_mod_action() const noexcept { return flow_mod_action_; }
+
  private:
   void install_switch_side(net::Switch& sw);
   void install_controller_side(MdnController& controller);
@@ -66,6 +71,7 @@ class PortKnockingApp {
   bool opened_ = false;
   double opened_at_s_ = -1.0;
   std::uint64_t knocks_heard_ = 0;
+  obs::CauseId flow_mod_action_ = 0;
 };
 
 }  // namespace mdn::core

@@ -18,6 +18,7 @@
 // so one detector may serve many threads concurrently.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -108,6 +109,10 @@ struct ToneEvent {
   double time_s = 0.0;
   double frequency_hz = 0.0;
   double amplitude = 0.0;
+  /// Journal id of the detection record (0 when the journal is
+  /// disabled).  Apps pass this down so FSM transitions and flow mods
+  /// can cite the tone that triggered them.
+  std::uint64_t cause = 0;
 };
 
 /// Scans `recording` in hops of `hop_s`, reporting an event each time a

@@ -62,18 +62,19 @@ LoadBalancerApp::LoadBalancerApp(MdnController& controller,
   controller.watch(plan.frequency(device, 2), [this](const ToneEvent& ev) {
     if (!balanced_) {
       balanced_at_s_ = ev.time_s;
-      balance();
+      balance(ev.cause);
     }
   });
 }
 
-void LoadBalancerApp::balance() {
+void LoadBalancerApp::balance(obs::CauseId cause) {
   balanced_ = true;
   net::FlowEntry entry;
   entry.priority = config_.flow_mod_priority;
   entry.match = net::Match::any();
   entry.actions = {net::Action::group(config_.split_ports)};
-  channel_.send_flow_mod(dpid_, sdn::FlowMod::add(entry));
+  flow_mod_action_ =
+      channel_.send_flow_mod(dpid_, sdn::FlowMod::add(entry), cause);
   if (callback_) callback_();
 }
 
@@ -83,7 +84,7 @@ QueueMonitorApp::QueueMonitorApp(MdnController& controller,
   for (std::size_t band = 0; band < 3; ++band) {
     const double f = plan.frequency(device, band);
     controller.watch(f, [this, band, f](const ToneEvent& ev) {
-      events_.push_back({ev.time_s, band, f});
+      events_.push_back({ev.time_s, band, f, ev.cause});
       current_band_ = band;
     });
   }

@@ -88,14 +88,19 @@ class LoadBalancerApp {
   double balanced_at_s() const noexcept { return balanced_at_s_; }
   void on_balance(std::function<void()> cb) { callback_ = std::move(cb); }
 
+  /// Journal id of the split-group kFlowMod (0 = journal disabled or
+  /// not yet balanced).
+  obs::CauseId flow_mod_action() const noexcept { return flow_mod_action_; }
+
  private:
-  void balance();
+  void balance(obs::CauseId cause);
 
   sdn::ControlChannel& channel_;
   sdn::DatapathId dpid_;
   LoadBalancerConfig config_;
   bool balanced_ = false;
   double balanced_at_s_ = -1.0;
+  obs::CauseId flow_mod_action_ = 0;
   std::function<void()> callback_;
 };
 
@@ -108,6 +113,7 @@ class QueueMonitorApp {
     double time_s;
     std::size_t band;
     double frequency_hz;
+    std::uint64_t cause = 0;  ///< detection journal id (0 = disabled)
   };
 
   QueueMonitorApp(MdnController& controller, const FrequencyPlan& plan,

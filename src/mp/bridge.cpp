@@ -2,6 +2,7 @@
 #include <algorithm>
 
 #include "audio/synth.h"
+#include "obs/journal.h"
 
 namespace mdn::mp {
 
@@ -41,8 +42,25 @@ void PiSpeakerBridge::play(const MpMessage& msg) {
   spec.fade_s = std::min(0.015, msg.duration_s / 3.0);
   const double start_s =
       net::to_seconds(loop_.now() + processing_delay_);
-  channel_.emit(source_, audio::make_tone(spec, channel_.sample_rate()),
-                start_s);
+  obs::Journal& journal = obs::Journal::global();
+  if (journal.enabled()) {
+    // Ground truth for the scoreboard: this exact tone left this
+    // speaker at this sim time.  The minted id rides the emission so
+    // detections (and rt drops) can cite it.
+    obs::JournalRecord record;
+    record.kind = obs::JournalKind::kToneEmitted;
+    record.sim_ns = loop_.now() + processing_delay_;
+    record.frequency_hz = msg.frequency_hz;
+    record.value = msg.intensity_db_spl;
+    record.aux = source_;
+    obs::set_journal_label(record, channel_.source_name(source_));
+    const audio::EmissionTag tag{journal.append(record), msg.frequency_hz};
+    channel_.emit(source_, audio::make_tone(spec, channel_.sample_rate()),
+                  start_s, tag);
+  } else {
+    channel_.emit(source_, audio::make_tone(spec, channel_.sample_rate()),
+                  start_s);
+  }
   ++played_;
   played_counter_->inc();
 }

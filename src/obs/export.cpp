@@ -144,28 +144,53 @@ std::string to_json(const Snapshot& snapshot) {
   return out;
 }
 
-std::string to_chrome_trace(const Tracer& tracer) {
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string chrome_trace_impl(const Tracer& tracer,
+                              const Journal* journal) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   const auto& tracks = tracer.track_names();
-  for (std::size_t i = 0; i < tracks.size(); ++i) {
+  const auto emit_track_name = [&](std::size_t tid,
+                                   std::string_view name) {
     if (!first) out += ',';
     first = false;
-    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(i) +
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(tid) +
            ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
-           json_escape(tracks[i]) + "\"}}";
+           json_escape(name) + "\"}}";
+  };
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    emit_track_name(i, tracks[i]);
   }
   char buf[64];
+  const auto format_ts = [&buf](std::int64_t sim_ns) {
+    // trace_event timestamps are microseconds; keep sub-us precision.
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(sim_ns) / 1000.0);
+    return std::string(buf);
+  };
   for (const TraceEvent& ev : tracer.events()) {
     if (!first) out += ',';
     first = false;
-    // trace_event timestamps are microseconds; keep sub-us precision.
-    std::snprintf(buf, sizeof(buf), "%.3f",
-                  static_cast<double>(ev.sim_ns) / 1000.0);
     out += "{\"ph\":\"";
     out += ev.phase;
     out += "\",\"pid\":0,\"tid\":" + std::to_string(ev.track) +
-           ",\"name\":\"" + json_escape(ev.name) + "\",\"ts\":" + buf;
+           ",\"name\":\"" + json_escape(ev.name) +
+           "\",\"ts\":" + format_ts(ev.sim_ns);
     if (ev.phase == 'X') {
       std::snprintf(buf, sizeof(buf), "%.3f",
                     static_cast<double>(ev.wall_dur_ns) / 1000.0);
@@ -176,8 +201,76 @@ std::string to_chrome_trace(const Tracer& tracer) {
     out += ",\"args\":{\"sim_ns\":" + std::to_string(ev.sim_ns) +
            ",\"wall_ns\":" + std::to_string(ev.wall_ns) + "}}";
   }
+
+  if (journal != nullptr) {
+    // One extra track per journal kind, after the tracer's tracks.  A
+    // record is an instant on its kind's track; each causal link is a
+    // flow arrow from the cause's instant to the effect's.
+    const auto records = journal->snapshot();
+    const std::size_t base_tid = tracks.size();
+    bool kind_present[8] = {};
+    for (const auto& r : records) {
+      kind_present[static_cast<std::size_t>(r.kind)] = true;
+    }
+    for (std::size_t k = 0; k < 7; ++k) {
+      if (!kind_present[k]) continue;
+      emit_track_name(base_tid + k,
+                      "journal/" + std::string(journal_kind_name(
+                                       static_cast<JournalKind>(k))));
+    }
+    const auto record_tid = [&](const JournalRecord& r) {
+      return base_tid + static_cast<std::size_t>(r.kind);
+    };
+    const auto emit_instant = [&](const JournalRecord& r) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"ph\":\"i\",\"pid\":0,\"tid\":" +
+             std::to_string(record_tid(r)) + ",\"name\":\"" +
+             json_escape(journal_kind_name(r.kind)) +
+             "\",\"ts\":" + format_ts(r.sim_ns) +
+             ",\"s\":\"t\",\"args\":{\"journal_id\":" +
+             std::to_string(r.id) + ",\"cause\":" +
+             std::to_string(r.cause) + ",\"frequency_hz\":" +
+             format_double(r.frequency_hz) + ",\"label\":\"" +
+             json_escape(r.label) + "\"}}";
+    };
+    const auto emit_flow = [&](const JournalRecord& from,
+                               const JournalRecord& to,
+                               std::uint64_t flow_id) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"ph\":\"s\",\"pid\":0,\"tid\":" +
+             std::to_string(record_tid(from)) +
+             ",\"name\":\"cause\",\"id\":" + std::to_string(flow_id) +
+             ",\"ts\":" + format_ts(from.sim_ns) + "},";
+      out += "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":" +
+             std::to_string(record_tid(to)) +
+             ",\"name\":\"cause\",\"id\":" + std::to_string(flow_id) +
+             ",\"ts\":" + format_ts(to.sim_ns) + "}";
+    };
+    for (const auto& r : records) {
+      emit_instant(r);
+      JournalRecord cause;
+      if (r.cause != 0 && journal->find(r.cause, &cause)) {
+        emit_flow(cause, r, r.id * 2);
+      }
+      if (r.cause2 != 0 && journal->find(r.cause2, &cause)) {
+        emit_flow(cause, r, r.id * 2 + 1);
+      }
+    }
+  }
   out += "]}";
   return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  return chrome_trace_impl(tracer, nullptr);
+}
+
+std::string to_chrome_trace(const Tracer& tracer, const Journal& journal) {
+  return chrome_trace_impl(tracer, &journal);
 }
 
 bool write_file(const std::string& path, std::string_view content) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,12 +26,27 @@ std::string to_jsonl(const Snapshot& snapshot);
 std::string to_json(const Snapshot& snapshot);
 std::string to_chrome_trace(const Tracer& tracer);
 
+/// Chrome trace with the journal overlaid: every journal record becomes
+/// an instant event on a per-kind "journal/<kind>" track, and each
+/// cause/cause2 link becomes a flow arrow ('s'/'f' pair) from the cause
+/// record to its effect — the §4 knock chain renders as arrows from the
+/// emitted tones through the FSM to the FlowMod.
+std::string to_chrome_trace(const Tracer& tracer, const Journal& journal);
+
 /// Escapes a string for inclusion inside JSON quotes.
 std::string json_escape(std::string_view s);
 
 /// Maps a hierarchical metric name to a Prometheus-legal one
 /// ("net/switch/s1/queue_depth" -> "mdn_net_switch_s1_queue_depth").
+/// Names must not be empty and must not start with a digit; both are
+/// normalised so the output always satisfies [a-zA-Z_][a-zA-Z0-9_]*.
 std::string prometheus_name(std::string_view name);
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash -> \\, double quote -> \", line feed -> \n.  Everything
+/// else (including '/', tabs, UTF-8) passes through unchanged, so
+/// hostile names round-trip.
+std::string prometheus_label_value(std::string_view value);
 
 /// Writes `content` to `path`; returns false (without throwing) on I/O
 /// failure so instrumented binaries never die on a read-only directory.

@@ -1,8 +1,11 @@
 // Umbrella header for mdn::obs — the observability layer.
 //
-//   metrics.h  counters / gauges / log-bucketed histograms, Registry
-//   trace.h    sim-time spans and instant events (per-EventLoop Tracer)
-//   export.h   Prometheus text, JSONL, JSON, Chrome trace_event JSON
+//   metrics.h    counters / gauges / log-bucketed histograms, Registry
+//   trace.h      sim-time spans and instant events (per-EventLoop Tracer)
+//   journal.h    causal provenance journal (CauseId flight recorder)
+//   scoreboard.h emitted-vs-detected ground-truth reconciliation
+//   export.h     Prometheus text, JSONL, JSON, Chrome trace_event JSON,
+//                canonical journal.jsonl
 //
 // Metric naming scheme: hierarchical slash-separated paths,
 // "<layer>/<component>[/<instance>]/<quantity>[_<unit>]", e.g.
@@ -16,5 +19,7 @@
 #pragma once
 
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/scoreboard.h"
 #include "obs/trace.h"

@@ -33,6 +33,11 @@ struct StreamEvent {
   double time_s = 0.0;
   double frequency_hz = 0.0;
   double amplitude = 0.0;
+  /// Provenance: the obs::Journal id backing this event (the emitted
+  /// tone while in flight, rewritten to the detection record at
+  /// delivery).  Metadata, not identity — excluded from operator== so
+  /// serial/parallel equivalence holds with the journal enabled.
+  std::uint64_t cause = 0;
 };
 
 inline bool stream_event_before(const StreamEvent& a,

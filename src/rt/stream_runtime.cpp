@@ -1,11 +1,40 @@
 #include "rt/stream_runtime.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
 #include "mdn/mic_array.h"
+#include "net/sim_time.h"
+#include "obs/journal.h"
 
 namespace mdn::rt {
+namespace {
+
+// Drop attribution: one kBlockDropped record per ground-truth tag the
+// discarded block carried (so the scoreboard can blame each missed tone
+// on backpressure), or a single untagged record when none rode along.
+void journal_dropped_block(const AudioBlock& block, const char* why) {
+  obs::Journal& journal = obs::Journal::global();
+  if (!journal.enabled()) return;
+  obs::JournalRecord rec;
+  rec.kind = obs::JournalKind::kBlockDropped;
+  rec.sim_ns = net::from_seconds(block.start_s);
+  rec.mic = block.mic;
+  rec.aux = block.seq;
+  obs::set_journal_label(rec, why);
+  if (block.tag_count == 0) {
+    journal.append(rec);
+    return;
+  }
+  for (std::uint8_t k = 0; k < block.tag_count; ++k) {
+    rec.cause = block.tags[k].cause;
+    rec.frequency_hz = block.tags[k].frequency_hz;
+    journal.append(rec);
+  }
+}
+
+}  // namespace
 
 StreamRuntime::StreamRuntime(StreamRuntimeConfig config)
     : config_(std::move(config)), detector_(config_.detector) {
@@ -44,7 +73,7 @@ void StreamRuntime::deliver_to(core::MicArray& array) {
   on_event([this, &array](const StreamEvent& event) {
     array.ingest_event(mic_names_[event.mic],
                        core::ToneEvent{event.time_s, event.frequency_hz,
-                                       event.amplitude});
+                                       event.amplitude, event.cause});
   });
 }
 
@@ -71,13 +100,17 @@ std::vector<double> StreamRuntime::acquire_buffer() {
 }
 
 bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
-                                 std::span<const double> samples) {
+                                 std::span<const double> samples,
+                                 std::span<const audio::EmissionTag> tags) {
   if (finished_) {
     throw std::logic_error("StreamRuntime: submit after finish()");
   }
   std::vector<double> buffer = acquire_buffer();
   buffer.assign(samples.begin(), samples.end());
   AudioBlock block{next_seq_[mic], mic, start_s, std::move(buffer)};
+  block.tag_count = static_cast<std::uint8_t>(
+      std::min(tags.size(), block.tags.size()));
+  std::copy_n(tags.begin(), block.tag_count, block.tags.begin());
   MicQueue& q = *queues_[mic];
 
   switch (config_.drop_policy) {
@@ -88,6 +121,7 @@ bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
       break;
     case DropPolicy::kDropNewest:
       if (!q.ring.try_push(std::move(block))) {
+        journal_dropped_block(block, "drop_newest");
         dropped_newest_.fetch_add(1, std::memory_order_relaxed);
         drops_newest_counter_->inc();
         return false;  // seq not consumed: the stream stays contiguous
@@ -98,6 +132,7 @@ bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
         AudioBlock oldest;
         if (q.ring.try_pop(oldest)) {
           if (q.depth != nullptr) q.depth->add(-1);
+          journal_dropped_block(oldest, "drop_oldest");
           dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
           drops_oldest_counter_->inc();
           oldest.samples.clear();
@@ -120,7 +155,34 @@ bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
 std::size_t StreamRuntime::poll() {
   ready_scratch_.clear();
   const std::size_t released = merge_.drain_ready(ready_scratch_);
-  for (const StreamEvent& event : ready_scratch_) {
+  obs::Journal& journal = obs::Journal::global();
+  const bool journal_on = journal.enabled();
+  // Detection time = block end (the onset is only known once the block
+  // has been fully recorded and analysed), matching the inline
+  // controller's sim-time stamp so latencies are comparable.
+  const double block_s =
+      detector_.config().sample_rate > 0.0
+          ? static_cast<double>(detector_.config().block_size) /
+                detector_.config().sample_rate
+          : 0.0;
+  for (StreamEvent& event : ready_scratch_) {
+    if (journal_on) {
+      // Mint the detection record on the owner thread, in canonical
+      // merge order, citing the emission the worker resolved; then
+      // rewrite the event's cause to the detection id so downstream
+      // consumers (FSMs, apps) chain from the detection, not the tone.
+      obs::JournalRecord rec;
+      rec.kind = obs::JournalKind::kToneDetected;
+      rec.cause = event.cause;
+      rec.sim_ns = net::from_seconds(event.time_s + block_s);
+      rec.frequency_hz = event.frequency_hz;
+      rec.value = event.amplitude;
+      rec.mic = event.mic;
+      rec.watch = static_cast<std::int32_t>(event.watch);
+      rec.aux = event.seq;
+      obs::set_journal_label(rec, "rt_onset");
+      event.cause = journal.append(rec);
+    }
     if (record_events_) events_.push_back(event);
     if (handler_) handler_(event);
   }

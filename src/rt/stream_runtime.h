@@ -98,9 +98,13 @@ class StreamRuntime final : public core::BlockSink {
   /// kDropOldest discard an older block and still return true.  Legal
   /// before start() (blocks queue up for the workers), illegal after
   /// finish(); submitting to a full ring under kBlock before start()
-  /// spins until workers exist.
+  /// spins until workers exist.  `tags` (at most 8 kept) are the
+  /// ground-truth emission ids overlapping the block; a drop mints a
+  /// journal record citing them, a detection cites the matching one.
+  using core::BlockSink::submit_block;
   bool submit_block(std::uint32_t mic, double start_s,
-                    std::span<const double> samples) override;
+                    std::span<const double> samples,
+                    std::span<const audio::EmissionTag> tags) override;
 
   /// Releases every merge-complete event: appends to events() (unless
   /// record_events is off) and invokes the handler.  Returns the number

@@ -97,8 +97,20 @@ void WorkerPool::process_block(AudioBlock& block, std::vector<char>& active,
         }
       }
       if (found && active[i] == 0) {
+        // Provenance: cite the ground-truth emission whose frequency
+        // this watch matched, if one rode in with the block.  Pure
+        // per-block arithmetic, so the resolved cause is identical
+        // regardless of worker count.
+        std::uint64_t cause = 0;
+        for (std::uint8_t k = 0; k < block.tag_count; ++k) {
+          if (std::abs(block.tags[k].frequency_hz - watch_hz_[i]) <=
+              tolerance) {
+            cause = block.tags[k].cause;
+            break;
+          }
+        }
         merge_.push({block.seq, block.mic, static_cast<std::uint32_t>(i),
-                     block.start_s, watch_hz_[i], best_amp});
+                     block.start_s, watch_hz_[i], best_amp, cause});
         events_.fetch_add(1, std::memory_order_relaxed);
         events_counter_->inc();
       }

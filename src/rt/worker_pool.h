@@ -10,11 +10,13 @@
 // OrderedMerge, which restores the canonical (seq, mic, watch) order.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "audio/emission_tag.h"
 #include "mdn/tone_detector.h"
 #include "obs/metrics.h"
 #include "rt/ordered_merge.h"
@@ -31,11 +33,16 @@ enum class DropPolicy {
 
 /// One microphone block in flight: per-mic sequence number, source id,
 /// block start time and the samples (a recycled buffer owned by value).
+/// `tags` carries up to 8 ground-truth emission tags overlapping the
+/// block (journal provenance; fixed-size so the ring slot stays
+/// allocation-free and trivially recyclable).
 struct AudioBlock {
   std::uint64_t seq = 0;
   std::uint32_t mic = 0;
   double start_s = 0.0;
   std::vector<double> samples;
+  std::array<audio::EmissionTag, 8> tags{};
+  std::uint8_t tag_count = 0;
 };
 
 /// The SPSC lane between one microphone's producer and its shard worker.

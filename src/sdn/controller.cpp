@@ -65,18 +65,46 @@ const net::Switch& ControlChannel::switch_for(DatapathId dpid) const {
   return *switches_[dpid];
 }
 
-void ControlChannel::send_flow_mod(DatapathId dpid, FlowMod mod) {
+namespace {
+
+const char* flow_mod_label(FlowMod::Command command) {
+  switch (command) {
+    case FlowMod::Command::kAdd: return "flow_add";
+    case FlowMod::Command::kDeleteByCookie: return "flow_del_cookie";
+    case FlowMod::Command::kDeleteByMatch: return "flow_del_match";
+    case FlowMod::Command::kClear: return "flow_clear";
+  }
+  return "flow_mod";
+}
+
+}  // namespace
+
+obs::CauseId ControlChannel::send_flow_mod(DatapathId dpid, FlowMod mod,
+                                           obs::CauseId cause) {
   net::Switch& sw = switch_for(dpid);
   if (!session_up_[dpid]) {
     ++failed_sends_;
     failed_send_counter_->inc();
-    return;
+    return 0;
   }
   ++flow_mods_sent_;
   flow_mod_counter_->inc();
+  obs::CauseId record_id = 0;
+  obs::Journal& journal = obs::Journal::global();
+  if (journal.enabled()) {
+    obs::JournalRecord rec;
+    rec.kind = obs::JournalKind::kFlowMod;
+    rec.cause = cause;
+    rec.sim_ns = loop_.now();
+    rec.value = mod.entry.priority;
+    rec.aux = dpid;
+    obs::set_journal_label(rec, flow_mod_label(mod.command));
+    record_id = journal.append(rec);
+  }
   loop_.schedule_in(latency_, [this, &sw, mod = std::move(mod)]() {
     apply_flow_mod(sw, mod);
   });
+  return record_id;
 }
 
 void ControlChannel::apply_flow_mod(net::Switch& sw, const FlowMod& mod) {

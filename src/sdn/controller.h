@@ -13,6 +13,7 @@
 
 #include "net/event_loop.h"
 #include "net/switch.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "sdn/messages.h"
 
@@ -32,8 +33,14 @@ class ControlChannel {
   /// PacketIn after the channel latency.  Returns the datapath id.
   DatapathId attach(net::Switch& sw, Controller& controller);
 
-  /// Applies a FlowMod on the switch after the channel latency.
-  void send_flow_mod(DatapathId dpid, FlowMod mod);
+  /// Applies a FlowMod on the switch after the channel latency.  `cause`
+  /// is the journal id of whatever triggered the mod (an FSM transition,
+  /// an app action; 0 = unattributed).  Returns the id of the minted
+  /// kFlowMod journal record — the terminal link of a provenance chain,
+  /// what Journal::explain() starts from — or 0 when the journal is
+  /// disabled or the management session is down.
+  obs::CauseId send_flow_mod(DatapathId dpid, FlowMod mod,
+                             obs::CauseId cause = 0);
 
   /// Injects a packet at the switch after the channel latency, applying
   /// the given action (OpenFlow packet-out).

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "app_fixture.h"
+#include "obs/scoreboard.h"
 
 namespace mdn::core {
 namespace {
@@ -183,6 +184,80 @@ TEST_F(PortKnockingTest, GuardRuleInstalledAtConstruction) {
   // Drop rule (priority 100) + forwarding (priority 1).
   EXPECT_EQ(sw_->flow_table().size(), 2u);
   (void)app;
+}
+
+TEST_F(PortKnockingTest, JournalExplainsFlowModBackToKnockTones) {
+  // The flight-recorder acceptance path: with the journal on, explain()
+  // on the opening FlowMod must reconstruct the entire §4 chain —
+  // 3 emitted tones -> 3 detections -> 3 FSM transitions -> 1 FlowMod.
+  obs::Journal& journal = obs::Journal::global();
+  journal.enable(4096);
+  journal.clear();
+
+  init_mdn(0);
+  install_forwarding();
+  auto app = make_app(make_config());
+  controller_->start();
+  send_knock(7001, 0.5);
+  send_knock(7002, 1.0);
+  send_knock(7003, 1.5);
+  run_for(2.5);
+
+  ASSERT_TRUE(app->opened());
+  ASSERT_NE(app->flow_mod_action(), 0u);
+  const auto chain = journal.explain(app->flow_mod_action());
+
+  std::size_t emitted = 0, detected = 0, transitions = 0, mods = 0;
+  for (const auto& r : chain) {
+    switch (r.kind) {
+      case obs::JournalKind::kToneEmitted: ++emitted; break;
+      case obs::JournalKind::kToneDetected: ++detected; break;
+      case obs::JournalKind::kFsmTransition: ++transitions; break;
+      case obs::JournalKind::kFlowMod: ++mods; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(emitted, 3u);
+  EXPECT_EQ(detected, 3u);
+  EXPECT_EQ(transitions, 3u);
+  EXPECT_EQ(mods, 1u);
+  // Chain is time-ordered, root first, actuation last.
+  EXPECT_EQ(chain.front().kind, obs::JournalKind::kToneEmitted);
+  EXPECT_EQ(chain.back().kind, obs::JournalKind::kFlowMod);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LE(chain[i - 1].sim_ns, chain[i].sim_ns);
+  }
+
+  // The same chain as text, for the dashboard's `explain` command.
+  const std::string text =
+      obs::explain_text(journal, app->flow_mod_action());
+  EXPECT_NE(text.find("tone_emitted"), std::string::npos);
+  EXPECT_NE(text.find("knock_fsm"), std::string::npos);
+  EXPECT_NE(text.find("flow_add"), std::string::npos);
+
+  // The scoreboard over the same run: a clean channel hears every knock.
+  const obs::Scoreboard board = obs::Scoreboard::build(journal);
+  EXPECT_DOUBLE_EQ(board.recall(0), 1.0);
+  EXPECT_EQ(board.totals(0).detected, 3u);
+
+  journal.disable();
+  journal.clear();
+}
+
+TEST_F(PortKnockingTest, JournalDisabledCostsNothingAndRecordsNothing) {
+  obs::Journal& journal = obs::Journal::global();
+  ASSERT_FALSE(journal.enabled());
+  init_mdn(0);
+  install_forwarding();
+  auto app = make_app(make_config());
+  controller_->start();
+  send_knock(7001, 0.3);
+  send_knock(7002, 0.6);
+  send_knock(7003, 0.9);
+  run_for(1.5);
+  EXPECT_TRUE(app->opened());
+  EXPECT_EQ(app->flow_mod_action(), 0u);  // no journal, no record ids
+  EXPECT_EQ(journal.size(), 0u);
 }
 
 TEST_F(PortKnockingTest, ValidationErrors) {

@@ -29,6 +29,60 @@ TEST(ExportTest, PrometheusNames) {
   EXPECT_EQ(prometheus_name("dsp/fft/wall_ns"), "mdn_dsp_fft_wall_ns");
 }
 
+TEST(ExportTest, PrometheusNamesSanitiseHostileInput) {
+  // Anything outside [a-zA-Z0-9_:] must be replaced — slashes, dashes,
+  // spaces, quotes, newlines.  The mdn_ prefix also guards against a
+  // leading digit.
+  const std::string hostile = prometheus_name("score/mic-0/\"odd\" name\n2");
+  EXPECT_EQ(hostile.find_first_not_of(
+                "abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"),
+            std::string::npos);
+  EXPECT_EQ(prometheus_name("0abc"), "mdn_0abc");  // prefix keeps it legal
+}
+
+TEST(ExportTest, PrometheusLabelValueEscaping) {
+  // Per the text-format spec only backslash, double quote and newline
+  // are escaped inside label values.
+  EXPECT_EQ(prometheus_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(prometheus_label_value("tab\tok"), "tab\tok");  // untouched
+  EXPECT_EQ(prometheus_label_value("rack\\1 \"mic\"\nA"),
+            "rack\\\\1 \\\"mic\\\"\\nA");
+}
+
+TEST(ExportTest, HostileMetricPathsSurviveAllExporters) {
+  Registry reg;
+  reg.counter("weird/name with spaces/\"quoted\"").add(1);
+  reg.gauge("trailing/slash/").set(2);
+  const auto snapshot = reg.snapshot();
+
+  const std::string prom = to_prometheus(snapshot);
+  // Every non-comment line must be `<legal_name>(_suffix)?({...})? <num>`.
+  std::size_t start = 0;
+  while (start < prom.size()) {
+    std::size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    const std::string line = prom.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of(" {");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    EXPECT_EQ(line.substr(0, name_end)
+                  .find_first_not_of(
+                      "abcdefghijklmnopqrstuvwxyz"
+                      "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"),
+              std::string::npos)
+        << line;
+  }
+
+  // JSON exporters escape instead of sanitising: round-trip the quotes.
+  EXPECT_NE(to_jsonl(snapshot).find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(to_json(snapshot).find("\\\"quoted\\\""), std::string::npos);
+}
+
 TEST(ExportTest, PrometheusText) {
   const std::string out = to_prometheus(sample_registry().snapshot());
   EXPECT_NE(out.find("# TYPE mdn_net_switch_s1_packets counter\n"

@@ -1,0 +1,173 @@
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mdn::obs {
+namespace {
+
+JournalRecord make_record(JournalKind kind, std::int64_t sim_ns,
+                          double frequency_hz = 0.0, CauseId cause = 0) {
+  JournalRecord r;
+  r.kind = kind;
+  r.sim_ns = sim_ns;
+  r.frequency_hz = frequency_hz;
+  r.cause = cause;
+  return r;
+}
+
+TEST(JournalTest, DisabledByDefaultAndAppendReturnsZero) {
+  Journal journal;
+  EXPECT_FALSE(journal.enabled());
+  EXPECT_EQ(journal.append(make_record(JournalKind::kToneEmitted, 1)), 0u);
+  EXPECT_EQ(journal.size(), 0u);
+}
+
+TEST(JournalTest, AppendAssignsMonotonicIdsAndFindRoundTrips) {
+  Journal journal;
+  journal.enable(8);
+  const CauseId a = journal.append(
+      make_record(JournalKind::kToneEmitted, 100, 800.0));
+  const CauseId b = journal.append(
+      make_record(JournalKind::kToneDetected, 200, 800.0, a));
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+
+  JournalRecord out;
+  ASSERT_TRUE(journal.find(b, &out));
+  EXPECT_EQ(out.kind, JournalKind::kToneDetected);
+  EXPECT_EQ(out.cause, a);
+  EXPECT_EQ(out.sim_ns, 200);
+  EXPECT_FALSE(journal.find(0, &out));
+  EXPECT_FALSE(journal.find(99, &out));
+}
+
+TEST(JournalTest, RingEvictsOldestAndFindReportsEvicted) {
+  Journal journal;
+  journal.enable(4);
+  for (int i = 0; i < 6; ++i) {
+    journal.append(make_record(JournalKind::kToneEmitted, i));
+  }
+  EXPECT_EQ(journal.appended(), 6u);
+  EXPECT_EQ(journal.evicted(), 2u);
+  EXPECT_EQ(journal.size(), 4u);
+  JournalRecord out;
+  EXPECT_FALSE(journal.find(1, &out));  // evicted
+  EXPECT_FALSE(journal.find(2, &out));
+  EXPECT_TRUE(journal.find(3, &out));
+  EXPECT_TRUE(journal.find(6, &out));
+}
+
+TEST(JournalTest, LabelTruncatesAndStaysNulTerminated) {
+  JournalRecord r;
+  set_journal_label(r, "a-very-long-component-label-that-overflows");
+  EXPECT_LT(std::string(r.label).size(), sizeof(r.label));
+  set_journal_label(r, "short");
+  EXPECT_STREQ(r.label, "short");
+}
+
+TEST(JournalTest, ExplainWalksCauseAndCause2Links) {
+  Journal journal;
+  journal.enable(64);
+  // Emission -> detection -> fsm1; emission2 -> detection2 -> fsm2
+  // (cause2 = fsm1); flow mod <- fsm2.  explain(flow) must recover all 7.
+  const CauseId e1 =
+      journal.append(make_record(JournalKind::kToneEmitted, 10, 500.0));
+  const CauseId d1 =
+      journal.append(make_record(JournalKind::kToneDetected, 20, 500.0, e1));
+  const CauseId f1 =
+      journal.append(make_record(JournalKind::kFsmTransition, 20, 0.0, d1));
+  const CauseId e2 =
+      journal.append(make_record(JournalKind::kToneEmitted, 30, 600.0));
+  const CauseId d2 =
+      journal.append(make_record(JournalKind::kToneDetected, 40, 600.0, e2));
+  JournalRecord fsm2 = make_record(JournalKind::kFsmTransition, 40, 0.0, d2);
+  fsm2.cause2 = f1;
+  const CauseId f2 = journal.append(fsm2);
+  const CauseId mod =
+      journal.append(make_record(JournalKind::kFlowMod, 41, 0.0, f2));
+
+  const auto chain = journal.explain(mod);
+  ASSERT_EQ(chain.size(), 7u);
+  // Ascending in time, the flow mod last.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LE(chain[i - 1].sim_ns, chain[i].sim_ns);
+  }
+  EXPECT_EQ(chain.back().kind, JournalKind::kFlowMod);
+  EXPECT_EQ(chain.front().kind, JournalKind::kToneEmitted);
+
+  EXPECT_TRUE(journal.explain(999).empty());
+}
+
+TEST(JournalTest, RecentOfReturnsNewestOfKindOldestFirst) {
+  Journal journal;
+  journal.enable(16);
+  journal.append(make_record(JournalKind::kToneEmitted, 1));
+  const CauseId m1 = journal.append(make_record(JournalKind::kFlowMod, 2));
+  journal.append(make_record(JournalKind::kToneDetected, 3));
+  const CauseId m2 = journal.append(make_record(JournalKind::kFlowMod, 4));
+  const CauseId m3 = journal.append(make_record(JournalKind::kFlowMod, 5));
+
+  const auto last2 = journal.recent_of(JournalKind::kFlowMod, 2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[0], m2);
+  EXPECT_EQ(last2[1], m3);
+  const auto all = journal.recent_of(JournalKind::kFlowMod, 10);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], m1);
+}
+
+TEST(JournalTest, CanonicalJsonlRenumbersAcrossMintOrders) {
+  // Same three records minted in two different id orders must export
+  // byte-identically: content sorting + id renumbering erases the
+  // interleaving.
+  Journal a;
+  a.enable(16);
+  const CauseId ae = a.append(make_record(JournalKind::kToneEmitted, 10, 700.0));
+  a.append(make_record(JournalKind::kToneEmitted, 30, 900.0));
+  a.append(make_record(JournalKind::kToneDetected, 20, 700.0, ae));
+
+  Journal b;
+  b.enable(16);
+  b.append(make_record(JournalKind::kToneEmitted, 30, 900.0));
+  const CauseId be = b.append(make_record(JournalKind::kToneEmitted, 10, 700.0));
+  b.append(make_record(JournalKind::kToneDetected, 20, 700.0, be));
+
+  const std::string ja = to_journal_jsonl(a);
+  const std::string jb = to_journal_jsonl(b);
+  EXPECT_EQ(ja, jb);
+  // The detection's rewritten cause must point at the 700 Hz emission's
+  // new id (line 1: earliest sim_ns).
+  EXPECT_NE(ja.find("\"cause\":1"), std::string::npos);
+}
+
+TEST(JournalTest, ExplainTextMentionsEveryHop) {
+  Journal journal;
+  journal.enable(16);
+  JournalRecord e = make_record(JournalKind::kToneEmitted, 1000000000, 800.0);
+  set_journal_label(e, "s1");
+  const CauseId eid = journal.append(e);
+  JournalRecord d = make_record(JournalKind::kToneDetected, 1050000000, 800.0,
+                                eid);
+  d.mic = 0;
+  d.watch = 2;
+  const CauseId did = journal.append(d);
+  const std::string text = explain_text(journal, did);
+  EXPECT_NE(text.find("tone_emitted"), std::string::npos);
+  EXPECT_NE(text.find("tone_detected"), std::string::npos);
+  EXPECT_NE(text.find("800"), std::string::npos);
+}
+
+TEST(JournalTest, ClearRestartsIdsKeepsEnabled) {
+  Journal journal;
+  journal.enable(8);
+  journal.append(make_record(JournalKind::kToneEmitted, 1));
+  journal.clear();
+  EXPECT_TRUE(journal.enabled());
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.append(make_record(JournalKind::kToneEmitted, 2)), 1u);
+}
+
+}  // namespace
+}  // namespace mdn::obs

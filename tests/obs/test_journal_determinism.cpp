@@ -1,0 +1,229 @@
+// Journal determinism across worker counts (own rt-linked binary).
+//
+// The acceptance bar for the flight recorder: the same block schedule,
+// journal enabled, run through the streaming runtime at 1 and at 4
+// workers, must export a byte-identical canonical journal.jsonl — the
+// producer/delivery mint interleaving may differ, the content may not.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/sim_time.h"
+#include "obs/journal.h"
+#include "obs/scoreboard.h"
+#include "rt/stream_runtime.h"
+
+namespace mdn {
+namespace {
+
+constexpr double kSampleRate = 48000.0;
+constexpr std::size_t kBlockSize = 2400;  // 50 ms
+constexpr double kHopS = 0.05;
+
+std::vector<double> tone_block(double frequency_hz, double amplitude) {
+  std::vector<double> samples(kBlockSize);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = amplitude * std::sin(2.0 * 3.14159265358979323846 *
+                                      frequency_hz *
+                                      (static_cast<double>(i) / kSampleRate));
+  }
+  return samples;
+}
+
+rt::StreamRuntimeConfig runtime_config(std::size_t workers,
+                                       std::size_t ring_capacity,
+                                       rt::DropPolicy policy) {
+  rt::StreamRuntimeConfig config;
+  config.workers = workers;
+  config.ring_capacity = ring_capacity;
+  config.drop_policy = policy;
+  config.watch_hz = {800.0, 1200.0};
+  config.detector.sample_rate = kSampleRate;
+  config.detector.block_size = kBlockSize;
+  return config;
+}
+
+// Submits an identical schedule — `mics` microphones, `blocks` blocks
+// each, every even block carrying a tagged 800 Hz tone — then finishes
+// and returns the canonical journal export.
+std::string run_schedule(std::size_t workers, std::size_t mics,
+                         std::size_t blocks, std::size_t ring_capacity,
+                         rt::DropPolicy policy) {
+  obs::Journal& journal = obs::Journal::global();
+  journal.enable(4096);
+  journal.clear();
+
+  rt::StreamRuntime runtime(runtime_config(workers, ring_capacity, policy));
+  for (std::size_t m = 0; m < mics; ++m) {
+    runtime.add_mic("mic" + std::to_string(m));
+  }
+  const std::vector<double> tone = tone_block(800.0, 0.1);
+  const std::vector<double> silence(kBlockSize, 0.0);
+
+  // All blocks submitted before start(): the producer-side mint order is
+  // fixed, and under a lossy policy the drop pattern is too.
+  for (std::size_t seq = 0; seq < blocks; ++seq) {
+    const double start_s = static_cast<double>(seq) * kHopS;
+    for (std::size_t m = 0; m < mics; ++m) {
+      if (seq % 2 == 0) {
+        obs::JournalRecord emitted;
+        emitted.kind = obs::JournalKind::kToneEmitted;
+        emitted.sim_ns = net::from_seconds(start_s);
+        emitted.frequency_hz = 800.0;
+        emitted.aux = m;
+        obs::set_journal_label(emitted, "testtone");
+        const audio::EmissionTag tag{journal.append(emitted), 800.0};
+        runtime.submit_block(static_cast<std::uint32_t>(m), start_s, tone,
+                             std::span<const audio::EmissionTag>(&tag, 1));
+      } else {
+        runtime.submit_block(static_cast<std::uint32_t>(m), start_s,
+                             silence);
+      }
+    }
+  }
+  runtime.finish();
+
+  std::string jsonl = obs::to_journal_jsonl(journal);
+  journal.disable();
+  journal.clear();
+  return jsonl;
+}
+
+TEST(JournalRtDeterminism, ByteIdenticalAcrossWorkerCounts) {
+  // Golden-file diff: the 1-worker export is the golden reference; the
+  // 4-worker export must match it byte for byte.
+  const std::string golden =
+      run_schedule(1, 4, 20, 32, rt::DropPolicy::kBlock);
+  ASSERT_FALSE(golden.empty());
+  const std::string golden_path =
+      ::testing::TempDir() + "journal_golden.jsonl";
+  {
+    std::ofstream f(golden_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(f.is_open());
+    f << golden;
+  }
+
+  const std::string parallel =
+      run_schedule(4, 4, 20, 32, rt::DropPolicy::kBlock);
+  std::ifstream f(golden_path, std::ios::binary);
+  std::ostringstream from_disk;
+  from_disk << f.rdbuf();
+  EXPECT_EQ(parallel, from_disk.str());
+  std::remove(golden_path.c_str());
+}
+
+TEST(JournalRtDeterminism, ByteIdenticalAcrossRepeatedRuns) {
+  const std::string first =
+      run_schedule(2, 2, 12, 16, rt::DropPolicy::kBlock);
+  const std::string second =
+      run_schedule(2, 2, 12, 16, rt::DropPolicy::kBlock);
+  EXPECT_EQ(first, second);
+}
+
+TEST(JournalRtDeterminism, JournalRecordsEveryHop) {
+  obs::Journal& journal = obs::Journal::global();
+  journal.enable(4096);
+  journal.clear();
+  rt::StreamRuntime runtime(
+      runtime_config(2, 16, rt::DropPolicy::kBlock));
+  runtime.add_mic("m0");
+  const std::vector<double> tone = tone_block(800.0, 0.1);
+  obs::JournalRecord emitted;
+  emitted.kind = obs::JournalKind::kToneEmitted;
+  emitted.frequency_hz = 800.0;
+  const audio::EmissionTag tag{journal.append(emitted), 800.0};
+  runtime.submit_block(0, 0.0, tone,
+                       std::span<const audio::EmissionTag>(&tag, 1));
+  runtime.finish();
+
+  ASSERT_EQ(runtime.events().size(), 1u);
+  const rt::StreamEvent& event = runtime.events()[0];
+  // The delivered event cites the detection record, which cites the
+  // emission — explain() from the event recovers both hops.
+  ASSERT_NE(event.cause, 0u);
+  const auto chain = journal.explain(event.cause);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain.front().kind, obs::JournalKind::kToneEmitted);
+  EXPECT_EQ(chain.back().kind, obs::JournalKind::kToneDetected);
+  journal.disable();
+  journal.clear();
+}
+
+TEST(ScoreboardRt, CleanRunHasFullRecallLossyRunHasLess) {
+  obs::Journal& journal = obs::Journal::global();
+
+  // Clean: lossless policy, one mic, every tone detected.
+  journal.enable(8192);
+  journal.clear();
+  {
+    rt::StreamRuntime runtime(
+        runtime_config(2, 64, rt::DropPolicy::kBlock));
+    runtime.add_mic("m0");
+    const std::vector<double> tone = tone_block(800.0, 0.1);
+    const std::vector<double> silence(kBlockSize, 0.0);
+    for (std::size_t seq = 0; seq < 20; ++seq) {
+      const double start_s = static_cast<double>(seq) * kHopS;
+      if (seq % 2 == 0) {
+        obs::JournalRecord emitted;
+        emitted.kind = obs::JournalKind::kToneEmitted;
+        emitted.sim_ns = net::from_seconds(start_s);
+        emitted.frequency_hz = 800.0;
+        const audio::EmissionTag tag{journal.append(emitted), 800.0};
+        runtime.submit_block(0, start_s, tone,
+                             std::span<const audio::EmissionTag>(&tag, 1));
+      } else {
+        runtime.submit_block(0, start_s, silence);
+      }
+    }
+    runtime.finish();
+  }
+  const obs::Scoreboard clean = obs::Scoreboard::build(
+      obs::Journal::global(), {.watch_hz = {800.0, 1200.0}});
+  EXPECT_DOUBLE_EQ(clean.recall(0), 1.0);
+  EXPECT_EQ(clean.totals(0).dropped, 0u);
+  // Detection latency is one block (detection stamps the block end).
+  EXPECT_NEAR(clean.cell(0, 0).latency_quantile(0.5), kHopS, 1e-9);
+
+  // Lossy: a 2-slot ring, everything submitted before the workers start,
+  // DropNewest — most tone blocks bounce off the full ring.
+  journal.clear();
+  {
+    rt::StreamRuntime runtime(
+        runtime_config(1, 2, rt::DropPolicy::kDropNewest));
+    runtime.add_mic("m0");
+    const std::vector<double> tone = tone_block(800.0, 0.1);
+    const std::vector<double> silence(kBlockSize, 0.0);
+    for (std::size_t seq = 0; seq < 10; ++seq) {
+      const double start_s = static_cast<double>(seq) * kHopS;
+      if (seq % 2 == 0) {
+        obs::JournalRecord emitted;
+        emitted.kind = obs::JournalKind::kToneEmitted;
+        emitted.sim_ns = net::from_seconds(start_s);
+        emitted.frequency_hz = 800.0;
+        const audio::EmissionTag tag{journal.append(emitted), 800.0};
+        runtime.submit_block(0, start_s, tone,
+                             std::span<const audio::EmissionTag>(&tag, 1));
+      } else {
+        runtime.submit_block(0, start_s, silence);
+      }
+    }
+    runtime.finish();
+  }
+  const obs::Scoreboard lossy = obs::Scoreboard::build(
+      obs::Journal::global(), {.watch_hz = {800.0, 1200.0}});
+  EXPECT_LT(lossy.recall(0), 1.0);
+  EXPECT_GT(lossy.totals(0).dropped, 0u);
+  // Every miss is attributed: dropped tones account for all of them.
+  EXPECT_EQ(lossy.totals(0).dropped, lossy.totals(0).missed);
+
+  journal.disable();
+  journal.clear();
+}
+
+}  // namespace
+}  // namespace mdn

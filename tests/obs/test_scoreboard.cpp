@@ -1,0 +1,169 @@
+#include "obs/scoreboard.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace mdn::obs {
+namespace {
+
+CauseId emit(Journal& j, std::int64_t sim_ns, double hz) {
+  JournalRecord r;
+  r.kind = JournalKind::kToneEmitted;
+  r.sim_ns = sim_ns;
+  r.frequency_hz = hz;
+  return j.append(r);
+}
+
+CauseId detect(Journal& j, std::int64_t sim_ns, double hz, CauseId cause,
+               std::uint32_t mic = 0, std::int32_t watch = 0) {
+  JournalRecord r;
+  r.kind = JournalKind::kToneDetected;
+  r.sim_ns = sim_ns;
+  r.frequency_hz = hz;
+  r.cause = cause;
+  r.mic = mic;
+  r.watch = watch;
+  return j.append(r);
+}
+
+TEST(ScoreboardTest, CleanChannelIsHundredPercentRecall) {
+  Journal j;
+  j.enable(64);
+  for (int i = 0; i < 5; ++i) {
+    const CauseId e = emit(j, i * 100000000, 800.0);
+    detect(j, i * 100000000 + 50000000, 800.0, e);
+  }
+  const Scoreboard board = Scoreboard::build(j, {.watch_hz = {800.0}});
+  ASSERT_EQ(board.watch_count(), 1u);
+  const auto& cell = board.cell(0, 0);
+  EXPECT_EQ(cell.emitted, 5u);
+  EXPECT_EQ(cell.detected, 5u);
+  EXPECT_EQ(cell.missed, 0u);
+  EXPECT_EQ(cell.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(cell.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(cell.precision(), 1.0);
+  // Every detection lagged its emission by exactly 50 ms.
+  EXPECT_NEAR(cell.latency_quantile(0.5), 0.05, 1e-9);
+  EXPECT_NEAR(cell.latency_quantile(0.95), 0.05, 1e-9);
+}
+
+TEST(ScoreboardTest, MissesFalsePositivesAndDuplicates) {
+  Journal j;
+  j.enable(64);
+  const CauseId heard = emit(j, 0, 600.0);
+  emit(j, 100000000, 600.0);  // never detected -> miss
+  detect(j, 40000000, 600.0, heard);
+  detect(j, 90000000, 600.0, heard);  // same emission again -> duplicate
+  detect(j, 150000000, 600.0, 0);     // cites nothing -> false positive
+
+  const Scoreboard board = Scoreboard::build(j, {.watch_hz = {600.0}});
+  const auto& cell = board.cell(0, 0);
+  EXPECT_EQ(cell.emitted, 2u);
+  EXPECT_EQ(cell.detected, 1u);
+  EXPECT_EQ(cell.duplicates, 1u);
+  EXPECT_EQ(cell.false_positives, 1u);
+  EXPECT_EQ(cell.missed, 1u);
+  EXPECT_DOUBLE_EQ(cell.recall(), 0.5);
+  EXPECT_LT(cell.precision(), 1.0);
+}
+
+TEST(ScoreboardTest, DropAttributionBlamesBackpressure) {
+  Journal j;
+  j.enable(64);
+  const CauseId eaten = emit(j, 0, 700.0);
+  JournalRecord drop;
+  drop.kind = JournalKind::kBlockDropped;
+  drop.sim_ns = 10000000;
+  drop.cause = eaten;
+  drop.frequency_hz = 700.0;
+  drop.mic = 0;
+  j.append(drop);
+
+  const Scoreboard board = Scoreboard::build(j, {.watch_hz = {700.0}});
+  const auto& cell = board.cell(0, 0);
+  EXPECT_EQ(cell.emitted, 1u);
+  EXPECT_EQ(cell.missed, 1u);
+  EXPECT_EQ(cell.dropped, 1u);
+}
+
+TEST(ScoreboardTest, WatchListDerivedFromJournalWhenEmpty) {
+  Journal j;
+  j.enable(64);
+  const CauseId e = emit(j, 0, 500.0);
+  detect(j, 10000000, 500.0, e);
+  emit(j, 0, 900.0);
+  const Scoreboard board = Scoreboard::build(j);
+  EXPECT_EQ(board.watch_count(), 2u);
+}
+
+TEST(ScoreboardTest, PerMicCellsAreIndependent) {
+  Journal j;
+  j.enable(64);
+  const CauseId e = emit(j, 0, 800.0);
+  detect(j, 10000000, 800.0, e, /*mic=*/0);
+  // mic 1 never hears it.
+  const Scoreboard board =
+      Scoreboard::build(j, {.watch_hz = {800.0}, .mics = 2});
+  ASSERT_EQ(board.mic_count(), 2u);
+  EXPECT_DOUBLE_EQ(board.cell(0, 0).recall(), 1.0);
+  EXPECT_DOUBLE_EQ(board.cell(1, 0).recall(), 0.0);
+}
+
+TEST(ScoreboardTest, ExportToRegistryProducesSeries) {
+  Journal j;
+  j.enable(64);
+  const CauseId e = emit(j, 0, 800.0);
+  detect(j, 10000000, 800.0, e);
+  const Scoreboard board = Scoreboard::build(j, {.watch_hz = {800.0}});
+
+  Registry registry;
+  board.export_to(registry);
+  const std::string prom = to_prometheus(registry.snapshot());
+  EXPECT_NE(prom.find("mdn_score_mic0_watch0_emitted 1"), std::string::npos);
+  EXPECT_NE(prom.find("mdn_score_mic0_watch0_detected 1"), std::string::npos);
+  EXPECT_NE(prom.find("mdn_score_mic0_watch0_latency_ns_bucket"),
+            std::string::npos);
+}
+
+TEST(ScoreboardTest, LabeledPrometheusEscapesHostileMicNames) {
+  Journal j;
+  j.enable(64);
+  const CauseId e = emit(j, 0, 800.0);
+  detect(j, 10000000, 800.0, e);
+  const Scoreboard board = Scoreboard::build(j, {.watch_hz = {800.0}});
+
+  const std::vector<std::string> names = {"rack\\1 \"mic\"\nA"};
+  const std::string prom = board.to_prometheus(names);
+  // Per the text-format spec: backslash, quote and newline escaped, and
+  // no raw newline may survive inside a label value.
+  EXPECT_NE(prom.find("mic=\"rack\\\\1 \\\"mic\\\"\\nA\""),
+            std::string::npos);
+  for (std::size_t pos = prom.find("mic=\""); pos != std::string::npos;) {
+    const std::size_t end = prom.find('"', pos + 5);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(prom.substr(pos + 5, end - pos - 5).find('\n'),
+              std::string::npos);
+    pos = prom.find("mic=\"", end);
+  }
+  EXPECT_NE(prom.find("mdn_scoreboard_recall"), std::string::npos);
+  EXPECT_NE(prom.find("latency_seconds_p50"), std::string::npos);
+}
+
+TEST(ScoreboardTest, RenderSkipsEmptyCells) {
+  Journal j;
+  j.enable(64);
+  const CauseId e = emit(j, 0, 800.0);
+  detect(j, 10000000, 800.0, e);
+  const Scoreboard board =
+      Scoreboard::build(j, {.watch_hz = {800.0, 1200.0}});
+  const std::string table = board.render();
+  EXPECT_NE(table.find("800"), std::string::npos);
+  EXPECT_EQ(table.find("1200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdn::obs

@@ -15,9 +15,11 @@
 #include <cstdlib>
 #include <new>
 #include <numbers>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "obs/journal.h"
 #include "rt/stream_runtime.h"
 
 namespace {
@@ -122,6 +124,73 @@ TEST(RtAlloc, SteadyStateSubmitProcessPollAllocatesNothing) {
 
   runtime.finish();
   EXPECT_GT(runtime.stats().delivered, 0u);
+}
+
+TEST(RtAllocJournal, SteadyStateWithJournalEnabledAllocatesNothing) {
+  // The flight recorder's disabled-cost rule has a twin for the enabled
+  // path: append() writes into the preallocated ring, tags ride in the
+  // AudioBlock's fixed array, and the poll-side detection mint is
+  // in-place — so the journal-on steady state is allocation-free too.
+  obs::Journal& journal = obs::Journal::global();
+  journal.enable(1 << 16);  // allocates the ring once, before the audit
+  journal.clear();
+
+  StreamRuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.ring_capacity = 8;
+  cfg.detector.sample_rate = kSampleRate;
+  cfg.detector.block_size = kBlockSize;
+  cfg.watch_hz = {800.0};
+  StreamRuntime runtime(cfg);
+  const auto mic = runtime.add_mic("m");
+  runtime.set_record_events(false);
+  runtime.start();
+
+  const auto tone = tone_block(800.0);
+  const std::vector<double> silence(kBlockSize, 0.0);
+  double t_s = 0.0;
+  const auto pump_tagged = [&](const std::vector<double>& block, int n,
+                               bool tagged) {
+    const std::uint64_t target = runtime.stats().processed + n;
+    for (int i = 0; i < n; ++i) {
+      if (tagged) {
+        obs::JournalRecord emitted;
+        emitted.kind = obs::JournalKind::kToneEmitted;
+        emitted.sim_ns = static_cast<std::int64_t>(t_s * 1e9);
+        emitted.frequency_hz = 800.0;
+        const audio::EmissionTag tag{journal.append(emitted), 800.0};
+        runtime.submit_block(mic, t_s, block,
+                             std::span<const audio::EmissionTag>(&tag, 1));
+      } else {
+        runtime.submit_block(mic, t_s, block);
+      }
+      t_s += 0.05;
+    }
+    while (runtime.stats().processed < target) {
+      std::this_thread::yield();
+    }
+    runtime.poll();
+  };
+
+  for (int round = 0; round < 4; ++round) {
+    pump_tagged(tone, 8, true);
+    pump_tagged(silence, 8, false);
+  }
+
+  const long long before = g_news.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    pump_tagged(tone, 8, true);
+    pump_tagged(silence, 8, false);
+  }
+  const long long after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << (after - before)
+      << " allocations across 160 journal-enabled steady-state cycles";
+
+  runtime.finish();
+  EXPECT_GT(journal.appended(), 0u);
+  journal.disable();
+  journal.clear();
 }
 
 }  // namespace
