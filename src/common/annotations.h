@@ -1,0 +1,93 @@
+// Compile-time contract annotations shared by every layer.
+//
+// Three contracts that used to be enforced only at runtime (tsan, the
+// operator-new-counting alloc audits, golden-file determinism diffs)
+// are declared here so tooling checks them on every build:
+//
+//   * Thread safety.  The MDN_* capability macros expand to clang's
+//     thread-safety attributes, so a clang build with -Wthread-safety
+//     -Werror rejects any access to a MDN_GUARDED_BY member outside its
+//     mutex — statically, over every path, not just the interleavings a
+//     tsan run happened to exercise.  Off clang they expand to nothing.
+//     Use common/mutex.h (an annotated std::mutex wrapper) as the
+//     capability; std::mutex itself carries no attributes.
+//
+//   * Real-time purity.  MDN_REALTIME marks a function as part of the
+//     audio hot path: no allocation, no locking, no I/O, no throwing
+//     STL entry points — transitively.  scripts/mdn_lint.py walks
+//     compile_commands.json and rejects violations (the runtime audit
+//     in tests/rt/test_rt_alloc.cpp stays as the belt to this brace).
+//     Exceptions are declared per call site in
+//     scripts/mdn_lint_allowlist.txt with a reason.
+//
+//   * Determinism.  The same linter bans wall clocks, rand(), getenv()
+//     and unordered-container iteration in exporter code under src/,
+//     protecting the byte-identical journal.jsonl / bench-JSON
+//     guarantees.  See DESIGN.md "Static guarantees".
+#pragma once
+
+// clang's -Wthread-safety implements the capability analysis; gcc and
+// MSVC parse the code with the attributes erased.
+#if defined(__clang__) && defined(__has_attribute)
+#define MDN_HAS_THREAD_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define MDN_HAS_THREAD_ATTRIBUTE(x) 0
+#endif
+
+#if MDN_HAS_THREAD_ATTRIBUTE(guarded_by)
+#define MDN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MDN_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a capability (lockable): common::Mutex.
+#define MDN_CAPABILITY(x) MDN_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases
+/// in its destructor: common::MutexLock.
+#define MDN_SCOPED_CAPABILITY MDN_THREAD_ANNOTATION(scoped_lockable)
+
+/// A data member readable/writable only while `x` is held.
+#define MDN_GUARDED_BY(x) MDN_THREAD_ANNOTATION(guarded_by(x))
+
+/// A pointer member whose *pointee* is guarded by `x`.
+#define MDN_PT_GUARDED_BY(x) MDN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The caller must hold the capability before calling ("_locked"
+/// helpers like OrderedMerge::watermark_locked).
+#define MDN_REQUIRES(...) \
+  MDN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires / releases the capability itself.
+#define MDN_ACQUIRE(...) \
+  MDN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MDN_RELEASE(...) \
+  MDN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MDN_TRY_ACQUIRE(...) \
+  MDN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the capability held (guards
+/// against self-deadlock on non-recursive mutexes).
+#define MDN_EXCLUDES(...) MDN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the named capability.
+#define MDN_RETURN_CAPABILITY(x) MDN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the analysis is wrong or deliberately bypassed.  Every
+/// use needs a comment explaining why.
+#define MDN_NO_THREAD_SAFETY_ANALYSIS \
+  MDN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Real-time contract marker (consumed by scripts/mdn_lint.py).
+
+/// Marks a function as audio-hot-path: it (and everything it calls,
+/// transitively) must not allocate, lock, perform I/O or call throwing
+/// STL entry points.  The attribute survives into the clang AST for
+/// libclang-based tooling; the token itself is what the fallback parser
+/// keys on, so keep the macro on the declaration line.
+#if MDN_HAS_THREAD_ATTRIBUTE(annotate)
+#define MDN_REALTIME __attribute__((annotate("mdn_realtime")))
+#else
+#define MDN_REALTIME
+#endif

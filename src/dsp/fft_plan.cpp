@@ -225,7 +225,7 @@ PlanCache& PlanCache::global() {
 std::shared_ptr<const FftPlan> PlanCache::complex_plan(std::size_t size,
                                                        bool inverse) {
   const std::pair<std::size_t, bool> key{size, inverse};
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = complex_.find(key);
   if (it == complex_.end()) {
     it = complex_.emplace(key, std::make_shared<FftPlan>(size, inverse))
@@ -235,7 +235,7 @@ std::shared_ptr<const FftPlan> PlanCache::complex_plan(std::size_t size,
 }
 
 std::shared_ptr<const RealFftPlan> PlanCache::real_plan(std::size_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = real_.find(size);
   if (it == real_.end()) {
     it = real_.emplace(size, std::make_shared<RealFftPlan>(size)).first;
@@ -244,7 +244,7 @@ std::shared_ptr<const RealFftPlan> PlanCache::real_plan(std::size_t size) {
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return complex_.size() + real_.size();
 }
 

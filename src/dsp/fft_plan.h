@@ -29,10 +29,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/mutex.h"
 #include "dsp/fft.h"
 
 namespace mdn::dsp {
@@ -55,7 +55,8 @@ class FftPlan {
   /// In-place transform of `data` (data.size() == size()).  `scratch`
   /// must provide at least scratch_size() elements; it may be empty for
   /// power-of-two sizes.  Performs no heap allocation.
-  void execute(std::span<Complex> data, std::span<Complex> scratch = {}) const;
+  MDN_REALTIME void execute(std::span<Complex> data,
+                            std::span<Complex> scratch = {}) const;
 
   /// Convenience out-of-place form (allocates the result and scratch).
   std::vector<Complex> transform(std::span<const Complex> input) const;
@@ -97,8 +98,9 @@ class RealFftPlan {
   /// Transforms `input` (input.size() == size()) into `out_bins`
   /// (out_bins.size() >= bins()).  `scratch` must provide at least
   /// scratch_size() elements.  Performs no heap allocation.
-  void execute(std::span<const double> input, std::span<Complex> out_bins,
-               std::span<Complex> scratch) const;
+  MDN_REALTIME void execute(std::span<const double> input,
+                            std::span<Complex> out_bins,
+                            std::span<Complex> scratch) const;
 
   /// Convenience form returning the bins() half spectrum (allocates).
   std::vector<Complex> spectrum(std::span<const double> input) const;
@@ -134,10 +136,11 @@ class PlanCache {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::map<std::pair<std::size_t, bool>, std::shared_ptr<const FftPlan>>
-      complex_;
-  std::map<std::size_t, std::shared_ptr<const RealFftPlan>> real_;
+      complex_ MDN_GUARDED_BY(mu_);
+  std::map<std::size_t, std::shared_ptr<const RealFftPlan>> real_
+      MDN_GUARDED_BY(mu_);
 };
 
 }  // namespace mdn::dsp

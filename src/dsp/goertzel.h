@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace mdn::dsp {
 
 /// Power of the signal at `frequency_hz`, equivalent to |X_k|^2 of a DFT
@@ -58,13 +60,13 @@ class GoertzelBank {
 
   /// |X|^2 of `block` at each bank frequency; writes size() values into
   /// `out`.  No allocation.
-  void block_powers(std::span<const double> block,
-                    std::span<double> out) const;
+  MDN_REALTIME void block_powers(std::span<const double> block,
+                                 std::span<double> out) const;
 
   /// Amplitude of the underlying sine at each bank frequency
   /// (A = 2*sqrt(P)/N for a rectangular window); writes size() values.
-  void block_amplitudes(std::span<const double> block,
-                        std::span<double> out) const;
+  MDN_REALTIME void block_amplitudes(std::span<const double> block,
+                                     std::span<double> out) const;
 
  private:
   std::vector<double> frequencies_;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "audio/waveform.h"
+#include "common/annotations.h"
 #include "dsp/fft_plan.h"
 #include "dsp/goertzel.h"
 #include "dsp/spectrum.h"
@@ -71,8 +72,8 @@ class ToneDetector {
   /// Zero-allocation variant of detect(): clears and refills `out`,
   /// keeping its capacity, so a caller-reused vector stops allocating
   /// once warm.  Thread-safe with one `out` per thread.
-  void detect_into(std::span<const double> block,
-                   std::vector<DetectedTone>& out) const;
+  MDN_REALTIME void detect_into(std::span<const double> block,
+                                std::vector<DetectedTone>& out) const;
 
   /// Amplitude of each watched frequency in `block` (closed set,
   /// Goertzel).  Result is parallel to `watch_hz`.
@@ -82,9 +83,9 @@ class ToneDetector {
   /// Closed-set levels through a prebuilt bank: writes bank.size()
   /// amplitudes into `out` with zero allocation.  Build the bank once
   /// with dsp::GoertzelBank(watch_hz, config().sample_rate).
-  void set_levels_into(std::span<const double> block,
-                       const dsp::GoertzelBank& bank,
-                       std::span<double> out) const;
+  MDN_REALTIME void set_levels_into(std::span<const double> block,
+                                    const dsp::GoertzelBank& bank,
+                                    std::span<double> out) const;
 
   /// True when any detected tone lies within the match tolerance of
   /// `frequency_hz`.

@@ -55,7 +55,7 @@ Journal& Journal::global() {
 }
 
 void Journal::enable(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (capacity == 0) capacity = 1;
   if (slots_.size() != capacity) {
     slots_.assign(capacity, JournalRecord{});
@@ -71,14 +71,14 @@ void Journal::disable() noexcept {
 }
 
 void Journal::clear() noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::fill(slots_.begin(), slots_.end(), JournalRecord{});
   next_id_ = 1;
 }
 
 CauseId Journal::append(const JournalRecord& record) {
   if (!enabled()) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (slots_.empty()) return 0;  // enabled() raced a disable+shrink
   const std::uint64_t id = next_id_++;
   JournalRecord& slot = slots_[(id - 1) % slots_.size()];
@@ -89,7 +89,7 @@ CauseId Journal::append(const JournalRecord& record) {
 
 bool Journal::find(CauseId id, JournalRecord* out) const {
   if (id == 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (slots_.empty() || id >= next_id_) return false;
   const JournalRecord& slot = slots_[(id - 1) % slots_.size()];
   if (slot.id != id) return false;  // evicted
@@ -98,7 +98,7 @@ bool Journal::find(CauseId id, JournalRecord* out) const {
 }
 
 std::vector<JournalRecord> Journal::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<JournalRecord> out;
   if (slots_.empty() || next_id_ == 1) return out;
   const std::uint64_t last = next_id_ - 1;
@@ -148,25 +148,25 @@ std::vector<CauseId> Journal::recent_of(JournalKind kind,
 }
 
 std::uint64_t Journal::appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return next_id_ - 1;
 }
 
 std::uint64_t Journal::evicted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   const std::uint64_t total = next_id_ - 1;
   return total > slots_.size() ? total - slots_.size() : 0;
 }
 
 std::size_t Journal::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   const std::uint64_t total = next_id_ - 1;
   return static_cast<std::size_t>(
       std::min<std::uint64_t>(total, slots_.size()));
 }
 
 std::size_t Journal::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return slots_.size();
 }
 

@@ -31,10 +31,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace mdn::obs {
 
@@ -106,8 +107,10 @@ class Journal {
 
   /// Mints a record: assigns the next id, stores a copy in the ring
   /// (evicting the oldest on overflow) and returns the id — 0 when the
-  /// journal is disabled.  Thread-safe; no allocation.
-  CauseId append(const JournalRecord& record);
+  /// journal is disabled.  Thread-safe; no allocation.  The bounded
+  /// critical section is the one allowlisted lock on the real-time path
+  /// (scripts/mdn_lint_allowlist.txt).
+  MDN_REALTIME CauseId append(const JournalRecord& record);
 
   /// Copies the record with `id` into `*out`; false when the id is 0,
   /// unknown, or already evicted.
@@ -131,10 +134,11 @@ class Journal {
   std::size_t capacity() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::atomic<bool> enabled_{false};
-  std::vector<JournalRecord> slots_;  // ring: id -> slots_[(id-1) % cap]
-  std::uint64_t next_id_ = 1;
+  // Ring: id -> slots_[(id-1) % cap].
+  std::vector<JournalRecord> slots_ MDN_GUARDED_BY(mu_);
+  std::uint64_t next_id_ MDN_GUARDED_BY(mu_) = 1;
 };
 
 /// Canonical journal.jsonl: one JSON object per record.  Records are

@@ -144,7 +144,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto [it, inserted] = entries_.try_emplace(name);
   if (inserted) {
     it->second.kind = Kind::kCounter;
@@ -156,7 +156,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto [it, inserted] = entries_.try_emplace(name);
   if (inserted) {
     it->second.kind = Kind::kGauge;
@@ -169,7 +169,7 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name,
                                const HistogramOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto [it, inserted] = entries_.try_emplace(name);
   if (inserted) {
     it->second.kind = Kind::kHistogram;
@@ -181,17 +181,17 @@ Histogram& Registry::histogram(const std::string& name,
 }
 
 bool Registry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return entries_.contains(name);
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return entries_.size();
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Snapshot snap;
   snap.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -218,7 +218,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [name, entry] : entries_) {
     switch (entry.kind) {
       case Kind::kCounter:

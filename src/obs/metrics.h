@@ -17,10 +17,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace mdn::obs {
 
@@ -210,8 +211,8 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable common::Mutex mu_;
+  std::map<std::string, Entry> entries_ MDN_GUARDED_BY(mu_);
 };
 
 /// Monotonic wall clock in nanoseconds (steady_clock).

@@ -6,31 +6,31 @@
 namespace mdn::rt {
 
 std::uint32_t OrderedMerge::add_source() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   done_through_.push_back(0);
   closed_.push_back(false);
   return static_cast<std::uint32_t>(done_through_.size() - 1);
 }
 
 std::size_t OrderedMerge::source_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return done_through_.size();
 }
 
 void OrderedMerge::push(const StreamEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   pending_.push_back(event);
 }
 
 void OrderedMerge::advance(std::uint32_t source, std::uint64_t through_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (through_seq > done_through_[source]) {
     done_through_[source] = through_seq;
   }
 }
 
 void OrderedMerge::close(std::uint32_t source) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   closed_[source] = true;
 }
 
@@ -43,17 +43,17 @@ std::uint64_t OrderedMerge::watermark_locked() const {
 }
 
 std::uint64_t OrderedMerge::watermark() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return watermark_locked();
 }
 
 std::size_t OrderedMerge::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return pending_.size();
 }
 
 std::size_t OrderedMerge::drain_ready(std::vector<StreamEvent>& out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   const std::uint64_t w = watermark_locked();
   // std::partition (not stable_partition, which may allocate): the ready
   // prefix is sorted below and the kept suffix is sorted on a later

@@ -17,8 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace mdn::rt {
 
@@ -88,12 +89,13 @@ class OrderedMerge {
   std::size_t pending() const;
 
  private:
-  std::uint64_t watermark_locked() const;
+  std::uint64_t watermark_locked() const MDN_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<StreamEvent> pending_;
-  std::vector<std::uint64_t> done_through_;  // per source, exclusive
-  std::vector<bool> closed_;
+  mutable common::Mutex mu_;
+  std::vector<StreamEvent> pending_ MDN_GUARDED_BY(mu_);
+  // Per source, exclusive.
+  std::vector<std::uint64_t> done_through_ MDN_GUARDED_BY(mu_);
+  std::vector<bool> closed_ MDN_GUARDED_BY(mu_);
 };
 
 }  // namespace mdn::rt

@@ -20,6 +20,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/annotations.h"
+
 namespace mdn::rt {
 
 template <typename T>
@@ -42,7 +44,7 @@ class RingBuffer {
   std::size_t capacity() const noexcept { return mask_ + 1; }
 
   /// False when the ring is full (value is left untouched).
-  bool try_push(T&& value) noexcept {
+  MDN_REALTIME bool try_push(T&& value) noexcept {
     Cell* cell;
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
@@ -67,7 +69,7 @@ class RingBuffer {
   }
 
   /// False when the ring is empty (out is left untouched).
-  bool try_pop(T& out) noexcept {
+  MDN_REALTIME bool try_pop(T& out) noexcept {
     Cell* cell;
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {

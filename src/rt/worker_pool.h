@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "audio/emission_tag.h"
+#include "common/annotations.h"
 #include "mdn/tone_detector.h"
 #include "obs/metrics.h"
 #include "rt/ordered_merge.h"
@@ -85,9 +86,12 @@ class WorkerPool {
 
  private:
   void run_worker(std::size_t index);
-  void process_block(AudioBlock& block, std::vector<char>& active,
-                     std::vector<core::DetectedTone>& tones,
-                     obs::Histogram* wall_ns);
+  /// The worker-side hot path: detect + match + merge-push for one
+  /// block, steady-state allocation-free (audited in tests/rt).
+  MDN_REALTIME void process_block(AudioBlock& block,
+                                  std::vector<char>& active,
+                                  std::vector<core::DetectedTone>& tones,
+                                  obs::Histogram* wall_ns);
 
   const core::ToneDetector& detector_;
   std::vector<double> watch_hz_;

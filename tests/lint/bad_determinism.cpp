@@ -1,0 +1,29 @@
+// Seeded-violation fixture for scripts/mdn_lint.py (determinism
+// contract).  NOT part of the build — see bad_realtime.cpp for why
+// these fixtures exist.  None of these may ever be allowlisted.
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+namespace mdn::lintfixture {
+
+int nondeterministic_jitter() {
+  return std::rand();  // VIOLATION: rand()
+}
+
+long wall_clock_timestamp() {
+  // VIOLATION: system_clock in artifact-producing code
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+const char* environment_dependent() {
+  return std::getenv("MDN_SECRET_TUNING");  // VIOLATION: getenv
+}
+
+// VIOLATION: unordered iteration feeding an exporter (hash-layout
+// dependent byte order).
+std::unordered_map<std::string, double> g_export_me;
+
+}  // namespace mdn::lintfixture

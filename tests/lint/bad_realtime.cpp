@@ -1,0 +1,37 @@
+// Seeded-violation fixture for scripts/mdn_lint.py (real-time contract).
+//
+// This file is NOT part of the build.  It exists so the lint suite can
+// prove the linter still *fails* on real violations: a lint run over
+// this file must exit non-zero, and the negative ctest entry
+// (lint_realtime_fixture_fails) is WILL_FAIL — if the linter ever goes
+// blind, that test turns red.
+//
+// Every construct below is a deliberate violation of the MDN_REALTIME
+// contract and must NOT be added to scripts/mdn_lint_allowlist.txt.
+
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace mdn::lintfixture {
+
+std::mutex g_mu;
+std::vector<int> g_sink;
+
+// Transitive target: the annotated root below reaches this helper, so
+// the linter must flag the allocation here even though the helper
+// itself carries no annotation.
+void helper_that_allocates(int v) {
+  g_sink.push_back(v);  // VIOLATION: alloc on a realtime path
+}
+
+MDN_REALTIME void bad_hot_path(int v) {
+  std::lock_guard<std::mutex> guard(g_mu);  // VIOLATION: lock
+  int* leak = new int(v);                   // VIOLATION: new
+  helper_that_allocates(*leak);             // VIOLATION: transitive alloc
+  std::free(malloc(16));                    // VIOLATION: malloc
+}
+
+}  // namespace mdn::lintfixture
