@@ -17,6 +17,8 @@
 //   ./telemetry_dashboard explain [n]     (default n=1)
 //
 // Run: ./telemetry_dashboard [explain [n]]
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +69,29 @@ std::uint64_t counter_value(const mdn::obs::Snapshot& snap,
   return 0;
 }
 
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [explain [n]]\n"
+               "  n  how many recent flow-mod causal chains to dump;\n"
+               "     a positive integer (default 1)\n",
+               prog);
+  return 2;
+}
+
+// Strict positive-integer parse: rejects signs, junk suffixes ("3x"),
+// empty strings and zero instead of silently defaulting like atoi.
+bool parse_count(const char* s, std::size_t* out) {
+  if (s == nullptr || *s == '\0' || !std::isdigit(static_cast<unsigned char>(*s))) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v == 0) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,9 +99,15 @@ int main(int argc, char** argv) {
   constexpr double kSampleRate = 48000.0;
 
   std::size_t explain_n = 0;
-  if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
-    explain_n = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 1;
-    if (explain_n == 0) explain_n = 1;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "explain") != 0 || argc > 3) {
+      return usage(argv[0]);
+    }
+    explain_n = 1;
+    if (argc == 3 && !parse_count(argv[2], &explain_n)) {
+      std::fprintf(stderr, "telemetry_dashboard: bad count '%s'\n", argv[2]);
+      return usage(argv[0]);
+    }
   }
 
   // Fresh registry state so the dashboard shows this run only, sim-time
@@ -120,8 +151,29 @@ int main(int argc, char** argv) {
   mp::MpEmitter ps_emitter(net.loop(), bridge, 60 * net::kMillisecond);
   mp::MpEmitter ss_emitter(net.loop(), bridge, 60 * net::kMillisecond);
 
+  // Health/SLO engine: the controller feeds per-block signal estimators
+  // for its one microphone; rules judge the channel itself (a noisy or
+  // dead mic shows up here before any detector misbehaves).
+  obs::HealthConfig hcfg;
+  hcfg.watch_count = 3 * 24;  // hh + ps + ss watch lists
+  obs::Health health(hcfg);
+  health.add_mic("s1-mic");
+  health.add_slo({.name = "noise_floor_high",
+                  .metric = obs::SloSpec::Metric::kNoiseFloor,
+                  .op = obs::SloSpec::Op::kAbove,
+                  .threshold = audio::spl_to_amplitude(70.0),
+                  .for_s = 0.25,
+                  .severity = obs::HealthState::kDegraded});
+  health.add_slo({.name = "mic_silent",
+                  .metric = obs::SloSpec::Metric::kSilenceS,
+                  .op = obs::SloSpec::Op::kAbove,
+                  .threshold = 4.0,
+                  .for_s = 0.0,
+                  .severity = obs::HealthState::kFailed});
+
   core::MdnController::Config ccfg;
   ccfg.detector.sample_rate = kSampleRate;
+  ccfg.health = &health;
   core::MdnController controller(net.loop(), channel, ccfg);
 
   core::HeavyHitterConfig hh_cfg;
@@ -217,6 +269,10 @@ int main(int argc, char** argv) {
   std::printf("\nscoreboard (ground truth vs heard, per watch):\n%s",
               board.render(mic_names).c_str());
 
+  // --- Health panel: the SLO engine's view of the acoustic channel ----
+  health.poll();
+  std::printf("\n%s", health.render().c_str());
+
   // --- Dashboard: rendered from the metrics registry -----------------
   const auto snap = obs::Registry::global().snapshot();
   std::printf("\ndashboard (from the obs registry):\n");
@@ -225,14 +281,21 @@ int main(int argc, char** argv) {
   render_section(snap, "MDN controller", "mdn/controller/");
   render_section(snap, "DSP", "dsp/");
   render_section(snap, "music protocol", "mp/");
+  render_section(snap, "health", "health/");
 
   // --- Exports -------------------------------------------------------
   // The .prom file carries the registry metrics plus the scoreboard's
   // labeled per-(mic, watch) series.
   if (obs::write_file("telemetry_dashboard.prom",
                       obs::to_prometheus(snap) +
-                          board.to_prometheus(mic_names))) {
+                          board.to_prometheus(mic_names) +
+                          health.to_prometheus())) {
     std::printf("\nwrote telemetry_dashboard.prom\n");
+  }
+  if (obs::write_file("telemetry_dashboard.health.jsonl",
+                      health.to_health_jsonl())) {
+    std::printf("wrote telemetry_dashboard.health.jsonl "
+                "(%zu alert(s))\n", health.alerts().size());
   }
   if (obs::write_file("telemetry_dashboard.metrics.jsonl",
                       obs::to_jsonl(snap))) {

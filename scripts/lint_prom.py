@@ -9,7 +9,12 @@ Validates the exposition-format subset mdn::obs emits:
   * `# TYPE` lines are well-formed, name a known type, appear at most
     once per family and precede that family's samples,
   * histogram families expose _bucket/_sum/_count with an +Inf bucket
-    and non-decreasing cumulative bucket counts.
+    and non-decreasing cumulative bucket counts,
+  * health families (obs::Health::to_prometheus, mdn_health_*) are
+    TYPE-declared, always labeled with the microphone, component-state
+    samples take only the enum values 0/1/2 (OK/Degraded/Failed),
+    alert counters carry a valid severity label, per-watch SNR samples
+    carry a watch label, and *_total counters are non-negative.
 
 Usage: lint_prom.py FILE [FILE...]   (exit 1 on the first bad file)
 """
@@ -20,6 +25,41 @@ import sys
 NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
 HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+# The families obs::Health::to_prometheus emits.  Registry-derived names
+# that merely share the prefix (e.g. the health/mic/<id>/state gauge,
+# sanitized to mdn_health_mic_0_state) get only the generic checks.
+HEALTH_FAMILIES = {
+    "mdn_health_component_state",
+    "mdn_health_noise_floor",
+    "mdn_health_min_snr_db",
+    "mdn_health_snr_db",
+    "mdn_health_onset_rate_hz",
+    "mdn_health_silence_seconds",
+    "mdn_health_drops_total",
+    "mdn_health_alerts_total",
+}
+HEALTH_SEVERITIES = {"ok", "degraded", "failed"}
+
+
+def check_health_sample(family, labels, value, declared, errors, where):
+    """Schema checks for the obs::Health exporter's metric families."""
+    if family not in declared:
+        errors.append(f"{where}: health family {family} lacks a TYPE line")
+    if "mic" not in labels:
+        errors.append(f"{where}: health sample {family} lacks a mic label")
+    if family == "mdn_health_component_state" and value not in (0.0, 1.0, 2.0):
+        errors.append(
+            f"{where}: component_state must be 0, 1 or 2, got {value!r}")
+    if family == "mdn_health_alerts_total":
+        severity = labels.get("severity")
+        if severity not in HEALTH_SEVERITIES:
+            errors.append(
+                f"{where}: alerts_total severity label must be one of "
+                f"{sorted(HEALTH_SEVERITIES)}, got {severity!r}")
+    if family == "mdn_health_snr_db" and "watch" not in labels:
+        errors.append(f"{where}: snr_db sample lacks a watch label")
+    if family.endswith("_total") and value < 0:
+        errors.append(f"{where}: counter {family} is negative ({value!r})")
 
 
 def parse_labels(raw, errors, where):
@@ -111,13 +151,16 @@ def lint(path):
             errors.append(f"{where}: illegal metric name {name!r}")
         labels = parse_labels(labelbody, errors, where) if labelbody else {}
         try:
-            float(value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+            fval = float(
+                value.replace("+Inf", "inf").replace("-Inf", "-inf"))
         except ValueError:
             errors.append(f"{where}: non-numeric sample value {value!r}")
             continue
 
         family = family_of(name)
         sampled_families.add(family)
+        if family in HEALTH_FAMILIES:
+            check_health_sample(family, labels, fval, declared, errors, where)
         if declared.get(family) == "histogram" and name.endswith("_bucket"):
             if "le" not in labels:
                 errors.append(f"{where}: histogram bucket without le label")

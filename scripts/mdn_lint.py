@@ -8,7 +8,9 @@ Real-time purity
     Functions annotated ``MDN_REALTIME`` (src/common/annotations.h) are
     the audio hot path: ToneDetector::detect_into / set_levels_into,
     FftPlan::execute, GoertzelBank evaluation, RingBuffer push/pop,
-    Journal::append and WorkerPool block processing.  The linter builds
+    Journal::append, WorkerPool block processing and the
+    MicSignalEstimator health hooks (begin_block / observe_watch /
+    end_block / queue_alert).  The linter builds
     a call graph from the sources and *transitively* rejects calls to
     allocation, locking, I/O and throwing-STL entry points reachable
     from an annotated function.  Deliberate exceptions (a bounded

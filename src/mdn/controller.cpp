@@ -106,10 +106,17 @@ bool MdnController::tick() {
   // The tones vector is a reused member, so steady-state ticks detect
   // with zero heap allocation.
   std::vector<DetectedTone>& tones = tones_scratch_;
+  obs::BlockSignalStats stats;
+  obs::MicSignalEstimator* est = nullptr;
   {
     obs::TraceSpan span(&tracer, "controller/detect", trace_track_, sim_now);
     obs::ScopedTimerNs timer(detect_wall_ns_);
-    detector_.detect_into(block.samples(), tones);
+    detector_.detect_into(block.samples(), tones,
+                          config_.health != nullptr ? &stats : nullptr);
+  }
+  if (config_.health != nullptr) {
+    est = &config_.health->estimator(config_.sink_mic);
+    est->begin_block(now_s, stats);
   }
 
   // Stage 3: match detected peaks against the watch list.
@@ -127,7 +134,20 @@ bool MdnController::tick() {
           best_amp = std::max(best_amp, t.amplitude);
         }
       }
-      if (found && !w.active) {
+      // Ground-truth evidence for the health estimator: the overlapping
+      // emission tag (upgraded to the detection record below on onset).
+      obs::CauseId watch_evidence = 0;
+      if (est != nullptr && found) {
+        for (std::size_t t = 0; t < ntags; ++t) {
+          if (std::abs(tag_scratch_[t].frequency_hz - w.frequency_hz) <=
+              detector_.config().match_tolerance_hz) {
+            watch_evidence = tag_scratch_[t].cause;
+            break;
+          }
+        }
+      }
+      const bool onset = found && !w.active;
+      if (onset) {
         ToneEvent event{start_s, w.frequency_hz, best_amp};
         if (journal.enabled()) {
           // Detection record: cite the emitted tone whose frequency this
@@ -149,14 +169,24 @@ bool MdnController::tick() {
           }
           obs::set_journal_label(rec, "onset");
           event.cause = journal.append(rec);
+          if (event.cause != 0) watch_evidence = event.cause;
         }
         log_.push_back(event);
         onsets_counter_->inc();
         tracer.instant("onset", trace_track_, sim_now);
         if (w.handler) w.handler(event);
       }
+      if (est != nullptr) {
+        est->observe_watch(wi, found, onset, best_amp, watch_evidence);
+      }
       w.active = found;
     }
+  }
+  if (est != nullptr) {
+    est->end_block();
+    // Inline mode is single-threaded: the tick is also the owner-thread
+    // evaluation step, so alerts surface at the block that tripped them.
+    config_.health->poll();
   }
   return running_;
 }

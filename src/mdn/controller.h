@@ -17,6 +17,7 @@
 #include "mdn/block_sink.h"
 #include "mdn/tone_detector.h"
 #include "net/event_loop.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,6 +41,12 @@ class MdnController {
     /// controller's own watch handlers and event_log().  Non-owning.
     BlockSink* sink = nullptr;
     std::uint32_t sink_mic = 0;
+    /// Optional health engine (non-owning).  Inline (sink-less)
+    /// controllers feed health->estimator(sink_mic) per tick and run the
+    /// alert engine at tick end; in runtime mode leave this unset and
+    /// wire the engine into the StreamRuntimeConfig instead (the sharded
+    /// workers feed it there).
+    obs::Health* health = nullptr;
   };
 
   using Handler = std::function<void(const ToneEvent&)>;

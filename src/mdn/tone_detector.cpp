@@ -56,8 +56,10 @@ std::vector<DetectedTone> ToneDetector::detect(
 }
 
 void ToneDetector::detect_into(std::span<const double> block,
-                               std::vector<DetectedTone>& out) const {
+                               std::vector<DetectedTone>& out,
+                               obs::BlockSignalStats* stats) const {
   out.clear();
+  if (stats != nullptr) *stats = {};
   // The paper's Fig 2b "FFT processing time" covers this whole path:
   // window + zero-padded FFT + peak picking over one microphone block.
   obs::ScopedTimerNs timer(fft_wall_ns_);
@@ -98,6 +100,41 @@ void ToneDetector::detect_into(std::span<const double> block,
       neighborhood, scratch.peaks);
   for (const auto& p : scratch.peaks) {
     out.push_back({p.frequency_hz, p.amplitude});
+  }
+
+  if (stats != nullptr) {
+    double energy = 0.0;
+    for (const double s : data) energy += s * s;
+    stats->rms = std::sqrt(energy / static_cast<double>(n));
+
+    const std::size_t bins = plan_->bins();
+    double total = 0.0;
+    for (std::size_t b = 0; b < bins; ++b) total += scratch.spectrum[b];
+    // Excise every peak's +-neighbourhood from the mean; peaks arrive in
+    // ascending bin order, so a high-water mark keeps overlapping
+    // neighbourhoods from being subtracted twice.
+    double excluded_sum = 0.0;
+    std::size_t excluded = 0;
+    std::size_t next_free = 0;
+    double peak_amp = 0.0;
+    for (const auto& p : scratch.peaks) {
+      if (p.amplitude > peak_amp) peak_amp = p.amplitude;
+      std::size_t lo = p.bin > neighborhood ? p.bin - neighborhood : 0;
+      if (lo < next_free) lo = next_free;
+      const std::size_t hi = std::min(p.bin + neighborhood + 1, bins);
+      for (std::size_t b = lo; b < hi; ++b) {
+        excluded_sum += scratch.spectrum[b];
+      }
+      if (hi > lo) excluded += hi - lo;
+      if (hi > next_free) next_free = hi;
+    }
+    stats->peak_amplitude = peak_amp;
+    if (bins > excluded) {
+      stats->noise_floor =
+          (total - excluded_sum) / static_cast<double>(bins - excluded);
+    } else if (bins > 0) {
+      stats->noise_floor = total / static_cast<double>(bins);
+    }
   }
 }
 

@@ -29,6 +29,7 @@
 #include "dsp/goertzel.h"
 #include "dsp/spectrum.h"
 #include "dsp/window.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 
 namespace mdn::core {
@@ -72,8 +73,16 @@ class ToneDetector {
   /// Zero-allocation variant of detect(): clears and refills `out`,
   /// keeping its capacity, so a caller-reused vector stops allocating
   /// once warm.  Thread-safe with one `out` per thread.
+  ///
+  /// When `stats` is non-null it is refilled with per-block signal
+  /// measurements for the health layer — block RMS, strongest peak, and
+  /// the off-peak noise floor (mean spectrum amplitude outside every
+  /// peak's +-neighbourhood) — a by-product of the spectrum this call
+  /// already computed, so the extra cost is two linear passes and the
+  /// path stays allocation-free.
   MDN_REALTIME void detect_into(std::span<const double> block,
-                                std::vector<DetectedTone>& out) const;
+                                std::vector<DetectedTone>& out,
+                                obs::BlockSignalStats* stats = nullptr) const;
 
   /// Amplitude of each watched frequency in `block` (closed set,
   /// Goertzel).  Result is parallel to `watch_hz`.

@@ -212,7 +212,7 @@ std::string chrome_trace_impl(const Tracer& tracer,
     for (const auto& r : records) {
       kind_present[static_cast<std::size_t>(r.kind)] = true;
     }
-    for (std::size_t k = 0; k < 7; ++k) {
+    for (std::size_t k = 0; k < 8; ++k) {
       if (!kind_present[k]) continue;
       emit_track_name(base_tid + k,
                       "journal/" + std::string(journal_kind_name(

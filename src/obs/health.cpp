@@ -1,0 +1,451 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "obs/export.h"
+
+namespace mdn::obs {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Prometheus sample value: the text format spells non-finite values
+/// "NaN" / "+Inf" / "-Inf" (never printf's "nan"/"inf").
+std::string prom_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  return format_double(v);
+}
+
+}  // namespace
+
+std::string_view health_state_name(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kOk: return "ok";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string_view slo_metric_name(SloSpec::Metric metric) noexcept {
+  switch (metric) {
+    case SloSpec::Metric::kNoiseFloor: return "noise_floor";
+    case SloSpec::Metric::kMinSnrDb: return "min_snr_db";
+    case SloSpec::Metric::kOnsetRateHz: return "onset_rate_hz";
+    case SloSpec::Metric::kSilenceS: return "silence_s";
+    case SloSpec::Metric::kDropCount: return "drop_count";
+  }
+  return "unknown";
+}
+
+// --- MicSignalEstimator ------------------------------------------------
+
+MicSignalEstimator::MicSignalEstimator(const Health* owner,
+                                       const HealthConfig& config)
+    : owner_(owner),
+      config_(&config),
+      min_snr_db_(kInf),
+      snr_db_(config.watch_count),
+      alert_slots_(config.alert_capacity == 0 ? 1 : config.alert_capacity) {
+  for (auto& s : snr_db_) s.store(kNan, std::memory_order_relaxed);
+}
+
+void MicSignalEstimator::begin_block(double block_end_s,
+                                     const BlockSignalStats& stats) noexcept {
+  prev_block_end_s_ = first_block_ ? block_end_s : block_end_s_;
+  block_end_s_ = block_end_s;
+  onsets_in_block_ = 0.0;
+  double floor = noise_floor_.load(std::memory_order_relaxed);
+  if (first_block_) {
+    floor = stats.noise_floor;
+    // Silence is measured from stream start until a watch is heard.
+    last_signal_s_ = prev_block_end_s_;
+  } else {
+    floor += config_->noise_floor_alpha * (stats.noise_floor - floor);
+  }
+  noise_floor_.store(floor, std::memory_order_relaxed);
+}
+
+void MicSignalEstimator::observe_watch(std::size_t watch, bool present,
+                                       bool onset, double amplitude,
+                                       CauseId evidence) noexcept {
+  if (onset) onsets_in_block_ += 1.0;
+  if (!present) return;
+  last_signal_s_ = block_end_s_;
+  if (evidence != 0) last_evidence_ = evidence;
+  if (watch >= snr_db_.size() || amplitude <= 0.0) return;
+  const double floor = noise_floor_.load(std::memory_order_relaxed);
+  if (floor <= 0.0) return;  // no noise estimate yet: SNR undefined
+  const double snr = 20.0 * std::log10(amplitude / floor);
+  const double cur = snr_db_[watch].load(std::memory_order_relaxed);
+  const double next =
+      std::isnan(cur) ? snr : cur + config_->snr_alpha * (snr - cur);
+  snr_db_[watch].store(next, std::memory_order_relaxed);
+}
+
+void MicSignalEstimator::end_block() noexcept {
+  const double dt = block_end_s_ - prev_block_end_s_;
+  if (dt > 0.0) {
+    const double alpha = 1.0 - std::exp(-dt / config_->onset_rate_tau_s);
+    double rate = onset_rate_hz_.load(std::memory_order_relaxed);
+    rate += alpha * (onsets_in_block_ / dt - rate);
+    onset_rate_hz_.store(rate, std::memory_order_relaxed);
+  }
+  silence_s_.store(block_end_s_ - last_signal_s_, std::memory_order_relaxed);
+  double min_snr = kInf;
+  for (std::size_t w = 0; w < snr_db_.size(); ++w) {
+    const double s = snr_db_[w].load(std::memory_order_relaxed);
+    if (!std::isnan(s) && s < min_snr) min_snr = s;
+  }
+  min_snr_db_.store(min_snr, std::memory_order_relaxed);
+  blocks_.fetch_add(1, std::memory_order_relaxed);
+
+  // Rule pass: track each objective's for-duration window at block
+  // granularity, then move to the worst severity among firing rules.
+  const std::size_t rules =
+      std::min(owner_->slos_.size(), held_since_s_.size());
+  HealthState target = HealthState::kOk;
+  std::uint32_t firing_rule = kHealthNoRule;
+  double firing_value = 0.0;
+  for (std::size_t r = 0; r < rules; ++r) {
+    const SloSpec& spec = owner_->slos_[r];
+    const double v = metric_value(spec.metric);
+    const bool cond = spec.op == SloSpec::Op::kAbove ? v > spec.threshold
+                                                     : v < spec.threshold;
+    if (!cond) {
+      held_since_s_[r] = kNan;
+      continue;
+    }
+    if (std::isnan(held_since_s_[r])) held_since_s_[r] = prev_block_end_s_;
+    if (block_end_s_ - held_since_s_[r] < spec.for_s) continue;
+    if (static_cast<int>(spec.severity) > static_cast<int>(target)) {
+      target = spec.severity;
+      firing_rule = static_cast<std::uint32_t>(r);
+      firing_value = v;
+    }
+  }
+  const auto cur = static_cast<HealthState>(
+      state_.load(std::memory_order_relaxed));
+  if (target == cur) {
+    first_block_ = false;
+    return;
+  }
+  state_.store(static_cast<std::uint8_t>(target), std::memory_order_relaxed);
+  PendingAlert alert;
+  alert.time_s = block_end_s_;
+  alert.rule = firing_rule;
+  alert.from = cur;
+  alert.to = target;
+  alert.value = firing_value;
+  alert.evidence = last_evidence_;
+  if (firing_rule != kHealthNoRule &&
+      owner_->slos_[firing_rule].metric == SloSpec::Metric::kDropCount) {
+    alert.evidence = drop_evidence_.load(std::memory_order_relaxed);
+  }
+  queue_alert(alert);
+  first_block_ = false;
+}
+
+void MicSignalEstimator::note_drop(CauseId evidence) noexcept {
+  drops_.fetch_add(1, std::memory_order_relaxed);
+  if (evidence != 0) {
+    drop_evidence_.store(evidence, std::memory_order_relaxed);
+  }
+}
+
+double MicSignalEstimator::snr_db(std::size_t watch) const noexcept {
+  if (watch >= snr_db_.size()) return kNan;
+  return snr_db_[watch].load(std::memory_order_relaxed);
+}
+
+double MicSignalEstimator::metric_value(
+    SloSpec::Metric metric) const noexcept {
+  switch (metric) {
+    case SloSpec::Metric::kNoiseFloor:
+      return noise_floor_.load(std::memory_order_relaxed);
+    case SloSpec::Metric::kMinSnrDb:
+      return min_snr_db_.load(std::memory_order_relaxed);
+    case SloSpec::Metric::kOnsetRateHz:
+      return onset_rate_hz_.load(std::memory_order_relaxed);
+    case SloSpec::Metric::kSilenceS:
+      return silence_s_.load(std::memory_order_relaxed);
+    case SloSpec::Metric::kDropCount:
+      return static_cast<double>(drops_.load(std::memory_order_relaxed));
+  }
+  return 0.0;
+}
+
+void MicSignalEstimator::queue_alert(const PendingAlert& alert) noexcept {
+  const std::uint64_t head = alert_head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = alert_tail_.load(std::memory_order_acquire);
+  if (head - tail >= alert_slots_.size()) {
+    alert_overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  alert_slots_[head % alert_slots_.size()] = alert;
+  alert_head_.store(head + 1, std::memory_order_release);
+}
+
+// --- Health ------------------------------------------------------------
+
+Health::Health(HealthConfig config) : config_(config) {
+  if (config_.alert_capacity == 0) config_.alert_capacity = 1;
+}
+
+std::uint32_t Health::add_mic(std::string name) {
+  const auto id = static_cast<std::uint32_t>(estimators_.size());
+  mic_names_.push_back(std::move(name));
+  estimators_.emplace_back(new MicSignalEstimator(this, config_));
+  estimators_.back()->held_since_s_.assign(slos_.size(), kNan);
+  alert_counts_.push_back(0);
+  Registry& reg = Registry::global();
+  const std::string prefix = "health/mic/" + std::to_string(id);
+  state_gauges_.push_back(&reg.gauge(prefix + "/state"));
+  alert_counters_.push_back(&reg.counter(prefix + "/alerts"));
+  if (alerts_total_ == nullptr) {
+    alerts_total_ = &reg.counter("health/alerts");
+  }
+  return id;
+}
+
+void Health::add_slo(SloSpec spec) {
+  slos_.push_back(std::move(spec));
+  for (auto& est : estimators_) {
+    est->held_since_s_.assign(slos_.size(), kNan);
+  }
+}
+
+std::size_t Health::poll() {
+  Journal& journal = Journal::global();
+  std::size_t drained = 0;
+  for (std::uint32_t mic = 0; mic < estimators_.size(); ++mic) {
+    MicSignalEstimator& est = *estimators_[mic];
+    std::uint64_t tail = est.alert_tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head =
+        est.alert_head_.load(std::memory_order_acquire);
+    while (tail != head) {
+      const MicSignalEstimator::PendingAlert& p =
+          est.alert_slots_[tail % est.alert_slots_.size()];
+      HealthAlert alert;
+      alert.time_s = p.time_s;
+      alert.mic = mic;
+      alert.rule = p.rule;
+      alert.from = p.from;
+      alert.to = p.to;
+      alert.value = p.value;
+      alert.evidence = p.evidence;
+      if (journal.enabled()) {
+        JournalRecord rec;
+        rec.cause = p.evidence;
+        rec.sim_ns = std::llround(p.time_s * 1e9);
+        rec.value = p.value;
+        rec.aux = (static_cast<std::uint64_t>(p.rule) << 32) |
+                  (static_cast<std::uint64_t>(p.from) << 8) |
+                  static_cast<std::uint64_t>(p.to);
+        rec.mic = mic;
+        rec.kind = JournalKind::kHealthAlert;
+        set_journal_label(rec, p.rule == kHealthNoRule
+                                   ? std::string_view("recovered")
+                                   : std::string_view(slos_[p.rule].name));
+        alert.record = journal.append(rec);
+      }
+      alerts_.push_back(alert);
+      ++alert_counts_[mic];
+      alert_counters_[mic]->inc();
+      alerts_total_->inc();
+      ++tail;
+      ++drained;
+    }
+    est.alert_tail_.store(tail, std::memory_order_release);
+    state_gauges_[mic]->set(static_cast<std::int64_t>(
+        est.state_.load(std::memory_order_relaxed)));
+  }
+  return drained;
+}
+
+std::uint64_t Health::alerts_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& est : estimators_) total += est->alerts_dropped();
+  return total;
+}
+
+Health::Report Health::report() const {
+  Report report;
+  report.mics.reserve(estimators_.size());
+  for (std::size_t i = 0; i < estimators_.size(); ++i) {
+    const MicSignalEstimator& est = *estimators_[i];
+    MicReport mic;
+    mic.name = mic_names_[i];
+    mic.state = est.state();
+    mic.noise_floor = est.noise_floor();
+    mic.min_snr_db = est.min_snr_db();
+    mic.onset_rate_hz = est.onset_rate_hz();
+    mic.silence_s = est.silence_s();
+    mic.drops = est.drops();
+    mic.blocks = est.blocks();
+    mic.alerts = alert_counts_[i];
+    if (static_cast<int>(mic.state) > static_cast<int>(report.worst)) {
+      report.worst = mic.state;
+    }
+    report.mics.push_back(std::move(mic));
+  }
+  report.alerts = alerts_.size();
+  return report;
+}
+
+std::string Health::render() const {
+  const Report rep = report();
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "health: %zu mic(s), %zu rule(s), worst=%s, %zu alert(s)\n",
+                rep.mics.size(), slos_.size(),
+                std::string(health_state_name(rep.worst)).c_str(),
+                rep.alerts);
+  out += buf;
+  out +=
+      "  mic               state      noise_floor  min_snr_db  onset_hz"
+      "  silence_s   drops  blocks\n";
+  for (const MicReport& mic : rep.mics) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-17s %-9s  %11.6g  %10.6g  %8.3g  %9.4g  %6llu  %6llu\n",
+                  mic.name.c_str(),
+                  std::string(health_state_name(mic.state)).c_str(),
+                  mic.noise_floor, mic.min_snr_db, mic.onset_rate_hz,
+                  mic.silence_s,
+                  static_cast<unsigned long long>(mic.drops),
+                  static_cast<unsigned long long>(mic.blocks));
+    out += buf;
+  }
+  for (const HealthAlert& alert : alerts_) {
+    const bool recovery = alert.rule == kHealthNoRule;
+    std::snprintf(
+        buf, sizeof(buf), "  t=%9.4fs  %-17s %-20s %s->%s value=%.6g\n",
+        alert.time_s, mic_names_[alert.mic].c_str(),
+        recovery ? "recovered" : slos_[alert.rule].name.c_str(),
+        std::string(health_state_name(alert.from)).c_str(),
+        std::string(health_state_name(alert.to)).c_str(), alert.value);
+    out += buf;
+  }
+  return out;
+}
+
+std::string Health::to_prometheus() const {
+  const Report rep = report();
+  std::string out;
+  const auto mic_label = [this](std::uint32_t mic) {
+    return "{mic=\"" + prometheus_label_value(mic_names_[mic]) + "\"}";
+  };
+  const auto family = [&out](std::string_view name, std::string_view type) {
+    out += "# TYPE mdn_health_";
+    out += name;
+    out += " ";
+    out += type;
+    out += "\n";
+  };
+
+  family("component_state", "gauge");
+  for (std::uint32_t i = 0; i < rep.mics.size(); ++i) {
+    out += "mdn_health_component_state" + mic_label(i) + " " +
+           std::to_string(static_cast<int>(rep.mics[i].state)) + "\n";
+  }
+  family("noise_floor", "gauge");
+  for (std::uint32_t i = 0; i < rep.mics.size(); ++i) {
+    out += "mdn_health_noise_floor" + mic_label(i) + " " +
+           prom_value(rep.mics[i].noise_floor) + "\n";
+  }
+  family("min_snr_db", "gauge");
+  for (std::uint32_t i = 0; i < rep.mics.size(); ++i) {
+    out += "mdn_health_min_snr_db" + mic_label(i) + " " +
+           prom_value(rep.mics[i].min_snr_db) + "\n";
+  }
+  family("snr_db", "gauge");
+  for (std::uint32_t i = 0; i < estimators_.size(); ++i) {
+    const MicSignalEstimator& est = *estimators_[i];
+    for (std::size_t w = 0; w < config_.watch_count; ++w) {
+      const double snr = est.snr_db(w);
+      if (std::isnan(snr)) continue;  // never-heard watches stay silent
+      out += "mdn_health_snr_db{mic=\"" +
+             prometheus_label_value(mic_names_[i]) + "\",watch=\"" +
+             std::to_string(w) + "\"} " + prom_value(snr) + "\n";
+    }
+  }
+  family("onset_rate_hz", "gauge");
+  for (std::uint32_t i = 0; i < rep.mics.size(); ++i) {
+    out += "mdn_health_onset_rate_hz" + mic_label(i) + " " +
+           prom_value(rep.mics[i].onset_rate_hz) + "\n";
+  }
+  family("silence_seconds", "gauge");
+  for (std::uint32_t i = 0; i < rep.mics.size(); ++i) {
+    out += "mdn_health_silence_seconds" + mic_label(i) + " " +
+           prom_value(rep.mics[i].silence_s) + "\n";
+  }
+  family("drops_total", "counter");
+  for (std::uint32_t i = 0; i < rep.mics.size(); ++i) {
+    out += "mdn_health_drops_total" + mic_label(i) + " " +
+           std::to_string(rep.mics[i].drops) + "\n";
+  }
+  family("alerts_total", "counter");
+  for (std::uint32_t i = 0; i < rep.mics.size(); ++i) {
+    // Per-severity split of this mic's drained alerts.
+    std::uint64_t by_state[3] = {0, 0, 0};
+    for (const HealthAlert& alert : alerts_) {
+      if (alert.mic == i) ++by_state[static_cast<int>(alert.to)];
+    }
+    for (int s = 0; s < 3; ++s) {
+      out += "mdn_health_alerts_total{mic=\"" +
+             prometheus_label_value(mic_names_[i]) + "\",severity=\"" +
+             std::string(health_state_name(static_cast<HealthState>(s))) +
+             "\"} " + std::to_string(by_state[s]) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string Health::to_health_jsonl() const {
+  // Content order, not drain order: poll() interleaves microphones by
+  // how far their workers had advanced, which varies with scheduling.
+  std::vector<HealthAlert> sorted = alerts_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const HealthAlert& a, const HealthAlert& b) {
+                     if (a.time_s != b.time_s) return a.time_s < b.time_s;
+                     if (a.mic != b.mic) return a.mic < b.mic;
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     if (a.from != b.from) return a.from < b.from;
+                     return a.to < b.to;
+                   });
+  std::string out;
+  out.reserve(sorted.size() * 160);
+  for (const HealthAlert& alert : sorted) {
+    const bool recovery = alert.rule == kHealthNoRule;
+    out += "{\"time_s\":" + format_double(alert.time_s);
+    out += ",\"mic\":" + std::to_string(alert.mic);
+    out += ",\"mic_name\":\"" + json_escape(mic_names_[alert.mic]) + "\"";
+    out += ",\"rule\":\"";
+    out += recovery ? "recovered" : json_escape(slos_[alert.rule].name);
+    out += "\",\"metric\":\"";
+    out += recovery ? std::string_view("none")
+                    : slo_metric_name(slos_[alert.rule].metric);
+    out += "\",\"from\":\"";
+    out += health_state_name(alert.from);
+    out += "\",\"to\":\"";
+    out += health_state_name(alert.to);
+    out += "\",\"value\":" + format_double(alert.value);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace mdn::obs

@@ -1,0 +1,319 @@
+// Acoustic health monitor: per-microphone signal estimators + SLO/alert
+// engine (the controller-side health layer of the self-healing roadmap).
+//
+// The paper's monitoring scenarios (§6) assume the acoustic channel is
+// healthy; at fleet scale the channel is exactly what degrades first — a
+// dying microphone announces itself as a rising noise floor, collapsing
+// SNR and, finally, silence.  This layer watches those signals online:
+//
+//   hot path (worker thread / controller tick, MDN_REALTIME)
+//     ToneDetector::detect_into fills a BlockSignalStats (off-peak
+//     noise floor, strongest peak, block RMS) as a by-product of the
+//     spectrum it already computed; the per-mic MicSignalEstimator
+//     folds it into rolling state — EWMA noise floor, per-watch SNR,
+//     onset rate, silence duration — with plain arithmetic on
+//     preallocated storage (no alloc, no lock, audited by mdn_lint and
+//     the zero-alloc tests).  SLO conditions are tracked at block
+//     granularity in the same pass (sim-time for-duration windows), and
+//     a state transition is queued on a fixed-size SPSC ring.
+//
+//   owner thread (Health::poll, off the hot path)
+//     drains the queued transitions, mints kHealthAlert journal records
+//     whose cause links reach the triggering evidence (the detection or
+//     emission the estimator last saw, or the drop that ate a block),
+//     updates the "health/..." registry instruments, and accumulates
+//     the alert log behind report()/render()/to_prometheus()/
+//     to_health_jsonl().
+//
+// Determinism: estimator state is strictly per microphone and advances
+// in that microphone's block order, which the rt runtime fixes per mic
+// regardless of worker count — so the alert stream (canonically sorted
+// in to_health_jsonl()) is byte-identical at 1 or N workers under the
+// lossless kBlock policy (checked in tests/rt/test_health_rt.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace mdn::obs {
+
+/// Per-block signal measurements, computed by the tone detector as a
+/// by-product of the spectrum pass (see ToneDetector::detect_into).
+struct BlockSignalStats {
+  double noise_floor = 0.0;     ///< mean off-peak bin amplitude
+  double peak_amplitude = 0.0;  ///< strongest spectral peak (0 if none)
+  double rms = 0.0;             ///< time-domain RMS of the block
+};
+
+enum class HealthState : std::uint8_t { kOk = 0, kDegraded = 1, kFailed = 2 };
+
+/// Stable lowercase name ("ok", "degraded", "failed").
+std::string_view health_state_name(HealthState state) noexcept;
+
+/// One declarative health objective: a metric selector, a comparison, and
+/// a for-duration — "metric OP threshold, held continuously for `for_s`
+/// seconds of sim time, drives this microphone to `severity`".
+struct SloSpec {
+  enum class Metric : std::uint8_t {
+    kNoiseFloor = 0,   ///< EWMA off-peak bin amplitude (linear)
+    kMinSnrDb = 1,     ///< min over watches of EWMA SNR (dB); +inf if unseen
+    kOnsetRateHz = 2,  ///< decaying onsets-per-second estimate
+    kSilenceS = 3,     ///< seconds since a watched tone was last present
+    kDropCount = 4,    ///< rt backpressure drops charged to this mic
+  };
+  enum class Op : std::uint8_t { kAbove = 0, kBelow = 1 };
+
+  std::string name;  ///< rule tag (journal label / health.jsonl "rule")
+  Metric metric = Metric::kNoiseFloor;
+  Op op = Op::kAbove;
+  double threshold = 0.0;
+  double for_s = 0.0;  ///< condition must hold this long (0 = immediate)
+  HealthState severity = HealthState::kDegraded;
+};
+
+/// Stable lowercase metric name ("noise_floor", "min_snr_db", ...).
+std::string_view slo_metric_name(SloSpec::Metric metric) noexcept;
+
+/// Rule index carried by recovery transitions (no rule is firing).
+inline constexpr std::uint32_t kHealthNoRule = 0xffffffffu;
+
+/// One state transition of one microphone, as drained by Health::poll().
+struct HealthAlert {
+  double time_s = 0.0;
+  std::uint32_t mic = 0;
+  std::uint32_t rule = kHealthNoRule;  ///< SloSpec index (kHealthNoRule = recovery)
+  HealthState from = HealthState::kOk;
+  HealthState to = HealthState::kOk;
+  double value = 0.0;    ///< metric value at the transition
+  CauseId evidence = 0;  ///< last detection/emission/drop journal id
+  CauseId record = 0;    ///< minted kHealthAlert journal id (0 = journal off)
+};
+
+struct HealthConfig {
+  /// Watch-list length (sizes the per-watch SNR estimators).  Watches
+  /// observed beyond this capacity are ignored, not an error.
+  std::size_t watch_count = 0;
+  double noise_floor_alpha = 0.2;  ///< EWMA weight per block
+  double snr_alpha = 0.25;         ///< EWMA weight per observation
+  double onset_rate_tau_s = 2.0;   ///< decaying-rate time constant
+  std::size_t alert_capacity = 64; ///< pending transitions per microphone
+};
+
+class Health;
+
+/// Rolling signal state for one microphone.  Single-writer hot-path
+/// contract: begin_block/observe_watch/end_block are called by exactly
+/// one thread (the worker owning the mic, or the inline controller), in
+/// block order; note_drop may come from any thread (producer side);
+/// readers see relaxed-atomic published values.
+class MicSignalEstimator {
+ public:
+  /// Opens a block ending at `block_end_s` and folds its stats into the
+  /// EWMA noise floor.  Call before the watch-matching loop.
+  MDN_REALTIME void begin_block(double block_end_s,
+                                const BlockSignalStats& stats) noexcept;
+
+  /// Reports one watch's matching outcome for the open block.  `onset`
+  /// is the absent→present edge (what the detectors deliver);
+  /// `evidence` is the journal id backing the hearing (detection record
+  /// inline, ground-truth emission in the rt worker), 0 when unknown.
+  MDN_REALTIME void observe_watch(std::size_t watch, bool present,
+                                  bool onset, double amplitude,
+                                  CauseId evidence) noexcept;
+
+  /// Closes the block: refreshes onset rate / silence / min-SNR,
+  /// evaluates every SLO's for-duration window at this block's sim time
+  /// and queues a state transition when the target state changed.
+  MDN_REALTIME void end_block() noexcept;
+
+  /// Charges one dropped block (rt backpressure) to this microphone.
+  /// Safe from any thread; `evidence` is the kBlockDropped journal id.
+  void note_drop(CauseId evidence) noexcept;
+
+  // Readers (any thread; relaxed atomics published at end_block).
+  double noise_floor() const noexcept {
+    return noise_floor_.load(std::memory_order_relaxed);
+  }
+  /// Min over watches of the EWMA SNR in dB; +inf until a watch is heard.
+  double min_snr_db() const noexcept {
+    return min_snr_db_.load(std::memory_order_relaxed);
+  }
+  /// EWMA SNR of one watch in dB; NaN until that watch is heard.
+  double snr_db(std::size_t watch) const noexcept;
+  double onset_rate_hz() const noexcept {
+    return onset_rate_hz_.load(std::memory_order_relaxed);
+  }
+  /// Seconds from the last present watch to the last processed block.
+  double silence_s() const noexcept {
+    return silence_s_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t drops() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t blocks() const noexcept {
+    return blocks_.load(std::memory_order_relaxed);
+  }
+  HealthState state() const noexcept {
+    return static_cast<HealthState>(state_.load(std::memory_order_relaxed));
+  }
+  /// Transitions lost to a full alert ring (poll() fell too far behind).
+  std::uint64_t alerts_dropped() const noexcept {
+    return alert_overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Health;
+
+  struct PendingAlert {
+    double time_s = 0.0;
+    std::uint32_t rule = kHealthNoRule;
+    HealthState from = HealthState::kOk;
+    HealthState to = HealthState::kOk;
+    double value = 0.0;
+    CauseId evidence = 0;
+  };
+
+  MicSignalEstimator(const Health* owner, const HealthConfig& config);
+
+  double metric_value(SloSpec::Metric metric) const noexcept;
+  MDN_REALTIME void queue_alert(const PendingAlert& alert) noexcept;
+
+  const Health* owner_;
+  const HealthConfig* config_;
+
+  // Hot-path-owned scalars (single writer, never read cross-thread).
+  double block_end_s_ = 0.0;
+  double prev_block_end_s_ = 0.0;
+  double last_signal_s_ = 0.0;
+  double onsets_in_block_ = 0.0;
+  bool first_block_ = true;
+  CauseId last_evidence_ = 0;
+  std::vector<double> held_since_s_;  // per rule; NaN = not holding
+
+  // Published state (worker writes, any thread reads; all relaxed).
+  std::atomic<double> noise_floor_{0.0};
+  std::atomic<double> min_snr_db_;
+  std::atomic<double> onset_rate_hz_{0.0};
+  std::atomic<double> silence_s_{0.0};
+  std::vector<std::atomic<double>> snr_db_;  // per watch; NaN = unseen
+  std::atomic<std::uint64_t> blocks_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> drop_evidence_{0};
+  std::atomic<std::uint8_t> state_{0};
+
+  // SPSC transition ring: worker pushes at head, poll() pops at tail.
+  std::vector<PendingAlert> alert_slots_;
+  std::atomic<std::uint64_t> alert_head_{0};
+  std::atomic<std::uint64_t> alert_tail_{0};
+  std::atomic<std::uint64_t> alert_overflow_{0};
+};
+
+/// The health/SLO engine: owns one MicSignalEstimator per microphone
+/// and the declarative rule set; poll() turns queued transitions into
+/// alerts, journal records and registry instruments.  Wire everything
+/// (add_mic / add_slo) before the hot path starts.
+class Health {
+ public:
+  explicit Health(HealthConfig config = {});
+  Health(const Health&) = delete;
+  Health& operator=(const Health&) = delete;
+
+  /// Registers one microphone (ids must match the runtime/controller
+  /// mic ids); returns its id.  Registers "health/mic/<id>/state" and
+  /// "health/mic/<id>/alerts" in the global registry.
+  std::uint32_t add_mic(std::string name);
+
+  /// Appends one objective.  Rules apply to every microphone.
+  void add_slo(SloSpec spec);
+
+  std::size_t mic_count() const noexcept { return estimators_.size(); }
+  std::size_t slo_count() const noexcept { return slos_.size(); }
+  const SloSpec& slo(std::size_t index) const { return slos_.at(index); }
+  const std::string& mic_name(std::uint32_t mic) const {
+    return mic_names_.at(mic);
+  }
+
+  MicSignalEstimator& estimator(std::uint32_t mic) noexcept {
+    return *estimators_[mic];
+  }
+  const MicSignalEstimator& estimator(std::uint32_t mic) const noexcept {
+    return *estimators_[mic];
+  }
+
+  /// Owner-thread evaluation step: drains every estimator's queued
+  /// transitions (in mic order), mints one kHealthAlert journal record
+  /// per transition (cause = the evidence id), bumps the registry
+  /// instruments and appends to alerts().  Returns transitions drained.
+  std::size_t poll();
+
+  /// Every transition drained so far, in drain order.
+  const std::vector<HealthAlert>& alerts() const noexcept { return alerts_; }
+  /// Transitions lost to full per-mic rings, summed over microphones.
+  std::uint64_t alerts_dropped() const noexcept;
+
+  struct MicReport {
+    std::string name;
+    HealthState state = HealthState::kOk;
+    double noise_floor = 0.0;
+    double min_snr_db = 0.0;
+    double onset_rate_hz = 0.0;
+    double silence_s = 0.0;
+    std::uint64_t drops = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t alerts = 0;
+  };
+  struct Report {
+    std::vector<MicReport> mics;
+    HealthState worst = HealthState::kOk;
+    std::size_t alerts = 0;
+  };
+  /// Point-in-time component view (implicitly poll()s nothing — call
+  /// poll() first for the freshest state).
+  Report report() const;
+
+  /// Dashboard text panel: one row per microphone plus the alert log.
+  std::string render() const;
+
+  /// Labeled Prometheus families (values escaped per the text format):
+  ///   mdn_health_component_state{mic=...}        gauge  (0/1/2)
+  ///   mdn_health_noise_floor{mic=...}            gauge
+  ///   mdn_health_min_snr_db{mic=...}             gauge
+  ///   mdn_health_snr_db{mic=...,watch=...}       gauge  (observed only)
+  ///   mdn_health_onset_rate_hz{mic=...}          gauge
+  ///   mdn_health_silence_seconds{mic=...}        gauge
+  ///   mdn_health_drops_total{mic=...}            counter
+  ///   mdn_health_alerts_total{mic=...,severity=...} counter
+  std::string to_prometheus() const;
+
+  /// Canonical health.jsonl: one JSON object per alert, sorted by
+  /// content (time, mic, rule, states) so the bytes are identical
+  /// across worker counts (ids never appear; evidence ids are sim-
+  /// deterministic under the lossless policy).
+  std::string to_health_jsonl() const;
+
+  const HealthConfig& config() const noexcept { return config_; }
+
+ private:
+  friend class MicSignalEstimator;
+
+  HealthConfig config_;
+  std::vector<SloSpec> slos_;
+  std::vector<std::string> mic_names_;
+  std::vector<std::unique_ptr<MicSignalEstimator>> estimators_;
+  std::vector<HealthAlert> alerts_;
+  std::vector<std::uint64_t> alert_counts_;  // per mic
+  // Registry instruments ("health/...", resolved at add_mic).
+  std::vector<Gauge*> state_gauges_;
+  std::vector<Counter*> alert_counters_;
+  Counter* alerts_total_ = nullptr;
+};
+
+}  // namespace mdn::obs

@@ -38,6 +38,7 @@ std::string_view journal_kind_name(JournalKind kind) noexcept {
     case JournalKind::kFsmTransition: return "fsm_transition";
     case JournalKind::kAppAction: return "app_action";
     case JournalKind::kFlowMod: return "flow_mod";
+    case JournalKind::kHealthAlert: return "health_alert";
   }
   return "unknown";
 }
@@ -234,6 +235,10 @@ std::string explain_text(const Journal& journal, CauseId action) {
     }
     if (r.kind == JournalKind::kFlowMod) {
       detail += " dpid=" + std::to_string(r.aux);
+    }
+    if (r.kind == JournalKind::kHealthAlert) {
+      detail += " " + std::to_string((r.aux >> 8) & 0xffu) + "->" +
+                std::to_string(r.aux & 0xffu);
     }
     std::string links;
     if (r.cause != 0) links += " <- #" + std::to_string(r.cause);

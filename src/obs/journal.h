@@ -16,6 +16,8 @@
 //   core::MusicFsm            kFsmTransition  (cause2 = previous step)
 //   HH / TE apps              kAppAction
 //   sdn::ControlChannel       kFlowMod        (the actuation)
+//   obs::Health               kHealthAlert    (SLO transition; cause =
+//        the detection / emission / drop that tripped the rule)
 //
 // Journal::explain(action_id) walks cause/cause2 links back to the
 // emitted tones, reconstructing e.g. the full §4 knock chain: 3 tones →
@@ -51,6 +53,7 @@ enum class JournalKind : std::uint8_t {
   kFsmTransition = 4, ///< MusicFsm edge taken (aux = from<<32 | to)
   kAppAction = 5,     ///< application-level decision (alert, balance, ...)
   kFlowMod = 6,       ///< ControlChannel actuation (aux = dpid)
+  kHealthAlert = 7,   ///< obs::Health state transition (aux = rule<<32|from<<8|to)
 };
 
 /// Stable lowercase name ("tone_emitted", "flow_mod", ...).

@@ -11,7 +11,13 @@ namespace mdn::obs {
 
 double HistogramSnapshot::quantile(double q) const {
   if (count == 0) return 0.0;
+  if (std::isnan(q)) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; return them rather than the
+  // enclosing bucket's interpolation.
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  if (buckets.empty()) return max;  // degenerate snapshot: no layout
   const double target = q * static_cast<double>(count);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {

@@ -124,7 +124,13 @@ struct HistogramSnapshot {
   double mean() const noexcept {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
-  /// Smallest value v with cdf(v) >= q; 0 on an empty histogram.
+  /// Smallest value v with cdf(v) >= q, by linear interpolation inside
+  /// the target bucket.  Edge cases are bounds, not NaN: an empty
+  /// histogram returns 0, q <= 0 returns the exact `min`, q >= 1 the
+  /// exact `max` (both tracked per sample, so they are not bucket
+  /// approximations), and out-of-range q clamps to [0, 1].  The single
+  /// exception is q = NaN, which propagates NaN (no quantile is a less
+  /// wrong answer than another).  Results are always within [min, max].
   double quantile(double q) const;
   /// Fraction of recorded values <= x.
   double cdf(double x) const;

@@ -3,6 +3,7 @@
 //   metrics.h    counters / gauges / log-bucketed histograms, Registry
 //   trace.h      sim-time spans and instant events (per-EventLoop Tracer)
 //   journal.h    causal provenance journal (CauseId flight recorder)
+//   health.h     per-mic signal estimators + SLO/alert engine
 //   scoreboard.h emitted-vs-detected ground-truth reconciliation
 //   export.h     Prometheus text, JSONL, JSON, Chrome trace_event JSON,
 //                canonical journal.jsonl
@@ -19,6 +20,7 @@
 #pragma once
 
 #include "obs/export.h"
+#include "obs/health.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/scoreboard.h"

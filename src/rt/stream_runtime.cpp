@@ -14,9 +14,11 @@ namespace {
 // Drop attribution: one kBlockDropped record per ground-truth tag the
 // discarded block carried (so the scoreboard can blame each missed tone
 // on backpressure), or a single untagged record when none rode along.
-void journal_dropped_block(const AudioBlock& block, const char* why) {
+// Returns the last minted record id (0 when the journal is disabled) so
+// the health layer can cite the drop as alert evidence.
+obs::CauseId journal_dropped_block(const AudioBlock& block, const char* why) {
   obs::Journal& journal = obs::Journal::global();
-  if (!journal.enabled()) return;
+  if (!journal.enabled()) return 0;
   obs::JournalRecord rec;
   rec.kind = obs::JournalKind::kBlockDropped;
   rec.sim_ns = net::from_seconds(block.start_s);
@@ -24,14 +26,15 @@ void journal_dropped_block(const AudioBlock& block, const char* why) {
   rec.aux = block.seq;
   obs::set_journal_label(rec, why);
   if (block.tag_count == 0) {
-    journal.append(rec);
-    return;
+    return journal.append(rec);
   }
+  obs::CauseId last = 0;
   for (std::uint8_t k = 0; k < block.tag_count; ++k) {
     rec.cause = block.tags[k].cause;
     rec.frequency_hz = block.tags[k].frequency_hz;
-    journal.append(rec);
+    last = journal.append(rec);
   }
+  return last;
 }
 
 }  // namespace
@@ -79,6 +82,11 @@ void StreamRuntime::deliver_to(core::MicArray& array) {
 
 void StreamRuntime::start() {
   if (started_) return;
+  if (config_.health != nullptr &&
+      config_.health->mic_count() < queues_.size()) {
+    throw std::logic_error(
+        "StreamRuntime: health engine has fewer mics than the runtime");
+  }
   started_ = true;
   // Enough recycled buffers for every ring slot plus blocks in flight.
   const std::size_t pool_size =
@@ -87,7 +95,7 @@ void StreamRuntime::start() {
   free_buffers_ = std::make_unique<RingBuffer<std::vector<double>>>(pool_size);
   pool_ = std::make_unique<WorkerPool>(detector_, config_.watch_hz, queues_,
                                        merge_, *free_buffers_,
-                                       config_.workers);
+                                       config_.workers, config_.health);
   pool_->start();
 }
 
@@ -121,7 +129,11 @@ bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
       break;
     case DropPolicy::kDropNewest:
       if (!q.ring.try_push(std::move(block))) {
-        journal_dropped_block(block, "drop_newest");
+        const obs::CauseId drop_id = journal_dropped_block(block,
+                                                           "drop_newest");
+        if (config_.health != nullptr) {
+          config_.health->estimator(mic).note_drop(drop_id);
+        }
         dropped_newest_.fetch_add(1, std::memory_order_relaxed);
         drops_newest_counter_->inc();
         return false;  // seq not consumed: the stream stays contiguous
@@ -132,7 +144,11 @@ bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
         AudioBlock oldest;
         if (q.ring.try_pop(oldest)) {
           if (q.depth != nullptr) q.depth->add(-1);
-          journal_dropped_block(oldest, "drop_oldest");
+          const obs::CauseId drop_id =
+              journal_dropped_block(oldest, "drop_oldest");
+          if (config_.health != nullptr) {
+            config_.health->estimator(oldest.mic).note_drop(drop_id);
+          }
           dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
           drops_oldest_counter_->inc();
           oldest.samples.clear();
@@ -187,6 +203,9 @@ std::size_t StreamRuntime::poll() {
     if (handler_) handler_(event);
   }
   delivered_ += released;
+  // Alert engine step: drain estimator transitions, mint kHealthAlert
+  // records (owner thread, after the detections they may cite).
+  if (config_.health != nullptr) config_.health->poll();
   return released;
 }
 

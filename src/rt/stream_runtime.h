@@ -54,6 +54,12 @@ struct StreamRuntimeConfig {
   /// Frequencies matched against detected peaks; the watch index of an
   /// event is its position in this list.
   std::vector<double> watch_hz;
+  /// Optional health engine (must outlive the runtime).  Workers feed
+  /// per-mic signal estimators on the hot path; poll()/finish() run the
+  /// alert engine on the owner thread.  Wire health->add_mic() in the
+  /// same order as StreamRuntime::add_mic() — start() verifies the
+  /// counts line up.
+  obs::Health* health = nullptr;
 };
 
 struct StreamRuntimeStats {

@@ -10,13 +10,15 @@ WorkerPool::WorkerPool(const core::ToneDetector& detector,
                        std::vector<std::unique_ptr<MicQueue>>& queues,
                        OrderedMerge& merge,
                        RingBuffer<std::vector<double>>& free_buffers,
-                       std::size_t workers)
+                       std::size_t workers,
+                       obs::Health* health)
     : detector_(detector),
       watch_hz_(std::move(watch_hz)),
       queues_(queues),
       merge_(merge),
       free_buffers_(free_buffers),
-      workers_(workers == 0 ? 1 : workers) {
+      workers_(workers == 0 ? 1 : workers),
+      health_(health) {
   auto& registry = obs::Registry::global();
   processed_counter_ = &registry.counter("rt/runtime/blocks_processed");
   events_counter_ = &registry.counter("rt/runtime/events");
@@ -83,7 +85,21 @@ void WorkerPool::process_block(AudioBlock& block, std::vector<char>& active,
                                obs::Histogram* wall_ns) {
   {
     obs::ScopedTimerNs timer(wall_ns);
-    detector_.detect_into(block.samples, tones);
+    obs::BlockSignalStats stats;
+    obs::MicSignalEstimator* est = nullptr;
+    detector_.detect_into(block.samples, tones,
+                          health_ != nullptr ? &stats : nullptr);
+    if (health_ != nullptr) {
+      // Health estimator updates ride the block in per-mic seq order —
+      // the mic's single owning worker is the single writer, so the
+      // estimator trajectory (and any alert it queues) is deterministic
+      // regardless of worker count.
+      const double rate = detector_.config().sample_rate;
+      const double block_len_s =
+          rate > 0.0 ? static_cast<double>(block.samples.size()) / rate : 0.0;
+      est = &health_->estimator(block.mic);
+      est->begin_block(block.start_s + block_len_s, stats);
+    }
     // Identical matching arithmetic to MdnController::tick so the merged
     // stream is bit-equal to the serial controller path.
     const double tolerance = detector_.config().match_tolerance_hz;
@@ -96,12 +112,12 @@ void WorkerPool::process_block(AudioBlock& block, std::vector<char>& active,
           best_amp = std::max(best_amp, t.amplitude);
         }
       }
-      if (found && active[i] == 0) {
-        // Provenance: cite the ground-truth emission whose frequency
-        // this watch matched, if one rode in with the block.  Pure
-        // per-block arithmetic, so the resolved cause is identical
-        // regardless of worker count.
-        std::uint64_t cause = 0;
+      // Provenance: cite the ground-truth emission whose frequency this
+      // watch matched, if one rode in with the block.  Pure per-block
+      // arithmetic, so the resolved cause is identical regardless of
+      // worker count.
+      std::uint64_t cause = 0;
+      if (found) {
         for (std::uint8_t k = 0; k < block.tag_count; ++k) {
           if (std::abs(block.tags[k].frequency_hz - watch_hz_[i]) <=
               tolerance) {
@@ -109,13 +125,20 @@ void WorkerPool::process_block(AudioBlock& block, std::vector<char>& active,
             break;
           }
         }
+      }
+      const bool onset = found && active[i] == 0;
+      if (onset) {
         merge_.push({block.seq, block.mic, static_cast<std::uint32_t>(i),
                      block.start_s, watch_hz_[i], best_amp, cause});
         events_.fetch_add(1, std::memory_order_relaxed);
         events_counter_->inc();
       }
+      if (est != nullptr) {
+        est->observe_watch(i, found, onset, best_amp, cause);
+      }
       active[i] = found ? 1 : 0;
     }
+    if (est != nullptr) est->end_block();
   }
   // Events of a block are pushed before the watermark moves past it —
   // the merge relies on this ordering.

@@ -19,6 +19,7 @@
 #include "audio/emission_tag.h"
 #include "common/annotations.h"
 #include "mdn/tone_detector.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "rt/ordered_merge.h"
 #include "rt/ring_buffer.h"
@@ -55,14 +56,19 @@ struct MicQueue {
 
 class WorkerPool {
  public:
-  /// `detector`, `queues` and `merge` must outlive the pool.  The watch
-  /// list is copied; onset matching uses the detector's tolerance.
+  /// `detector`, `queues`, `merge` (and `health`, when set) must outlive
+  /// the pool.  The watch list is copied; onset matching uses the
+  /// detector's tolerance.  A non-null `health` receives per-block
+  /// estimator updates for every microphone (health->estimator(mic) must
+  /// exist for every queue); each mic's estimator is touched only by the
+  /// worker owning that mic, preserving the single-writer contract.
   WorkerPool(const core::ToneDetector& detector,
              std::vector<double> watch_hz,
              std::vector<std::unique_ptr<MicQueue>>& queues,
              OrderedMerge& merge,
              RingBuffer<std::vector<double>>& free_buffers,
-             std::size_t workers);
+             std::size_t workers,
+             obs::Health* health = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -99,6 +105,7 @@ class WorkerPool {
   OrderedMerge& merge_;
   RingBuffer<std::vector<double>>& free_buffers_;
   std::size_t workers_;
+  obs::Health* health_;
 
   std::vector<std::thread> threads_;
   // active_[mic][watch]: tone present in the previous block.  Each row is

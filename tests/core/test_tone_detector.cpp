@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "audio/channel.h"
@@ -276,6 +278,70 @@ INSTANTIATE_TEST_SUITE_P(PlanBand, DetectorBandSweep,
                          ::testing::Values(500.0, 740.0, 1000.0, 2020.0,
                                            5000.0, 8000.0, 12000.0,
                                            17980.0));
+
+// --- BlockSignalStats (health-monitor feed) ---------------------------
+
+TEST(ToneDetectorStats, ToneBlockSeparatesPeakFromNoiseFloor) {
+  ToneDetector det;
+  std::vector<DetectedTone> out;
+  obs::BlockSignalStats stats;
+  const auto block = tone(800.0, 0.1, 0.05);
+  det.detect_into(block.samples(), out, &stats);
+  ASSERT_FALSE(out.empty());
+  // Peak amplitude is the strongest detection; RMS of a sine of
+  // amplitude A is ~A/sqrt(2) (slightly less with the edge fades).
+  double strongest = 0.0;
+  for (const auto& t : out) strongest = std::max(strongest, t.amplitude);
+  EXPECT_NEAR(stats.peak_amplitude, strongest, 1e-12);
+  EXPECT_NEAR(stats.rms, 0.1 / std::sqrt(2.0), 0.01);
+  // The tone's own bins are excised: the floor sees only leakage, far
+  // below the peak — the separation the SNR estimator depends on.
+  EXPECT_GT(stats.noise_floor, 0.0);
+  EXPECT_LT(stats.noise_floor, stats.peak_amplitude / 100.0);
+}
+
+TEST(ToneDetectorStats, SilenceHasZeroStats) {
+  ToneDetector det;
+  std::vector<DetectedTone> out;
+  obs::BlockSignalStats stats;
+  stats.rms = 99.0;  // must be overwritten, not accumulated
+  const auto silence = audio::make_silence(0.05, kSampleRate);
+  det.detect_into(silence.samples(), out, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_DOUBLE_EQ(stats.rms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.peak_amplitude, 0.0);
+  EXPECT_DOUBLE_EQ(stats.noise_floor, 0.0);
+}
+
+TEST(ToneDetectorStats, NoiseRaisesFloorWithoutPeaks) {
+  // A deterministic pseudo-noise block (sum of many incommensurate
+  // sub-threshold tones) must raise the measured floor well above a
+  // clean tone block's leakage floor.
+  ToneDetector det;
+  std::vector<DetectedTone> out;
+  obs::BlockSignalStats clean_stats;
+  det.detect_into(tone(800.0, 0.1, 0.05).samples(), out, &clean_stats);
+  const double clean_floor = clean_stats.noise_floor;
+
+  audio::Waveform noisy = tone(800.0, 0.1, 0.05);
+  for (int k = 0; k < 120; ++k) {
+    // 8e-4 < the 1e-3 detection threshold: raises bins, never a peak.
+    noisy.mix_at(tone(523.0 + 130.7 * k, 8e-4, 0.05), 0);
+  }
+  obs::BlockSignalStats noisy_stats;
+  det.detect_into(noisy.samples(), out, &noisy_stats);
+  EXPECT_GT(noisy_stats.noise_floor, clean_floor * 3.0);
+}
+
+TEST(ToneDetectorStats, NullStatsStillDetects) {
+  ToneDetector det;
+  std::vector<DetectedTone> out;
+  const auto block = tone(700.0, 0.1, 0.05);
+  det.detect_into(block.samples(), out, nullptr);
+  EXPECT_TRUE(has_tone_near(out, 700.0));
+  det.detect_into(block.samples(), out);  // default arg stays source-compatible
+  EXPECT_TRUE(has_tone_near(out, 700.0));
+}
 
 }  // namespace
 }  // namespace mdn::core

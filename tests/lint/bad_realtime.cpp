@@ -34,4 +34,19 @@ MDN_REALTIME void bad_hot_path(int v) {
   std::free(malloc(16));                    // VIOLATION: malloc
 }
 
+// Health-estimator-shaped violation: a per-block telemetry update that
+// grows a history vector and formats a label on the hot path — the
+// pattern obs::MicSignalEstimator must never regress into (it keeps
+// fixed-capacity state and publishes scalars via atomics instead).
+struct BadEstimator {
+  std::vector<double> history;
+
+  MDN_REALTIME void bad_end_block(double noise_floor) {
+    history.push_back(noise_floor);         // VIOLATION: unbounded growth
+    if (history.size() > 1024) {
+      history.resize(512);                  // VIOLATION: resize on hot path
+    }
+  }
+};
+
 }  // namespace mdn::lintfixture

@@ -1,0 +1,362 @@
+// obs::Health / MicSignalEstimator unit tests: estimator math (EWMA
+// noise floor, per-watch SNR, onset rate, silence), the SLO engine's
+// for-duration windows and severity resolution, kHealthAlert minting
+// with cause chains, and the canonical exporters.
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/journal.h"
+
+namespace mdn::obs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+HealthConfig easy_config() {
+  HealthConfig cfg;
+  cfg.watch_count = 2;
+  cfg.noise_floor_alpha = 0.5;  // halves the EWMA math in assertions
+  cfg.snr_alpha = 0.5;
+  return cfg;
+}
+
+BlockSignalStats stats_with_floor(double floor) {
+  BlockSignalStats stats;
+  stats.noise_floor = floor;
+  return stats;
+}
+
+SloSpec noise_rule(double threshold, double for_s = 0.0,
+                   HealthState severity = HealthState::kDegraded) {
+  SloSpec spec;
+  spec.name = "noise_floor_high";
+  spec.metric = SloSpec::Metric::kNoiseFloor;
+  spec.op = SloSpec::Op::kAbove;
+  spec.threshold = threshold;
+  spec.for_s = for_s;
+  spec.severity = severity;
+  return spec;
+}
+
+TEST(HealthNames, StateAndMetricNamesAreStable) {
+  EXPECT_EQ(health_state_name(HealthState::kOk), "ok");
+  EXPECT_EQ(health_state_name(HealthState::kDegraded), "degraded");
+  EXPECT_EQ(health_state_name(HealthState::kFailed), "failed");
+  EXPECT_EQ(slo_metric_name(SloSpec::Metric::kNoiseFloor), "noise_floor");
+  EXPECT_EQ(slo_metric_name(SloSpec::Metric::kMinSnrDb), "min_snr_db");
+  EXPECT_EQ(slo_metric_name(SloSpec::Metric::kOnsetRateHz), "onset_rate_hz");
+  EXPECT_EQ(slo_metric_name(SloSpec::Metric::kSilenceS), "silence_s");
+  EXPECT_EQ(slo_metric_name(SloSpec::Metric::kDropCount), "drop_count");
+}
+
+TEST(MicSignalEstimatorTest, NoiseFloorSeedsThenTracksEwma) {
+  Health health(easy_config());
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+
+  est.begin_block(0.1, stats_with_floor(0.4));  // first block seeds
+  est.end_block();
+  EXPECT_DOUBLE_EQ(est.noise_floor(), 0.4);
+
+  est.begin_block(0.2, stats_with_floor(0.8));  // 0.4 + 0.5*(0.8-0.4)
+  est.end_block();
+  EXPECT_DOUBLE_EQ(est.noise_floor(), 0.6);
+  EXPECT_EQ(est.blocks(), 2u);
+}
+
+TEST(MicSignalEstimatorTest, SnrIsNanUntilHeardThenEwma) {
+  Health health(easy_config());
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+  EXPECT_TRUE(std::isnan(est.snr_db(0)));
+  EXPECT_TRUE(std::isnan(est.snr_db(99)));  // out of range: NaN, no crash
+  EXPECT_EQ(est.min_snr_db(), kInf);        // +inf until any watch heard
+
+  est.begin_block(0.1, stats_with_floor(0.01));
+  est.observe_watch(0, /*present=*/true, /*onset=*/true, 0.1, 0);
+  est.end_block();
+  const double first = 20.0 * std::log10(0.1 / 0.01);  // 20 dB, seeds
+  EXPECT_DOUBLE_EQ(est.snr_db(0), first);
+  EXPECT_DOUBLE_EQ(est.min_snr_db(), first);
+  EXPECT_TRUE(std::isnan(est.snr_db(1)));  // other watch still unseen
+
+  est.begin_block(0.2, stats_with_floor(0.01));
+  est.observe_watch(0, true, false, 1.0, 0);  // 40 dB observation
+  est.end_block();
+  const double second = 20.0 * std::log10(1.0 / est.noise_floor());
+  EXPECT_DOUBLE_EQ(est.snr_db(0), first + 0.5 * (second - first));
+}
+
+TEST(MicSignalEstimatorTest, SilenceGrowsAndResetsOnPresence) {
+  Health health(easy_config());
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+
+  est.begin_block(0.1, {});
+  est.end_block();
+  EXPECT_DOUBLE_EQ(est.silence_s(), 0.0);  // measured from stream start
+
+  est.begin_block(0.2, {});
+  est.end_block();
+  est.begin_block(0.3, {});
+  est.end_block();
+  EXPECT_DOUBLE_EQ(est.silence_s(), 0.2);
+
+  est.begin_block(0.4, {});
+  est.observe_watch(1, true, true, 0.0, 0);  // heard: silence resets
+  est.end_block();
+  EXPECT_DOUBLE_EQ(est.silence_s(), 0.0);
+}
+
+TEST(MicSignalEstimatorTest, OnsetRateConvergesToPeriodicRate) {
+  Health health(easy_config());
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+  // One onset per 100 ms block for 10 time constants: the decaying-rate
+  // estimate must converge to 10 Hz.
+  for (int i = 1; i <= 200; ++i) {
+    est.begin_block(0.1 * i, {});
+    est.observe_watch(0, true, true, 0.0, 0);
+    est.end_block();
+  }
+  EXPECT_NEAR(est.onset_rate_hz(), 10.0, 0.1);
+}
+
+TEST(HealthSloTest, ImmediateRuleFiresAndRecovers) {
+  Health health(easy_config());
+  health.add_slo(noise_rule(0.5));
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+
+  est.begin_block(0.1, stats_with_floor(1.0));
+  est.end_block();
+  EXPECT_EQ(est.state(), HealthState::kDegraded);
+  ASSERT_EQ(health.poll(), 1u);
+  const HealthAlert& fired = health.alerts().back();
+  EXPECT_DOUBLE_EQ(fired.time_s, 0.1);
+  EXPECT_EQ(fired.mic, 0u);
+  EXPECT_EQ(fired.rule, 0u);
+  EXPECT_EQ(fired.from, HealthState::kOk);
+  EXPECT_EQ(fired.to, HealthState::kDegraded);
+  EXPECT_DOUBLE_EQ(fired.value, 1.0);
+
+  est.begin_block(0.2, stats_with_floor(0.0));  // floor decays to 0.5
+  est.end_block();
+  EXPECT_EQ(est.state(), HealthState::kOk);  // 0.5 > 0.5 is false
+  ASSERT_EQ(health.poll(), 1u);
+  const HealthAlert& recovered = health.alerts().back();
+  EXPECT_EQ(recovered.rule, kHealthNoRule);
+  EXPECT_EQ(recovered.from, HealthState::kDegraded);
+  EXPECT_EQ(recovered.to, HealthState::kOk);
+}
+
+TEST(HealthSloTest, ForDurationDelaysFiring) {
+  Health health(easy_config());
+  health.add_slo(noise_rule(0.5, /*for_s=*/0.25));
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+
+  // Condition true from the first block (held-since anchors at that
+  // block's end, 0.1); it must not fire until 0.25 s have elapsed.
+  for (int i = 1; i <= 3; ++i) {
+    est.begin_block(0.1 * i, stats_with_floor(1.0));
+    est.end_block();
+    EXPECT_EQ(est.state(), HealthState::kOk) << "block " << i;
+  }
+  est.begin_block(0.4, stats_with_floor(1.0));
+  est.end_block();
+  EXPECT_EQ(est.state(), HealthState::kDegraded);
+  EXPECT_EQ(health.poll(), 1u);
+  EXPECT_DOUBLE_EQ(health.alerts().back().time_s, 0.4);
+}
+
+TEST(HealthSloTest, ForDurationWindowResetsWhenConditionClears) {
+  Health health(easy_config());
+  health.add_slo(noise_rule(0.5, /*for_s=*/0.25));
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+
+  est.begin_block(0.1, stats_with_floor(1.0));  // holding since 0.0
+  est.end_block();
+  est.begin_block(0.2, stats_with_floor(0.0));  // floor 0.5: cleared
+  est.end_block();
+  for (int i = 3; i <= 4; ++i) {  // holding again, but only since 0.2
+    est.begin_block(0.1 * i, stats_with_floor(1.0));
+    est.end_block();
+  }
+  EXPECT_EQ(est.state(), HealthState::kOk);  // 0.4 - 0.2 < 0.25
+  est.begin_block(0.5, stats_with_floor(1.0));
+  est.end_block();
+  EXPECT_EQ(est.state(), HealthState::kDegraded);  // 0.5 - 0.2 >= 0.25
+}
+
+TEST(HealthSloTest, WorstSeverityAmongFiringRulesWins) {
+  Health health(easy_config());
+  health.add_slo(noise_rule(0.5, 0.0, HealthState::kDegraded));
+  health.add_slo(noise_rule(0.8, 0.0, HealthState::kFailed));
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+
+  est.begin_block(0.1, stats_with_floor(1.0));  // both rules fire
+  est.end_block();
+  EXPECT_EQ(est.state(), HealthState::kFailed);
+  ASSERT_EQ(health.poll(), 1u);
+  EXPECT_EQ(health.alerts().back().rule, 1u);  // the kFailed rule
+  EXPECT_EQ(health.alerts().back().to, HealthState::kFailed);
+}
+
+TEST(HealthSloTest, DropCountRuleCitesTheLastDrop) {
+  Health health(easy_config());
+  SloSpec spec;
+  spec.name = "backpressure";
+  spec.metric = SloSpec::Metric::kDropCount;
+  spec.op = SloSpec::Op::kAbove;
+  spec.threshold = 2.0;
+  health.add_slo(spec);
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+
+  est.note_drop(41);
+  est.note_drop(42);
+  est.note_drop(43);
+  EXPECT_EQ(est.drops(), 3u);
+  est.begin_block(0.1, {});
+  est.end_block();
+  ASSERT_EQ(health.poll(), 1u);
+  EXPECT_EQ(health.alerts().back().evidence, 43u);  // last drop's journal id
+  EXPECT_DOUBLE_EQ(health.alerts().back().value, 3.0);
+}
+
+TEST(HealthSloTest, AlertRingOverflowIsCountedNotCorrupting) {
+  HealthConfig cfg = easy_config();
+  cfg.alert_capacity = 1;
+  Health health(cfg);
+  health.add_slo(noise_rule(0.5));
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+
+  est.begin_block(0.1, stats_with_floor(1.0));  // fires: ring now full
+  est.end_block();
+  est.begin_block(0.2, stats_with_floor(0.0));  // recovery: no slot left
+  est.end_block();
+  EXPECT_EQ(health.alerts_dropped(), 1u);
+  EXPECT_EQ(health.poll(), 1u);  // the queued transition still drains
+  EXPECT_EQ(health.alerts().back().to, HealthState::kDegraded);
+}
+
+TEST(HealthJournalTest, PollMintsHealthAlertWithExplainableCause) {
+  Journal& journal = Journal::global();
+  journal.enable(256);
+  journal.clear();
+
+  JournalRecord emitted;
+  emitted.kind = JournalKind::kToneEmitted;
+  emitted.sim_ns = 50'000'000;
+  emitted.frequency_hz = 800.0;
+  const CauseId evidence = journal.append(emitted);
+
+  Health health(easy_config());
+  health.add_slo(noise_rule(0.5));
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+  est.begin_block(0.1, stats_with_floor(1.0));
+  est.observe_watch(0, true, true, 2.0, evidence);
+  est.end_block();
+  ASSERT_EQ(health.poll(), 1u);
+
+  const HealthAlert& alert = health.alerts().back();
+  EXPECT_EQ(alert.evidence, evidence);
+  ASSERT_NE(alert.record, 0u);
+
+  JournalRecord rec;
+  ASSERT_TRUE(journal.find(alert.record, &rec));
+  EXPECT_EQ(rec.kind, JournalKind::kHealthAlert);
+  EXPECT_EQ(rec.cause, evidence);
+  EXPECT_EQ(rec.mic, 0u);
+  EXPECT_EQ(rec.sim_ns, 100'000'000);
+  // aux packs rule<<32 | from<<8 | to: rule 0, ok(0) -> degraded(1).
+  EXPECT_EQ(rec.aux, 1u);
+  EXPECT_STREQ(rec.label, "noise_floor_high");
+
+  // explain() walks the cause chain back to the emission evidence.
+  const auto chain = journal.explain(alert.record);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain.front().kind, JournalKind::kToneEmitted);
+  EXPECT_EQ(chain.back().kind, JournalKind::kHealthAlert);
+  const std::string text = explain_text(journal, alert.record);
+  EXPECT_NE(text.find("health_alert"), std::string::npos);
+  EXPECT_NE(text.find("0->1"), std::string::npos);
+
+  journal.disable();
+  journal.clear();
+}
+
+TEST(HealthExportTest, HealthJsonlIsContentSortedAndIdFree) {
+  Health health(easy_config());
+  health.add_slo(noise_rule(0.5));
+  MicSignalEstimator& m0 = health.estimator(health.add_mic("front"));
+  MicSignalEstimator& m1 = health.estimator(health.add_mic("rear"));
+
+  // rear fires earlier in sim time, but front drains first in poll():
+  // the export must order by content (time), not by drain order.
+  m1.begin_block(0.1, stats_with_floor(1.0));
+  m1.end_block();
+  m0.begin_block(0.2, stats_with_floor(1.0));
+  m0.end_block();
+  ASSERT_EQ(health.poll(), 2u);
+
+  const std::string jsonl = health.to_health_jsonl();
+  const std::string first =
+      "{\"time_s\":0.1,\"mic\":1,\"mic_name\":\"rear\","
+      "\"rule\":\"noise_floor_high\",\"metric\":\"noise_floor\","
+      "\"from\":\"ok\",\"to\":\"degraded\",\"value\":1}\n";
+  const std::string second =
+      "{\"time_s\":0.2,\"mic\":0,\"mic_name\":\"front\","
+      "\"rule\":\"noise_floor_high\",\"metric\":\"noise_floor\","
+      "\"from\":\"ok\",\"to\":\"degraded\",\"value\":1}\n";
+  EXPECT_EQ(jsonl, first + second);
+}
+
+TEST(HealthExportTest, PrometheusSpellsNonFiniteAndSkipsUnheardWatches) {
+  Health health(easy_config());
+  health.add_mic("m0");
+  const std::string prom = health.to_prometheus();
+
+  EXPECT_NE(prom.find("# TYPE mdn_health_component_state gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mdn_health_component_state{mic=\"m0\"} 0"),
+            std::string::npos);
+  // No watch heard yet: min-SNR is +Inf (the text-format spelling, not
+  // printf's "inf"), and no per-watch snr_db samples exist at all.
+  EXPECT_NE(prom.find("mdn_health_min_snr_db{mic=\"m0\"} +Inf"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("mdn_health_snr_db{"), std::string::npos);
+  EXPECT_EQ(prom.find("nan"), std::string::npos);
+  EXPECT_EQ(prom.find("inf"), std::string::npos);
+  // All three severity splits are present even at zero.
+  EXPECT_NE(
+      prom.find("mdn_health_alerts_total{mic=\"m0\",severity=\"ok\"} 0"),
+      std::string::npos);
+  EXPECT_NE(prom.find(
+                "mdn_health_alerts_total{mic=\"m0\",severity=\"failed\"} 0"),
+            std::string::npos);
+}
+
+TEST(HealthExportTest, ReportAndRenderSurfaceWorstState) {
+  Health health(easy_config());
+  health.add_slo(noise_rule(0.5, 0.0, HealthState::kFailed));
+  health.add_mic("healthy");
+  MicSignalEstimator& sick = health.estimator(health.add_mic("sick"));
+  sick.begin_block(0.1, stats_with_floor(1.0));
+  sick.end_block();
+  health.poll();
+
+  const Health::Report report = health.report();
+  ASSERT_EQ(report.mics.size(), 2u);
+  EXPECT_EQ(report.worst, HealthState::kFailed);
+  EXPECT_EQ(report.mics[0].state, HealthState::kOk);
+  EXPECT_EQ(report.mics[1].state, HealthState::kFailed);
+  EXPECT_EQ(report.mics[1].alerts, 1u);
+
+  const std::string panel = health.render();
+  EXPECT_NE(panel.find("worst=failed"), std::string::npos);
+  EXPECT_NE(panel.find("sick"), std::string::npos);
+  EXPECT_NE(panel.find("noise_floor_high"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdn::obs

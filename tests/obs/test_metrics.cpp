@@ -195,5 +195,45 @@ TEST(HistogramTest, NegativeAndNanInputsAreSafe) {
   EXPECT_DOUBLE_EQ(h.snapshot().min, 0.0);
 }
 
+// The quantile() edge-case contract documented in obs/metrics.h: empty
+// snapshots answer 0, NaN propagates, out-of-range ranks clamp, and
+// every interior answer stays inside [min, max].
+TEST(HistogramTest, QuantileNanRankPropagates) {
+  Histogram h;
+  h.record(10.0);
+  EXPECT_TRUE(std::isnan(h.quantile(std::nan(""))));
+  // ...but an empty snapshot stays 0 even for a NaN rank's neighbours.
+  EXPECT_DOUBLE_EQ(Histogram().quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileOutOfRangeRanksClampToEndpoints) {
+  Histogram h;
+  h.record(100.0);
+  h.record(400.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 100.0);  // clamps to q=0 (exact min)
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 400.0);   // clamps to q=1 (exact max)
+}
+
+TEST(HistogramTest, QuantileSingleObservationIsThatObservation) {
+  Histogram h;
+  h.record(123.0);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, 123.0) << "q=" << q;
+    EXPECT_LE(v, 123.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileAnswersStayWithinObservedRange) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const HistogramSnapshot snap = h.snapshot();
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = snap.quantile(q);
+    EXPECT_GE(v, snap.min) << "q=" << q;
+    EXPECT_LE(v, snap.max) << "q=" << q;
+  }
+}
+
 }  // namespace
 }  // namespace mdn::obs

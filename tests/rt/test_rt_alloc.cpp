@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/health.h"
 #include "obs/journal.h"
 #include "rt/stream_runtime.h"
 
@@ -191,6 +192,59 @@ TEST(RtAllocJournal, SteadyStateWithJournalEnabledAllocatesNothing) {
   EXPECT_GT(journal.appended(), 0u);
   journal.disable();
   journal.clear();
+}
+
+TEST(RtAllocHealth, SteadyStateWithHealthEnabledAllocatesNothing) {
+  // The health estimator hooks ride the same hot path (begin_block /
+  // observe_watch / end_block inside process_block): preallocated
+  // per-watch state, relaxed atomics, fixed-capacity alert ring.  With
+  // no SLO transition pending, the submit → process → poll cycle stays
+  // allocation-free with the monitor wired in.
+  obs::HealthConfig hcfg;
+  hcfg.watch_count = 1;
+  obs::Health health(hcfg);
+  obs::SloSpec slo;  // armed but never firing in this healthy schedule
+  slo.name = "mic_silent";
+  slo.metric = obs::SloSpec::Metric::kSilenceS;
+  slo.op = obs::SloSpec::Op::kAbove;
+  slo.threshold = 1e9;
+  slo.severity = obs::HealthState::kFailed;
+  health.add_slo(slo);
+
+  StreamRuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.ring_capacity = 8;
+  cfg.detector.sample_rate = kSampleRate;
+  cfg.detector.block_size = kBlockSize;
+  cfg.watch_hz = {800.0};
+  cfg.health = &health;
+  StreamRuntime runtime(cfg);
+  const auto mic = runtime.add_mic("m");
+  health.add_mic("m");
+  runtime.set_record_events(false);
+  runtime.start();
+
+  const auto tone = tone_block(800.0);
+  const std::vector<double> silence(kBlockSize, 0.0);
+  double t_s = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    pump(runtime, mic, tone, 8, &t_s);
+    pump(runtime, mic, silence, 8, &t_s);
+  }
+
+  const long long before = g_news.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    pump(runtime, mic, tone, 8, &t_s);
+    pump(runtime, mic, silence, 8, &t_s);
+  }
+  const long long after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << (after - before)
+      << " allocations across 160 health-enabled steady-state cycles";
+
+  runtime.finish();
+  EXPECT_GT(health.estimator(0).blocks(), 0u);
+  EXPECT_GT(health.estimator(0).min_snr_db(), 0.0);  // the tone was heard
 }
 
 }  // namespace
