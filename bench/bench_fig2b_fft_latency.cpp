@@ -147,6 +147,9 @@ int run_cdf(int samples) {
   const auto window =
       mdn::dsp::make_window(cfg.window, cfg.fft_size);
 
+  // Plan build + this thread's scratch growth happen before timing;
+  // warm_up() records nothing, so the histogram holds steady state only.
+  detector.warm_up();
   // Drop whatever the google-benchmark warm-up recorded so the histogram
   // holds exactly this measurement run.
   auto& registry = mdn::obs::Registry::global();

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "audio/audio.h"
+#include "dsp/simd.h"
 #include "mdn/mdn.h"
 #include "mp/mp.h"
 #include "net/net.h"
@@ -280,6 +281,9 @@ int main(int argc, char** argv) {
   render_section(snap, "switch s1", "net/switch/s1/");
   render_section(snap, "MDN controller", "mdn/controller/");
   render_section(snap, "DSP", "dsp/");
+  // The dsp/simd/dispatch gauge above is the Isa enum; spell it out.
+  std::printf("    %-44s %12s\n", "dsp/simd/dispatch (isa)",
+              dsp::simd::isa_name(dsp::simd::active_isa()));
   render_section(snap, "music protocol", "mp/");
   render_section(snap, "health", "health/");
 

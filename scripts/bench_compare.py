@@ -77,7 +77,18 @@ def compare_claims(base: dict, cand: dict, errors: list, notes: list) -> None:
         now = cand_claims.get(key)
         if now is None:
             if claim.get("reproduced"):
-                errors.append(f"claim vanished: {label}")
+                # Thread-gated claims (e.g. "2x @ 4 workers") are only
+                # emitted on machines with enough hardware threads; a
+                # candidate from a smaller machine skips them by design.
+                hw = cand["kv"].get("hardware_threads")
+                threads = claim.get("threads", -1)
+                if hw is not None and threads > 0 and float(hw) < threads:
+                    notes.append(
+                        f"claim skipped ({int(float(hw))} hardware "
+                        f"thread(s) < {threads}): {label}"
+                    )
+                else:
+                    errors.append(f"claim vanished: {label}")
             continue
         was, is_now = bool(claim.get("reproduced")), bool(now.get("reproduced"))
         if was and not is_now:

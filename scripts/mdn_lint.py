@@ -6,11 +6,14 @@ enforced here over the whole tree on every CI run:
 
 Real-time purity
     Functions annotated ``MDN_REALTIME`` (src/common/annotations.h) are
-    the audio hot path: ToneDetector::detect_into / set_levels_into,
-    FftPlan::execute, GoertzelBank evaluation, RingBuffer push/pop,
-    Journal::append, WorkerPool block processing and the
-    MicSignalEstimator health hooks (begin_block / observe_watch /
-    end_block / queue_alert).  The linter builds
+    the audio hot path: ToneDetector::detect_into / detect_batch_into /
+    set_levels_into, FftPlan::execute / execute_batch_soa,
+    RealFftPlan::execute_batch, the SIMD kernel dispatch
+    (simd::active_kernels), GoertzelBank evaluation, RingBuffer
+    push/pop, Journal::append, WorkerPool batch processing
+    (process_batch) and the MicSignalEstimator health hooks
+    (begin_block / observe_watch / end_block / queue_alert).  The
+    linter builds
     a call graph from the sources and *transitively* rejects calls to
     allocation, locking, I/O and throwing-STL entry points reachable
     from an annotated function.  Deliberate exceptions (a bounded

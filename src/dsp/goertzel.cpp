@@ -1,7 +1,11 @@
 #include "dsp/goertzel.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <vector>
+
+#include "dsp/simd.h"
 
 namespace mdn::dsp {
 
@@ -56,19 +60,25 @@ GoertzelBank::GoertzelBank(std::span<const double> frequencies_hz,
 
 void GoertzelBank::block_powers(std::span<const double> block,
                                 std::span<double> out) const {
-  // Filter-major order: each filter streams the block with its state in
-  // registers, so the inner loop is two fmas per sample and no memory
-  // traffic beyond the block itself.
-  for (std::size_t i = 0; i < coeff_.size(); ++i) {
-    const double c = coeff_[i];
-    double s1 = 0.0, s2 = 0.0;
-    for (double x : block) {
-      const double s0 = x + c * s1 - s2;
-      s2 = s1;
-      s1 = s0;
-    }
-    const double real = s1 - s2 * cos_w_[i];
-    const double imag = s2 * sin_w_[i];
+  // The recurrence runs through the SIMD kernel table: vector paths
+  // stream the block once for groups of vector-width filters, the
+  // scalar reference goes filter-major — per-filter arithmetic is
+  // identical either way (see dsp/simd.h).  Final states land in a
+  // grow-once thread-local scratch so the hot call stays alloc-free.
+  const std::size_t nf = coeff_.size();
+  thread_local std::vector<double> s1, s2;
+  if (s1.size() < nf) {
+    s1.resize(nf);
+    s2.resize(nf);
+  }
+  std::fill_n(s1.begin(), nf, 0.0);
+  std::fill_n(s2.begin(), nf, 0.0);
+  simd::active_kernels().goertzel_iterate(block.data(), block.size(),
+                                          coeff_.data(), nf, s1.data(),
+                                          s2.data());
+  for (std::size_t i = 0; i < nf; ++i) {
+    const double real = s1[i] - s2[i] * cos_w_[i];
+    const double imag = s2[i] * sin_w_[i];
     out[i] = real * real + imag * imag;
   }
 }

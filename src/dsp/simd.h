@@ -1,0 +1,118 @@
+// SIMD kernel dispatch for the DSP hot path.
+//
+// The detection loop spends its time in four elementwise passes —
+// window multiply, FFT butterflies, Goertzel recurrences and spectrum
+// magnitudes.  Each has a vectorised AVX2 and SSE2 implementation plus
+// a scalar reference, selected once at startup by runtime CPU
+// detection and reached through a table of function pointers, so the
+// per-call cost of dispatch is one pointer load.
+//
+// Contract: the scalar kernels are the *reference semantics*.  Every
+// vector kernel performs the identical arithmetic, in the identical
+// per-element operation order, with no reassociation, no FMA
+// contraction and no approximate instructions — so scalar and vector
+// paths agree bit-for-bit on every finite input (the equivalence suite
+// in tests/dsp/test_simd.cpp sweeps lengths that are not multiples of
+// the vector width to pin down tail handling).  Kernels take
+// unaligned pointers; all loads/stores are unaligned-safe.
+//
+// Build-time opt-out: configure with -DMDN_NO_SIMD=ON (a compile-time
+// switch, no environment variables — getenv is banned by the
+// determinism lint) and only the scalar table is compiled in.  The
+// selected path is exported as the gauge "dsp/simd/dispatch"
+// (0=scalar, 1=sse2, 2=avx2) so every bench JSON records which kernels
+// produced its numbers.
+#pragma once
+
+#include <cstddef>
+
+#include "common/annotations.h"
+#include "dsp/fft.h"  // dsp::Complex
+
+namespace mdn::dsp::simd {
+
+enum class Isa : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable name ("scalar", "sse2", "avx2").
+const char* isa_name(Isa isa) noexcept;
+
+/// The kernel table.  All kernels are safe on unaligned pointers and
+/// any length (including 0); `out` may alias an input where noted.
+struct Kernels {
+  /// out[i] = a[i] * b[i].  `out` may alias `a`.
+  void (*mul)(const double* a, const double* b, double* out, std::size_t n);
+
+  /// out[i] = sqrt(re(bins[i])^2 + im(bins[i])^2) * scale  (AoS complex).
+  void (*mag_scale_aos)(const Complex* bins, double scale, double* out,
+                        std::size_t n);
+
+  /// out[i] = sqrt(re[i]^2 + im[i]^2) * scale  (split re/im arrays).
+  void (*mag_scale_soa)(const double* re, const double* im, double scale,
+                        double* out, std::size_t n);
+
+  /// One FFT butterfly slice over contiguous k in [0, half):
+  ///   v    = b[k] * tw[k]   (vr = br*wr - bi*wi, vi = br*wi + bi*wr)
+  ///   b[k] = a[k] - v,  a[k] = a[k] + v
+  void (*butterfly_aos)(Complex* a, Complex* b, const Complex* tw,
+                        std::size_t half);
+
+  /// The same butterfly slice over `lanes` independent channels stored
+  /// SoA: row k lives at offset k*lanes, and tw[k] is broadcast across
+  /// the row.  One call covers a whole (stage, block) slice so the
+  /// indirect-call cost amortises over half*lanes butterflies:
+  ///   v         = b_row[k] * tw[k]
+  ///   b_row[k]  = a_row[k] - v,  a_row[k] = a_row[k] + v
+  void (*butterfly_soa)(double* a_re, double* a_im, double* b_re,
+                        double* b_im, const Complex* tw, std::size_t half,
+                        std::size_t lanes);
+
+  /// out[i] = a[i] * b[i] (complex, AoS): re = ar*br - ai*bi,
+  /// im = ar*bi + ai*br.  `out` may alias `a`.
+  void (*cmul_aos)(const Complex* a, const Complex* b, Complex* out,
+                   std::size_t n);
+
+  /// Goertzel recurrence for `nf` filters over one block: for each
+  /// filter f, s0 = x + coeff[f]*s1 - s2 per sample, leaving the final
+  /// s1/s2 states in s1[f]/s2[f] (callers finish power/phase scalar).
+  /// s1 and s2 must be zero-initialised by the caller.  Vector paths
+  /// run filters in groups of the vector width (sample-major), scalar
+  /// runs filter-major; per-filter arithmetic is identical either way.
+  void (*goertzel_iterate)(const double* x, std::size_t n,
+                           const double* coeff, std::size_t nf, double* s1,
+                           double* s2);
+
+  /// max(x[0..n)) with a plain elementwise maximum (no NaN handling —
+  /// feed finite spectra only).  Returns -inf for n == 0.  Used to skip
+  /// whole below-threshold chunks in the peak scan.
+  double (*chunk_max)(const double* x, std::size_t n);
+};
+
+/// The ISA picked at startup (or forced for tests).
+Isa active_isa() noexcept;
+
+/// The kernel table for the active ISA.  One relaxed atomic load.
+MDN_REALTIME const Kernels& active_kernels() noexcept;
+
+/// True when `isa` is usable in this build on this CPU.
+bool isa_available(Isa isa) noexcept;
+
+/// The kernel table for a specific ISA — scalar-backed when `isa` is
+/// not available (check isa_available first when exactness matters).
+/// For the equivalence tests; the hot path uses active_kernels().
+const Kernels& kernels_for(Isa isa) noexcept;
+
+/// Forces the active table (tests only; not thread-safe against
+/// concurrent hot paths).  Returns the previously active ISA.  Pass an
+/// unavailable ISA and the call is a no-op returning the current one.
+Isa set_active_isa_for_testing(Isa isa) noexcept;
+
+/// Sets the "dsp/simd/dispatch" gauge to the active ISA.  Called lazily
+/// by the first active_kernels() user with registry access (detector
+/// construction) and explicitly by benches/dashboards before export.
+void export_dispatch_metrics();
+
+}  // namespace mdn::dsp::simd

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsp/fft.h"
+#include "dsp/simd.h"
 #include "dsp/window.h"
 
 namespace mdn::dsp {
@@ -48,9 +49,8 @@ void amplitude_spectrum_into(std::span<const double> signal,
 
   // Window the data (not the pad); padding only interpolates the
   // spectrum.
-  for (std::size_t i = 0; i < signal.size(); ++i) {
-    ws.padded[i] = signal[i] * window[i];
-  }
+  const simd::Kernels& kern = simd::active_kernels();
+  kern.mul(signal.data(), window.data(), ws.padded.data(), signal.size());
   std::fill(ws.padded.begin() + static_cast<std::ptrdiff_t>(signal.size()),
             ws.padded.begin() + static_cast<std::ptrdiff_t>(fft_size), 0.0);
   plan.execute(std::span<const double>(ws.padded.data(), fft_size), ws.bins,
@@ -62,12 +62,79 @@ void amplitude_spectrum_into(std::span<const double> signal,
   const double gain = window_coherent_gain(window);
   const double scale = gain > 0.0 ? 2.0 / gain : 0.0;
   const std::size_t bins = plan.bins();
-  for (std::size_t k = 0; k < bins; ++k) {
-    out[k] = std::abs(ws.bins[k]) * scale;
-  }
+  kern.mag_scale_aos(ws.bins.data(), scale, out.data(), bins);
   // DC and Nyquist have no conjugate partner.
   out[0] /= 2.0;
   if (fft_size % 2 == 0) out[bins - 1] /= 2.0;
+}
+
+void BatchSpectrumWorkspace::resize_for(const RealFftPlan& plan,
+                                        std::size_t lanes) {
+  if (padded.size() < plan.size() * lanes) padded.resize(plan.size() * lanes);
+  if (bins.size() < plan.bins() * lanes) bins.resize(plan.bins() * lanes);
+  const std::size_t soa = plan.batch_scratch_doubles(lanes);
+  if (re_soa.size() < soa) re_soa.resize(soa);
+  if (im_soa.size() < soa) im_soa.resize(soa);
+  if (input_ptrs.size() < lanes) input_ptrs.resize(lanes);
+  if (bin_ptrs.size() < lanes) bin_ptrs.resize(lanes);
+}
+
+void amplitude_spectrum_batch_into(
+    std::span<const std::span<const double>> signals,
+    std::span<const double> window, const RealFftPlan& plan,
+    BatchSpectrumWorkspace& ws, std::span<const std::span<double>> outs) {
+  if (!plan.supports_batch()) {
+    throw std::invalid_argument(
+        "amplitude_spectrum_batch_into: plan does not support batching");
+  }
+  const std::size_t lanes = signals.size();
+  if (outs.size() != lanes) {
+    throw std::invalid_argument(
+        "amplitude_spectrum_batch_into: signals/outs size mismatch");
+  }
+  if (lanes == 0) return;
+  const std::size_t fft_size = plan.size();
+  const std::size_t bins = plan.bins();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (signals[l].size() != window.size()) {
+      throw std::invalid_argument(
+          "amplitude_spectrum_batch_into: window size mismatch");
+    }
+    if (signals[l].size() > fft_size) {
+      throw std::invalid_argument(
+          "amplitude_spectrum_batch_into: plan smaller than signal");
+    }
+    if (outs[l].size() < bins) {
+      throw std::invalid_argument(
+          "amplitude_spectrum_batch_into: out too small");
+    }
+  }
+  ws.resize_for(plan, lanes);
+
+  // Per lane: the identical window-multiply + zero-pad the single-block
+  // path performs, into that lane's contiguous slice.
+  const simd::Kernels& kern = simd::active_kernels();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    double* lane = ws.padded.data() + l * fft_size;
+    kern.mul(signals[l].data(), window.data(), lane, signals[l].size());
+    std::fill(lane + signals[l].size(), lane + fft_size, 0.0);
+    ws.input_ptrs[l] = lane;
+    ws.bin_ptrs[l] = ws.bins.data() + l * bins;
+  }
+  plan.execute_batch(
+      std::span<const double* const>(ws.input_ptrs.data(), lanes),
+      std::span<Complex* const>(ws.bin_ptrs.data(), lanes),
+      std::span<double>(ws.re_soa.data(), plan.batch_scratch_doubles(lanes)),
+      std::span<double>(ws.im_soa.data(), plan.batch_scratch_doubles(lanes)));
+
+  const double gain = window_coherent_gain(window);
+  const double scale = gain > 0.0 ? 2.0 / gain : 0.0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    double* out = outs[l].data();
+    kern.mag_scale_aos(ws.bin_ptrs[l], scale, out, bins);
+    out[0] /= 2.0;
+    if (fft_size % 2 == 0) out[bins - 1] /= 2.0;
+  }
 }
 
 std::vector<double> amplitude_spectrum(std::span<const double> signal,
@@ -123,36 +190,48 @@ void find_peaks_into(std::span<const double> spectrum, double sample_rate,
   if (n < 3 || fft_size == 0) return;
   const std::size_t radius = std::max<std::size_t>(1, neighborhood);
 
-  for (std::size_t k = 1; k + 1 < n; ++k) {
-    const double a = spectrum[k];
-    if (a < min_amplitude) continue;
-
-    bool is_max = true;
-    const std::size_t lo = k > radius ? k - radius : 0;
-    const std::size_t hi = std::min(n - 1, k + radius);
-    for (std::size_t j = lo; j <= hi && is_max; ++j) {
-      if (j != k && spectrum[j] > a) is_max = false;
+  // Chunked prescan: a vector max over each run of bins skips whole
+  // below-threshold chunks without touching the per-bin logic.  The
+  // bins a skipped chunk drops are exactly those the `a <
+  // min_amplitude` test would drop, so output is unchanged.
+  const simd::Kernels& kern = simd::active_kernels();
+  constexpr std::size_t kChunk = 64;
+  for (std::size_t c = 1; c + 1 < n; c += kChunk) {
+    const std::size_t chunk_end = std::min(c + kChunk, n - 1);
+    if (kern.chunk_max(spectrum.data() + c, chunk_end - c) < min_amplitude) {
+      continue;
     }
-    if (!is_max) continue;
+    for (std::size_t k = c; k < chunk_end; ++k) {
+      const double a = spectrum[k];
+      if (a < min_amplitude) continue;
 
-    // Parabolic interpolation on log amplitude for sub-bin frequency.
-    double delta = 0.0;
-    const double eps = 1e-30;
-    const double l0 = std::log(spectrum[k - 1] + eps);
-    const double l1 = std::log(a + eps);
-    const double l2 = std::log(spectrum[k + 1] + eps);
-    const double denom = l0 - 2.0 * l1 + l2;
-    if (std::abs(denom) > 1e-12) {
-      delta = 0.5 * (l0 - l2) / denom;
-      delta = std::clamp(delta, -0.5, 0.5);
+      bool is_max = true;
+      const std::size_t lo = k > radius ? k - radius : 0;
+      const std::size_t hi = std::min(n - 1, k + radius);
+      for (std::size_t j = lo; j <= hi && is_max; ++j) {
+        if (j != k && spectrum[j] > a) is_max = false;
+      }
+      if (!is_max) continue;
+
+      // Parabolic interpolation on log amplitude for sub-bin frequency.
+      double delta = 0.0;
+      const double eps = 1e-30;
+      const double l0 = std::log(spectrum[k - 1] + eps);
+      const double l1 = std::log(a + eps);
+      const double l2 = std::log(spectrum[k + 1] + eps);
+      const double denom = l0 - 2.0 * l1 + l2;
+      if (std::abs(denom) > 1e-12) {
+        delta = 0.5 * (l0 - l2) / denom;
+        delta = std::clamp(delta, -0.5, 0.5);
+      }
+
+      SpectralPeak p;
+      p.bin = k;
+      p.frequency_hz = (static_cast<double>(k) + delta) * sample_rate /
+                       static_cast<double>(fft_size);
+      p.amplitude = a;
+      peaks.push_back(p);
     }
-
-    SpectralPeak p;
-    p.bin = k;
-    p.frequency_hz = (static_cast<double>(k) + delta) * sample_rate /
-                     static_cast<double>(fft_size);
-    p.amplitude = a;
-    peaks.push_back(p);
   }
 }
 

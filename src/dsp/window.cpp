@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "dsp/simd.h"
+
 namespace mdn::dsp {
 namespace {
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
@@ -48,7 +50,8 @@ void apply_window(std::span<double> signal, std::span<const double> window) {
   if (signal.size() != window.size()) {
     throw std::invalid_argument("apply_window: size mismatch");
   }
-  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
+  simd::active_kernels().mul(signal.data(), window.data(), signal.data(),
+                             signal.size());
 }
 
 double window_coherent_gain(std::span<const double> window) noexcept {

@@ -43,6 +43,8 @@ StreamRuntime::StreamRuntime(StreamRuntimeConfig config)
     : config_(std::move(config)), detector_(config_.detector) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.ring_capacity == 0) config_.ring_capacity = 2;
+  config_.batch_max = std::clamp<std::size_t>(
+      config_.batch_max, 1, core::ToneDetector::kMaxDetectBatch);
   auto& registry = obs::Registry::global();
   submitted_counter_ = &registry.counter("rt/runtime/blocks_submitted");
   drops_oldest_counter_ = &registry.counter("rt/runtime/drops_oldest");
@@ -90,12 +92,13 @@ void StreamRuntime::start() {
   started_ = true;
   // Enough recycled buffers for every ring slot plus blocks in flight.
   const std::size_t pool_size =
-      queues_.size() * config_.ring_capacity + config_.workers +
-      queues_.size() + 1;
+      queues_.size() * config_.ring_capacity +
+      config_.workers * config_.batch_max + queues_.size() + 1;
   free_buffers_ = std::make_unique<RingBuffer<std::vector<double>>>(pool_size);
   pool_ = std::make_unique<WorkerPool>(detector_, config_.watch_hz, queues_,
                                        merge_, *free_buffers_,
-                                       config_.workers, config_.health);
+                                       config_.workers, config_.health,
+                                       config_.batch_max);
   pool_->start();
 }
 

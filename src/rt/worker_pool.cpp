@@ -1,6 +1,8 @@
 #include "rt/worker_pool.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <string>
 
 namespace mdn::rt {
@@ -11,14 +13,17 @@ WorkerPool::WorkerPool(const core::ToneDetector& detector,
                        OrderedMerge& merge,
                        RingBuffer<std::vector<double>>& free_buffers,
                        std::size_t workers,
-                       obs::Health* health)
+                       obs::Health* health,
+                       std::size_t batch_max)
     : detector_(detector),
       watch_hz_(std::move(watch_hz)),
       queues_(queues),
       merge_(merge),
       free_buffers_(free_buffers),
       workers_(workers == 0 ? 1 : workers),
-      health_(health) {
+      health_(health),
+      batch_max_(std::clamp<std::size_t>(
+          batch_max, 1, core::ToneDetector::kMaxDetectBatch)) {
   auto& registry = obs::Registry::global();
   processed_counter_ = &registry.counter("rt/runtime/blocks_processed");
   events_counter_ = &registry.counter("rt/runtime/events");
@@ -42,6 +47,12 @@ void WorkerPool::start() {
   for (std::size_t t = 0; t < workers_; ++t) {
     threads_.emplace_back([this, t] { run_worker(t); });
   }
+  // Warm-up handshake: don't return until every worker has built its
+  // plan tables and thread-local scratch, so callers that time the
+  // steady state (benches, latency SLOs) never see first-detect costs.
+  while (warmed_.load(std::memory_order_acquire) < workers_) {
+    std::this_thread::yield();
+  }
 }
 
 void WorkerPool::join() {
@@ -51,19 +62,32 @@ void WorkerPool::join() {
 }
 
 void WorkerPool::run_worker(std::size_t index) {
+  // All first-call costs — plan build, SIMD dispatch selection, this
+  // thread's detect scratch — happen before the handshake completes, so
+  // nothing multi-millisecond pollutes the first timed block.
+  detector_.warm_up();
+  warmed_.fetch_add(1, std::memory_order_release);
+
   obs::Histogram* wall_ns = block_wall_ns_[index];
-  std::vector<core::DetectedTone> tones;
+  BatchScratch scratch;
   std::vector<char> closed(queues_.size(), 0);
-  AudioBlock block;
   for (;;) {
     bool did_work = false;
     bool all_closed = true;
     for (std::size_t mic = index; mic < queues_.size(); mic += workers_) {
       if (closed[mic]) continue;
       MicQueue& q = *queues_[mic];
-      if (q.ring.try_pop(block)) {
-        if (q.depth != nullptr) q.depth->add(-1);
-        process_block(block, active_[mic], tones, wall_ns);
+      // Drain up to batch_max_ ready blocks of this mic — popped in seq
+      // order, fused into one batched detection.
+      std::size_t got = 0;
+      while (got < batch_max_ && q.ring.try_pop(scratch.blocks[got])) {
+        ++got;
+      }
+      if (got > 0) {
+        if (q.depth != nullptr) {
+          q.depth->add(-static_cast<std::int64_t>(got));
+        }
+        process_batch(scratch, got, active_[mic], wall_ns);
         did_work = true;
         all_closed = false;
       } else if (producers_done_.load(std::memory_order_acquire)) {
@@ -80,29 +104,54 @@ void WorkerPool::run_worker(std::size_t index) {
   }
 }
 
-void WorkerPool::process_block(AudioBlock& block, std::vector<char>& active,
-                               std::vector<core::DetectedTone>& tones,
+void WorkerPool::process_batch(BatchScratch& scratch, std::size_t count,
+                               std::vector<char>& active,
                                obs::Histogram* wall_ns) {
-  {
-    obs::ScopedTimerNs timer(wall_ns);
-    obs::BlockSignalStats stats;
+  const std::int64_t batch_start = obs::wall_now_ns();
+  // One batched detection for the whole run (blocks are consecutive
+  // seqs of one mic), then the per-block pipeline in pop order — the
+  // matching, onset and merge arithmetic below is identical to
+  // MdnController::tick so the merged stream stays bit-equal to the
+  // serial controller path at any batch width.
+  std::array<std::span<const double>, core::ToneDetector::kMaxDetectBatch>
+      samples;
+  std::array<std::vector<core::DetectedTone>*,
+             core::ToneDetector::kMaxDetectBatch>
+      tone_ptrs;
+  std::array<obs::BlockSignalStats, core::ToneDetector::kMaxDetectBatch>
+      stats;
+  std::array<obs::BlockSignalStats*, core::ToneDetector::kMaxDetectBatch>
+      stats_ptrs;
+  for (std::size_t b = 0; b < count; ++b) {
+    samples[b] = scratch.blocks[b].samples;
+    tone_ptrs[b] = &scratch.tones[b];
+    stats_ptrs[b] = health_ != nullptr ? &stats[b] : nullptr;
+  }
+  detector_.detect_batch_into(
+      std::span<const std::span<const double>>(samples.data(), count),
+      std::span<std::vector<core::DetectedTone>* const>(tone_ptrs.data(),
+                                                        count),
+      health_ != nullptr
+          ? std::span<obs::BlockSignalStats* const>(stats_ptrs.data(), count)
+          : std::span<obs::BlockSignalStats* const>{});
+
+  const double tolerance = detector_.config().match_tolerance_hz;
+  const double rate = detector_.config().sample_rate;
+  std::uint64_t batch_events = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    AudioBlock& block = scratch.blocks[b];
+    const std::vector<core::DetectedTone>& tones = scratch.tones[b];
     obs::MicSignalEstimator* est = nullptr;
-    detector_.detect_into(block.samples, tones,
-                          health_ != nullptr ? &stats : nullptr);
     if (health_ != nullptr) {
       // Health estimator updates ride the block in per-mic seq order —
       // the mic's single owning worker is the single writer, so the
       // estimator trajectory (and any alert it queues) is deterministic
-      // regardless of worker count.
-      const double rate = detector_.config().sample_rate;
+      // regardless of worker count or batch width.
       const double block_len_s =
           rate > 0.0 ? static_cast<double>(block.samples.size()) / rate : 0.0;
       est = &health_->estimator(block.mic);
-      est->begin_block(block.start_s + block_len_s, stats);
+      est->begin_block(block.start_s + block_len_s, stats[b]);
     }
-    // Identical matching arithmetic to MdnController::tick so the merged
-    // stream is bit-equal to the serial controller path.
-    const double tolerance = detector_.config().match_tolerance_hz;
     for (std::size_t i = 0; i < watch_hz_.size(); ++i) {
       double best_amp = 0.0;
       bool found = false;
@@ -130,8 +179,7 @@ void WorkerPool::process_block(AudioBlock& block, std::vector<char>& active,
       if (onset) {
         merge_.push({block.seq, block.mic, static_cast<std::uint32_t>(i),
                      block.start_s, watch_hz_[i], best_amp, cause});
-        events_.fetch_add(1, std::memory_order_relaxed);
-        events_counter_->inc();
+        ++batch_events;
       }
       if (est != nullptr) {
         est->observe_watch(i, found, onset, best_amp, cause);
@@ -139,16 +187,29 @@ void WorkerPool::process_block(AudioBlock& block, std::vector<char>& active,
       active[i] = found ? 1 : 0;
     }
     if (est != nullptr) est->end_block();
+    // Events of a block are pushed before the watermark moves past it —
+    // the merge relies on this ordering.
+    merge_.advance(block.mic, block.seq + 1);
+    // Recycle the sample buffer; if the free ring is full the buffer is
+    // simply deallocated (cold path).
+    block.samples.clear();
+    (void)free_buffers_.try_push(std::move(block.samples));
   }
-  // Events of a block are pushed before the watermark moves past it —
-  // the merge relies on this ordering.
-  merge_.advance(block.mic, block.seq + 1);
-  processed_.fetch_add(1, std::memory_order_relaxed);
-  processed_counter_->inc();
-  // Recycle the sample buffer; if the free ring is full the buffer is
-  // simply deallocated (cold path).
-  block.samples.clear();
-  (void)free_buffers_.try_push(std::move(block.samples));
+
+  // Amortised telemetry: one atomic flush per batch, and the per-worker
+  // wall histogram gets `count` samples of the batch average so its
+  // count stays one-per-block.
+  processed_.fetch_add(count, std::memory_order_relaxed);
+  processed_counter_->add(count);
+  if (batch_events > 0) {
+    events_.fetch_add(batch_events, std::memory_order_relaxed);
+    events_counter_->add(batch_events);
+  }
+  const std::int64_t per_block = (obs::wall_now_ns() - batch_start) /
+                                 static_cast<std::int64_t>(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    wall_ns->record(static_cast<double>(per_block));
+  }
 }
 
 }  // namespace mdn::rt

@@ -62,18 +62,27 @@ class WorkerPool {
   /// estimator updates for every microphone (health->estimator(mic) must
   /// exist for every queue); each mic's estimator is touched only by the
   /// worker owning that mic, preserving the single-writer contract.
+  /// `batch_max` bounds how many consecutive ready blocks of one mic a
+  /// worker fuses into a single batched detection (clamped to
+  /// [1, core::ToneDetector::kMaxDetectBatch]); 1 reproduces the
+  /// one-block-one-FFT behaviour exactly.
   WorkerPool(const core::ToneDetector& detector,
              std::vector<double> watch_hz,
              std::vector<std::unique_ptr<MicQueue>>& queues,
              OrderedMerge& merge,
              RingBuffer<std::vector<double>>& free_buffers,
              std::size_t workers,
-             obs::Health* health = nullptr);
+             obs::Health* health = nullptr,
+             std::size_t batch_max = core::ToneDetector::kMaxDetectBatch);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
+  /// Spawns the workers and blocks until every one has finished its
+  /// thread-local warm-up (plan tables, SIMD dispatch, detect scratch),
+  /// so the multi-millisecond first-detect costs land here — before the
+  /// caller starts timing — not in the first processed block.
   void start();
 
   /// Producers promise not to submit again; workers drain their rings,
@@ -83,6 +92,7 @@ class WorkerPool {
   void join();
 
   std::size_t worker_count() const noexcept { return workers_; }
+  std::size_t batch_max() const noexcept { return batch_max_; }
   std::uint64_t blocks_processed() const noexcept {
     return processed_.load(std::memory_order_relaxed);
   }
@@ -91,12 +101,26 @@ class WorkerPool {
   }
 
  private:
+  /// Per-worker batch scratch: block slots and one tone vector per slot
+  /// (grow-once; lives on the worker's stack frame for its lifetime).
+  struct BatchScratch {
+    std::array<AudioBlock, core::ToneDetector::kMaxDetectBatch> blocks;
+    std::array<std::vector<core::DetectedTone>,
+               core::ToneDetector::kMaxDetectBatch>
+        tones;
+  };
+
   void run_worker(std::size_t index);
-  /// The worker-side hot path: detect + match + merge-push for one
-  /// block, steady-state allocation-free (audited in tests/rt).
-  MDN_REALTIME void process_block(AudioBlock& block,
+  /// The worker-side hot path: one batched detection over `count`
+  /// consecutive blocks of a single mic, then match + merge-push per
+  /// block in pop (seq) order — per-block results and merge interleaving
+  /// are bit-identical to processing the blocks one at a time.  Counter
+  /// and gauge traffic is flushed once per batch, and the per-worker
+  /// wall histogram receives `count` samples of the batch average, so
+  /// downstream consumers keep their one-sample-per-block semantics.
+  /// Steady-state allocation-free (audited in tests/rt).
+  MDN_REALTIME void process_batch(BatchScratch& scratch, std::size_t count,
                                   std::vector<char>& active,
-                                  std::vector<core::DetectedTone>& tones,
                                   obs::Histogram* wall_ns);
 
   const core::ToneDetector& detector_;
@@ -106,12 +130,14 @@ class WorkerPool {
   RingBuffer<std::vector<double>>& free_buffers_;
   std::size_t workers_;
   obs::Health* health_;
+  std::size_t batch_max_;
 
   std::vector<std::thread> threads_;
   // active_[mic][watch]: tone present in the previous block.  Each row is
   // touched only by the worker that owns the microphone.
   std::vector<std::vector<char>> active_;
   std::atomic<bool> producers_done_{false};
+  std::atomic<std::size_t> warmed_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> events_{0};
   obs::Counter* processed_counter_;

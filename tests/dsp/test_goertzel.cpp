@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dsp/fft.h"
+#include "dsp/simd.h"
 
 namespace mdn::dsp {
 namespace {
@@ -146,6 +147,32 @@ TEST(GoertzelBank, EmptyBankAndEmptyBlock) {
   std::vector<double> out(1, -1.0);
   bank.block_powers({}, out);
   EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(GoertzelBank, DispatchMatchesForcedScalarBitwise) {
+  // The bank's recurrence runs through the SIMD kernel table; whatever
+  // ISA dispatch picked must reproduce the scalar path exactly.  Filter
+  // counts straddle the vector widths (2 for sse2, 4 for avx2).
+  const double sr = 48000.0;
+  const simd::Isa before = simd::active_isa();
+  for (std::size_t nf : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                         std::size_t{4}, std::size_t{5}, std::size_t{7},
+                         std::size_t{24}}) {
+    std::vector<double> freqs(nf);
+    for (std::size_t f = 0; f < nf; ++f) {
+      freqs[f] = 800.0 + 20.0 * static_cast<double>(f);
+    }
+    const GoertzelBank bank(freqs, sr);
+    const auto block = sine(860.0, 0.4, sr, 2400);
+    std::vector<double> fast(nf), slow(nf);
+    bank.block_powers(block, fast);
+    simd::set_active_isa_for_testing(simd::Isa::kScalar);
+    bank.block_powers(block, slow);
+    simd::set_active_isa_for_testing(before);
+    for (std::size_t f = 0; f < nf; ++f) {
+      EXPECT_EQ(fast[f], slow[f]) << "nf=" << nf << " filter " << f;
+    }
+  }
 }
 
 // Parameterised sweep across the frequency plan band: amplitude recovery

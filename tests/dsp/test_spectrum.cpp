@@ -6,6 +6,8 @@
 #include <numbers>
 
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
+#include "dsp/simd.h"
 #include "dsp/window.h"
 
 namespace mdn::dsp {
@@ -170,6 +172,120 @@ TEST(Spectrum, SpectralDifferenceSizeMismatchThrows) {
   const std::vector<double> a(4, 0.0);
   const std::vector<double> b(5, 0.0);
   EXPECT_THROW(spectral_difference(a, b), std::invalid_argument);
+}
+
+TEST(Spectrum, BatchMatchesSingleBitwise) {
+  // Every lane of the batched helper must equal a solo
+  // amplitude_spectrum_into() on that lane's signal, bit for bit —
+  // including the zero-padded short-block case the detector uses.
+  const double sr = 48000.0;
+  const std::size_t fft_size = 1024;
+  const auto plan_ptr = PlanCache::global().real_plan(fft_size);
+  const RealFftPlan& plan = *plan_ptr;
+  ASSERT_TRUE(plan.supports_batch());
+  for (std::size_t block_len : {fft_size, std::size_t{600}}) {
+    const auto w = make_window(WindowKind::kBlackman, block_len);
+    for (std::size_t lanes : {1u, 2u, 3u, 4u}) {
+      std::vector<std::vector<double>> signals(lanes);
+      std::vector<std::span<const double>> sig_spans(lanes);
+      std::vector<std::vector<double>> batch_out(lanes);
+      std::vector<std::span<double>> out_spans(lanes);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        signals[l] = sine(500.0 + 40.0 * static_cast<double>(l), 0.5, sr,
+                          block_len, 0.1 * static_cast<double>(l));
+        sig_spans[l] = signals[l];
+        batch_out[l].resize(plan.bins());
+        out_spans[l] = batch_out[l];
+      }
+      BatchSpectrumWorkspace bws;
+      amplitude_spectrum_batch_into(sig_spans, w, plan, bws, out_spans);
+
+      SpectrumWorkspace ws(plan);
+      std::vector<double> solo(plan.bins());
+      for (std::size_t l = 0; l < lanes; ++l) {
+        amplitude_spectrum_into(signals[l], w, plan, ws, solo);
+        for (std::size_t k = 0; k < solo.size(); ++k) {
+          EXPECT_EQ(batch_out[l][k], solo[k])
+              << "block_len=" << block_len << " lanes=" << lanes << " lane "
+              << l << " bin " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Spectrum, BatchValidatesArguments) {
+  const auto plan_ptr = PlanCache::global().real_plan(256);
+  const RealFftPlan& plan = *plan_ptr;
+  const auto w = make_window(WindowKind::kHann, 256);
+  std::vector<double> sig(256, 0.0);
+  std::vector<double> out(plan.bins());
+  const std::span<const double> sigs[] = {sig};
+  const std::span<double> outs[] = {out};
+  BatchSpectrumWorkspace ws;
+
+  // signals/outs length mismatch.
+  const std::span<double> two_outs[] = {out, out};
+  EXPECT_THROW(amplitude_spectrum_batch_into(
+                   sigs, w, plan, ws,
+                   std::span<const std::span<double>>(two_outs, 2)),
+               std::invalid_argument);
+  // Window length mismatch.
+  const auto short_w = make_window(WindowKind::kHann, 100);
+  EXPECT_THROW(amplitude_spectrum_batch_into(sigs, short_w, plan, ws, outs),
+               std::invalid_argument);
+  // Non-batchable plan.
+  const RealFftPlan odd(300);
+  const auto w300 = make_window(WindowKind::kHann, 300);
+  std::vector<double> sig300(300, 0.0);
+  std::vector<double> out300(odd.bins());
+  const std::span<const double> sigs300[] = {sig300};
+  const std::span<double> outs300[] = {out300};
+  EXPECT_THROW(
+      amplitude_spectrum_batch_into(sigs300, w300, odd, ws, outs300),
+      std::invalid_argument);
+}
+
+TEST(Spectrum, AmplitudeSpectrumDispatchMatchesForcedScalar) {
+  // The windowed-FFT-magnitude pipeline end to end under the selected
+  // SIMD table vs forced scalar: identical bits.
+  const double sr = 48000.0;
+  const std::size_t n = 2048;
+  const auto s = sine(997.0, 0.7, sr, n);
+  const auto w = make_window(WindowKind::kBlackman, n);
+  const simd::Isa before = simd::active_isa();
+  const auto fast = amplitude_spectrum(s, w);
+  simd::set_active_isa_for_testing(simd::Isa::kScalar);
+  const auto slow = amplitude_spectrum(s, w);
+  simd::set_active_isa_for_testing(before);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    EXPECT_EQ(fast[k], slow[k]) << "bin " << k;
+  }
+}
+
+TEST(Spectrum, FindPeaksDispatchMatchesForcedScalar) {
+  // The chunked below-threshold prescan must not change which peaks are
+  // found, under any kernel table.
+  const double sr = 48000.0;
+  const std::size_t n = 4096;
+  auto s = sine(1000.0, 0.5, sr, n);
+  const auto s2 = sine(2500.0, 0.002, sr, n);
+  for (std::size_t i = 0; i < n; ++i) s[i] += s2[i];
+  const auto w = make_window(WindowKind::kBlackman, n);
+  const auto spec = amplitude_spectrum(s, w);
+
+  const simd::Isa before = simd::active_isa();
+  const auto fast = find_peaks(spec, sr, n, 1e-3);
+  simd::set_active_isa_for_testing(simd::Isa::kScalar);
+  const auto slow = find_peaks(spec, sr, n, 1e-3);
+  simd::set_active_isa_for_testing(before);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].bin, slow[i].bin);
+    EXPECT_EQ(fast[i].frequency_hz, slow[i].frequency_hz);
+    EXPECT_EQ(fast[i].amplitude, slow[i].amplitude);
+  }
 }
 
 }  // namespace

@@ -127,6 +127,40 @@ TEST(StreamRuntime, RepeatedRunsAreBitIdentical) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
 }
 
+TEST(StreamRuntime, BatchWidthNeverChangesTheMergedStream) {
+  // batch_max=1 is the one-block-one-FFT path; wider settings fuse ready
+  // blocks into one SoA FFT.  All must match the serial reference
+  // exactly, at several worker counts.
+  const std::size_t mics = 4;
+  const std::uint64_t hops = 16;
+  const auto reference = serial_reference(base_config(1), mics, hops);
+  ASSERT_FALSE(reference.empty());
+  for (std::size_t workers : {1u, 2u, 4u, 7u}) {
+    for (std::size_t batch : {1u, 2u, 4u}) {
+      auto cfg = base_config(workers);
+      cfg.batch_max = batch;
+      const auto events = run_runtime(cfg, mics, hops);
+      ASSERT_EQ(events.size(), reference.size())
+          << "workers=" << workers << " batch_max=" << batch;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_TRUE(events[i] == reference[i])
+            << "workers=" << workers << " batch_max=" << batch << " event "
+            << i;
+      }
+    }
+  }
+}
+
+TEST(StreamRuntime, BatchMaxIsClampedToTheDetectorLimit) {
+  auto cfg = base_config(1);
+  cfg.batch_max = 100;
+  const StreamRuntime wide(cfg);
+  EXPECT_EQ(wide.config().batch_max, core::ToneDetector::kMaxDetectBatch);
+  cfg.batch_max = 0;
+  const StreamRuntime narrow(cfg);
+  EXPECT_EQ(narrow.config().batch_max, 1u);
+}
+
 TEST(StreamRuntime, BlockPolicyLosesNothingUnderTinyRings) {
   auto cfg = base_config(2);
   cfg.ring_capacity = 2;
