@@ -154,4 +154,15 @@ inline void print_kv(const std::string& key, double value,
   std::printf("  %-44s %12.4f %s\n", key.c_str(), value, unit.c_str());
 }
 
+/// Uniform throughput reporting for the fleet benches: emits the kv
+/// "<what>_events_per_sec" from a raw count and wall-clock seconds, so
+/// bench_compare.py can gate every bench's throughput under one
+/// tolerance key shape.  Returns the computed rate (0 when wall_s <= 0).
+inline double events_per_sec(const std::string& what, double events,
+                             double wall_s) {
+  const double rate = wall_s > 0.0 ? events / wall_s : 0.0;
+  print_kv(what + "_events_per_sec", rate, "events/s");
+  return rate;
+}
+
 }  // namespace mdn::bench

@@ -107,8 +107,10 @@ class MdnController {
   // Ground-truth emission tags overlapping the current block, collected
   // only while the journal is enabled.  Fixed-size so the hot loop stays
   // allocation-free; config_.sink_mic doubles as the journal mic id for
-  // inline (sink-less) controllers.
-  std::array<audio::EmissionTag, 16> tag_scratch_{};
+  // inline (sink-less) controllers.  Sized for a fleet room: a dozen
+  // switches keying two tone families can overlap one 50 ms block (the
+  // rt path clamps to its own AudioBlock tag capacity separately).
+  std::array<audio::EmissionTag, 64> tag_scratch_{};
   std::vector<ToneEvent> log_;
   audio::Waveform recording_;
   bool running_ = false;

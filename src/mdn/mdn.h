@@ -15,6 +15,7 @@
 #include "mdn/deployment.h"
 #include "mdn/fan_anomaly.h"
 #include "mdn/fan_failure.h"
+#include "mdn/fleet.h"
 #include "mdn/frequency_plan.h"
 #include "mdn/heavy_hitter.h"
 #include "mdn/melody_codec.h"

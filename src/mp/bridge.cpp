@@ -53,6 +53,7 @@ void PiSpeakerBridge::play(const MpMessage& msg) {
     record.frequency_hz = msg.frequency_hz;
     record.value = msg.intensity_db_spl;
     record.aux = source_;
+    record.mic = journal_mic_;
     obs::set_journal_label(record, channel_.source_name(source_));
     const audio::EmissionTag tag{journal.append(record), msg.frequency_hz};
     channel_.emit(source_, audio::make_tone(spec, channel_.sample_rate()),

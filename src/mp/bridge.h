@@ -13,6 +13,7 @@
 #include "audio/channel.h"
 #include "mp/message.h"
 #include "net/event_loop.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 
 namespace mdn::mp {
@@ -32,6 +33,12 @@ class PiSpeakerBridge {
   /// Delivers an already-decoded message.
   void play(const MpMessage& msg);
 
+  /// Scopes this bridge's kToneEmitted records to one microphone.  By
+  /// default emissions carry no mic and the scoreboard treats them as
+  /// ground truth for every mic (single-room semantics); a fleet bridge
+  /// tags its room's mic so other rooms don't score its tones as misses.
+  void set_journal_mic(std::uint32_t mic) noexcept { journal_mic_ = mic; }
+
   std::uint64_t played() const noexcept { return played_; }
   std::uint64_t malformed() const noexcept { return malformed_; }
   MpError last_error() const noexcept { return last_error_; }
@@ -41,6 +48,7 @@ class PiSpeakerBridge {
   audio::AcousticChannel& channel_;
   audio::SourceId source_;
   net::SimTime processing_delay_;
+  std::uint32_t journal_mic_ = obs::kJournalNoMic;
   std::uint64_t played_ = 0;
   std::uint64_t malformed_ = 0;
   MpError last_error_ = MpError::kNone;

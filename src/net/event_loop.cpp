@@ -14,10 +14,46 @@ EventLoop::EventLoop()
       queue_depth_(&obs::Registry::global().gauge("net/loop/queue_depth")),
       track_(tracer_.track("net/loop")) {}
 
+void EventLoop::push_event(Event ev) {
+  heap_.push_back(std::move(ev));
+  // Sift up.
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_[i].before(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+EventLoop::Event EventLoop::pop_event() {
+  Event top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  // Sift down.
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t least = i;
+    if (l < n && heap_[l].before(heap_[least])) least = l;
+    if (r < n && heap_[r].before(heap_[least])) least = r;
+    if (least == i) break;
+    std::swap(heap_[i], heap_[least]);
+    i = least;
+  }
+  return top;
+}
+
+void EventLoop::drop_dead_heads() {
+  while (!heap_.empty() && !heap_.front().cb) pop_event();
+}
+
 EventLoop::EventId EventLoop::schedule_at(SimTime t, Callback cb) {
   const EventId id = next_id_++;
-  queue_.push(Event{std::max(t, now_), id});
-  callbacks_.emplace(id, std::move(cb));
+  push_event(Event{std::max(t, now_), id, std::move(cb)});
+  ++live_;
   return id;
 }
 
@@ -37,25 +73,35 @@ void EventLoop::schedule_periodic(SimTime first_delay, SimTime period,
   schedule_in(first_delay, *holder);
 }
 
-void EventLoop::cancel(EventId id) { callbacks_.erase(id); }
+void EventLoop::cancel(EventId id) {
+  // Cancellation is cold (tests and teardown); a linear scan for the
+  // tombstone keeps the hot schedule/dispatch path free of any per-event
+  // id index.  No-op if the event already ran or was already cancelled.
+  for (Event& ev : heap_) {
+    if (ev.id == id) {
+      if (ev.cb) {
+        ev.cb = nullptr;
+        --live_;
+      }
+      return;
+    }
+  }
+}
 
 bool EventLoop::step() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    const auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+  while (!heap_.empty()) {
+    Event ev = pop_event();
+    if (!ev.cb) continue;  // cancelled
+    --live_;
     now_ = ev.time;
     {
       obs::TraceSpan span(&tracer_, "event", track_, now_);
       obs::ScopedTimerNs timer(callback_wall_ns_);
-      cb();
+      ev.cb();
     }
     ++dispatched_count_;
     events_dispatched_->inc();
-    queue_depth_->set(static_cast<std::int64_t>(callbacks_.size()));
+    queue_depth_->set(static_cast<std::int64_t>(live_));
     return true;
   }
   return false;
@@ -67,12 +113,9 @@ void EventLoop::run() {
 }
 
 void EventLoop::run_until(SimTime t) {
-  while (!queue_.empty()) {
-    // Skip cancelled heads so queue_.top() reflects a live event.
-    while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().time > t) break;
+  while (true) {
+    drop_dead_heads();
+    if (heap_.empty() || heap_.front().time > t) break;
     step();
   }
   now_ = std::max(now_, t);

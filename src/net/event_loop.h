@@ -8,8 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "net/sim_time.h"
@@ -49,7 +47,7 @@ class EventLoop {
   void run_until(SimTime t);
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const noexcept { return callbacks_.size(); }
+  std::size_t pending() const noexcept { return live_; }
 
   /// Events dispatched since construction of the loop's process-wide
   /// counters (aggregated across loops under "net/loop/*").
@@ -63,23 +61,33 @@ class EventLoop {
   std::uint32_t trace_track() const noexcept { return track_; }
 
  private:
+  // Heap node with the callback stored inline: scheduling a batch-scale
+  // workload (TrafficGen fires one event per batch window, fleets
+  // schedule tens of thousands of ticks) costs one heap sift per event —
+  // no per-event node allocation or hash lookups, which dominated the
+  // old priority_queue + unordered_map layout at fleet scale.
   struct Event {
     SimTime time;
     EventId id;  // also the FIFO tie-breaker
-    // Ordered for a min-heap on (time, id).
-    bool operator>(const Event& o) const noexcept {
-      return time != o.time ? time > o.time : id > o.id;
+    Callback cb; // null = cancelled tombstone, skipped when popped
+    // Min-heap order on (time, id).
+    bool before(const Event& o) const noexcept {
+      return time != o.time ? time < o.time : id < o.id;
     }
   };
+
+  void push_event(Event ev);
+  Event pop_event();  // precondition: !heap_.empty()
+  // Drops cancelled tombstones off the top so heap_.front() is live.
+  void drop_dead_heads();
 
   // Pops and runs the next live event; returns false when drained.
   bool step();
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  // Cancellation removes the entry here; the heap entry is skipped lazily.
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::vector<Event> heap_;   // binary min-heap on (time, id)
+  std::size_t live_ = 0;      // heap entries with a non-null callback
 
   std::uint64_t dispatched_count_ = 0;
   // Process-wide instruments, resolved once at construction.

@@ -1,6 +1,7 @@
 #include "net/flow_table.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mdn::net {
 
@@ -77,6 +78,93 @@ FlowEntry* FlowTable::lookup(const Packet& pkt, std::size_t in_port,
 void FlowTable::expire(SimTime now) {
   std::erase_if(entries_,
                 [&](const FlowEntry& e) { return expired(e, now); });
+}
+
+// ---------------------------------------------------------------------------
+// FlowPopulation
+
+FlowPopulation::FlowPopulation(const FlowPopulationConfig& config)
+    : config_(config) {
+  flows_.reserve(config_.total_flows);
+  for (std::size_t r = 0; r < config_.total_flows; ++r) {
+    flows_.push_back(mint(minted_++));
+  }
+  if (config_.zipf_skew > 0.0) build_alias_table();
+}
+
+FlowKey FlowPopulation::mint(std::uint64_t serial) const {
+  // Serial-indexed key minting: flow #s is a pure function of s, so the
+  // population (and every churn replacement) is reproducible without
+  // touching the RNG.  Hosts cycle through a /16-sized pool; the source
+  // port advances with the serial so replacement flows never collide
+  // with expired ones within a 64K-churn window per host pair.
+  FlowKey key;
+  key.src_ip = config_.src_ip_base + static_cast<std::uint32_t>(serial % 65521);
+  key.dst_ip = config_.dst_ip_base +
+               static_cast<std::uint32_t>((serial / 7) % 65519);
+  key.src_port = static_cast<std::uint16_t>(1024 + (serial * 13) % 64000);
+  key.dst_port = static_cast<std::uint16_t>(
+      config_.dst_port_base +
+      serial % std::max<std::uint16_t>(config_.dst_port_count, 1));
+  key.proto = config_.proto;
+  return key;
+}
+
+void FlowPopulation::build_alias_table() {
+  const std::size_t n = flows_.size();
+  std::vector<double> w(n);
+  total_weight_ = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    w[r] = std::pow(static_cast<double>(r + 1), -config_.zipf_skew);
+    total_weight_ += w[r];
+  }
+  // Walker alias construction: split ranks into under/over-full bins of
+  // mean weight, pair each under-full bin with an over-full donor.
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  std::vector<std::uint32_t> small, large;
+  std::vector<double> scaled(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    scaled[r] = w[r] * static_cast<double>(n) / total_weight_;
+    (scaled[r] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(r));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (floating-point residue) are full bins.
+  for (const std::uint32_t r : small) prob_[r] = 1.0;
+  for (const std::uint32_t r : large) prob_[r] = 1.0;
+}
+
+std::size_t FlowPopulation::sample_rank(std::mt19937_64& rng) const {
+  const std::size_t n = flows_.size();
+  const auto bin = static_cast<std::size_t>(rng_below(rng, n));
+  if (prob_.empty()) return bin;  // uniform mode
+  return rng_unit_double(rng) < prob_[bin] ? bin : alias_[bin];
+}
+
+std::size_t FlowPopulation::churn_one(std::mt19937_64& rng) {
+  const auto rank = static_cast<std::size_t>(rng_below(rng, flows_.size()));
+  flows_[rank] = mint(minted_++);
+  return rank;
+}
+
+double FlowPopulation::weight(std::size_t rank) const {
+  if (config_.zipf_skew <= 0.0) {
+    return 1.0 / static_cast<double>(flows_.size());
+  }
+  return std::pow(static_cast<double>(rank + 1), -config_.zipf_skew) /
+         total_weight_;
 }
 
 }  // namespace mdn::net

@@ -1,15 +1,24 @@
-// OpenFlow-style match/action flow table.
+// Flow tables: the OpenFlow match/action table the controller programs,
+// and the workload engine's population of live synthetic flows.
 //
-// The MDN controller actuates the network by installing entries here (the
-// paper's Flow-MOD messages): opening a knocked port (§4) or splitting
-// traffic across two paths (§6).  Matching follows OpenFlow semantics —
-// highest priority wins, absent match fields are wildcards, entries can
-// carry idle/hard timeouts.
+// FlowTable — the MDN controller actuates the network by installing
+// entries here (the paper's Flow-MOD messages): opening a knocked port
+// (§4) or splitting traffic across two paths (§6).  Matching follows
+// OpenFlow semantics — highest priority wins, absent match fields are
+// wildcards, entries can carry idle/hard timeouts.
+//
+// FlowPopulation — the set of live 5-tuples a TrafficGen draws packets
+// from: uniform or Zipf-weighted by rank (Walker alias table, O(1) per
+// draw even at millions of flows), with churn support (replace a live
+// flow's key with a freshly minted 5-tuple, modelling flow arrival/
+// departure).  Fully deterministic: all randomness comes through the
+// caller's seeded std::mt19937_64.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <random>
 #include <vector>
 
 #include "net/packet.h"
@@ -96,6 +105,87 @@ class FlowTable {
 
   std::vector<FlowEntry> entries_;  // kept sorted by descending priority
   std::uint64_t next_cookie_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Workload-engine flow population.
+
+/// Uniform double in [0, 1) from raw generator bits.  Deliberately not
+/// std::uniform_real_distribution: its output is implementation defined,
+/// and the workload engine's golden-trace contract requires the same
+/// seed to produce the same packets on every platform.
+inline double rng_unit_double(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform integer in [0, n) without implementation-defined
+/// distributions (same portability argument).  Modulo bias is
+/// < n / 2^64 — irrelevant at workload-engine scales.
+inline std::uint64_t rng_below(std::mt19937_64& rng, std::uint64_t n) {
+  return rng() % n;
+}
+
+struct FlowPopulationConfig {
+  /// Number of concurrently live flows (the synapse-klee harness's
+  /// ARG_TOTAL_FLOWS; its default is 65536 too).
+  std::size_t total_flows = 65536;
+  /// Rank-frequency skew: 0 = uniform, otherwise flow at rank r carries
+  /// weight 1/(r+1)^zipf_skew.  1.26 is the Castan [SIGCOMM'18] value
+  /// the synapse-klee harness defaults to for Zipf traffic.
+  double zipf_skew = 0.0;
+  /// Services listen on few ports: destination ports cycle through this
+  /// many values from `dst_port_base`.  Keeping the set small (default 8)
+  /// separates background port tones from a scanner's sweep (§5).
+  std::uint16_t dst_port_count = 8;
+  std::uint16_t dst_port_base = 80;
+  /// Source/destination address pools (hosts are minted as base + i).
+  std::uint32_t src_ip_base = 0x0a000000;  // 10.0.0.0
+  std::uint32_t dst_ip_base = 0x0a800000;  // 10.128.0.0
+  IpProto proto = IpProto::kTcp;
+};
+
+/// Live flows ranked by popularity.  Rank is the unit of weight: churn
+/// replaces the *key* at a rank, never the rank's weight, so the
+/// rank-frequency distribution is stationary while the 5-tuples turn
+/// over — exactly the knob split of the bdd-analyzer traffic harness
+/// (flows / churn-fpm / zipf-param).
+class FlowPopulation {
+ public:
+  explicit FlowPopulation(const FlowPopulationConfig& config);
+
+  std::size_t size() const noexcept { return flows_.size(); }
+  const FlowPopulationConfig& config() const noexcept { return config_; }
+
+  /// Rank of one packet's flow: uniform, or Zipf via the alias table.
+  /// O(1) regardless of population size.
+  std::size_t sample_rank(std::mt19937_64& rng) const;
+
+  const FlowKey& flow_at(std::size_t rank) const { return flows_[rank]; }
+  const FlowKey& sample(std::mt19937_64& rng) const {
+    return flows_[sample_rank(rng)];
+  }
+
+  /// Expires one live flow (uniformly chosen rank) and mints a fresh
+  /// never-seen 5-tuple in its place.  Returns the affected rank.
+  std::size_t churn_one(std::mt19937_64& rng);
+
+  /// Total flows ever minted (initial population + churn replacements).
+  std::uint64_t minted() const noexcept { return minted_; }
+  /// Normalised weight of `rank` (the expected packet share).
+  double weight(std::size_t rank) const;
+
+ private:
+  FlowKey mint(std::uint64_t serial) const;
+  void build_alias_table();
+
+  FlowPopulationConfig config_;
+  std::vector<FlowKey> flows_;      // index = rank
+  std::uint64_t minted_ = 0;
+  double total_weight_ = 0.0;
+  // Walker alias method: prob_[i] in [0,1] and alias_[i] give an O(1)
+  // draw from the rank-weight distribution.  Empty in uniform mode.
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
 };
 
 }  // namespace mdn::net

@@ -13,3 +13,4 @@
 #include "net/sim_time.h"
 #include "net/switch.h"
 #include "net/traffic.h"
+#include "net/traffic_gen.h"

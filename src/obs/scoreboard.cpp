@@ -17,20 +17,50 @@ std::string format_double(double v) {
   return buf;
 }
 
-/// Index of the closest watch within tolerance, or -1.
-int match_watch(const std::vector<double>& watch_hz, double frequency_hz,
-                double tolerance_hz) {
-  int best = -1;
-  double best_diff = tolerance_hz;
-  for (std::size_t w = 0; w < watch_hz.size(); ++w) {
-    const double diff = std::abs(watch_hz[w] - frequency_hz);
-    if (diff <= best_diff) {
-      best_diff = diff;
-      best = static_cast<int>(w);
+/// Watch list indexed for O(log n) nearest-frequency lookup.  The fleet
+/// bench watches thousands of tones over hundreds of thousands of
+/// journal records; the old linear scan per record was quadratic there.
+class WatchIndex {
+ public:
+  explicit WatchIndex(const std::vector<double>& watch_hz) {
+    sorted_.reserve(watch_hz.size());
+    for (std::size_t w = 0; w < watch_hz.size(); ++w) {
+      sorted_.push_back({watch_hz[w], static_cast<int>(w)});
     }
+    std::sort(sorted_.begin(), sorted_.end());
   }
-  return best;
-}
+
+  /// Index (in the original watch order) of the closest watch within
+  /// tolerance, or -1.  Ties prefer the later original index, matching
+  /// the previous linear scan's `<=` update rule.
+  int match(double frequency_hz, double tolerance_hz) const {
+    if (sorted_.empty()) return -1;
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(),
+                                     std::pair{frequency_hz, -1});
+    int best = -1;
+    double best_diff = tolerance_hz;
+    const auto consider = [&](const std::pair<double, int>& cand) {
+      const double diff = std::abs(cand.first - frequency_hz);
+      if (diff < best_diff ||
+          (diff == best_diff && cand.second > best)) {
+        best_diff = diff;
+        best = cand.second;
+      }
+    };
+    if (it != sorted_.end()) consider(*it);
+    if (it != sorted_.begin()) consider(*(it - 1));
+    // Equal frequencies can repeat in a caller-supplied list; scan the
+    // run of exact matches so the tie rule sees them all.
+    for (auto fwd = it;
+         fwd != sorted_.end() && fwd->first == frequency_hz; ++fwd) {
+      consider(*fwd);
+    }
+    return best;
+  }
+
+ private:
+  std::vector<std::pair<double, int>> sorted_;
+};
 
 std::string mic_label(std::span<const std::string> names, std::size_t mic) {
   if (mic < names.size()) return names[mic];
@@ -92,15 +122,23 @@ Scoreboard Scoreboard::build(const Journal& journal,
   const auto cell_at = [&board](std::size_t mic, std::size_t w) -> Cell& {
     return board.cells_[mic * board.watch_hz_.size() + w];
   };
+  const WatchIndex index(board.watch_hz_);
 
-  // Pass 1 — ground truth: map every tracked emission to its watch.
+  // Pass 1 — ground truth: map every tracked emission to its watch.  A
+  // mic-tagged emission (fleet bridge scoped to one room) is truth for
+  // that mic only; an untagged one is truth for every mic.
   std::map<CauseId, std::pair<int, std::int64_t>> emissions;  // id -> (w, t)
   for (const auto& r : records) {
     if (r.kind != JournalKind::kToneEmitted) continue;
-    const int w =
-        match_watch(board.watch_hz_, r.frequency_hz, config.tolerance_hz);
+    const int w = index.match(r.frequency_hz, config.tolerance_hz);
     if (w < 0) continue;  // outside the watch list: not scored
     emissions[r.id] = {w, r.sim_ns};
+    if (r.mic != kJournalNoMic) {
+      if (r.mic < board.mics_) {
+        ++cell_at(r.mic, static_cast<std::size_t>(w)).emitted;
+      }
+      continue;
+    }
     for (std::size_t mic = 0; mic < board.mics_; ++mic) {
       ++cell_at(mic, static_cast<std::size_t>(w)).emitted;
     }
@@ -112,8 +150,7 @@ Scoreboard Scoreboard::build(const Journal& journal,
     if (r.kind != JournalKind::kToneDetected) continue;
     const std::uint32_t mic = r.mic == kJournalNoMic ? 0 : r.mic;
     if (mic >= board.mics_) continue;
-    const int w =
-        match_watch(board.watch_hz_, r.frequency_hz, config.tolerance_hz);
+    const int w = index.match(r.frequency_hz, config.tolerance_hz);
     if (w < 0) continue;
     Cell& cell = cell_at(mic, static_cast<std::size_t>(w));
     const auto it = emissions.find(r.cause);
@@ -155,6 +192,23 @@ Scoreboard Scoreboard::build(const Journal& journal,
 const Scoreboard::Cell& Scoreboard::cell(std::size_t mic,
                                          std::size_t watch) const {
   return cells_.at(mic * watch_hz_.size() + watch);
+}
+
+Scoreboard::Cell Scoreboard::grand_totals() const {
+  Cell total;
+  for (std::size_t mic = 0; mic < mics_; ++mic) {
+    const Cell c = totals(mic);
+    total.emitted += c.emitted;
+    total.detected += c.detected;
+    total.duplicates += c.duplicates;
+    total.false_positives += c.false_positives;
+    total.missed += c.missed;
+    total.dropped += c.dropped;
+    total.latencies_s.insert(total.latencies_s.end(),
+                             c.latencies_s.begin(), c.latencies_s.end());
+  }
+  std::sort(total.latencies_s.begin(), total.latencies_s.end());
+  return total;
 }
 
 Scoreboard::Cell Scoreboard::totals(std::size_t mic) const {

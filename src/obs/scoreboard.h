@@ -58,9 +58,13 @@ class Scoreboard {
     }
   };
 
-  /// Reduces the journal's resident records.  Emissions are ground
-  /// truth for every microphone (each mic is expected to hear every
-  /// watched tone).
+  /// Reduces the journal's resident records.  An emission with no mic
+  /// (kJournalNoMic) is ground truth for every microphone — each mic is
+  /// expected to hear every watched tone, the single-room reading.  An
+  /// emission tagged with a mic (fleet bridges scoped to one room via
+  /// PiSpeakerBridge::set_journal_mic) is ground truth for that mic
+  /// only, so a 100-switch fleet doesn't score room A's tones as misses
+  /// in room B.
   static Scoreboard build(const Journal& journal,
                           ScoreboardConfig config = {});
 
@@ -76,6 +80,10 @@ class Scoreboard {
   double precision(std::size_t mic) const {
     return totals(mic).precision();
   }
+
+  /// Aggregate over every (mic, watch) cell — the fleet-wide summary a
+  /// dashboard or bench headline reports.
+  Cell grand_totals() const;
 
   /// Materialises counters and latency histograms under
   /// "<prefix>/mic<m>/watch<w>/..." so the standard exporters pick the

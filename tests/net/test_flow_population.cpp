@@ -1,0 +1,128 @@
+// Statistical contracts of the workload engine's flow population: the
+// Zipf sampler's rank-frequency slope, uniform-mode flatness, and churn
+// bookkeeping.  Tolerances are loose enough for seeded-RNG sampling
+// noise but tight enough to catch a broken alias table or a skew knob
+// that stopped mattering.
+#include "net/flow_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mdn::net {
+namespace {
+
+std::vector<std::uint64_t> sample_histogram(FlowPopulation& pop,
+                                            std::mt19937_64& rng,
+                                            std::size_t draws) {
+  std::vector<std::uint64_t> hits(pop.size(), 0);
+  for (std::size_t i = 0; i < draws; ++i) ++hits[pop.sample_rank(rng)];
+  return hits;
+}
+
+TEST(FlowPopulation, MintsConfiguredSizeWithDistinctKeys) {
+  FlowPopulationConfig cfg;
+  cfg.total_flows = 4096;
+  FlowPopulation pop(cfg);
+  EXPECT_EQ(pop.size(), 4096u);
+  EXPECT_EQ(pop.minted(), 4096u);
+  std::set<std::string> keys;
+  for (std::size_t r = 0; r < pop.size(); ++r) {
+    keys.insert(pop.flow_at(r).to_string());
+  }
+  EXPECT_EQ(keys.size(), pop.size()) << "minted 5-tuples must be distinct";
+}
+
+TEST(FlowPopulation, UniformModeIsFlat) {
+  FlowPopulationConfig cfg;
+  cfg.total_flows = 256;
+  cfg.zipf_skew = 0.0;
+  FlowPopulation pop(cfg);
+  std::mt19937_64 rng(7);
+  const std::size_t draws = 256 * 400;
+  const auto hits = sample_histogram(pop, rng, draws);
+  const double expected = static_cast<double>(draws) / 256.0;
+  for (std::size_t r = 0; r < hits.size(); ++r) {
+    EXPECT_NEAR(static_cast<double>(hits[r]), expected, 0.25 * expected)
+        << "rank " << r;
+  }
+}
+
+TEST(FlowPopulation, WeightsMatchZipfLaw) {
+  FlowPopulationConfig cfg;
+  cfg.total_flows = 65536;
+  cfg.zipf_skew = 1.26;
+  FlowPopulation pop(cfg);
+  // weight(r) must be proportional to 1/(r+1)^s and normalised.
+  double total = 0.0;
+  for (std::size_t r = 0; r < pop.size(); ++r) total += pop.weight(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const double ratio = pop.weight(0) / pop.weight(9);
+  EXPECT_NEAR(ratio, std::pow(10.0, 1.26), 1e-6 * ratio);
+}
+
+TEST(FlowPopulation, ZipfSamplerTracksRankFrequencySlope) {
+  // At 64K flows, sample and check the empirical log-log slope between
+  // well-populated rank deciles against the configured skew.
+  FlowPopulationConfig cfg;
+  cfg.total_flows = 65536;
+  cfg.zipf_skew = 1.26;
+  FlowPopulation pop(cfg);
+  std::mt19937_64 rng(42);
+  const std::size_t draws = 2'000'000;
+  const auto hits = sample_histogram(pop, rng, draws);
+  // Empirical frequency at rank r should track draws * weight(r) for the
+  // popular head where counts are large enough to be statistical.
+  for (std::size_t r : {0u, 1u, 3u, 7u, 15u, 31u, 63u}) {
+    const double expect = static_cast<double>(draws) * pop.weight(r);
+    ASSERT_GT(expect, 500.0);  // head ranks only — enough mass to test
+    EXPECT_NEAR(static_cast<double>(hits[r]), expect, 0.15 * expect)
+        << "rank " << r;
+  }
+  // Slope check: log(f(a)/f(b)) / log((b+1)/(a+1)) ≈ skew.
+  const double f0 = static_cast<double>(hits[0]);
+  const double f63 = static_cast<double>(hits[63]);
+  const double slope = std::log(f0 / f63) / std::log(64.0 / 1.0);
+  EXPECT_NEAR(slope, 1.26, 0.08);
+}
+
+TEST(FlowPopulation, ChurnReplacesKeyNotWeight) {
+  FlowPopulationConfig cfg;
+  cfg.total_flows = 512;
+  cfg.zipf_skew = 1.0;
+  FlowPopulation pop(cfg);
+  std::mt19937_64 rng(3);
+  const double w0_before = pop.weight(0);
+  std::set<std::size_t> churned;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t rank = pop.churn_one(rng);
+    ASSERT_LT(rank, pop.size());
+    churned.insert(rank);
+  }
+  EXPECT_EQ(pop.size(), 512u) << "population size is stationary";
+  EXPECT_EQ(pop.minted(), 512u + 200u);
+  EXPECT_GT(churned.size(), 100u) << "churn touches many ranks";
+  EXPECT_DOUBLE_EQ(pop.weight(0), w0_before)
+      << "rank weight survives key replacement";
+}
+
+TEST(FlowPopulation, ChurnedKeysAreFresh) {
+  FlowPopulationConfig cfg;
+  cfg.total_flows = 64;
+  FlowPopulation pop(cfg);
+  std::mt19937_64 rng(11);
+  std::set<std::string> seen;
+  for (std::size_t r = 0; r < pop.size(); ++r) {
+    seen.insert(pop.flow_at(r).to_string());
+  }
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t rank = pop.churn_one(rng);
+    EXPECT_TRUE(seen.insert(pop.flow_at(rank).to_string()).second)
+        << "replacement key must not repeat a live or past key";
+  }
+}
+
+}  // namespace
+}  // namespace mdn::net
