@@ -6,6 +6,7 @@
 // Usage: bench_fleet_traffic [--smoke]
 //   --smoke  small fleet for CI (seconds, same claims / kv key set)
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -64,6 +65,17 @@ struct RunResult {
   std::size_t switches = 0;
   std::size_t watched_cells = 0;
   std::string scoreboard;  ///< full render — the byte-identity artifact
+  // Latency attribution over the run's journal (obs::LatencyProfiler).
+  std::uint64_t attributed = 0;        ///< detections with a cause chain
+  std::uint64_t capture_count = 0;
+  std::uint64_t ring_wait_count = 0;
+  double capture_p50_ms = 0.0;
+  double capture_p99_ms = 0.0;
+  double ring_wait_p99_ms = 0.0;
+  std::string stage_prom;  ///< per-stage families — byte-identity artifact
+  // Registry time series sampled at a fixed sim cadence (obs::Timeline).
+  double timeline_packets_delta = 0.0;
+  std::string timeline_jsonl;
 };
 
 RunResult run_fleet(const Params& p, double skew, double churn_fpm) {
@@ -102,6 +114,22 @@ RunResult run_fleet(const Params& p, double skew, double churn_fpm) {
   // (bridge processing delay + tone length) are heard.
   fleet.stop_at(net::from_seconds(p.duration_s + 0.15));
 
+  // Sample the workload instruments on a fixed sim-time grid: the
+  // series (and its derived packet delta) must replay byte-identically
+  // with the trace.
+  obs::Timeline timeline({.capacity = 64});
+  timeline.track_counter(obs::Registry::global(), "net/trafficgen/packets");
+  timeline.track_counter(obs::Registry::global(),
+                         "net/trafficgen/churn_events");
+  timeline.track_gauge(obs::Registry::global(), "net/trafficgen/flows_live");
+  const net::SimTime sample_end = net::from_seconds(p.duration_s + 0.15);
+  loop.schedule_periodic(100 * net::kMillisecond, 100 * net::kMillisecond,
+                         [&loop, &timeline, sample_end] {
+                           timeline.sample(loop.now());
+                           // Stop with the fleet so the loop can drain.
+                           return loop.now() < sample_end;
+                         });
+
   const std::uint64_t dispatched_before =
       obs::Registry::global().counter("net/loop/events_dispatched").value();
   const auto t0 = std::chrono::steady_clock::now();
@@ -116,6 +144,14 @@ RunResult run_fleet(const Params& p, double skew, double churn_fpm) {
   scfg.mics = fleet.room_count();
   const auto board = obs::Scoreboard::build(obs::Journal::global(), scfg);
   const auto g = board.grand_totals();
+
+  // Attribute every detection's cause chain to pipeline stages; on the
+  // inline controller path a tagged detection decomposes into capture
+  // (tone start -> block end) plus a zero-width ring wait.
+  obs::LatencyProfiler profiler(obs::Journal::global());
+  profiler.profile(obs::JournalKind::kToneDetected);
+  const auto capture = profiler.stage_stats(obs::LatencyStage::kCapture);
+  const auto ring_wait = profiler.stage_stats(obs::LatencyStage::kRingWait);
 
   RunResult r;
   r.trace_digest = gen.trace_digest();
@@ -138,6 +174,15 @@ RunResult run_fleet(const Params& p, double skew, double churn_fpm) {
   r.switches = fleet.switch_count();
   r.watched_cells = fleet.watched_tone_count();
   r.scoreboard = board.render();
+  r.attributed = profiler.actions_profiled();
+  r.capture_count = capture.count;
+  r.ring_wait_count = ring_wait.count;
+  r.capture_p50_ms = capture.p50_ns / 1e6;
+  r.capture_p99_ms = capture.p99_ns / 1e6;
+  r.ring_wait_p99_ms = ring_wait.p99_ns / 1e6;
+  r.stage_prom = profiler.to_prometheus();
+  r.timeline_packets_delta = timeline.rollup(0).delta;
+  r.timeline_jsonl = timeline.to_timeline_jsonl();
   return r;
 }
 
@@ -147,10 +192,27 @@ std::string key(const char* what, double skew, double churn) {
   return buf;
 }
 
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--smoke]\n"
+               "  --smoke  small fleet for CI (same claims / kv key set)\n",
+               prog);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    std::fprintf(stderr, "bench_fleet_traffic: unknown argument '%s'\n",
+                 argv[i]);
+    return usage(argv[0]);
+  }
   const Params p = smoke ? smoke_params() : Params{};
 
   bench::print_header(
@@ -200,6 +262,13 @@ int main(int argc, char** argv) {
       replay.trace_digest == zipf_churn.trace_digest &&
       replay.scoreboard == zipf_churn.scoreboard &&
       replay.packets == zipf_churn.packets;
+  // The derived observability artifacts must replay too: per-stage
+  // latency families are a pure function of the sim-time schedule, and
+  // the timeline's windowed packet delta must match even though the
+  // process-wide trafficgen counters keep absolute values across runs.
+  const bool obs_deterministic =
+      replay.stage_prom == zipf_churn.stage_prom &&
+      replay.timeline_packets_delta == zipf_churn.timeline_packets_delta;
 
   bench::print_kv("packets_total", total_packets);
   bench::print_kv("watched_tone_cells",
@@ -208,6 +277,16 @@ int main(int argc, char** argv) {
                   static_cast<double>(zipf_churn.emitted));
   bench::print_kv("detected (zipf+churn)",
                   static_cast<double>(zipf_churn.detected));
+  bench::print_kv("attributed detections (zipf+churn)",
+                  static_cast<double>(zipf_churn.attributed));
+  bench::print_kv("stage capture p50 (zipf+churn)",
+                  zipf_churn.capture_p50_ms, "ms");
+  bench::print_kv("stage capture p99 (zipf+churn)",
+                  zipf_churn.capture_p99_ms, "ms");
+  bench::print_kv("stage ring_wait p99 (zipf+churn)",
+                  zipf_churn.ring_wait_p99_ms, "ms");
+  bench::print_kv("timeline packet delta (zipf+churn)",
+                  zipf_churn.timeline_packets_delta);
   bench::events_per_sec("packet", total_packets, total_wall);
   bench::events_per_sec("loop", total_loop_events, total_wall);
 
@@ -217,6 +296,19 @@ int main(int argc, char** argv) {
   const bool heard = zipf_churn.recall > 0.2 && zipf_churn.detected > 0;
   const bool hh_separates = zipf_quiet.hh_alerts > uniform_quiet.hh_alerts;
   const bool scans_seen = zipf_churn.ps_alerts >= 1;
+  // Every attributed detection carries exactly one capture hop and one
+  // ring-wait hop (the inline path's chain is emitted->ingested->
+  // detected), and capture — the whole tone-to-block-end span — must
+  // agree with the scoreboard's end-to-end latency.  The two histograms
+  // bucket in different units, so compare quantiles with slack.
+  const bool stages_cover =
+      zipf_churn.attributed > 0 &&
+      zipf_churn.capture_count == zipf_churn.attributed &&
+      zipf_churn.ring_wait_count == zipf_churn.attributed;
+  const bool stages_match_scoreboard =
+      zipf_churn.latency_p50_ms > 0.0 &&
+      std::abs(zipf_churn.capture_p50_ms - zipf_churn.latency_p50_ms) <=
+          0.35 * zipf_churn.latency_p50_ms;
 
   bench::print_claim(
       "traffic engine delivered the configured aggregate packet load",
@@ -232,6 +324,16 @@ int main(int argc, char** argv) {
   bench::print_claim(
       "fleet microphones hear the tone workload (recall above floor)",
       heard);
+  bench::print_claim(
+      "latency attribution decomposes every tagged detection into "
+      "capture + ring-wait stages",
+      stages_cover);
+  bench::print_claim(
+      "capture-stage p50 agrees with the scoreboard's end-to-end latency",
+      stages_match_scoreboard);
+  bench::print_claim(
+      "stage histograms and timeline packet delta replay deterministically",
+      obs_deterministic);
   if (!smoke) {
     bench::print_claim(
         "fleet scale: >=100 switches, >=64K flows, >=1000 watched cells",
@@ -239,7 +341,15 @@ int main(int argc, char** argv) {
             zipf_churn.watched_cells >= 1000);
   }
 
-  const bool ok =
-      load_ok && deterministic && hh_separates && scans_seen && heard;
+  // The sampled time series from the gated zipf+churn run rides along
+  // as a CI artifact (fleet_traffic.timeline.jsonl, next to the report).
+  if (obs::write_file("fleet_traffic.timeline.jsonl",
+                      zipf_churn.timeline_jsonl)) {
+    std::printf("wrote fleet_traffic.timeline.jsonl\n");
+  }
+
+  const bool ok = load_ok && deterministic && hh_separates && scans_seen &&
+                  heard && stages_cover && stages_match_scoreboard &&
+                  obs_deterministic;
   return ok ? 0 : 1;
 }

@@ -15,15 +15,21 @@
 // skipped (with a note) on smaller machines; equivalence is always
 // enforced.
 //
-// --journal: run with the flight-recorder journal enabled.  Provenance
+// --journal: run with the flight-recorder journal enabled and every
+// tone block tagged with a ground-truth emission record.  Provenance
 // must be pure metadata — the merged stream stays identical to the
-// serial reference (StreamEvent identity excludes the cause id), so the
-// equivalence claims must hold in this mode too.
+// serial reference (StreamEvent identity excludes the cause and ingest
+// ids), so the equivalence claims must hold in this mode too.  The
+// LatencyProfiler then attributes every detection chain to capture and
+// ring-wait stages, and the per-stage histograms must come out
+// byte-identical at every worker count.
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <numbers>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +37,7 @@
 #include "bench_util.h"
 #include "dsp/simd.h"
 #include "obs/journal.h"
+#include "obs/latency.h"
 #include "rt/rt.h"
 
 namespace {
@@ -42,14 +49,17 @@ constexpr double kHopS = 0.05;
 
 using mdn::rt::StreamEvent;
 
+// Each mic cycles tone bursts of "its" frequency: 3 hops on, 5 off,
+// phase-shifted per mic so onsets land on every mic and collide on
+// equal hops across mics.
+bool tone_on(std::uint32_t mic, std::uint64_t hop) {
+  return (hop + 2 * mic) % 8 < 3;
+}
+
 std::vector<double> make_block(std::uint32_t mic, std::uint64_t hop,
                                const std::vector<double>& watch) {
   std::vector<double> v(kBlockSize, 0.0);
-  // Each mic cycles tone bursts of "its" frequency: 3 hops on, 5 off,
-  // phase-shifted per mic so onsets land on every mic and collide on
-  // equal hops across mics.
-  const bool on = (hop + 2 * mic) % 8 < 3;
-  if (!on) return v;
+  if (!tone_on(mic, hop)) return v;
   const double freq = watch[mic % watch.size()];
   for (std::size_t i = 0; i < kBlockSize; ++i) {
     v[i] = 0.2 * std::sin(2.0 * std::numbers::pi * freq *
@@ -113,17 +123,36 @@ std::vector<StreamEvent> serial_run(
 
 std::vector<StreamEvent> runtime_run(
     const std::vector<std::vector<std::vector<double>>>& blocks,
-    std::size_t workers, double* wall_ms) {
+    std::size_t workers, bool journal_on, std::uint64_t* tagged,
+    double* wall_ms) {
   mdn::rt::StreamRuntime runtime(runtime_config(workers));
   for (std::size_t m = 0; m < kMics; ++m) {
     runtime.add_mic("mic-" + std::to_string(m));
   }
   runtime.start();
+  mdn::obs::Journal& journal = mdn::obs::Journal::global();
+  const auto& watch = runtime.config().watch_hz;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t hop = 0; hop < blocks.size(); ++hop) {
     for (std::uint32_t mic = 0; mic < kMics; ++mic) {
-      runtime.submit_block(mic, static_cast<double>(hop) * kHopS,
-                           blocks[hop][mic]);
+      std::array<mdn::audio::EmissionTag, 1> tags;
+      std::size_t ntags = 0;
+      if (journal_on && tone_on(mic, hop)) {
+        // Ground-truth emission record at the tone's start: detections
+        // cite it, so the profiler can attribute capture vs ring wait.
+        mdn::obs::JournalRecord rec;
+        rec.kind = mdn::obs::JournalKind::kToneEmitted;
+        rec.sim_ns = static_cast<std::int64_t>(hop) * 50'000'000;
+        rec.frequency_hz = watch[mic % watch.size()];
+        rec.mic = mic;
+        mdn::obs::set_journal_label(rec, "bench_tone");
+        tags[0] = {journal.append(rec), rec.frequency_hz};
+        ntags = 1;
+        if (tagged != nullptr) ++*tagged;
+      }
+      runtime.submit_block(
+          mic, static_cast<double>(hop) * kHopS, blocks[hop][mic],
+          std::span<const mdn::audio::EmissionTag>(tags.data(), ntags));
     }
   }
   runtime.finish();
@@ -180,11 +209,26 @@ int run(bool smoke, bool journal_on) {
 
   const std::vector<std::size_t> worker_counts{1, 2, 4, 7};
   std::vector<std::vector<double>> rows;
+  std::uint64_t tagged = 0;
+  std::string stage_prom_ref;
+  bool stages_identical = true;
+  mdn::obs::LatencyProfiler profiler(mdn::obs::Journal::global());
   for (std::size_t workers : worker_counts) {
     if (journal_on) mdn::obs::Journal::global().clear();
     double wall_ms = 0.0;
-    const auto events = runtime_run(blocks, workers, &wall_ms);
+    tagged = 0;
+    const auto events =
+        runtime_run(blocks, workers, journal_on, &tagged, &wall_ms);
     const bool equal = identical(events, reference);
+    if (journal_on) {
+      // Re-attribute from scratch per worker count: the per-stage
+      // families must be byte-identical regardless of parallelism.
+      profiler.clear();
+      profiler.profile(mdn::obs::JournalKind::kToneDetected);
+      const std::string prom = profiler.to_prometheus();
+      if (stage_prom_ref.empty()) stage_prom_ref = prom;
+      stages_identical = stages_identical && prom == stage_prom_ref;
+    }
     const double speedup = wall_ms > 0.0 ? serial_ms / wall_ms : 0.0;
     rows.push_back({static_cast<double>(workers), wall_ms, speedup,
                     equal ? 1.0 : 0.0});
@@ -219,11 +263,34 @@ int run(bool smoke, bool journal_on) {
 
   if (journal_on) {
     mdn::obs::Journal& journal = mdn::obs::Journal::global();
-    mdn::bench::print_kv("journal records (4-worker run)",
+    mdn::bench::print_kv("journal records (last run)",
                          static_cast<double>(journal.size()));
+    mdn::bench::print_kv("tagged tone blocks",
+                         static_cast<double>(tagged));
     mdn::bench::print_claim(
-        "journal minted one detection record per merged event",
-        journal.size() == reference.size());
+        "journal minted emission + ingest records per tagged block and "
+        "one detection per merged event",
+        journal.size() == reference.size() + 2 * tagged);
+
+    // Stage attribution: every detection chain decomposes into capture
+    // (tone start -> block end, exactly one 50 ms hop here) plus the
+    // ring wait, and the histograms are parallelism-independent.
+    const auto capture =
+        profiler.stage_stats(mdn::obs::LatencyStage::kCapture);
+    const auto ring_wait =
+        profiler.stage_stats(mdn::obs::LatencyStage::kRingWait);
+    mdn::bench::print_kv("stage capture p99", capture.p99_ns / 1e6, "ms");
+    mdn::bench::print_kv("stage ring_wait p99", ring_wait.p99_ns / 1e6,
+                         "ms");
+    mdn::bench::print_claim(
+        "stage attribution covers capture and ring wait for every "
+        "merged event",
+        capture.count == reference.size() &&
+            ring_wait.count == reference.size());
+    mdn::bench::print_claim(
+        "per-stage latency histograms byte-identical at every worker "
+        "count",
+        stages_identical);
     journal.disable();
     journal.clear();
   }
@@ -244,8 +311,17 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool journal_on = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    if (std::strcmp(argv[i], "--journal") == 0) journal_on = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      journal_on = true;
+    } else {
+      std::fprintf(stderr,
+                   "bench_rt_scaling: unknown argument '%s'\n"
+                   "usage: bench_rt_scaling [--smoke] [--journal]\n",
+                   argv[i]);
+      return 2;
+    }
   }
   return run(smoke, journal_on);
 }

@@ -14,7 +14,14 @@ Validates the exposition-format subset mdn::obs emits:
     TYPE-declared, always labeled with the microphone, component-state
     samples take only the enum values 0/1/2 (OK/Degraded/Failed),
     alert counters carry a valid severity label, per-watch SNR samples
-    carry a watch label, and *_total counters are non-negative.
+    carry a watch label, and *_total counters are non-negative,
+  * latency families (obs::LatencyProfiler::to_prometheus,
+    mdn_latency_*) are TYPE-declared, per-stage samples carry a stage
+    label from the known pipeline-stage taxonomy, counts and seconds
+    are non-negative, and per stage p50 <= p99 <= max,
+  * timeline families (obs::Timeline::to_prometheus, mdn_timeline_*)
+    are TYPE-declared, per-track rollups carry a track label, sample
+    and drop counts are non-negative, and per track min <= max.
 
 Usage: lint_prom.py FILE [FILE...]   (exit 1 on the first bad file)
 """
@@ -39,6 +46,37 @@ HEALTH_FAMILIES = {
     "mdn_health_alerts_total",
 }
 HEALTH_SEVERITIES = {"ok", "degraded", "failed"}
+# The families obs::LatencyProfiler::to_prometheus emits, and the
+# pipeline-stage taxonomy their stage label must come from
+# (src/obs/latency.h).
+LATENCY_FAMILIES = {
+    "mdn_latency_stage_count",
+    "mdn_latency_stage_p50_seconds",
+    "mdn_latency_stage_p99_seconds",
+    "mdn_latency_stage_max_seconds",
+    "mdn_latency_stage_sum_seconds",
+    "mdn_latency_actions_profiled",
+}
+LATENCY_STAGES = {
+    "upstream_wait", "capture", "ring_wait", "detect", "merge",
+    "fsm", "app", "actuate", "health", "drop",
+}
+# The families obs::Timeline::to_prometheus emits; per-track rollups
+# must carry a track label.
+TIMELINE_FAMILIES = {
+    "mdn_timeline_samples",
+    "mdn_timeline_dropped",
+    "mdn_timeline_last",
+    "mdn_timeline_min",
+    "mdn_timeline_max",
+    "mdn_timeline_rate_per_second",
+}
+TIMELINE_TRACK_FAMILIES = {
+    "mdn_timeline_last",
+    "mdn_timeline_min",
+    "mdn_timeline_max",
+    "mdn_timeline_rate_per_second",
+}
 
 
 def check_health_sample(family, labels, value, declared, errors, where):
@@ -60,6 +98,49 @@ def check_health_sample(family, labels, value, declared, errors, where):
         errors.append(f"{where}: snr_db sample lacks a watch label")
     if family.endswith("_total") and value < 0:
         errors.append(f"{where}: counter {family} is negative ({value!r})")
+
+
+def check_latency_sample(family, labels, value, declared, errors, where,
+                         stage_quantiles):
+    """Schema checks for the obs::LatencyProfiler exporter families."""
+    if family not in declared:
+        errors.append(f"{where}: latency family {family} lacks a TYPE line")
+    if value < 0:
+        errors.append(f"{where}: latency sample {family} is negative "
+                      f"({value!r})")
+    if family == "mdn_latency_actions_profiled":
+        if labels:
+            errors.append(f"{where}: actions_profiled takes no labels")
+        return
+    stage = labels.get("stage")
+    if stage not in LATENCY_STAGES:
+        errors.append(
+            f"{where}: latency sample {family} needs a stage label from "
+            f"the pipeline taxonomy, got {stage!r}")
+        return
+    # Remember quantiles so the end-of-file pass can check the per-stage
+    # ordering p50 <= p99 <= max.
+    for quantile in ("p50", "p99", "max"):
+        if family == f"mdn_latency_stage_{quantile}_seconds":
+            stage_quantiles.setdefault(stage, {})[quantile] = value
+
+
+def check_timeline_sample(family, labels, value, declared, errors, where,
+                          track_extremes):
+    """Schema checks for the obs::Timeline exporter families."""
+    if family not in declared:
+        errors.append(f"{where}: timeline family {family} lacks a TYPE line")
+    if family in ("mdn_timeline_samples", "mdn_timeline_dropped"):
+        if value < 0:
+            errors.append(f"{where}: {family} is negative ({value!r})")
+        return
+    track = labels.get("track")
+    if family in TIMELINE_TRACK_FAMILIES and track is None:
+        errors.append(f"{where}: timeline rollup {family} lacks a track label")
+        return
+    for extreme in ("min", "max"):
+        if family == f"mdn_timeline_{extreme}":
+            track_extremes.setdefault(track, {})[extreme] = value
 
 
 def parse_labels(raw, errors, where):
@@ -112,6 +193,8 @@ def lint(path):
     declared = {}  # family -> type
     sampled_families = set()
     buckets = {}  # family -> list of (le, count) in file order
+    stage_quantiles = {}  # stage -> {p50/p99/max: value}
+    track_extremes = {}  # track -> {min/max: value}
 
     with open(path, "r", encoding="utf-8") as f:
         lines = f.read().split("\n")
@@ -161,6 +244,12 @@ def lint(path):
         sampled_families.add(family)
         if family in HEALTH_FAMILIES:
             check_health_sample(family, labels, fval, declared, errors, where)
+        if family in LATENCY_FAMILIES:
+            check_latency_sample(family, labels, fval, declared, errors,
+                                 where, stage_quantiles)
+        if family in TIMELINE_FAMILIES:
+            check_timeline_sample(family, labels, fval, declared, errors,
+                                  where, track_extremes)
         if declared.get(family) == "histogram" and name.endswith("_bucket"):
             if "le" not in labels:
                 errors.append(f"{where}: histogram bucket without le label")
@@ -169,6 +258,18 @@ def lint(path):
                     sorted((k, v) for k, v in labels.items() if k != "le")
                 )), []).append((labels["le"], float(
                     value.replace("+Inf", "inf"))))
+
+    for stage, q in stage_quantiles.items():
+        if "p50" in q and "p99" in q and q["p50"] > q["p99"]:
+            errors.append(f"{path}: latency stage {stage} has p50 > p99 "
+                          f"({q['p50']!r} > {q['p99']!r})")
+        if "p99" in q and "max" in q and q["p99"] > q["max"]:
+            errors.append(f"{path}: latency stage {stage} has p99 > max "
+                          f"({q['p99']!r} > {q['max']!r})")
+    for track, ex in track_extremes.items():
+        if "min" in ex and "max" in ex and ex["min"] > ex["max"]:
+            errors.append(f"{path}: timeline track {track} has min > max "
+                          f"({ex['min']!r} > {ex['max']!r})")
 
     for (family, _), series in buckets.items():
         if not any(le == "+Inf" for le, _ in series):

@@ -11,8 +11,11 @@ Real-time purity
     RealFftPlan::execute_batch, the SIMD kernel dispatch
     (simd::active_kernels), GoertzelBank evaluation, RingBuffer
     push/pop, Journal::append, WorkerPool batch processing
-    (process_batch) and the MicSignalEstimator health hooks
-    (begin_block / observe_watch / end_block / queue_alert).  The
+    (process_batch), the MicSignalEstimator health hooks
+    (begin_block / observe_watch / end_block / queue_alert) and the
+    metrics-timeline sampling hook (Timeline::sample — it runs inside
+    the event loop's periodic callback, so it must stay pure relaxed
+    loads plus array stores into its preallocated ring).  The
     linter builds
     a call graph from the sources and *transitively* rejects calls to
     allocation, locking, I/O and throwing-STL entry points reachable

@@ -102,6 +102,23 @@ bool MdnController::tick() {
     return running_;
   }
 
+  // Ingest record: the capture boundary of the latency waterfall.  One
+  // per tagged block, stamped at block END (the earliest sim time the
+  // samples exist to be analysed), citing the first overlapping
+  // emission; detections below cite it via cause2 so explain() shows
+  // emitted -> ingested -> detected.
+  obs::CauseId ingest_id = 0;
+  if (journal.enabled() && ntags > 0) {
+    obs::JournalRecord rec;
+    rec.kind = obs::JournalKind::kBlockIngested;
+    rec.sim_ns = sim_now;
+    rec.cause = tag_scratch_[0].cause;
+    rec.mic = config_.sink_mic;
+    rec.aux = blocks_;
+    obs::set_journal_label(rec, "ingest");
+    ingest_id = journal.append(rec);
+  }
+
   // Stage 2: windowed FFT + peak picking (also feeds "dsp/fft/wall_ns").
   // The tones vector is a reused member, so steady-state ticks detect
   // with zero heap allocation.
@@ -160,6 +177,7 @@ bool MdnController::tick() {
           rec.value = best_amp;
           rec.mic = config_.sink_mic;
           rec.watch = static_cast<std::int32_t>(wi);
+          rec.cause2 = ingest_id;
           for (std::size_t t = 0; t < ntags; ++t) {
             if (std::abs(tag_scratch_[t].frequency_hz - w.frequency_hz) <=
                 detector_.config().match_tolerance_hz) {

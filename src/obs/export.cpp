@@ -183,6 +183,15 @@ std::string chrome_trace_impl(const Tracer& tracer,
                   static_cast<double>(sim_ns) / 1000.0);
     return std::string(buf);
   };
+  if (tracer.dropped() != 0) {
+    // Surface the bound: a capped tracer that overflowed says so in the
+    // trace itself, so a viewer knows the timeline is truncated.
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"name\":"
+           "\"tracer_events_dropped\",\"ts\":0,\"s\":\"g\",\"args\":"
+           "{\"dropped\":" + std::to_string(tracer.dropped()) + "}}";
+  }
   for (const TraceEvent& ev : tracer.events()) {
     if (!first) out += ',';
     first = false;
@@ -208,11 +217,11 @@ std::string chrome_trace_impl(const Tracer& tracer,
     // flow arrow from the cause's instant to the effect's.
     const auto records = journal->snapshot();
     const std::size_t base_tid = tracks.size();
-    bool kind_present[8] = {};
+    bool kind_present[kJournalKindCount] = {};
     for (const auto& r : records) {
       kind_present[static_cast<std::size_t>(r.kind)] = true;
     }
-    for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t k = 0; k < kJournalKindCount; ++k) {
       if (!kind_present[k]) continue;
       emit_track_name(base_tid + k,
                       "journal/" + std::string(journal_kind_name(

@@ -46,6 +46,7 @@ std::string_view slo_metric_name(SloSpec::Metric metric) noexcept {
     case SloSpec::Metric::kOnsetRateHz: return "onset_rate_hz";
     case SloSpec::Metric::kSilenceS: return "silence_s";
     case SloSpec::Metric::kDropCount: return "drop_count";
+    case SloSpec::Metric::kStageLatencyP99: return "stage_latency_p99";
   }
   return "unknown";
 }
@@ -121,7 +122,7 @@ void MicSignalEstimator::end_block() noexcept {
   double firing_value = 0.0;
   for (std::size_t r = 0; r < rules; ++r) {
     const SloSpec& spec = owner_->slos_[r];
-    const double v = metric_value(spec.metric);
+    const double v = metric_value(spec);
     const bool cond = spec.op == SloSpec::Op::kAbove ? v > spec.threshold
                                                      : v < spec.threshold;
     if (!cond) {
@@ -170,9 +171,8 @@ double MicSignalEstimator::snr_db(std::size_t watch) const noexcept {
   return snr_db_[watch].load(std::memory_order_relaxed);
 }
 
-double MicSignalEstimator::metric_value(
-    SloSpec::Metric metric) const noexcept {
-  switch (metric) {
+double MicSignalEstimator::metric_value(const SloSpec& spec) const noexcept {
+  switch (spec.metric) {
     case SloSpec::Metric::kNoiseFloor:
       return noise_floor_.load(std::memory_order_relaxed);
     case SloSpec::Metric::kMinSnrDb:
@@ -183,6 +183,11 @@ double MicSignalEstimator::metric_value(
       return silence_s_.load(std::memory_order_relaxed);
     case SloSpec::Metric::kDropCount:
       return static_cast<double>(drops_.load(std::memory_order_relaxed));
+    case SloSpec::Metric::kStageLatencyP99:
+      // NaN until the owner publishes, so comparisons stay false and
+      // the rule cannot fire on unprofiled stages.
+      return owner_->stage_latency_s_[static_cast<std::size_t>(spec.stage)]
+          .load(std::memory_order_relaxed);
   }
   return 0.0;
 }
@@ -202,6 +207,18 @@ void MicSignalEstimator::queue_alert(const PendingAlert& alert) noexcept {
 
 Health::Health(HealthConfig config) : config_(config) {
   if (config_.alert_capacity == 0) config_.alert_capacity = 1;
+  for (auto& s : stage_latency_s_) s.store(kNan, std::memory_order_relaxed);
+}
+
+void Health::publish_stage_latency(LatencyStage stage,
+                                   double p99_s) noexcept {
+  stage_latency_s_[static_cast<std::size_t>(stage)].store(
+      p99_s, std::memory_order_relaxed);
+}
+
+double Health::stage_latency_p99_s(LatencyStage stage) const noexcept {
+  return stage_latency_s_[static_cast<std::size_t>(stage)].load(
+      std::memory_order_relaxed);
 }
 
 std::uint32_t Health::add_mic(std::string name) {

@@ -32,6 +32,7 @@
 // lossless kBlock policy (checked in tests/rt/test_health_rt.cpp).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -41,6 +42,7 @@
 
 #include "common/annotations.h"
 #include "obs/journal.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 
 namespace mdn::obs {
@@ -68,6 +70,10 @@ struct SloSpec {
     kOnsetRateHz = 2,  ///< decaying onsets-per-second estimate
     kSilenceS = 3,     ///< seconds since a watched tone was last present
     kDropCount = 4,    ///< rt backpressure drops charged to this mic
+    /// Pipeline-stage p99 latency (seconds) as last published by the
+    /// owner via Health::publish_stage_latency (fed from the
+    /// LatencyProfiler).  NaN — so rules never fire — until published.
+    kStageLatencyP99 = 5,
   };
   enum class Op : std::uint8_t { kAbove = 0, kBelow = 1 };
 
@@ -77,6 +83,8 @@ struct SloSpec {
   double threshold = 0.0;
   double for_s = 0.0;  ///< condition must hold this long (0 = immediate)
   HealthState severity = HealthState::kDegraded;
+  /// Stage selector, only read by kStageLatencyP99 rules.
+  LatencyStage stage = LatencyStage::kCapture;
 };
 
 /// Stable lowercase metric name ("noise_floor", "min_snr_db", ...).
@@ -183,7 +191,7 @@ class MicSignalEstimator {
 
   MicSignalEstimator(const Health* owner, const HealthConfig& config);
 
-  double metric_value(SloSpec::Metric metric) const noexcept;
+  double metric_value(const SloSpec& spec) const noexcept;
   MDN_REALTIME void queue_alert(const PendingAlert& alert) noexcept;
 
   const Health* owner_;
@@ -233,6 +241,13 @@ class Health {
 
   /// Appends one objective.  Rules apply to every microphone.
   void add_slo(SloSpec spec);
+
+  /// Publishes one stage's p99 latency (seconds) for kStageLatencyP99
+  /// rules; estimators read it with a relaxed load on their next block.
+  /// Owner thread, typically right after LatencyProfiler::profile().
+  void publish_stage_latency(LatencyStage stage, double p99_s) noexcept;
+  /// Last published p99 for `stage` (NaN until first published).
+  double stage_latency_p99_s(LatencyStage stage) const noexcept;
 
   std::size_t mic_count() const noexcept { return estimators_.size(); }
   std::size_t slo_count() const noexcept { return slos_.size(); }
@@ -314,6 +329,8 @@ class Health {
   std::vector<Gauge*> state_gauges_;
   std::vector<Counter*> alert_counters_;
   Counter* alerts_total_ = nullptr;
+  /// Owner-published, estimator-read (relaxed); NaN = never published.
+  std::array<std::atomic<double>, kLatencyStageCount> stage_latency_s_;
 };
 
 }  // namespace mdn::obs

@@ -32,6 +32,7 @@ bool content_before(const JournalRecord& a, const JournalRecord& b) {
 std::string_view journal_kind_name(JournalKind kind) noexcept {
   switch (kind) {
     case JournalKind::kToneEmitted: return "tone_emitted";
+    case JournalKind::kBlockIngested: return "block_ingested";
     case JournalKind::kBlockDropped: return "block_dropped";
     case JournalKind::kToneDetected: return "tone_detected";
     case JournalKind::kMergedEvent: return "merged_event";

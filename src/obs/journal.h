@@ -10,8 +10,11 @@
 //   mp::PiSpeakerBridge       kToneEmitted    (ground truth: sim_ns, Hz)
 //        │ EmissionTag rides the audio::AcousticChannel emission and the
 //        │ recorded block metadata (BlockSink / rt::AudioBlock)
+//   MdnController / rt submit kBlockIngested  (a tagged block was captured;
+//        │                    cause = first tagged emission, aux = seq)
 //   rt::StreamRuntime         kBlockDropped   (backpressure ate a tone)
-//   MdnController / rt poll   kToneDetected   (cause = the emission)
+//   MdnController / rt poll   kToneDetected   (cause = the emission,
+//                                              cause2 = the block ingest)
 //   core::MicArray            kMergedEvent
 //   core::MusicFsm            kFsmTransition  (cause2 = previous step)
 //   HH / TE apps              kAppAction
@@ -47,14 +50,18 @@ using CauseId = std::uint64_t;
 
 enum class JournalKind : std::uint8_t {
   kToneEmitted = 0,   ///< bridge scheduled a tone on the channel
-  kBlockDropped = 1,  ///< rt backpressure discarded a block (drop attribution)
-  kToneDetected = 2,  ///< onset matched a watch (inline or rt merge)
-  kMergedEvent = 3,   ///< MicArray fused hearings into one event
-  kFsmTransition = 4, ///< MusicFsm edge taken (aux = from<<32 | to)
-  kAppAction = 5,     ///< application-level decision (alert, balance, ...)
-  kFlowMod = 6,       ///< ControlChannel actuation (aux = dpid)
-  kHealthAlert = 7,   ///< obs::Health state transition (aux = rule<<32|from<<8|to)
+  kBlockIngested = 1, ///< a tagged block entered the pipeline (aux = seq)
+  kBlockDropped = 2,  ///< rt backpressure discarded a block (drop attribution)
+  kToneDetected = 3,  ///< onset matched a watch (inline or rt merge)
+  kMergedEvent = 4,   ///< MicArray fused hearings into one event
+  kFsmTransition = 5, ///< MusicFsm edge taken (aux = from<<32 | to)
+  kAppAction = 6,     ///< application-level decision (alert, balance, ...)
+  kFlowMod = 7,       ///< ControlChannel actuation (aux = dpid)
+  kHealthAlert = 8,   ///< obs::Health state transition (aux = rule<<32|from<<8|to)
 };
+
+/// Number of JournalKind values (for per-kind tables; the enum is dense).
+inline constexpr std::size_t kJournalKindCount = 9;
 
 /// Stable lowercase name ("tone_emitted", "flow_mod", ...).
 std::string_view journal_kind_name(JournalKind kind) noexcept;

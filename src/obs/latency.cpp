@@ -1,0 +1,301 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace mdn::obs {
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Same content key as the canonical journal export: profile order must
+/// not depend on mint order, which varies with worker interleaving.
+bool content_before(const JournalRecord& a, const JournalRecord& b) {
+  if (a.sim_ns != b.sim_ns) return a.sim_ns < b.sim_ns;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.mic != b.mic) return a.mic < b.mic;
+  if (a.watch != b.watch) return a.watch < b.watch;
+  if (a.frequency_hz != b.frequency_hz) return a.frequency_hz < b.frequency_hz;
+  if (a.aux != b.aux) return a.aux < b.aux;
+  if (a.value != b.value) return a.value < b.value;
+  return std::strcmp(a.label, b.label) < 0;
+}
+
+}  // namespace
+
+std::string_view latency_stage_name(LatencyStage stage) noexcept {
+  switch (stage) {
+    case LatencyStage::kUpstreamWait: return "upstream_wait";
+    case LatencyStage::kCapture: return "capture";
+    case LatencyStage::kRingWait: return "ring_wait";
+    case LatencyStage::kDetect: return "detect";
+    case LatencyStage::kMerge: return "merge";
+    case LatencyStage::kFsm: return "fsm";
+    case LatencyStage::kApp: return "app";
+    case LatencyStage::kActuate: return "actuate";
+    case LatencyStage::kHealth: return "health";
+    case LatencyStage::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+LatencyStage latency_stage_of(JournalKind from, JournalKind to) noexcept {
+  switch (to) {
+    case JournalKind::kToneEmitted: return LatencyStage::kUpstreamWait;
+    case JournalKind::kBlockIngested: return LatencyStage::kCapture;
+    case JournalKind::kToneDetected:
+      return from == JournalKind::kBlockIngested ? LatencyStage::kRingWait
+                                                 : LatencyStage::kDetect;
+    case JournalKind::kMergedEvent: return LatencyStage::kMerge;
+    case JournalKind::kFsmTransition: return LatencyStage::kFsm;
+    case JournalKind::kAppAction: return LatencyStage::kApp;
+    case JournalKind::kFlowMod: return LatencyStage::kActuate;
+    case JournalKind::kHealthAlert: return LatencyStage::kHealth;
+    case JournalKind::kBlockDropped: return LatencyStage::kDrop;
+  }
+  return LatencyStage::kUpstreamWait;
+}
+
+std::size_t Breakdown::distinct_stages() const noexcept {
+  bool seen[kLatencyStageCount] = {};
+  for (const BreakdownHop& hop : hops) {
+    seen[static_cast<std::size_t>(hop.stage)] = true;
+  }
+  std::size_t n = 0;
+  for (bool s : seen) n += s ? 1 : 0;
+  return n;
+}
+
+std::string Breakdown::render() const {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "  waterfall action #%llu  total %.6fs  (%zu hops, %zu "
+                "stages)\n",
+                static_cast<unsigned long long>(action),
+                static_cast<double>(total_ns) / 1e9, hops.size(),
+                distinct_stages());
+  out += buf;
+  constexpr int kBarWidth = 32;
+  for (const BreakdownHop& hop : hops) {
+    int bar = 0;
+    if (total_ns > 0) {
+      bar = static_cast<int>((hop.delta_ns * kBarWidth) / total_ns);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "    t=%9.4fs  %-13s %+11.6fs  %-14s %-*.*s (#%llu)\n",
+                  static_cast<double>(hop.to.sim_ns) / 1e9,
+                  std::string(latency_stage_name(hop.stage)).c_str(),
+                  static_cast<double>(hop.delta_ns) / 1e9,
+                  std::string(journal_kind_name(hop.to.kind)).c_str(),
+                  kBarWidth, bar, "################################",
+                  static_cast<unsigned long long>(hop.to.id));
+    out += buf;
+  }
+  return out;
+}
+
+Breakdown LatencyProfiler::breakdown(CauseId action) const {
+  Breakdown b;
+  const auto chain = journal_.explain(action);
+  if (chain.empty()) return b;
+  b.action = action;
+  b.total_ns = chain.back().sim_ns - chain.front().sim_ns;
+  b.hops.reserve(chain.size() - 1);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    BreakdownHop hop;
+    hop.stage = latency_stage_of(chain[i - 1].kind, chain[i].kind);
+    hop.from = chain[i - 1];
+    hop.to = chain[i];
+    hop.delta_ns = chain[i].sim_ns - chain[i - 1].sim_ns;
+    b.stage_ns[static_cast<std::size_t>(hop.stage)] += hop.delta_ns;
+    b.hops.push_back(hop);
+  }
+  return b;
+}
+
+std::size_t LatencyProfiler::profile(JournalKind kind) {
+  auto records = journal_.snapshot();
+  records.erase(std::remove_if(records.begin(), records.end(),
+                               [kind](const JournalRecord& r) {
+                                 return r.kind != kind;
+                               }),
+                records.end());
+  std::stable_sort(records.begin(), records.end(), content_before);
+  for (const JournalRecord& r : records) profile_action(r.id);
+  return records.size();
+}
+
+void LatencyProfiler::profile_action(CauseId action) {
+  const Breakdown b = breakdown(action);
+  if (b.hops.empty()) return;
+  for (const BreakdownHop& hop : b.hops) {
+    hists_[static_cast<std::size_t>(hop.stage)].record(
+        static_cast<double>(hop.delta_ns));
+  }
+  actions_.push_back(action);
+}
+
+LatencyProfiler::StageStats LatencyProfiler::stage_stats(
+    LatencyStage stage) const {
+  const Histogram& hist = hists_[static_cast<std::size_t>(stage)];
+  const HistogramSnapshot snap = hist.snapshot();
+  StageStats stats;
+  stats.stage = stage;
+  stats.count = snap.count;
+  stats.p50_ns = snap.quantile(0.5);
+  stats.p99_ns = snap.quantile(0.99);
+  stats.max_ns = snap.count == 0 ? 0.0 : snap.max;
+  stats.sum_ns = snap.sum;
+  return stats;
+}
+
+std::vector<LatencyProfiler::StageStats> LatencyProfiler::summary() const {
+  std::vector<StageStats> out;
+  for (std::size_t s = 0; s < kLatencyStageCount; ++s) {
+    StageStats stats = stage_stats(static_cast<LatencyStage>(s));
+    if (stats.count == 0) continue;
+    out.push_back(stats);
+  }
+  return out;
+}
+
+LatencyProfiler::StageStats LatencyProfiler::slowest_stage() const {
+  StageStats slowest;
+  for (const StageStats& stats : summary()) {
+    if (slowest.count == 0 || stats.p99_ns > slowest.p99_ns) {
+      slowest = stats;
+    }
+  }
+  return slowest;
+}
+
+std::string LatencyProfiler::render() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "latency attribution: %zu action(s) profiled\n",
+                actions_.size());
+  out += buf;
+  out += "  stage             count     p50_ms     p99_ms     max_ms"
+         "   total_ms\n";
+  for (const StageStats& stats : summary()) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-14s %8llu %10.4f %10.4f %10.4f %10.3f\n",
+                  std::string(latency_stage_name(stats.stage)).c_str(),
+                  static_cast<unsigned long long>(stats.count),
+                  stats.p50_ns / 1e6, stats.p99_ns / 1e6, stats.max_ns / 1e6,
+                  stats.sum_ns / 1e6);
+    out += buf;
+  }
+  const StageStats slowest = slowest_stage();
+  if (slowest.count != 0) {
+    std::snprintf(buf, sizeof(buf), "  slowest stage: %s (p99 %.4f ms)\n",
+                  std::string(latency_stage_name(slowest.stage)).c_str(),
+                  slowest.p99_ns / 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+std::string LatencyProfiler::to_prometheus() const {
+  std::string out;
+  const auto family = [&out](std::string_view name) {
+    out += "# TYPE mdn_latency_stage_";
+    out += name;
+    out += " gauge\n";
+  };
+  const auto samples = [this, &out](std::string_view name, auto value) {
+    for (std::size_t s = 0; s < kLatencyStageCount; ++s) {
+      const StageStats stats = stage_stats(static_cast<LatencyStage>(s));
+      if (stats.count == 0) continue;
+      out += "mdn_latency_stage_";
+      out += name;
+      out += "{stage=\"";
+      out += latency_stage_name(stats.stage);
+      out += "\"} " + value(stats) + "\n";
+    }
+  };
+  family("count");
+  samples("count", [](const StageStats& s) {
+    return std::to_string(s.count);
+  });
+  family("p50_seconds");
+  samples("p50_seconds", [](const StageStats& s) {
+    return format_double(s.p50_ns / 1e9);
+  });
+  family("p99_seconds");
+  samples("p99_seconds", [](const StageStats& s) {
+    return format_double(s.p99_ns / 1e9);
+  });
+  family("max_seconds");
+  samples("max_seconds", [](const StageStats& s) {
+    return format_double(s.max_ns / 1e9);
+  });
+  family("sum_seconds");
+  samples("sum_seconds", [](const StageStats& s) {
+    return format_double(s.sum_ns / 1e9);
+  });
+  out += "# TYPE mdn_latency_actions_profiled gauge\n";
+  out += "mdn_latency_actions_profiled " + std::to_string(actions_.size()) +
+         "\n";
+  return out;
+}
+
+void LatencyProfiler::clear() {
+  for (Histogram& hist : hists_) hist.reset();
+  actions_.clear();
+}
+
+std::string to_chrome_trace_waterfall(const LatencyProfiler& profiler) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  const auto format_ts = [&buf](std::int64_t sim_ns) {
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(sim_ns) / 1000.0);
+    return std::string(buf);
+  };
+  bool stage_present[kLatencyStageCount] = {};
+  std::vector<Breakdown> breakdowns;
+  breakdowns.reserve(profiler.actions().size());
+  for (CauseId action : profiler.actions()) {
+    breakdowns.push_back(profiler.breakdown(action));
+    for (const BreakdownHop& hop : breakdowns.back().hops) {
+      stage_present[static_cast<std::size_t>(hop.stage)] = true;
+    }
+  }
+  for (std::size_t s = 0; s < kLatencyStageCount; ++s) {
+    if (!stage_present[s]) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(s) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"latency/" +
+           std::string(latency_stage_name(static_cast<LatencyStage>(s))) +
+           "\"}}";
+  }
+  for (const Breakdown& b : breakdowns) {
+    for (const BreakdownHop& hop : b.hops) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"ph\":\"X\",\"pid\":0,\"tid\":" +
+             std::to_string(static_cast<std::size_t>(hop.stage)) +
+             ",\"name\":\"";
+      out += latency_stage_name(hop.stage);
+      out += "\",\"ts\":" + format_ts(hop.from.sim_ns) +
+             ",\"dur\":" + format_ts(hop.delta_ns) +
+             ",\"args\":{\"action\":" + std::to_string(b.action) +
+             ",\"from\":" + std::to_string(hop.from.id) +
+             ",\"to\":" + std::to_string(hop.to.id) + "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mdn::obs

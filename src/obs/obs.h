@@ -3,6 +3,8 @@
 //   metrics.h    counters / gauges / log-bucketed histograms, Registry
 //   trace.h      sim-time spans and instant events (per-EventLoop Tracer)
 //   journal.h    causal provenance journal (CauseId flight recorder)
+//   latency.h    per-stage latency attribution over journal cause chains
+//   timeline.h   bounded sim-time sampling of registry instruments
 //   health.h     per-mic signal estimators + SLO/alert engine
 //   scoreboard.h emitted-vs-detected ground-truth reconciliation
 //   export.h     Prometheus text, JSONL, JSON, Chrome trace_event JSON,
@@ -22,6 +24,8 @@
 #include "obs/export.h"
 #include "obs/health.h"
 #include "obs/journal.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/scoreboard.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"

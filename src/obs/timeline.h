@@ -1,0 +1,136 @@
+// Sim-time time series over the metrics registry: the missing time
+// dimension of fleet runs.
+//
+// The registry answers "how many packets by the end?"; the timeline
+// answers "when did the rate fall off?".  A Timeline resolves a fixed
+// set of instruments once (cold), then sample(sim_ns) copies their
+// current values into a bounded, preallocated ring of rows — one row
+// per sampling tick.  Cadence is the caller's: wire it to the event
+// loop with
+//
+//   loop.schedule_periodic(period, period, [&] {
+//     timeline.sample(loop.now());
+//     return true;
+//   });
+//
+// (obs cannot depend on net, so the loop hook lives caller-side.)
+//
+// Rules, mirroring the tracer/journal contracts:
+//
+//   1. sample() is MDN_REALTIME: relaxed atomic loads + array stores
+//      into storage laid out at track_*() time — no allocation, no
+//      locks, machine-checked by scripts/mdn_lint.py.  One writer (the
+//      owner/event-loop thread) calls it; rows beyond capacity
+//      overwrite the oldest and are counted in dropped().
+//   2. Derivation happens at export time: windowed rates (pps,
+//      detections/s, drops/s) and min/max/last rollups are computed
+//      from the resident rows, never maintained on the hot path.
+//   3. Canonical export: to_timeline_jsonl() renders rows oldest-first
+//      with tracks in registration order.  Registration and cadence are
+//      sim-deterministic, so for sim-deterministic instruments the
+//      bytes are identical across worker counts (golden-diffed in
+//      tests/obs/test_journal_determinism.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.h"
+#include "obs/metrics.h"
+
+namespace mdn::obs {
+
+struct TimelineOptions {
+  std::size_t capacity = 512;  ///< rows retained (ring; 0 clamps to 1)
+};
+
+class Timeline {
+ public:
+  explicit Timeline(TimelineOptions options = {});
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  /// Cold setup: registers an instrument under `name` and lays out its
+  /// column.  Must complete before the first sample() (enforced:
+  /// throws std::logic_error after sampling started).
+  void track_counter(std::string_view name, const Counter& counter);
+  void track_gauge(std::string_view name, const Gauge& gauge);
+  /// Convenience: resolve from a registry by hierarchical name (the
+  /// timeline track keeps the same name).
+  void track_counter(Registry& registry, const std::string& name);
+  void track_gauge(Registry& registry, const std::string& name);
+
+  std::size_t track_count() const noexcept { return tracks_.size(); }
+  const std::string& track_name(std::size_t track) const {
+    return tracks_.at(track).name;
+  }
+
+  /// Samples every tracked instrument at sim time `sim_ns` into the
+  /// next ring row.  Alloc-free single-writer hot path.
+  MDN_REALTIME void sample(std::int64_t sim_ns) noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept;       ///< resident rows
+  std::uint64_t sampled() const noexcept { return sampled_; }
+  /// Rows overwritten because the ring was full.
+  std::uint64_t dropped() const noexcept;
+
+  /// Row access, row 0 = oldest resident.
+  std::int64_t time_at(std::size_t row) const;
+  double value_at(std::size_t row, std::size_t track) const;
+
+  /// Windowed derivation over the resident rows.
+  struct Rollup {
+    double first = 0.0;
+    double last = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double delta = 0.0;       ///< last - first
+    double rate_per_s = 0.0;  ///< delta / window seconds (0 if degenerate)
+  };
+  Rollup rollup(std::size_t track) const;
+
+  /// Canonical timeline.jsonl: one JSON object per resident row, oldest
+  /// first — {"t_ns":...,"values":{"<track>":...}} with tracks in
+  /// registration order.
+  std::string to_timeline_jsonl() const;
+
+  /// Prometheus rollup families (schema-linted by scripts/lint_prom.py):
+  ///   mdn_timeline_samples / mdn_timeline_dropped      gauge
+  ///   mdn_timeline_last{track=...}                     gauge
+  ///   mdn_timeline_min{track=...} / _max{track=...}    gauge
+  ///   mdn_timeline_rate_per_second{track=...}          gauge
+  std::string to_prometheus() const;
+
+  /// Dashboard panel: one sparkline row per track over the resident
+  /// window, with min/max/last/rate.
+  std::string render_sparklines(std::size_t width = 48) const;
+
+  /// Drops all rows; keeps tracks and storage.
+  void clear() noexcept;
+
+ private:
+  struct Track {
+    std::string name;
+    const Counter* counter = nullptr;  // exactly one of these is set
+    const Gauge* gauge = nullptr;
+  };
+
+  void add_track(Track track);
+  double read(const Track& track) const noexcept {
+    return track.counter != nullptr
+               ? static_cast<double>(track.counter->value())
+               : static_cast<double>(track.gauge->value());
+  }
+  std::size_t row_slot(std::size_t row) const noexcept;
+
+  std::size_t capacity_;
+  std::vector<Track> tracks_;
+  std::vector<std::int64_t> times_;  ///< capacity_ entries
+  std::vector<double> values_;       ///< capacity_ x tracks_ entries
+  std::uint64_t sampled_ = 0;
+};
+
+}  // namespace mdn::obs

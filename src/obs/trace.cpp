@@ -2,6 +2,14 @@
 
 namespace mdn::obs {
 
+void Tracer::set_capacity(std::size_t cap) {
+  capacity_ = cap;
+  if (cap != 0) {
+    if (events_.size() > cap) events_.resize(cap);
+    events_.reserve(cap);
+  }
+}
+
 std::uint32_t Tracer::track(std::string_view name) {
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     if (tracks_[i] == name) return static_cast<std::uint32_t>(i);
@@ -12,7 +20,7 @@ std::uint32_t Tracer::track(std::string_view name) {
 
 void Tracer::instant(std::string_view name, std::uint32_t track,
                      std::int64_t sim_ns) {
-  if (!enabled_) return;
+  if (!enabled_ || !has_room()) return;
   TraceEvent ev;
   ev.name.assign(name);
   ev.phase = 'i';
@@ -25,7 +33,7 @@ void Tracer::instant(std::string_view name, std::uint32_t track,
 void Tracer::complete(std::string_view name, std::uint32_t track,
                       std::int64_t sim_ns, std::int64_t wall_start_ns,
                       std::int64_t wall_dur_ns) {
-  if (!enabled_) return;
+  if (!enabled_ || !has_room()) return;
   TraceEvent ev;
   ev.name.assign(name);
   ev.phase = 'X';

@@ -34,6 +34,16 @@ class Tracer {
   void enable(bool on = true) noexcept { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
 
+  /// Bounds event storage: at most `cap` events are kept (preallocated
+  /// here, so recording never grows the vector); once full, further
+  /// events are counted in dropped() instead of stored.  0 restores the
+  /// legacy unbounded mode.  Long fleet runs set a cap so an enabled
+  /// tracer cannot grow without limit.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Events discarded because the capacity was reached.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
   /// Registers (or finds) a named track — one horizontal lane in the
   /// trace viewer, e.g. "net/loop" or "mdn/controller".
   std::uint32_t track(std::string_view name);
@@ -60,11 +70,22 @@ class Tracer {
     return tracks_;
   }
 
-  void clear() noexcept { events_.clear(); }
+  void clear() noexcept {
+    events_.clear();
+    dropped_ = 0;
+  }
 
  private:
+  bool has_room() noexcept {
+    if (capacity_ == 0 || events_.size() < capacity_) return true;
+    ++dropped_;
+    return false;
+  }
+
   bool enabled_ = false;
   WallClock clock_ = &wall_now_ns;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
+  std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
   std::vector<std::string> tracks_;
 };

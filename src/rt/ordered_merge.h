@@ -39,6 +39,10 @@ struct StreamEvent {
   /// delivery).  Metadata, not identity — excluded from operator== so
   /// serial/parallel equivalence holds with the journal enabled.
   std::uint64_t cause = 0;
+  /// Provenance: the kBlockIngested journal id of the block this onset
+  /// was detected in (0 when the journal is off or the block was
+  /// untagged).  Metadata, not identity, like `cause`.
+  std::uint64_t ingest = 0;
 };
 
 inline bool stream_event_before(const StreamEvent& a,

@@ -122,6 +122,25 @@ bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
   block.tag_count = static_cast<std::uint8_t>(
       std::min(tags.size(), block.tags.size()));
   std::copy_n(tags.begin(), block.tag_count, block.tags.begin());
+  obs::Journal& journal = obs::Journal::global();
+  if (journal.enabled() && block.tag_count > 0) {
+    // Ingest record, stamped at block END (when the samples exist to be
+    // analysed) so it sorts between the emission and the detection it
+    // will be cited by (StreamEvent::ingest -> detection cause2).
+    const double block_s =
+        detector_.config().sample_rate > 0.0
+            ? static_cast<double>(detector_.config().block_size) /
+                  detector_.config().sample_rate
+            : 0.0;
+    obs::JournalRecord rec;
+    rec.kind = obs::JournalKind::kBlockIngested;
+    rec.sim_ns = net::from_seconds(start_s + block_s);
+    rec.cause = block.tags[0].cause;
+    rec.mic = mic;
+    rec.aux = block.seq;
+    obs::set_journal_label(rec, "rt_ingest");
+    block.ingest = journal.append(rec);
+  }
   MicQueue& q = *queues_[mic];
 
   switch (config_.drop_policy) {
@@ -199,6 +218,7 @@ std::size_t StreamRuntime::poll() {
       rec.mic = event.mic;
       rec.watch = static_cast<std::int32_t>(event.watch);
       rec.aux = event.seq;
+      rec.cause2 = event.ingest;
       obs::set_journal_label(rec, "rt_onset");
       event.cause = journal.append(rec);
     }

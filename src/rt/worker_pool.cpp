@@ -178,7 +178,8 @@ void WorkerPool::process_batch(BatchScratch& scratch, std::size_t count,
       const bool onset = found && active[i] == 0;
       if (onset) {
         merge_.push({block.seq, block.mic, static_cast<std::uint32_t>(i),
-                     block.start_s, watch_hz_[i], best_amp, cause});
+                     block.start_s, watch_hz_[i], best_amp, cause,
+                     block.ingest});
         ++batch_events;
       }
       if (est != nullptr) {

@@ -45,6 +45,10 @@ struct AudioBlock {
   std::vector<double> samples;
   std::array<audio::EmissionTag, 8> tags{};
   std::uint8_t tag_count = 0;
+  /// kBlockIngested journal id minted at submit (0 = journal off or
+  /// untagged block); rides to the worker so detections can cite the
+  /// capture hop via StreamEvent::ingest.
+  std::uint64_t ingest = 0;
 };
 
 /// The SPSC lane between one microphone's producer and its shard worker.

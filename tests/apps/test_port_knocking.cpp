@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "app_fixture.h"
+#include "obs/latency.h"
 #include "obs/scoreboard.h"
 
 namespace mdn::core {
@@ -239,6 +242,62 @@ TEST_F(PortKnockingTest, JournalExplainsFlowModBackToKnockTones) {
   const obs::Scoreboard board = obs::Scoreboard::build(journal);
   EXPECT_DOUBLE_EQ(board.recall(0), 1.0);
   EXPECT_EQ(board.totals(0).detected, 3u);
+
+  journal.disable();
+  journal.clear();
+}
+
+TEST_F(PortKnockingTest, LatencyBreakdownAttributesTheKnockWaterfall) {
+  // The attribution acceptance path: breakdown() on the §4 opening
+  // FlowMod must split the end-to-end interval into at least four
+  // distinct pipeline stages whose per-stage sums telescope exactly to
+  // the chain's total, with the capture stage reproducing the
+  // scoreboard's per-detection latency.
+  obs::Journal& journal = obs::Journal::global();
+  journal.enable(4096);
+  journal.clear();
+
+  init_mdn(0);
+  install_forwarding();
+  auto app = make_app(make_config());
+  controller_->start();
+  send_knock(7001, 0.5);
+  send_knock(7002, 1.0);
+  send_knock(7003, 1.5);
+  run_for(2.5);
+  ASSERT_TRUE(app->opened());
+  ASSERT_NE(app->flow_mod_action(), 0u);
+
+  obs::LatencyProfiler profiler(journal);
+  const obs::Breakdown b = profiler.breakdown(app->flow_mod_action());
+  ASSERT_FALSE(b.hops.empty());
+  EXPECT_GE(b.distinct_stages(), 4u);
+  // Telescoping: stage sums account for every nanosecond of the chain.
+  const std::int64_t stage_sum =
+      std::accumulate(b.stage_ns.begin(), b.stage_ns.end(),
+                      static_cast<std::int64_t>(0));
+  EXPECT_EQ(stage_sum, b.total_ns);
+  EXPECT_GT(b.total_ns, 0);
+
+  // capture + ring_wait of one knock = the scoreboard's end-to-end
+  // detection latency (the detection stamps the block end, one hop
+  // after the tone started; ring_wait is 0 in sim time).
+  const obs::Scoreboard board = obs::Scoreboard::build(journal);
+  const double capture_s =
+      static_cast<double>(
+          b.stage_ns[static_cast<std::size_t>(obs::LatencyStage::kCapture)] +
+          b.stage_ns[static_cast<std::size_t>(
+              obs::LatencyStage::kRingWait)]) /
+      1e9 / 3.0;  // three knocks, each contributing one capture hop
+  EXPECT_NEAR(capture_s, board.cell(0, 0).latency_quantile(0.5), 1e-9);
+
+  // The profiled pass feeds the per-stage histograms and the exports.
+  profiler.profile_action(app->flow_mod_action());
+  EXPECT_EQ(profiler.actions_profiled(), 1u);
+  EXPECT_NE(profiler.render().find("slowest stage:"), std::string::npos);
+  EXPECT_NE(profiler.to_prometheus().find("stage=\"capture\""),
+            std::string::npos);
+  EXPECT_NE(b.render().find("capture"), std::string::npos);
 
   journal.disable();
   journal.clear();

@@ -1,0 +1,39 @@
+// Seeded-violation fixture for scripts/mdn_lint.py (real-time contract,
+// timeline-sampler shaped).
+//
+// This file is NOT part of the build.  obs::Timeline::sample is an
+// MDN_REALTIME root: it runs inside the event loop's periodic callback
+// on the sim hot path, so it must be pure relaxed loads and array
+// stores into preallocated rows.  The sampler below regresses into the
+// patterns the real one must never adopt — growing the row storage per
+// sample, formatting strings, and taking a lock around the ring write.
+// A lint run over this file must exit non-zero; the negative ctest
+// entry (lint.timeline_fixture_fails) is WILL_FAIL, so if the linter
+// ever goes blind this turns red.
+//
+// Nothing here may be added to scripts/mdn_lint_allowlist.txt.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace mdn::lintfixture {
+
+struct BadTimeline {
+  std::mutex mu;
+  std::vector<std::int64_t> times;
+  std::vector<double> values;
+  std::vector<std::string> labels;
+
+  MDN_REALTIME void bad_sample(std::int64_t sim_ns, double value) {
+    std::lock_guard<std::mutex> guard(mu);  // VIOLATION: lock per sample
+    times.push_back(sim_ns);                // VIOLATION: unbounded growth
+    values.push_back(value);                // VIOLATION: alloc on hot path
+    labels.push_back("t=" + std::to_string(sim_ns));  // VIOLATION: format
+  }
+};
+
+}  // namespace mdn::lintfixture

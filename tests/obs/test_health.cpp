@@ -52,6 +52,50 @@ TEST(HealthNames, StateAndMetricNamesAreStable) {
   EXPECT_EQ(slo_metric_name(SloSpec::Metric::kOnsetRateHz), "onset_rate_hz");
   EXPECT_EQ(slo_metric_name(SloSpec::Metric::kSilenceS), "silence_s");
   EXPECT_EQ(slo_metric_name(SloSpec::Metric::kDropCount), "drop_count");
+  EXPECT_EQ(slo_metric_name(SloSpec::Metric::kStageLatencyP99),
+            "stage_latency_p99");
+}
+
+TEST(HealthSloTest, StageLatencyRuleFiresOnlyAfterPublish) {
+  Health health(easy_config());
+  SloSpec spec;
+  spec.name = "capture_p99_slow";
+  spec.metric = SloSpec::Metric::kStageLatencyP99;
+  spec.stage = LatencyStage::kCapture;
+  spec.op = SloSpec::Op::kAbove;
+  spec.threshold = 0.1;  // 100 ms of capture latency is unhealthy
+  health.add_slo(spec);
+  MicSignalEstimator& est = health.estimator(health.add_mic("m0"));
+
+  // Unpublished: the metric reads NaN, the comparison is false, and the
+  // rule cannot fire no matter how many blocks pass.
+  EXPECT_TRUE(std::isnan(health.stage_latency_p99_s(LatencyStage::kCapture)));
+  est.begin_block(0.1, stats_with_floor(0.01));
+  est.end_block();
+  health.poll();
+  EXPECT_EQ(est.state(), HealthState::kOk);
+
+  // Publish a breached p99 (as bench/dashboard code does after a
+  // LatencyProfiler::profile() pass): the next block trips the rule.
+  health.publish_stage_latency(LatencyStage::kCapture, 0.25);
+  EXPECT_DOUBLE_EQ(health.stage_latency_p99_s(LatencyStage::kCapture), 0.25);
+  est.begin_block(0.2, stats_with_floor(0.01));
+  est.end_block();
+  health.poll();
+  EXPECT_EQ(est.state(), HealthState::kDegraded);
+  ASSERT_EQ(health.alerts().size(), 1u);
+  EXPECT_EQ(health.alerts()[0].value, 0.25);
+
+  // Publishing a healthy p99 recovers the mic on the following block.
+  health.publish_stage_latency(LatencyStage::kCapture, 0.01);
+  est.begin_block(0.3, stats_with_floor(0.01));
+  est.end_block();
+  health.poll();
+  EXPECT_EQ(est.state(), HealthState::kOk);
+  ASSERT_EQ(health.alerts().size(), 2u);
+  // The jsonl names the new metric kind.
+  EXPECT_NE(health.to_health_jsonl().find("stage_latency_p99"),
+            std::string::npos);
 }
 
 TEST(MicSignalEstimatorTest, NoiseFloorSeedsThenTracksEwma) {

@@ -100,6 +100,87 @@ TEST(JournalTest, ExplainWalksCauseAndCause2Links) {
   EXPECT_TRUE(journal.explain(999).empty());
 }
 
+TEST(JournalTest, ExplainDiamondVisitsSharedRootOnce) {
+  // A true diamond: the merged record's cause and cause2 reach the SAME
+  // emission through different intermediate hops.  BFS must visit the
+  // shared root exactly once (linear seen-set, no duplicates).
+  Journal journal;
+  journal.enable(32);
+  const CauseId root =
+      journal.append(make_record(JournalKind::kToneEmitted, 10, 440.0));
+  const CauseId left =
+      journal.append(make_record(JournalKind::kToneDetected, 20, 440.0, root));
+  const CauseId right =
+      journal.append(make_record(JournalKind::kBlockIngested, 20, 0.0, root));
+  JournalRecord merged = make_record(JournalKind::kMergedEvent, 30, 440.0,
+                                     left);
+  merged.cause2 = right;
+  const CauseId m = journal.append(merged);
+
+  const auto chain = journal.explain(m);
+  ASSERT_EQ(chain.size(), 4u);
+  std::size_t roots = 0;
+  for (const auto& r : chain) {
+    if (r.kind == JournalKind::kToneEmitted) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_EQ(chain.front().id, root);
+  EXPECT_EQ(chain.back().id, m);
+  // Rendering is deterministic: two walks give the same bytes.
+  EXPECT_EQ(explain_text(journal, m), explain_text(journal, m));
+}
+
+TEST(JournalTest, ExplainTerminatesOnSelfAndMutualCycles) {
+  Journal journal;
+  journal.enable(16);
+  // Ids are sequential from 1, so a record can cite its own id before
+  // append() assigns it — a self-referential link a corrupted producer
+  // could mint.  explain() must terminate with the record exactly once.
+  JournalRecord self = make_record(JournalKind::kFsmTransition, 5);
+  self.cause = 1;
+  const CauseId sid = journal.append(self);
+  ASSERT_EQ(sid, 1u);
+  const auto self_chain = journal.explain(sid);
+  ASSERT_EQ(self_chain.size(), 1u);
+  EXPECT_EQ(self_chain[0].id, sid);
+
+  // Mutual cycle: #2 cites #3 and #3 cites #2.
+  JournalRecord a = make_record(JournalKind::kToneEmitted, 1, 0.0, 3);
+  JournalRecord b = make_record(JournalKind::kToneDetected, 2, 0.0, 2);
+  const CauseId aid = journal.append(a);
+  const CauseId bid = journal.append(b);
+  ASSERT_EQ(aid, 2u);
+  ASSERT_EQ(bid, 3u);
+  const auto cycle = journal.explain(bid);
+  EXPECT_EQ(cycle.size(), 2u);
+  const std::string text = explain_text(journal, bid);
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text, explain_text(journal, bid));
+}
+
+TEST(JournalTest, ExplainStopsCleanlyAtEvictedCause) {
+  // A small ring evicts the emission before the detection citing it is
+  // walked: the chain is truncated at the evicted link, not an error.
+  Journal journal;
+  journal.enable(4);
+  const CauseId e =
+      journal.append(make_record(JournalKind::kToneEmitted, 1, 300.0));
+  for (int i = 0; i < 4; ++i) {
+    journal.append(make_record(JournalKind::kAppAction, 2 + i));
+  }
+  JournalRecord out;
+  ASSERT_FALSE(journal.find(e, &out));  // evicted by the fillers
+  const CauseId d =
+      journal.append(make_record(JournalKind::kToneDetected, 10, 300.0, e));
+
+  const auto chain = journal.explain(d);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].id, d);
+  const std::string text = explain_text(journal, d);
+  EXPECT_NE(text.find("tone_detected"), std::string::npos);
+  EXPECT_EQ(text, explain_text(journal, d));
+}
+
 TEST(JournalTest, RecentOfReturnsNewestOfKindOldestFirst) {
   Journal journal;
   journal.enable(16);

@@ -15,7 +15,9 @@
 
 #include "net/sim_time.h"
 #include "obs/journal.h"
+#include "obs/latency.h"
 #include "obs/scoreboard.h"
+#include "obs/timeline.h"
 #include "rt/stream_runtime.h"
 
 namespace mdn {
@@ -117,6 +119,109 @@ TEST(JournalRtDeterminism, ByteIdenticalAcrossWorkerCounts) {
   std::remove(golden_path.c_str());
 }
 
+// One profiled run: the block schedule of run_schedule plus (a) a
+// latency-attribution pass over the resulting journal and (b) a timeline
+// sampled once per submission round from owner-side instruments.  With
+// the lossless policy every journal mint happens on the owner thread
+// (emissions and ingests at submit, detections at delivery), so both
+// exports must come out byte-identical regardless of worker count.
+struct ProfiledRun {
+  std::string stage_prom;    ///< LatencyProfiler::to_prometheus()
+  std::string stage_render;  ///< LatencyProfiler::render()
+  std::string timeline;      ///< Timeline::to_timeline_jsonl()
+};
+
+ProfiledRun run_profiled_schedule(std::size_t workers) {
+  obs::Journal& journal = obs::Journal::global();
+  journal.enable(4096);
+  journal.clear();
+
+  rt::StreamRuntime runtime(
+      runtime_config(workers, 32, rt::DropPolicy::kBlock));
+  for (std::size_t m = 0; m < 2; ++m) {
+    runtime.add_mic("mic" + std::to_string(m));
+  }
+
+  obs::Counter submitted;
+  obs::Gauge journal_records;
+  obs::Timeline timeline({.capacity = 64});
+  timeline.track_counter("run/blocks_submitted", submitted);
+  timeline.track_gauge("run/journal_records", journal_records);
+
+  const std::vector<double> tone = tone_block(800.0, 0.1);
+  const std::vector<double> silence(kBlockSize, 0.0);
+  for (std::size_t seq = 0; seq < 20; ++seq) {
+    const double start_s = static_cast<double>(seq) * kHopS;
+    for (std::size_t m = 0; m < 2; ++m) {
+      if (seq % 2 == 0) {
+        obs::JournalRecord emitted;
+        emitted.kind = obs::JournalKind::kToneEmitted;
+        emitted.sim_ns = net::from_seconds(start_s);
+        emitted.frequency_hz = 800.0;
+        emitted.aux = m;
+        obs::set_journal_label(emitted, "testtone");
+        const audio::EmissionTag tag{journal.append(emitted), 800.0};
+        runtime.submit_block(static_cast<std::uint32_t>(m), start_s, tone,
+                             std::span<const audio::EmissionTag>(&tag, 1));
+      } else {
+        runtime.submit_block(static_cast<std::uint32_t>(m), start_s,
+                             silence);
+      }
+      submitted.inc();
+    }
+    journal_records.set(static_cast<std::int64_t>(journal.size()));
+    timeline.sample(net::from_seconds(start_s + kHopS));
+  }
+  runtime.finish();
+
+  obs::LatencyProfiler profiler(journal);
+  profiler.profile(obs::JournalKind::kToneDetected);
+  ProfiledRun run;
+  run.stage_prom = profiler.to_prometheus();
+  run.stage_render = profiler.render();
+  run.timeline = timeline.to_timeline_jsonl();
+  journal.disable();
+  journal.clear();
+  return run;
+}
+
+TEST(JournalRtDeterminism, StageHistogramsAndTimelineByteIdentical) {
+  // Golden-file diff: 1-worker exports are the reference; the 4-worker
+  // run must reproduce both files byte for byte.
+  const ProfiledRun golden = run_profiled_schedule(1);
+  ASSERT_FALSE(golden.stage_prom.empty());
+  ASSERT_FALSE(golden.timeline.empty());
+  // The schedule detects tones, so capture and ring_wait must be
+  // attributed (fsm/app stages need a controller, absent here).
+  EXPECT_NE(golden.stage_prom.find("stage=\"capture\""), std::string::npos);
+  EXPECT_NE(golden.stage_prom.find("stage=\"ring_wait\""),
+            std::string::npos);
+
+  const std::string prom_path = ::testing::TempDir() + "stage_golden.prom";
+  const std::string tl_path = ::testing::TempDir() + "timeline_golden.jsonl";
+  {
+    std::ofstream pf(prom_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(pf.is_open());
+    pf << golden.stage_prom;
+    std::ofstream tf(tl_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(tf.is_open());
+    tf << golden.timeline;
+  }
+
+  const ProfiledRun parallel = run_profiled_schedule(4);
+  std::ifstream pf(prom_path, std::ios::binary);
+  std::ostringstream prom_disk;
+  prom_disk << pf.rdbuf();
+  EXPECT_EQ(parallel.stage_prom, prom_disk.str());
+  std::ifstream tf(tl_path, std::ios::binary);
+  std::ostringstream tl_disk;
+  tl_disk << tf.rdbuf();
+  EXPECT_EQ(parallel.timeline, tl_disk.str());
+  EXPECT_EQ(parallel.stage_render, golden.stage_render);
+  std::remove(prom_path.c_str());
+  std::remove(tl_path.c_str());
+}
+
 TEST(JournalRtDeterminism, ByteIdenticalAcrossRepeatedRuns) {
   const std::string first =
       run_schedule(2, 2, 12, 16, rt::DropPolicy::kBlock);
@@ -144,11 +249,13 @@ TEST(JournalRtDeterminism, JournalRecordsEveryHop) {
   ASSERT_EQ(runtime.events().size(), 1u);
   const rt::StreamEvent& event = runtime.events()[0];
   // The delivered event cites the detection record, which cites the
-  // emission — explain() from the event recovers both hops.
+  // emission (cause) and the block ingest (cause2) — explain() from the
+  // event recovers the full emitted -> ingested -> detected path.
   ASSERT_NE(event.cause, 0u);
   const auto chain = journal.explain(event.cause);
-  ASSERT_EQ(chain.size(), 2u);
+  ASSERT_EQ(chain.size(), 3u);
   EXPECT_EQ(chain.front().kind, obs::JournalKind::kToneEmitted);
+  EXPECT_EQ(chain[1].kind, obs::JournalKind::kBlockIngested);
   EXPECT_EQ(chain.back().kind, obs::JournalKind::kToneDetected);
   journal.disable();
   journal.clear();
