@@ -32,8 +32,14 @@ Tolerance manifest format (``tolerances.json``)::
 ``max_ratio`` gates lower-is-better values (candidate <= base * ratio);
 ``min_ratio`` gates higher-is-better values (candidate >= base * ratio).
 
+A report whose baseline file does not exist is a hard failure: a typo'd
+baseline name (or a bench renamed without ``--update``) must not pass
+the gate silently.  ``--allow-missing-baseline`` restores the old skip
+behaviour for bootstrap runs of brand-new benches.  Tolerance-manifest
+entries naming a baseline that does not exist fail for the same reason.
+
 Usage:
-  bench_compare.py [--baseline-dir DIR] [--require-baseline]
+  bench_compare.py [--baseline-dir DIR] [--allow-missing-baseline]
                    [--strict-timing] [--advisory-ratio R] [--update]
                    report.bench.json [...]
 
@@ -148,12 +154,19 @@ def compare(
 ) -> bool:
     baseline_path = baseline_dir / report_path.name
     if not baseline_path.exists():
-        message = f"{report_path.name}: no baseline at {baseline_path}"
-        if args.require_baseline:
-            print(f"FAIL {message}")
-            return False
-        print(f"skip {message} (run with --update to create one)")
-        return True
+        message = (
+            f"{report_path.name}: baseline file does not exist: "
+            f"{baseline_path}"
+        )
+        if args.allow_missing_baseline:
+            print(f"skip {message} (run with --update to create one)")
+            return True
+        print(
+            f"FAIL {message}\n"
+            f"    (check the report name for typos; bless a new bench "
+            f"with --update, or pass --allow-missing-baseline)"
+        )
+        return False
 
     base = load_report(baseline_path)
     cand = load_report(report_path)
@@ -197,7 +210,12 @@ def main() -> int:
     parser.add_argument(
         "--require-baseline",
         action="store_true",
-        help="fail (instead of skip) when a report has no baseline",
+        help="deprecated no-op: a missing baseline always fails now",
+    )
+    parser.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help="skip (instead of fail) reports that have no baseline yet",
     )
     parser.add_argument(
         "--strict-timing",
@@ -233,6 +251,17 @@ def main() -> int:
             tolerances = json.load(f)
 
     ok = True
+    # A tolerance entry naming a baseline that does not exist is a typo:
+    # the gate it declares would never run.
+    for name in tolerances:
+        if name.startswith("__"):
+            continue  # "__doc__" etc.
+        if not (args.baseline_dir / name).exists():
+            print(
+                f"FAIL {TOLERANCES_FILE}: entry '{name}' names a baseline "
+                f"file that does not exist: {args.baseline_dir / name}"
+            )
+            ok = False
     for report in args.reports:
         try:
             ok &= compare(report, args.baseline_dir, tolerances, args)

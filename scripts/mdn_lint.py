@@ -33,6 +33,21 @@ Determinism
     and bans unordered-container iteration in the exporter layer
     (src/obs), again modulo the allowlist.
 
+Memory orders
+    Every *weaker-than-seq_cst* atomic operation under src/ must carry
+    an adjacent ``// mo: <why>`` justification (same line or within the
+    two lines above) *and* match an allowlisted ``(file, op, order)``
+    tuple in scripts/mdn_lint_allowlist.txt — so a relaxed load can
+    never silently appear on a new code path: adding one forces both a
+    written rationale at the site and an allowlist diff in review.
+
+Lock order
+    Builds the mutex-acquisition graph from ``MDN_ACQUIRED_BEFORE`` /
+    ``MDN_ACQUIRED_AFTER`` annotations (declared edges) plus observed
+    ``MutexLock`` nesting inside each function body, and fails on any
+    cycle — the static complement to the model checker's per-schedule
+    deadlock detection (src/common/check.h).
+
 Front ends
     When the ``clang.cindex`` bindings are importable the linter uses
     libclang to locate annotated functions and function extents from
@@ -44,7 +59,13 @@ Front ends
 
 Usage:
     mdn_lint.py [--compdb BUILDDIR] [--root DIR] [--allowlist FILE]
-                [--only realtime|determinism] [files...]
+                [--only realtime|determinism|memory-order|lock-order]
+                [--memory-order] [--lock-order] [files...]
+
+When the default src/ glob is scanned, every allowlist entry must be
+*used* by the run — an entry excusing a violation that no longer exists
+is reported as stale and fails the lint, so the allowlist can only
+shrink.
 
 Exit status: 0 clean, 1 violations found, 2 usage/parse error.
 """
@@ -421,23 +442,71 @@ def try_libclang_index(files, compdb_dir):
 # ---------------------------------------------------------------------------
 # Allowlist.
 
+class AllowEntry:
+    """One allowlist line, with usage tracked for staleness checks."""
+
+    def __init__(self, line_no, fields, reason):
+        self.line_no = line_no
+        self.fields = fields        # ("scope", "token") or
+                                    # ("mo", file, op, order)
+        self.reason = reason
+        self.used = False
+
+    def render(self):
+        return " ".join(self.fields)
+
+
 class Allowlist:
-    """Lines of `<scope> <token>  # reason`; scope is a qualified
-    function suffix (::-boundary) or a file-path suffix, token is a
-    banned name or `*`."""
+    """Entries of the form
+
+        <scope> <token> reason=<why>
+        mo <file-suffix> <op> <order> reason=<why>
+
+    Scope is a qualified-function suffix (::-boundary) or a file-path
+    suffix, token a banned name or `*`.  `mo` entries allow one
+    weaker-than-seq_cst (file, op, order) tuple for the memory-order
+    pass.  `reason=` is mandatory on every entry; lines without one are
+    a parse error (exit 2).  Entries that a full-tree run never uses
+    are reported stale and fail the lint."""
 
     def __init__(self, path):
-        self.entries = []
-        if path and os.path.exists(path):
-            with open(path, encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.split("#", 1)[0].strip()
-                    if not line:
-                        continue
-                    fields = line.split()
-                    if len(fields) < 2:
-                        continue
-                    self.entries.append((fields[0], fields[1]))
+        self.path = path
+        self.entries = []       # scope/token entries
+        self.mo_entries = []    # (file, op, order) entries
+        if not path or not os.path.exists(path):
+            return
+        with open(path, encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                fields = line.split()
+                reason_idx = next(
+                    (i for i, f in enumerate(fields)
+                     if f.startswith("reason=")), -1)
+                if reason_idx < 0 or reason_idx == len(fields) - 1 and \
+                        fields[reason_idx] == "reason=":
+                    print(f"mdn_lint: {path}:{line_no}: allowlist entry "
+                          f"without a reason= (every entry must say why)",
+                          file=sys.stderr)
+                    sys.exit(2)
+                reason = " ".join(fields[reason_idx:])[len("reason="):]
+                fields = fields[:reason_idx]
+                if fields and fields[0] == "mo":
+                    if len(fields) != 4:
+                        print(f"mdn_lint: {path}:{line_no}: mo entry "
+                              f"must be `mo <file> <op> <order> "
+                              f"reason=...`", file=sys.stderr)
+                        sys.exit(2)
+                    self.mo_entries.append(
+                        AllowEntry(line_no, tuple(fields), reason))
+                elif len(fields) == 2:
+                    self.entries.append(
+                        AllowEntry(line_no, tuple(fields), reason))
+                else:
+                    print(f"mdn_lint: {path}:{line_no}: malformed "
+                          f"allowlist entry: {line}", file=sys.stderr)
+                    sys.exit(2)
 
     @staticmethod
     def _scope_matches(scope, function, file):
@@ -448,16 +517,58 @@ class Allowlist:
         return norm == scope or norm.endswith("/" + scope)
 
     def allows(self, function, file, token):
-        for scope, allowed in self.entries:
+        hit = False
+        for entry in self.entries:
+            scope, allowed = entry.fields
             if allowed not in ("*", token):
                 continue
             if self._scope_matches(scope, function, file):
-                return True
-        return False
+                entry.used = True
+                hit = True
+        return hit
+
+    def allows_mo(self, file, op, order):
+        norm = file.replace(os.sep, "/")
+        hit = False
+        for entry in self.mo_entries:
+            _mo, suffix, allowed_op, allowed_order = entry.fields
+            if allowed_op != op or allowed_order != order:
+                continue
+            if norm == suffix or norm.endswith("/" + suffix):
+                entry.used = True
+                hit = True
+        return hit
+
+    def stale_entries(self, include_scoped, include_mo):
+        stale = []
+        if include_scoped:
+            stale.extend(e for e in self.entries if not e.used)
+        if include_mo:
+            stale.extend(e for e in self.mo_entries if not e.used)
+        return stale
 
 
 # ---------------------------------------------------------------------------
 # Real-time check: transitive banned-call scan over the call graph.
+
+# The model checker (src/common/check.h + scheduler) exists only under
+# -DMDN_MODEL_CHECK, where every atomic/mutex op deliberately becomes a
+# blocking scheduling point — the realtime contract is about the
+# *normal* build, where the shim compiles to plain std::atomic and the
+# scheduler is not in the call graph at all.  The text-level walker
+# cannot see the #ifdef, so it skips these files explicitly (the same
+# set is exempt from the memory-order audit: the shim must spell every
+# order to forward them).
+CHECK_SHIM_FILES = (
+    "src/common/atomic.h",
+    "src/common/check.h",
+    "src/common/check_scheduler.cpp",
+)
+
+
+def _is_shim_file(path):
+    norm = path.replace(os.sep, "/")
+    return any(norm.endswith(e) for e in CHECK_SHIM_FILES)
 
 def scan_body_direct(fn, allowlist, path):
     """Banned tokens appearing directly in `fn`'s body."""
@@ -546,7 +657,7 @@ def _same_tail(a, b):
 
 
 def _walk(index, allowlist, fn, path, visited, depth=0):
-    if fn.qual_name in visited or depth > 8:
+    if fn.qual_name in visited or depth > 8 or _is_shim_file(fn.file):
         return []
     visited.add(fn.qual_name)
     violations = scan_body_direct(fn, allowlist, path)
@@ -595,6 +706,209 @@ def check_determinism(files, root, allowlist, extra_files):
                     "determinism", path, line, "", token,
                     f"'{token}' iteration order feeds exporters; use an "
                     f"ordered container"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Memory-order audit: every weaker-than-seq_cst atomic op needs an
+# adjacent `// mo:` justification and an allowlisted (file, op, order).
+
+MEMORY_ORDER = re.compile(
+    r"\bmemory_order(?:_|::\s*)(relaxed|consume|acquire|release|acq_rel)\b")
+# Atomic entry points a weak order can ride on; longest names first so
+# the backwards search prefers the most specific match.
+ATOMIC_OPS = (
+    "compare_exchange_strong", "compare_exchange_weak",
+    "atomic_thread_fence", "atomic_signal_fence", "test_and_set",
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "exchange", "store", "load", "clear", "wait",
+)
+_ATOMIC_OP_RE = re.compile(
+    r"\b(" + "|".join(ATOMIC_OPS) + r")\s*\(")
+MO_COMMENT = re.compile(r"//\s*mo:\s*\S")
+
+
+def _blank_preprocessor_full(code):
+    """Like _blank_preprocessor, but also blanks backslash-continuation
+    lines so a multi-line #define never reads as code."""
+    lines = code.split("\n")
+    in_directive = False
+    for i, line in enumerate(lines):
+        starts = bool(re.match(r"[ \t]*#", line))
+        if starts or in_directive:
+            in_directive = line.rstrip().endswith("\\")
+            lines[i] = " " * len(line)
+        else:
+            in_directive = False
+    return "\n".join(lines)
+
+
+def _op_before(code, pos):
+    """The atomic entry point the order expression at `pos` belongs to:
+    the closest preceding op name within the same statement."""
+    window = code[max(0, pos - 300):pos]
+    stop = max(window.rfind(";"), window.rfind("{"), window.rfind("}"))
+    if stop >= 0:
+        window = window[stop + 1:]
+    last = None
+    for m in _ATOMIC_OP_RE.finditer(window):
+        last = m.group(1)
+    return last or "?"
+
+
+def check_memory_order(files, root, allowlist, extra_files):
+    violations = []
+    src_root = os.path.join(root, "src") + os.sep
+    for path in sorted(files):
+        in_src = os.path.abspath(path).startswith(src_root)
+        if not in_src and path not in extra_files:
+            continue
+        # The shim/checker are the *mechanism* the audit rides on: they
+        # must spell every order to forward and interpret them (the CAS
+        # failure-order mapping, the scheduler's acquire/release
+        # classifiers), so auditing them per-site is circular.
+        if _is_shim_file(path):
+            continue
+        text = read_text(path)
+        if text is None:
+            continue
+        raw_lines = text.split("\n")
+        code = _blank_preprocessor_full(strip_code(text))
+        for m in MEMORY_ORDER.finditer(code):
+            order = m.group(1)
+            line = code.count("\n", 0, m.start()) + 1
+            op = _op_before(code, m.start())
+            # Adjacent = same line or up to three lines above (weak
+            # orders often sit on the continuation line of a wrapped
+            # CAS statement whose mo: comment precedes the statement).
+            justified = any(
+                MO_COMMENT.search(raw_lines[i])
+                for i in range(max(0, line - 4), min(line, len(raw_lines))))
+            if not justified:
+                violations.append(Violation(
+                    "memory-order", path, line, "", order,
+                    f"memory_order_{order} ({op}) lacks an adjacent "
+                    f"'// mo: <why>' justification"))
+            if not allowlist.allows_mo(path, op, order):
+                violations.append(Violation(
+                    "memory-order", path, line, "", f"{op}/{order}",
+                    f"memory_order_{order} on '{op}' is not allowlisted "
+                    f"(add `mo <file> {op} {order} reason=...` to "
+                    f"scripts/mdn_lint_allowlist.txt)"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Lock-order audit: acquisition graph from MDN_ACQUIRED_BEFORE/AFTER
+# declarations + observed MutexLock nesting; any cycle is a potential
+# deadlock.
+
+MUTEX_LOCK_USE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*([^();]+?)\s*\)")
+ACQUIRED_DECL = re.compile(
+    r"\b(\w+)\s+MDN_ACQUIRED_(BEFORE|AFTER)\s*\(\s*([^()]+?)\s*\)")
+
+
+def _mutex_node(arg, owner_qual):
+    """Canonical graph-node name for a mutex expression: bare member
+    names are qualified by the owning class/namespace so `a.mu_` and
+    `b.mu_` of different classes stay distinct nodes."""
+    name = re.sub(r"\s+", "", arg)
+    name = name.lstrip("&*")
+    if name.startswith("this->"):
+        name = name[len("this->"):]
+    if re.fullmatch(r"[A-Za-z_]\w*", name) and owner_qual:
+        return f"{owner_qual}::{name}"
+    return name
+
+
+def check_lock_order(files, root):
+    # edges[(a, b)] = (file, line, why): a must be acquired before b.
+    edges = {}
+
+    def add_edge(a, b, file, line, why):
+        if a != b:
+            edges.setdefault((a, b), (file, line, why))
+
+    for path in sorted(files):
+        text = read_text(path)
+        if text is None:
+            continue
+        stripped = _blank_preprocessor(strip_code(text))
+        intervals = _scope_intervals(
+            ATTR_MACRO.sub(lambda m: " " * len(m.group(0)), stripped))
+
+        # Declared edges: `Mutex a MDN_ACQUIRED_BEFORE(b);` (and the
+        # AFTER spelling, reversed).
+        for m in ACQUIRED_DECL.finditer(stripped):
+            owner = _qualifier_at(intervals, m.start())
+            this_node = _mutex_node(m.group(1), owner)
+            line = stripped.count("\n", 0, m.start()) + 1
+            for other in m.group(3).split(","):
+                other_node = _mutex_node(other, owner)
+                if m.group(2) == "BEFORE":
+                    add_edge(this_node, other_node, path, line, "declared")
+                else:
+                    add_edge(other_node, this_node, path, line, "declared")
+
+        # Observed edges: a MutexLock taken while an earlier MutexLock
+        # in the same body is still in scope (brace depth never dropped
+        # below the earlier lock's block).
+        index = FallbackIndex()
+        index.add_file(path, text)
+        for defs in index.defs_by_name.values():
+            for fn in defs:
+                locks = [(m.start(), m.end(),
+                          _mutex_node(m.group(1),
+                                      fn.qual_name.rsplit("::", 1)[0]
+                                      if "::" in fn.qual_name else ""))
+                         for m in MUTEX_LOCK_USE.finditer(fn.body)]
+                for i in range(len(locks)):
+                    for j in range(i + 1, len(locks)):
+                        between = fn.body[locks[i][1]:locks[j][0]]
+                        depth = 0
+                        alive = True
+                        for c in between:
+                            if c == "{":
+                                depth += 1
+                            elif c == "}":
+                                depth -= 1
+                                if depth < 0:
+                                    alive = False
+                                    break
+                        if not alive:
+                            continue
+                        line = fn.line + fn.body.count(
+                            "\n", 0, locks[j][0])
+                        add_edge(locks[i][2], locks[j][2], fn.file, line,
+                                 f"nested in {fn.qual_name}")
+
+    # Cycle detection: DFS with a recursion stack.
+    graph = {}
+    for (a, b) in edges:
+        graph.setdefault(a, []).append(b)
+    violations = []
+    state = {}  # node -> 1 (in stack) | 2 (done)
+    stack = []
+
+    def visit(node):
+        state[node] = 1
+        stack.append(node)
+        for nxt in sorted(graph.get(node, [])):
+            if state.get(nxt) == 1:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                file, line, why = edges[(node, nxt)]
+                violations.append(Violation(
+                    "lock-order", file, line, "", nxt,
+                    f"lock-order cycle: {' -> '.join(cycle)} "
+                    f"(closing edge {why})"))
+            elif nxt not in state:
+                visit(nxt)
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(graph):
+        if node not in state:
+            visit(node)
     return violations
 
 
@@ -652,8 +966,14 @@ def main():
     parser.add_argument("--allowlist", default=None,
                         help="allowlist file (default: "
                         "scripts/mdn_lint_allowlist.txt)")
-    parser.add_argument("--only", choices=("realtime", "determinism"),
+    parser.add_argument("--only",
+                        choices=("realtime", "determinism",
+                                 "memory-order", "lock-order"),
                         help="run a single contract check")
+    parser.add_argument("--memory-order", action="store_true",
+                        help="shorthand for --only memory-order")
+    parser.add_argument("--lock-order", action="store_true",
+                        help="shorthand for --only lock-order")
     parser.add_argument("--no-default-sources", action="store_true",
                         help="scan only --compdb and explicit files "
                         "(skip the src/ glob)")
@@ -663,6 +983,15 @@ def main():
     parser.add_argument("files", nargs="*",
                         help="extra files to lint (e.g. fixtures)")
     args = parser.parse_args()
+    if args.memory_order and args.lock_order:
+        print("mdn_lint: --memory-order and --lock-order are exclusive; "
+              "run twice or use the default all-passes mode",
+              file=sys.stderr)
+        sys.exit(2)
+    if args.memory_order:
+        args.only = "memory-order"
+    if args.lock_order:
+        args.only = "lock-order"
 
     root = os.path.abspath(
         args.root or os.path.join(os.path.dirname(__file__), os.pardir))
@@ -700,6 +1029,26 @@ def main():
         violations.extend(check_realtime(index, allowlist))
     if args.only in (None, "determinism"):
         violations.extend(check_determinism(files, root, allowlist, extra))
+    if args.only in (None, "memory-order"):
+        violations.extend(check_memory_order(files, root, allowlist, extra))
+    if args.only in (None, "lock-order"):
+        violations.extend(check_lock_order(files, root))
+
+    # Staleness: over a full default-source scan, an allowlist entry the
+    # run never used excuses a violation that no longer exists — fail so
+    # the allowlist can only shrink.  Scoped entries need both contracts
+    # that consult them to have run; mo entries just the memory-order
+    # pass.
+    if not args.no_default_sources:
+        stale = allowlist.stale_entries(
+            include_scoped=args.only is None,
+            include_mo=args.only in (None, "memory-order"))
+        for entry in stale:
+            violations.append(Violation(
+                "allowlist", allowlist.path, entry.line_no, "",
+                entry.render(),
+                f"stale allowlist entry '{entry.render()}' — nothing in "
+                f"the tree needs it any more; delete it"))
 
     unique = {}
     for v in violations:

@@ -70,6 +70,16 @@
 /// against self-deadlock on non-recursive mutexes).
 #define MDN_EXCLUDES(...) MDN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 
+/// Declares a global lock order: this mutex must be acquired before
+/// `x` whenever both are held.  clang checks it per-path; the
+/// scripts/mdn_lint.py --lock-order pass adds these declared edges to
+/// the acquisition graph it builds from observed MutexLock nesting and
+/// rejects any cycle across the whole tree.
+#define MDN_ACQUIRED_BEFORE(...) \
+  MDN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MDN_ACQUIRED_AFTER(...) \
+  MDN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
 /// Returns a reference to the named capability.
 #define MDN_RETURN_CAPABILITY(x) MDN_THREAD_ANNOTATION(lock_returned(x))
 

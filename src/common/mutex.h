@@ -7,11 +7,17 @@
 // an RAII MutexLock guard the analysis understands (std::lock_guard is
 // opaque to it).  The cold-path/hot-path split of the codebase is
 // unchanged: these are used exactly where std::mutex was.
+// Under -DMDN_MODEL_CHECK, model threads (inside check::explore) take a
+// *virtual* lock tracked by the scheduler instead of the std::mutex:
+// only one model thread runs at a time, so taking the real mutex would
+// deadlock against a parked token-holder.  Non-model threads — and all
+// threads in normal builds — use the std::mutex unchanged.
 #pragma once
 
 #include <mutex>
 
 #include "common/annotations.h"
+#include "common/check.h"
 
 namespace mdn::common {
 
@@ -21,9 +27,34 @@ class MDN_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() MDN_ACQUIRE() { mu_.lock(); }
-  void unlock() MDN_RELEASE() { mu_.unlock(); }
-  bool try_lock() MDN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() MDN_ACQUIRE() {
+#ifdef MDN_MODEL_CHECK
+    if (check::detail::active_here()) {
+      check::detail::mutex_lock(this, nullptr);
+      return;
+    }
+#endif
+    mu_.lock();
+  }
+
+  void unlock() MDN_RELEASE() {
+#ifdef MDN_MODEL_CHECK
+    if (check::detail::active_here()) {
+      check::detail::mutex_unlock(this, nullptr);
+      return;
+    }
+#endif
+    mu_.unlock();
+  }
+
+  bool try_lock() MDN_TRY_ACQUIRE(true) {
+#ifdef MDN_MODEL_CHECK
+    if (check::detail::active_here()) {
+      return check::detail::mutex_try_lock(this, nullptr);
+    }
+#endif
+    return mu_.try_lock();
+  }
 
  private:
   std::mutex mu_;
@@ -34,7 +65,7 @@ class MDN_CAPABILITY("mutex") Mutex {
 class MDN_SCOPED_CAPABILITY MutexLock {
  public:
   explicit MutexLock(Mutex& mu) MDN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
-  ~MutexLock() MDN_RELEASE() { mu_.unlock(); }
+  ~MutexLock() MDN_CHECK_DTOR_NOEXCEPT MDN_RELEASE() { mu_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;

@@ -352,6 +352,7 @@ std::shared_ptr<const FftPlan> PlanCache::complex_plan(std::size_t size,
   if (it == complex_.end()) {
     it = complex_.emplace(key, std::make_shared<FftPlan>(size, inverse))
              .first;
+    ++constructions_;
   }
   return it->second;
 }
@@ -361,6 +362,7 @@ std::shared_ptr<const RealFftPlan> PlanCache::real_plan(std::size_t size) {
   auto it = real_.find(size);
   if (it == real_.end()) {
     it = real_.emplace(size, std::make_shared<RealFftPlan>(size)).first;
+    ++constructions_;
   }
   return it->second;
 }
@@ -368,6 +370,11 @@ std::shared_ptr<const RealFftPlan> PlanCache::real_plan(std::size_t size) {
 std::size_t PlanCache::size() const {
   common::MutexLock lock(mu_);
   return complex_.size() + real_.size();
+}
+
+std::size_t PlanCache::constructions_for_testing() const {
+  common::MutexLock lock(mu_);
+  return constructions_;
 }
 
 }  // namespace mdn::dsp

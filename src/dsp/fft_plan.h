@@ -170,12 +170,18 @@ class PlanCache {
   /// Number of distinct plans cached (for tests / introspection).
   std::size_t size() const;
 
+  /// Plans this cache has constructed (i.e. cache misses) since
+  /// creation.  Test-only hook: the concurrent first-touch test proves
+  /// N racing threads requesting one size cause exactly one build.
+  std::size_t constructions_for_testing() const;
+
  private:
   mutable common::Mutex mu_;
   std::map<std::pair<std::size_t, bool>, std::shared_ptr<const FftPlan>>
       complex_ MDN_GUARDED_BY(mu_);
   std::map<std::size_t, std::shared_ptr<const RealFftPlan>> real_
       MDN_GUARDED_BY(mu_);
+  std::size_t constructions_ MDN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mdn::dsp

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/atomic.h"
 #include "obs/metrics.h"
 
 // The vector paths exist only for x86-64 under a GCC-compatible
@@ -526,13 +527,19 @@ Isa detect_isa() noexcept {
 // Selected once (lazily) and then read with one relaxed load per call.
 // set_active_isa_for_testing may rewrite it; both stores are idempotent
 // with respect to concurrent detection, so the benign init race is fine.
-std::atomic<const Kernels*> g_active_table{nullptr};
-std::atomic<int> g_active_isa{-1};
+// Declared through the check shim (common/atomic.h): std::atomic in
+// normal builds; tests/model/ verifies the single-init protocol.
+check::Atomic<const Kernels*> g_active_table{nullptr};
+check::Atomic<int> g_active_isa{-1};
 
-const Kernels* init_active() noexcept {
+const Kernels* init_active() MDN_CHECK_NOEXCEPT {
   const Isa isa = detect_isa();
   const Kernels* table = &kernels_for(isa);
+  // mo: idempotent hint (same value from every initializer); the table
+  // pointer below carries the real publication
   g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  // mo: release publishes the (immutable, static) table selection to
+  // active_kernels' acquire load
   g_active_table.store(table, std::memory_order_release);
   return table;
 }
@@ -572,27 +579,41 @@ const Kernels& kernels_for(Isa isa) noexcept {
   return kScalarKernels;
 }
 
-Isa active_isa() noexcept {
+Isa active_isa() MDN_CHECK_NOEXCEPT {
+  // mo: plain enum readback, no dependent data behind it
   const int isa = g_active_isa.load(std::memory_order_relaxed);
   if (isa < 0) {
     init_active();
+    // mo: plain enum readback, no dependent data behind it
     return static_cast<Isa>(g_active_isa.load(std::memory_order_relaxed));
   }
   return static_cast<Isa>(isa);
 }
 
-const Kernels& active_kernels() noexcept {
+const Kernels& active_kernels() MDN_CHECK_NOEXCEPT {
+  // mo: pairs with init_active's release store; the table the pointer
+  // leads to must be visible before use
   const Kernels* table = g_active_table.load(std::memory_order_acquire);
   if (table == nullptr) table = init_active();
   return *table;
 }
 
-Isa set_active_isa_for_testing(Isa isa) noexcept {
+Isa set_active_isa_for_testing(Isa isa) MDN_CHECK_NOEXCEPT {
   const Isa previous = active_isa();
   if (!isa_available(isa)) return previous;
+  // mo: idempotent hint; the table pointer carries the publication
   g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  // mo: release publishes the (immutable, static) table selection to
+  // active_kernels' acquire load
   g_active_table.store(&kernels_for(isa), std::memory_order_release);
   return previous;
+}
+
+void reset_dispatch_for_testing() MDN_CHECK_NOEXCEPT {
+  // mo: test-only teardown; callers quiesce the hot path first
+  g_active_isa.store(-1, std::memory_order_relaxed);
+  // mo: test-only teardown; callers quiesce the hot path first
+  g_active_table.store(nullptr, std::memory_order_release);
 }
 
 void export_dispatch_metrics() {

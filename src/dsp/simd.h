@@ -27,6 +27,7 @@
 #include <cstddef>
 
 #include "common/annotations.h"
+#include "common/check.h"  // MDN_CHECK_NOEXCEPT
 #include "dsp/fft.h"  // dsp::Complex
 
 namespace mdn::dsp::simd {
@@ -92,10 +93,10 @@ struct Kernels {
 };
 
 /// The ISA picked at startup (or forced for tests).
-Isa active_isa() noexcept;
+Isa active_isa() MDN_CHECK_NOEXCEPT;
 
 /// The kernel table for the active ISA.  One relaxed atomic load.
-MDN_REALTIME const Kernels& active_kernels() noexcept;
+MDN_REALTIME const Kernels& active_kernels() MDN_CHECK_NOEXCEPT;
 
 /// True when `isa` is usable in this build on this CPU.
 bool isa_available(Isa isa) noexcept;
@@ -108,7 +109,11 @@ const Kernels& kernels_for(Isa isa) noexcept;
 /// Forces the active table (tests only; not thread-safe against
 /// concurrent hot paths).  Returns the previously active ISA.  Pass an
 /// unavailable ISA and the call is a no-op returning the current one.
-Isa set_active_isa_for_testing(Isa isa) noexcept;
+Isa set_active_isa_for_testing(Isa isa) MDN_CHECK_NOEXCEPT;
+
+/// Clears the dispatch state back to "never initialized" (tests only —
+/// the model-check harness re-runs lazy init on every schedule).
+void reset_dispatch_for_testing() MDN_CHECK_NOEXCEPT;
 
 /// Sets the "dsp/simd/dispatch" gauge to the active ISA.  Called lazily
 /// by the first active_kernels() user with registry access (detector

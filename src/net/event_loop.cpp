@@ -82,10 +82,39 @@ void EventLoop::cancel(EventId id) {
       if (ev.cb) {
         ev.cb = nullptr;
         --live_;
+        // Tombstones are only reclaimed lazily when popped, so a
+        // schedule/cancel churn loop would otherwise grow the heap
+        // without bound.  Compacting at >50% dead keeps the heap within
+        // 2x live while amortizing the rebuild to O(1) per cancel.
+        if (heap_.size() - live_ > heap_.size() / 2) compact();
       }
       return;
     }
   }
+}
+
+void EventLoop::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [](const Event& ev) { return !ev.cb; }),
+              heap_.end());
+  if (heap_.size() > 1) {
+    // Floyd heapify: sift down every internal node, deepest first.
+    const std::size_t n = heap_.size();
+    for (std::size_t root = n / 2; root-- > 0;) {
+      std::size_t i = root;
+      while (true) {
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = l + 1;
+        std::size_t least = i;
+        if (l < n && heap_[l].before(heap_[least])) least = l;
+        if (r < n && heap_[r].before(heap_[least])) least = r;
+        if (least == i) break;
+        std::swap(heap_[i], heap_[least]);
+        i = least;
+      }
+    }
+  }
+  heap_.shrink_to_fit();
 }
 
 bool EventLoop::step() {

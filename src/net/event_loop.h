@@ -49,6 +49,12 @@ class EventLoop {
   /// Number of pending (non-cancelled) events.
   std::size_t pending() const noexcept { return live_; }
 
+  /// Heap entries currently held, live plus cancelled tombstones.  The
+  /// loop compacts when tombstones outnumber live events (see cancel()),
+  /// so this stays within 2x pending() — tests assert that bound after
+  /// heavy schedule/cancel churn.
+  std::size_t heap_size() const noexcept { return heap_.size(); }
+
   /// Events dispatched since construction of the loop's process-wide
   /// counters (aggregated across loops under "net/loop/*").
   std::uint64_t dispatched() const noexcept { return dispatched_count_; }
@@ -80,6 +86,10 @@ class EventLoop {
   Event pop_event();  // precondition: !heap_.empty()
   // Drops cancelled tombstones off the top so heap_.front() is live.
   void drop_dead_heads();
+  // Erases every tombstone and rebuilds the heap in place (Floyd,
+  // O(live)).  Called by cancel() when tombstones exceed half the heap
+  // so schedule/cancel churn cannot grow the heap without bound.
+  void compact();
 
   // Pops and runs the next live event; returns false when drained.
   bool step();

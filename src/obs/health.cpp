@@ -60,6 +60,7 @@ MicSignalEstimator::MicSignalEstimator(const Health* owner,
       min_snr_db_(kInf),
       snr_db_(config.watch_count),
       alert_slots_(config.alert_capacity == 0 ? 1 : config.alert_capacity) {
+  // mo: pre-publication init — the estimator is not shared yet
   for (auto& s : snr_db_) s.store(kNan, std::memory_order_relaxed);
 }
 
@@ -68,6 +69,7 @@ void MicSignalEstimator::begin_block(double block_end_s,
   prev_block_end_s_ = first_block_ ? block_end_s : block_end_s_;
   block_end_s_ = block_end_s;
   onsets_in_block_ = 0.0;
+  // mo: single-writer readback of its own gauge, no cross-thread edge
   double floor = noise_floor_.load(std::memory_order_relaxed);
   if (first_block_) {
     floor = stats.noise_floor;
@@ -76,6 +78,7 @@ void MicSignalEstimator::begin_block(double block_end_s,
   } else {
     floor += config_->noise_floor_alpha * (stats.noise_floor - floor);
   }
+  // mo: monitoring gauge publish, readers tolerate staleness
   noise_floor_.store(floor, std::memory_order_relaxed);
 }
 
@@ -87,30 +90,39 @@ void MicSignalEstimator::observe_watch(std::size_t watch, bool present,
   last_signal_s_ = block_end_s_;
   if (evidence != 0) last_evidence_ = evidence;
   if (watch >= snr_db_.size() || amplitude <= 0.0) return;
+  // mo: single-writer readback of its own gauge, no cross-thread edge
   const double floor = noise_floor_.load(std::memory_order_relaxed);
   if (floor <= 0.0) return;  // no noise estimate yet: SNR undefined
   const double snr = 20.0 * std::log10(amplitude / floor);
+  // mo: single-writer readback of its own gauge, no cross-thread edge
   const double cur = snr_db_[watch].load(std::memory_order_relaxed);
   const double next =
       std::isnan(cur) ? snr : cur + config_->snr_alpha * (snr - cur);
+  // mo: monitoring gauge publish, readers tolerate staleness
   snr_db_[watch].store(next, std::memory_order_relaxed);
 }
 
-void MicSignalEstimator::end_block() noexcept {
+void MicSignalEstimator::end_block() MDN_CHECK_NOEXCEPT {
   const double dt = block_end_s_ - prev_block_end_s_;
   if (dt > 0.0) {
     const double alpha = 1.0 - std::exp(-dt / config_->onset_rate_tau_s);
+    // mo: single-writer readback of its own gauge, no cross-thread edge
     double rate = onset_rate_hz_.load(std::memory_order_relaxed);
     rate += alpha * (onsets_in_block_ / dt - rate);
+    // mo: monitoring gauge publish, readers tolerate staleness
     onset_rate_hz_.store(rate, std::memory_order_relaxed);
   }
+  // mo: monitoring gauge publish, readers tolerate staleness
   silence_s_.store(block_end_s_ - last_signal_s_, std::memory_order_relaxed);
   double min_snr = kInf;
   for (std::size_t w = 0; w < snr_db_.size(); ++w) {
+    // mo: single-writer readback of its own gauge, no cross-thread edge
     const double s = snr_db_[w].load(std::memory_order_relaxed);
     if (!std::isnan(s) && s < min_snr) min_snr = s;
   }
+  // mo: monitoring gauge publish, readers tolerate staleness
   min_snr_db_.store(min_snr, std::memory_order_relaxed);
+  // mo: monitoring counter, no ordering needed with other state
   blocks_.fetch_add(1, std::memory_order_relaxed);
 
   // Rule pass: track each objective's for-duration window at block
@@ -137,12 +149,14 @@ void MicSignalEstimator::end_block() noexcept {
       firing_value = v;
     }
   }
+  // mo: single-writer readback of its own gauge, no cross-thread edge
   const auto cur = static_cast<HealthState>(
       state_.load(std::memory_order_relaxed));
   if (target == cur) {
     first_block_ = false;
     return;
   }
+  // mo: monitoring gauge publish, readers tolerate staleness
   state_.store(static_cast<std::uint8_t>(target), std::memory_order_relaxed);
   PendingAlert alert;
   alert.time_s = block_end_s_;
@@ -153,6 +167,7 @@ void MicSignalEstimator::end_block() noexcept {
   alert.evidence = last_evidence_;
   if (firing_rule != kHealthNoRule &&
       owner_->slos_[firing_rule].metric == SloSpec::Metric::kDropCount) {
+    // mo: best-effort evidence hint; any recent drop's id is acceptable
     alert.evidence = drop_evidence_.load(std::memory_order_relaxed);
   }
   queue_alert(alert);
@@ -160,46 +175,60 @@ void MicSignalEstimator::end_block() noexcept {
 }
 
 void MicSignalEstimator::note_drop(CauseId evidence) noexcept {
+  // mo: monitoring counter, no ordering needed with other state
   drops_.fetch_add(1, std::memory_order_relaxed);
   if (evidence != 0) {
+    // mo: best-effort evidence hint; any recent drop's id is acceptable
     drop_evidence_.store(evidence, std::memory_order_relaxed);
   }
 }
 
 double MicSignalEstimator::snr_db(std::size_t watch) const noexcept {
   if (watch >= snr_db_.size()) return kNan;
+  // mo: monitoring gauge, staleness tolerated by every reader
   return snr_db_[watch].load(std::memory_order_relaxed);
 }
 
 double MicSignalEstimator::metric_value(const SloSpec& spec) const noexcept {
   switch (spec.metric) {
     case SloSpec::Metric::kNoiseFloor:
+      // mo: single-writer readback of its own gauge, no cross-thread edge
       return noise_floor_.load(std::memory_order_relaxed);
     case SloSpec::Metric::kMinSnrDb:
+      // mo: single-writer readback of its own gauge, no cross-thread edge
       return min_snr_db_.load(std::memory_order_relaxed);
     case SloSpec::Metric::kOnsetRateHz:
+      // mo: single-writer readback of its own gauge, no cross-thread edge
       return onset_rate_hz_.load(std::memory_order_relaxed);
     case SloSpec::Metric::kSilenceS:
+      // mo: single-writer readback of its own gauge, no cross-thread edge
       return silence_s_.load(std::memory_order_relaxed);
     case SloSpec::Metric::kDropCount:
+      // mo: monitoring counter, staleness only delays the rule a block
       return static_cast<double>(drops_.load(std::memory_order_relaxed));
     case SloSpec::Metric::kStageLatencyP99:
       // NaN until the owner publishes, so comparisons stay false and
       // the rule cannot fire on unprofiled stages.
+      // mo: owner-published gauge, staleness tolerated by the rule pass
       return owner_->stage_latency_s_[static_cast<std::size_t>(spec.stage)]
           .load(std::memory_order_relaxed);
   }
   return 0.0;
 }
 
-void MicSignalEstimator::queue_alert(const PendingAlert& alert) noexcept {
+void MicSignalEstimator::queue_alert(const PendingAlert& alert) MDN_CHECK_NOEXCEPT {
+  // mo: producer-owned cursor, only this thread advances it
   const std::uint64_t head = alert_head_.load(std::memory_order_relaxed);
+  // mo: pairs with poll()'s release tail store — the consumer's slot
+  // reads happen-before this producer reuses the slot
   const std::uint64_t tail = alert_tail_.load(std::memory_order_acquire);
   if (head - tail >= alert_slots_.size()) {
+    // mo: monitoring counter, no ordering needed with other state
     alert_overflow_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  alert_slots_[head % alert_slots_.size()] = alert;
+  alert_slots_[head % alert_slots_.size()].write(alert);
+  // mo: release publishes the filled slot to poll()'s acquire head load
   alert_head_.store(head + 1, std::memory_order_release);
 }
 
@@ -207,16 +236,19 @@ void MicSignalEstimator::queue_alert(const PendingAlert& alert) noexcept {
 
 Health::Health(HealthConfig config) : config_(config) {
   if (config_.alert_capacity == 0) config_.alert_capacity = 1;
+  // mo: pre-publication init — the engine is not shared yet
   for (auto& s : stage_latency_s_) s.store(kNan, std::memory_order_relaxed);
 }
 
 void Health::publish_stage_latency(LatencyStage stage,
                                    double p99_s) noexcept {
+  // mo: monitoring gauge publish, readers tolerate staleness
   stage_latency_s_[static_cast<std::size_t>(stage)].store(
       p99_s, std::memory_order_relaxed);
 }
 
 double Health::stage_latency_p99_s(LatencyStage stage) const noexcept {
+  // mo: monitoring gauge, staleness tolerated by every reader
   return stage_latency_s_[static_cast<std::size_t>(stage)].load(
       std::memory_order_relaxed);
 }
@@ -249,12 +281,15 @@ std::size_t Health::poll() {
   std::size_t drained = 0;
   for (std::uint32_t mic = 0; mic < estimators_.size(); ++mic) {
     MicSignalEstimator& est = *estimators_[mic];
+    // mo: consumer-owned cursor, only this thread advances it
     std::uint64_t tail = est.alert_tail_.load(std::memory_order_relaxed);
+    // mo: pairs with queue_alert's release head store — slot contents
+    // written before the publish are visible below
     const std::uint64_t head =
         est.alert_head_.load(std::memory_order_acquire);
     while (tail != head) {
-      const MicSignalEstimator::PendingAlert& p =
-          est.alert_slots_[tail % est.alert_slots_.size()];
+      const MicSignalEstimator::PendingAlert p =
+          est.alert_slots_[tail % est.alert_slots_.size()].read();
       HealthAlert alert;
       alert.time_s = p.time_s;
       alert.mic = mic;
@@ -285,14 +320,17 @@ std::size_t Health::poll() {
       ++tail;
       ++drained;
     }
+    // mo: release recycles the drained slots to queue_alert's acquire
+    // tail load
     est.alert_tail_.store(tail, std::memory_order_release);
+    // mo: monitoring gauge, staleness tolerated by every reader
     state_gauges_[mic]->set(static_cast<std::int64_t>(
         est.state_.load(std::memory_order_relaxed)));
   }
   return drained;
 }
 
-std::uint64_t Health::alerts_dropped() const noexcept {
+std::uint64_t Health::alerts_dropped() const MDN_CHECK_NOEXCEPT {
   std::uint64_t total = 0;
   for (const auto& est : estimators_) total += est->alerts_dropped();
   return total;

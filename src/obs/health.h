@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/atomic.h"
 #include "obs/journal.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
@@ -140,7 +141,7 @@ class MicSignalEstimator {
   /// Closes the block: refreshes onset rate / silence / min-SNR,
   /// evaluates every SLO's for-duration window at this block's sim time
   /// and queues a state transition when the target state changed.
-  MDN_REALTIME void end_block() noexcept;
+  MDN_REALTIME void end_block() MDN_CHECK_NOEXCEPT;
 
   /// Charges one dropped block (rt backpressure) to this microphone.
   /// Safe from any thread; `evidence` is the kBlockDropped journal id.
@@ -148,37 +149,46 @@ class MicSignalEstimator {
 
   // Readers (any thread; relaxed atomics published at end_block).
   double noise_floor() const noexcept {
+    // mo: monitoring gauge, staleness tolerated by every reader
     return noise_floor_.load(std::memory_order_relaxed);
   }
   /// Min over watches of the EWMA SNR in dB; +inf until a watch is heard.
   double min_snr_db() const noexcept {
+    // mo: monitoring gauge, staleness tolerated by every reader
     return min_snr_db_.load(std::memory_order_relaxed);
   }
   /// EWMA SNR of one watch in dB; NaN until that watch is heard.
   double snr_db(std::size_t watch) const noexcept;
   double onset_rate_hz() const noexcept {
+    // mo: monitoring gauge, staleness tolerated by every reader
     return onset_rate_hz_.load(std::memory_order_relaxed);
   }
   /// Seconds from the last present watch to the last processed block.
   double silence_s() const noexcept {
+    // mo: monitoring gauge, staleness tolerated by every reader
     return silence_s_.load(std::memory_order_relaxed);
   }
   std::uint64_t drops() const noexcept {
+    // mo: monitoring counter, no ordering needed with other state
     return drops_.load(std::memory_order_relaxed);
   }
   std::uint64_t blocks() const noexcept {
+    // mo: monitoring counter, no ordering needed with other state
     return blocks_.load(std::memory_order_relaxed);
   }
   HealthState state() const noexcept {
+    // mo: monitoring gauge, staleness tolerated by every reader
     return static_cast<HealthState>(state_.load(std::memory_order_relaxed));
   }
   /// Transitions lost to a full alert ring (poll() fell too far behind).
-  std::uint64_t alerts_dropped() const noexcept {
+  std::uint64_t alerts_dropped() const MDN_CHECK_NOEXCEPT {
+    // mo: monitoring counter, no ordering needed with other state
     return alert_overflow_.load(std::memory_order_relaxed);
   }
 
  private:
   friend class Health;
+  friend struct HealthModelPeer;  // tests/model/: drives the alert ring
 
   struct PendingAlert {
     double time_s = 0.0;
@@ -192,7 +202,7 @@ class MicSignalEstimator {
   MicSignalEstimator(const Health* owner, const HealthConfig& config);
 
   double metric_value(const SloSpec& spec) const noexcept;
-  MDN_REALTIME void queue_alert(const PendingAlert& alert) noexcept;
+  MDN_REALTIME void queue_alert(const PendingAlert& alert) MDN_CHECK_NOEXCEPT;
 
   const Health* owner_;
   const HealthConfig* config_;
@@ -218,10 +228,12 @@ class MicSignalEstimator {
   std::atomic<std::uint8_t> state_{0};
 
   // SPSC transition ring: worker pushes at head, poll() pops at tail.
-  std::vector<PendingAlert> alert_slots_;
-  std::atomic<std::uint64_t> alert_head_{0};
-  std::atomic<std::uint64_t> alert_tail_{0};
-  std::atomic<std::uint64_t> alert_overflow_{0};
+  // Declared through the check shim (common/atomic.h) so tests/model/
+  // verifies the release/acquire protocol across all interleavings.
+  std::vector<check::Cell<PendingAlert>> alert_slots_;
+  check::Atomic<std::uint64_t> alert_head_{0};
+  check::Atomic<std::uint64_t> alert_tail_{0};
+  check::Atomic<std::uint64_t> alert_overflow_{0};
 };
 
 /// The health/SLO engine: owns one MicSignalEstimator per microphone
@@ -272,7 +284,7 @@ class Health {
   /// Every transition drained so far, in drain order.
   const std::vector<HealthAlert>& alerts() const noexcept { return alerts_; }
   /// Transitions lost to full per-mic rings, summed over microphones.
-  std::uint64_t alerts_dropped() const noexcept;
+  std::uint64_t alerts_dropped() const MDN_CHECK_NOEXCEPT;
 
   struct MicReport {
     std::string name;

@@ -65,10 +65,12 @@ void Journal::enable(std::size_t capacity) {
     std::fill(slots_.begin(), slots_.end(), JournalRecord{});
   }
   next_id_ = 1;
+  // mo: flipped at quiescent setup points, never mid-append
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Journal::disable() noexcept {
+  // mo: flipped at quiescent teardown points, never mid-append
   enabled_.store(false, std::memory_order_relaxed);
 }
 

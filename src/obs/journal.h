@@ -108,6 +108,7 @@ class Journal {
 
   /// The single branch every instrumentation site checks first.
   bool enabled() const noexcept {
+    // mo: hot-path flag check; enable/disable happen at quiescent points
     return enabled_.load(std::memory_order_relaxed);
   }
 

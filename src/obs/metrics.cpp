@@ -90,6 +90,7 @@ Histogram::Histogram(const HistogramOptions& options)
     bounds_.push_back(bound);
     bound *= options.growth;
   }
+  // mo: pre-publication init — the histogram is not shared yet
   for (std::size_t i = 0; i < options.buckets; ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
@@ -106,7 +107,9 @@ std::size_t Histogram::bucket_index(double value) const noexcept {
 void Histogram::record(double value) noexcept {
   if (std::isnan(value)) return;
   if (value < 0.0) value = 0.0;
+  // mo: monitoring counter, no ordering needed with other state
   buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  // mo: monitoring counter, no ordering needed with other state
   count_.fetch_add(1, std::memory_order_relaxed);
   detail::atomic_add(sum_, value);
   detail::atomic_min(min_, value);
@@ -115,28 +118,38 @@ void Histogram::record(double value) noexcept {
 
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot snap;
+  // mo: snapshot read, torn multi-field views are acceptable
   snap.count = count_.load(std::memory_order_relaxed);
+  // mo: snapshot read, torn multi-field views are acceptable
   snap.sum = sum_.load(std::memory_order_relaxed);
   if (snap.count > 0) {
+    // mo: snapshot read, torn multi-field views are acceptable
     snap.min = min_.load(std::memory_order_relaxed);
+    // mo: snapshot read, torn multi-field views are acceptable
     snap.max = max_.load(std::memory_order_relaxed);
   }
   snap.bounds = bounds_;
   snap.buckets.resize(options_.buckets);
   for (std::size_t i = 0; i < options_.buckets; ++i) {
+    // mo: snapshot read, torn multi-field views are acceptable
     snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return snap;
 }
 
 void Histogram::reset() noexcept {
+  // mo: test/bench reset; callers quiesce writers first
   for (std::size_t i = 0; i < options_.buckets; ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
+  // mo: test/bench reset; callers quiesce writers first
   count_.store(0, std::memory_order_relaxed);
+  // mo: test/bench reset; callers quiesce writers first
   sum_.store(0.0, std::memory_order_relaxed);
+  // mo: test/bench reset; callers quiesce writers first
   min_.store(std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+  // mo: test/bench reset; callers quiesce writers first
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
 }

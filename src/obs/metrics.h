@@ -28,12 +28,14 @@ namespace mdn::obs {
 namespace detail {
 
 inline void atomic_add(std::atomic<double>& a, double d) noexcept {
+  // mo: lock-free accumulate; the CAS retry loop only needs atomicity
   double cur = a.load(std::memory_order_relaxed);
   while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
   }
 }
 
 inline void atomic_min(std::atomic<double>& a, double v) noexcept {
+  // mo: lock-free accumulate; the CAS retry loop only needs atomicity
   double cur = a.load(std::memory_order_relaxed);
   while (v < cur &&
          !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -41,6 +43,7 @@ inline void atomic_min(std::atomic<double>& a, double v) noexcept {
 }
 
 inline void atomic_max(std::atomic<double>& a, double v) noexcept {
+  // mo: lock-free accumulate; the CAS retry loop only needs atomicity
   double cur = a.load(std::memory_order_relaxed);
   while (v > cur &&
          !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -48,6 +51,7 @@ inline void atomic_max(std::atomic<double>& a, double v) noexcept {
 }
 
 inline void atomic_max(std::atomic<std::int64_t>& a, std::int64_t v) noexcept {
+  // mo: lock-free accumulate; the CAS retry loop only needs atomicity
   std::int64_t cur = a.load(std::memory_order_relaxed);
   while (v > cur &&
          !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -60,12 +64,15 @@ inline void atomic_max(std::atomic<std::int64_t>& a, std::int64_t v) noexcept {
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
+    // mo: monitoring counter, no ordering needed with other state
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   void inc() noexcept { add(1); }
   std::uint64_t value() const noexcept {
+    // mo: monitoring counter, no ordering needed with other state
     return value_.load(std::memory_order_relaxed);
   }
+  // mo: test/bench reset; callers quiesce writers first
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -77,21 +84,27 @@ class Counter {
 class Gauge {
  public:
   void set(std::int64_t v) noexcept {
+    // mo: monitoring gauge, staleness tolerated by every reader (gauge publish)
     value_.store(v, std::memory_order_relaxed);
     detail::atomic_max(max_, v);
   }
   void add(std::int64_t d) noexcept {
+    // mo: monitoring counter, no ordering needed with other state
     const std::int64_t v = value_.fetch_add(d, std::memory_order_relaxed) + d;
     detail::atomic_max(max_, v);
   }
   std::int64_t value() const noexcept {
+    // mo: monitoring gauge, staleness tolerated by every reader
     return value_.load(std::memory_order_relaxed);
   }
   std::int64_t max_seen() const noexcept {
+    // mo: monitoring gauge, staleness tolerated by every reader
     return max_.load(std::memory_order_relaxed);
   }
   void reset() noexcept {
+    // mo: test/bench reset; callers quiesce writers first
     value_.store(0, std::memory_order_relaxed);
+    // mo: test/bench reset; callers quiesce writers first
     max_.store(std::numeric_limits<std::int64_t>::min(),
                std::memory_order_relaxed);
   }
@@ -145,8 +158,10 @@ class Histogram {
 
   void record(double value) noexcept;
   std::uint64_t count() const noexcept {
+    // mo: monitoring gauge, staleness tolerated by every reader
     return count_.load(std::memory_order_relaxed);
   }
+  // mo: monitoring gauge, staleness tolerated by every reader
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
   HistogramSnapshot snapshot() const;
   /// Convenience: snapshot().quantile(q).

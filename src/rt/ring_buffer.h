@@ -13,6 +13,13 @@
 //     (seq store with release), so readers never observe torn blocks.
 // Operations are lock-free and allocation-free; all memory is laid out
 // at construction.  Capacity is rounded up to a power of two.
+//
+// The atomics go through the check::Atomic shim (common/atomic.h): a
+// plain std::atomic in normal builds, a scheduling point under
+// -DMDN_MODEL_CHECK so tests/model/ can verify the protocol across all
+// interleavings.  The slot payload is a check::Cell for the same
+// reason: the release/acquire pairing on `seq` is exactly what makes
+// the non-atomic payload access safe, and the model checker proves it.
 #pragma once
 
 #include <atomic>
@@ -21,6 +28,17 @@
 #include <utility>
 
 #include "common/annotations.h"
+#include "common/atomic.h"
+
+// The slot-publish order is the linchpin of the protocol: relax it and
+// a consumer can read a torn/unpublished payload.  tests/model/ seeds
+// exactly that bug (MDN_CHECK_SEEDED_RING_BUG, one fixture target only)
+// to prove the checker catches it with a replayable counterexample.
+#ifdef MDN_CHECK_SEEDED_RING_BUG
+#define MDN_RING_PUBLISH_ORDER std::memory_order_relaxed
+#else
+#define MDN_RING_PUBLISH_ORDER std::memory_order_release
+#endif
 
 namespace mdn::rt {
 
@@ -34,6 +52,7 @@ class RingBuffer {
     mask_ = cap - 1;
     cells_ = std::make_unique<Cell[]>(cap);
     for (std::size_t i = 0; i < cap; ++i) {
+      // mo: pre-publication init — the ring is not shared yet
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -44,15 +63,20 @@ class RingBuffer {
   std::size_t capacity() const noexcept { return mask_ + 1; }
 
   /// False when the ring is full (value is left untouched).
-  MDN_REALTIME bool try_push(T&& value) noexcept {
+  MDN_REALTIME bool try_push(T&& value) MDN_CHECK_NOEXCEPT {
     Cell* cell;
+    // mo: cursor scan only; the acquire on cell->seq orders the payload
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
+      // mo: pairs with the release publish below — claims see the
+      // consumer's slot recycle before reusing the payload
       const std::size_t seq = cell->seq.load(std::memory_order_acquire);
       const std::ptrdiff_t dif = static_cast<std::ptrdiff_t>(seq) -
                                  static_cast<std::ptrdiff_t>(pos);
       if (dif == 0) {
+        // mo: the CAS only arbitrates the claim; publication happens
+        // via the release store on cell->seq, not the cursor
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -60,24 +84,33 @@ class RingBuffer {
       } else if (dif < 0) {
         return false;  // full
       } else {
+        // mo: retry scan; stale reads only cost another loop
         pos = tail_.load(std::memory_order_relaxed);
       }
     }
-    cell->value = std::move(value);
-    cell->seq.store(pos + 1, std::memory_order_release);
+    cell->value.write(std::move(value));
+    // mo: release publishes the fully-constructed payload to the
+    // acquire load in try_pop (MDN_RING_PUBLISH_ORDER == release except
+    // in the seeded-bug model fixture)
+    cell->seq.store(pos + 1, MDN_RING_PUBLISH_ORDER);
     return true;
   }
 
   /// False when the ring is empty (out is left untouched).
-  MDN_REALTIME bool try_pop(T& out) noexcept {
+  MDN_REALTIME bool try_pop(T& out) MDN_CHECK_NOEXCEPT {
     Cell* cell;
+    // mo: cursor scan only; the acquire on cell->seq orders the payload
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
+      // mo: pairs with the release publish in try_push — the payload
+      // read below is ordered after the producer's write
       const std::size_t seq = cell->seq.load(std::memory_order_acquire);
       const std::ptrdiff_t dif = static_cast<std::ptrdiff_t>(seq) -
                                  static_cast<std::ptrdiff_t>(pos + 1);
       if (dif == 0) {
+        // mo: the CAS only arbitrates the claim; slot recycling happens
+        // via the release store on cell->seq, not the cursor
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -85,37 +118,53 @@ class RingBuffer {
       } else if (dif < 0) {
         return false;  // empty
       } else {
+        // mo: retry scan; stale reads only cost another loop
         pos = head_.load(std::memory_order_relaxed);
       }
     }
-    out = std::move(cell->value);
-    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    out = cell->value.take();
+    // mo: release recycles the emptied slot to the producer's acquire
+    // load (the moved-from payload must not be overwritten early)
+    cell->seq.store(pos + mask_ + 1, MDN_RING_PUBLISH_ORDER);
     return true;
   }
 
   /// Approximate occupancy (exact only when producers and consumers are
   /// quiescent) — feed for queue-depth gauges, never for control flow.
-  std::size_t size() const noexcept {
+  std::size_t size() const MDN_CHECK_NOEXCEPT {
+    // mo: monitoring estimate, torn cursor pairs are acceptable
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    // mo: monitoring estimate, torn cursor pairs are acceptable
     const std::size_t head = head_.load(std::memory_order_relaxed);
     return tail >= head ? tail - head : 0;
   }
 
-  bool empty() const noexcept { return size() == 0; }
-  bool full() const noexcept { return size() >= capacity(); }
+  bool empty() const MDN_CHECK_NOEXCEPT { return size() == 0; }
+  bool full() const MDN_CHECK_NOEXCEPT { return size() >= capacity(); }
+
+  /// Labels this ring's locations in model-check counterexample
+  /// timelines (no-op in normal builds).
+  void name_for_model(const char* tail_label, const char* head_label,
+                      const char* seq_label) const MDN_CHECK_NOEXCEPT {
+    check::name(&tail_, tail_label);
+    check::name(&head_, head_label);
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      check::name(&cells_[i].seq, seq_label);
+    }
+  }
 
  private:
   struct Cell {
-    std::atomic<std::size_t> seq{0};
-    T value{};
+    check::Atomic<std::size_t> seq{0};
+    check::Cell<T> value{};
   };
 
   std::unique_ptr<Cell[]> cells_;
   std::size_t mask_ = 1;
   // Producer and consumer cursors on separate cache lines so a busy
   // producer does not invalidate the consumer's line on every push.
-  alignas(64) std::atomic<std::size_t> tail_{0};
-  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) check::Atomic<std::size_t> tail_{0};
+  alignas(64) check::Atomic<std::size_t> head_{0};
 };
 
 }  // namespace mdn::rt

@@ -156,6 +156,7 @@ bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
         if (config_.health != nullptr) {
           config_.health->estimator(mic).note_drop(drop_id);
         }
+        // mo: monitoring counter, no ordering needed with other state
         dropped_newest_.fetch_add(1, std::memory_order_relaxed);
         drops_newest_counter_->inc();
         return false;  // seq not consumed: the stream stays contiguous
@@ -171,6 +172,7 @@ bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
           if (config_.health != nullptr) {
             config_.health->estimator(oldest.mic).note_drop(drop_id);
           }
+          // mo: monitoring counter, no ordering needed with other state
           dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
           drops_oldest_counter_->inc();
           oldest.samples.clear();
@@ -185,6 +187,7 @@ bool StreamRuntime::submit_block(std::uint32_t mic, double start_s,
   }
   ++next_seq_[mic];
   if (q.depth != nullptr) q.depth->add(1);
+  // mo: monitoring counter, no ordering needed with other state
   submitted_.fetch_add(1, std::memory_order_relaxed);
   submitted_counter_->inc();
   return true;
@@ -245,9 +248,12 @@ void StreamRuntime::finish() {
 
 StreamRuntimeStats StreamRuntime::stats() const {
   StreamRuntimeStats s;
+  // mo: snapshot read, torn multi-field views are acceptable
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.processed = pool_ != nullptr ? pool_->blocks_processed() : 0;
+  // mo: snapshot read, torn multi-field views are acceptable
   s.dropped_oldest = dropped_oldest_.load(std::memory_order_relaxed);
+  // mo: snapshot read, torn multi-field views are acceptable
   s.dropped_newest = dropped_newest_.load(std::memory_order_relaxed);
   s.delivered = delivered_;
   return s;

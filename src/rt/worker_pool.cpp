@@ -50,6 +50,7 @@ void WorkerPool::start() {
   // Warm-up handshake: don't return until every worker has built its
   // plan tables and thread-local scratch, so callers that time the
   // steady state (benches, latency SLOs) never see first-detect costs.
+  // mo: pairs with each worker's release increment — warm-up writes (plans, scratch) are visible once the count matches
   while (warmed_.load(std::memory_order_acquire) < workers_) {
     std::this_thread::yield();
   }
@@ -66,6 +67,7 @@ void WorkerPool::run_worker(std::size_t index) {
   // thread's detect scratch — happen before the handshake completes, so
   // nothing multi-millisecond pollutes the first timed block.
   detector_.warm_up();
+  // mo: release publishes this worker's warm-up state to start()'s acquire loop
   warmed_.fetch_add(1, std::memory_order_release);
 
   obs::Histogram* wall_ns = block_wall_ns_[index];
@@ -90,6 +92,7 @@ void WorkerPool::run_worker(std::size_t index) {
         process_batch(scratch, got, active_[mic], wall_ns);
         did_work = true;
         all_closed = false;
+      // mo: pairs with finish()'s release store — the final blocks precede the close decision
       } else if (producers_done_.load(std::memory_order_acquire)) {
         // Ring drained and no producer will refill it: this microphone
         // is finished — stop gating the merge watermark on it.
@@ -200,9 +203,11 @@ void WorkerPool::process_batch(BatchScratch& scratch, std::size_t count,
   // Amortised telemetry: one atomic flush per batch, and the per-worker
   // wall histogram gets `count` samples of the batch average so its
   // count stays one-per-block.
+  // mo: monitoring counter, no ordering needed with other state
   processed_.fetch_add(count, std::memory_order_relaxed);
   processed_counter_->add(count);
   if (batch_events > 0) {
+    // mo: monitoring counter, no ordering needed with other state
     events_.fetch_add(batch_events, std::memory_order_relaxed);
     events_counter_->add(batch_events);
   }

@@ -91,6 +91,7 @@ class WorkerPool {
 
   /// Producers promise not to submit again; workers drain their rings,
   /// close their microphones in the merge and exit.
+  // mo: release pairs with the workers' acquire — every block pushed before finish() is visible to the drain pass
   void finish() noexcept { producers_done_.store(true, std::memory_order_release); }
 
   void join();
@@ -98,9 +99,11 @@ class WorkerPool {
   std::size_t worker_count() const noexcept { return workers_; }
   std::size_t batch_max() const noexcept { return batch_max_; }
   std::uint64_t blocks_processed() const noexcept {
+    // mo: monitoring counter, no ordering needed with other state
     return processed_.load(std::memory_order_relaxed);
   }
   std::uint64_t events_emitted() const noexcept {
+    // mo: monitoring counter, no ordering needed with other state
     return events_.load(std::memory_order_relaxed);
   }
 

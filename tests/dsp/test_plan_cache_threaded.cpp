@@ -1,0 +1,68 @@
+// Concurrent first-touch behaviour of dsp::PlanCache: N threads racing
+// to request the same plan size must all receive the same plan pointer,
+// and the cache must construct that plan exactly once (counted through
+// the constructions_for_testing() hook).  Lives in test_dsp, which is
+// THREADED — the tsan CI job runs this under `ctest -L threaded`.
+#include "dsp/fft_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace mdn::dsp {
+namespace {
+
+TEST(PlanCacheThreaded, ConcurrentFirstTouchBuildsOnce) {
+  constexpr int kThreads = 8;
+  constexpr std::size_t kSize = 1024;
+  PlanCache cache;  // fresh cache: constructions start at zero
+  ASSERT_EQ(cache.constructions_for_testing(), 0u);
+
+  std::vector<std::shared_ptr<const FftPlan>> got(kThreads);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (!go.load()) {
+      }  // spin barrier: maximise first-touch overlap
+      got[i] = cache.complex_plan(kSize);
+    });
+  }
+  while (ready.load() < kThreads) {
+  }
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(got[i], nullptr) << "thread " << i;
+    EXPECT_EQ(got[i].get(), got[0].get())
+        << "thread " << i << " received a different plan object";
+  }
+  EXPECT_EQ(cache.constructions_for_testing(), 1u)
+      << "racing first-touch requests must construct exactly one plan";
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheThreaded, DistinctKeysCountSeparately) {
+  PlanCache cache;
+  auto fwd = cache.complex_plan(256, /*inverse=*/false);
+  auto inv = cache.complex_plan(256, /*inverse=*/true);
+  auto real = cache.real_plan(256);
+  EXPECT_NE(fwd.get(), inv.get());
+  // RealFftPlan(256) internally builds its own half-size sub-plan, but
+  // only cache-level constructions are counted.
+  EXPECT_EQ(cache.constructions_for_testing(), 3u);
+  // Repeat requests are hits.
+  (void)cache.complex_plan(256);
+  (void)cache.real_plan(256);
+  EXPECT_EQ(cache.constructions_for_testing(), 3u);
+}
+
+}  // namespace
+}  // namespace mdn::dsp

@@ -1,0 +1,37 @@
+// Seeded-violation fixture for scripts/mdn_lint.py (--lock-order).
+//
+// This file is NOT part of the build.  It exists so the lint suite can
+// prove the lock-order audit still *fails* on real cycles: a
+// `--only lock-order` run over this file must exit non-zero, and the
+// negative ctest entry (lint.lock_order_fixture_fails) is WILL_FAIL —
+// if the pass ever goes blind, that test turns red.
+//
+// The two functions below acquire the same pair of mutexes in opposite
+// orders while holding the first — the classic AB/BA deadlock.  The
+// linter must assemble the acquisition graph from the observed
+// MutexLock nesting and report the cycle.
+
+#include "common/mutex.h"
+
+namespace mdn::lintfixture {
+
+struct TwoLocks {
+  common::Mutex mu_a_;
+  common::Mutex mu_b_;
+  int value_a_ MDN_GUARDED_BY(mu_a_) = 0;
+  int value_b_ MDN_GUARDED_BY(mu_b_) = 0;
+
+  void forward() {
+    common::MutexLock a(mu_a_);
+    common::MutexLock b(mu_b_);  // edge mu_a_ -> mu_b_
+    value_a_ += value_b_;
+  }
+
+  void backward() {
+    common::MutexLock b(mu_b_);
+    common::MutexLock a(mu_a_);  // edge mu_b_ -> mu_a_: cycle!
+    value_b_ += value_a_;
+  }
+};
+
+}  // namespace mdn::lintfixture

@@ -1,0 +1,37 @@
+// Seeded-violation fixture for scripts/mdn_lint.py (--memory-order).
+//
+// This file is NOT part of the build.  It exists so the lint suite can
+// prove the memory-order audit still *fails* on real violations: a
+// `--only memory-order` run over this file must exit non-zero, and the
+// negative ctest entry (lint.memory_order_fixture_fails) is WILL_FAIL —
+// if the pass ever goes blind, that test turns red.
+//
+// Every weak order below is a deliberate violation — no `// mo:`
+// justification and no allowlist tuple — and must NOT be added to
+// scripts/mdn_lint_allowlist.txt.
+
+#include <atomic>
+#include <cstdint>
+
+namespace mdn::lintfixture {
+
+std::atomic<std::uint64_t> g_counter{0};
+std::atomic<bool> g_flag{false};
+
+// A bare relaxed load with no justification: the exact silent-weak-op
+// this pass exists to stop.
+inline std::uint64_t sneaky_read() {
+  return g_counter.load(std::memory_order_relaxed);
+}
+
+// A release store that is neither commented nor allowlisted.
+inline void sneaky_publish() {
+  g_flag.store(true, std::memory_order_release);
+}
+
+// A relaxed RMW; even "obviously fine" counters need the rationale.
+inline void sneaky_count() {
+  g_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace mdn::lintfixture

@@ -1,0 +1,29 @@
+// WILL_FAIL fixture: runs the seeded-ring-bug body under the model
+// checker and exits non-zero (printing the counterexample timeline and
+// replay seed) when the bug is caught.  ctest registers this binary
+// with WILL_FAIL TRUE — if the checker ever goes blind to the relaxed
+// slot publish, this fixture starts passing and the suite goes red.
+
+#ifndef MDN_CHECK_SEEDED_RING_BUG
+#error "this fixture must be compiled with MDN_CHECK_SEEDED_RING_BUG"
+#endif
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "tests/model/seeded_ring_bug_body.h"
+
+int main() {
+  using namespace mdn;
+  const check::Result result = check::explore(model::seeded_bug_options(),
+                                              model::seeded_ring_bug_body);
+  if (!result.ok) {
+    std::printf("%s\n", result.first_failure.c_str());
+    std::printf("schedules explored before the failure: %ld\n",
+                result.schedules);
+    return 1;
+  }
+  std::printf("no failure found in %ld schedules (checker is blind!)\n",
+              result.schedules);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared plumbing for the tests/model/ harnesses (built only under
+// -DMDN_MODEL_CHECK; see tests/model/CMakeLists.txt).
+//
+// Conventions the harnesses follow:
+//   * every shared object is constructed INSIDE the explore() body so
+//     each schedule starts from a fresh state;
+//   * spin loops are bounded (an unbounded retry loop livelocks under
+//     the serializing scheduler and trips the step cap);
+//   * each harness asserts it explored at least kMinSchedules distinct
+//     schedules and that the DFS completed within its bounds — the
+//     "exhaustive" in exhaustive-interleaving is itself under test.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace mdn::model {
+
+/// Acceptance floor from ISSUE 10: every harness must visit at least
+/// this many distinct schedules.
+inline constexpr long kMinSchedules = 1000;
+
+/// Asserts a clean, complete, sufficiently-deep exploration.
+inline void expect_exhaustive(const check::Result& result) {
+  EXPECT_TRUE(result.ok) << result.first_failure;
+  EXPECT_EQ(result.failures, 0);
+  EXPECT_TRUE(result.complete)
+      << "exploration hit a cap before exhausting the space: "
+      << result.schedules << " schedules, " << result.pruned << " pruned";
+  EXPECT_GE(result.schedules, kMinSchedules)
+      << "harness bounds too tight to be meaningful";
+}
+
+/// Asserts the exploration found a bug and that its counterexample seed
+/// deterministically replays to the same failure.
+inline void expect_caught_and_replayable(
+    const check::Options& options, const check::Result& result,
+    const std::function<void()>& body) {
+  ASSERT_FALSE(result.ok) << "the checker missed a seeded bug";
+  EXPECT_GE(result.failures, 1);
+  ASSERT_FALSE(result.failing_schedule.empty());
+  EXPECT_NE(result.first_failure.find("replay seed"), std::string::npos)
+      << result.first_failure;
+
+  check::Options replay = options;
+  replay.replay = result.failing_schedule;
+  const check::Result again = check::explore(replay, body);
+  EXPECT_FALSE(again.ok) << "replay seed did not reproduce the failure";
+  EXPECT_EQ(again.schedules + again.pruned, 1)
+      << "replay must run exactly one schedule";
+  EXPECT_EQ(again.first_failure, result.first_failure)
+      << "replay reproduced a different failure";
+}
+
+}  // namespace mdn::model

@@ -1,0 +1,33 @@
+// The shared producer/consumer body of the seeded-ring-bug fixtures
+// (test_model_seeded_bug.cpp and model_seeded_bug_fixture.cpp).  Built
+// only with -DMDN_CHECK_SEEDED_RING_BUG, which turns the ring's slot
+// release publish into a relaxed store: the consumer's payload read
+// then races the producer's payload write on some schedule.
+#pragma once
+
+#include "common/check.h"
+#include "rt/ring_buffer.h"
+
+namespace mdn::model {
+
+inline void seeded_ring_bug_body() {
+  rt::RingBuffer<int> ring(2);
+  ring.name_for_model("tail", "head", "slot.seq");
+  check::thread producer([&ring] { (void)ring.try_push(7); });
+  // A successful pop's payload read must happen-after the producer's
+  // payload write; with the relaxed publish the checker's vector clocks
+  // can no longer derive that edge and flag the slot access as a race.
+  int v = -1;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (ring.try_pop(v)) MDN_CHECK(v == 7);
+  }
+  producer.join();
+}
+
+inline check::Options seeded_bug_options() {
+  check::Options options;
+  options.max_preemptions = 3;
+  return options;
+}
+
+}  // namespace mdn::model

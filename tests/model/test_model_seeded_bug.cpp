@@ -1,0 +1,42 @@
+// Acceptance check for the checker itself: this binary is compiled with
+// -DMDN_CHECK_SEEDED_RING_BUG, which relaxes rt::RingBuffer's
+// slot-sequence release publish (MDN_RING_PUBLISH_ORDER in
+// rt/ring_buffer.h).  The consumer can then claim a slot whose payload
+// write is not ordered before its read — the checker must find such a
+// schedule, flag the payload race, and hand back a seed that replays
+// it deterministically.
+//
+// The sibling fixture model_seeded_bug_fixture.cpp runs the same body
+// and *fails* when the bug fires; ctest registers it WILL_FAIL so CI
+// proves the detection with the counterexample in the test log.
+
+#ifndef MDN_CHECK_SEEDED_RING_BUG
+#error "this harness must be compiled with MDN_CHECK_SEEDED_RING_BUG"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "model_test_util.h"
+#include "tests/model/seeded_ring_bug_body.h"
+
+namespace mdn {
+namespace {
+
+TEST(ModelSeededBug, RelaxedSlotPublishIsCaughtWithReplayableTrace) {
+  const check::Options options = model::seeded_bug_options();
+  const check::Result result =
+      check::explore(options, model::seeded_ring_bug_body);
+  ASSERT_FALSE(result.ok)
+      << "the checker failed to catch the relaxed slot-sequence publish";
+  EXPECT_NE(result.first_failure.find("data race"), std::string::npos)
+      << result.first_failure;
+  EXPECT_NE(result.first_failure.find("slot.seq"), std::string::npos)
+      << "counterexample timeline should name the ring locations:\n"
+      << result.first_failure;
+  model::expect_caught_and_replayable(options, result,
+                                      model::seeded_ring_bug_body);
+}
+
+}  // namespace
+}  // namespace mdn

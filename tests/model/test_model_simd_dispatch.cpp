@@ -1,0 +1,48 @@
+// Model-checked SIMD dispatch initialization: concurrent first calls to
+// active_kernels()/active_isa() race on the lazily-initialized dispatch
+// globals.  The init is idempotent by design (every initializer stores
+// the same table for this process), so across every interleaving all
+// callers must end up on the same kernel table, consistent with the
+// reported ISA.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "dsp/simd.h"
+#include "model_test_util.h"
+
+namespace mdn {
+namespace {
+
+TEST(ModelSimdDispatch, ConcurrentLazyInitConverges) {
+  check::Options options;
+  options.sleep_sets = false;  // read-mostly body: count raw interleavings
+  options.max_preemptions = 6;  // read-heavy: cheap to explore deeper
+  const check::Result result = check::explore(options, [] {
+    dsp::simd::reset_dispatch_for_testing();
+    const dsp::simd::Kernels* seen[2] = {nullptr, nullptr};
+    dsp::simd::Isa isa[2] = {dsp::simd::Isa::kScalar, dsp::simd::Isa::kScalar};
+    const auto reader = [&](int slot) {
+      return [&, slot] {
+        seen[slot] = &dsp::simd::active_kernels();
+        isa[slot] = dsp::simd::active_isa();
+        // Second call must be a pure read of the settled state.
+        MDN_CHECK(&dsp::simd::active_kernels() == seen[slot]);
+      };
+    };
+    check::thread t0(reader(0));
+    check::thread t1(reader(1));
+    t0.join();
+    t1.join();
+    // Both callers converged on one table, and it is the table the
+    // final ISA maps to (init is idempotent: last store wins but every
+    // store carries the same selection).
+    MDN_CHECK(seen[0] == seen[1]);
+    MDN_CHECK(seen[0] == &dsp::simd::kernels_for(dsp::simd::active_isa()));
+    MDN_CHECK(isa[0] == isa[1]);
+  });
+  model::expect_exhaustive(result);
+}
+
+}  // namespace
+}  // namespace mdn

@@ -145,5 +145,54 @@ TEST(EventLoop, PendingCountsLiveEventsOnly) {
   EXPECT_EQ(loop.pending(), 1u);
 }
 
+TEST(EventLoop, ScheduleCancelChurnDoesNotGrowHeap) {
+  // Regression: tombstones used to be reclaimed only when popped, so a
+  // long-lived loop that schedules and cancels (timeouts, retransmit
+  // timers) grew the heap without bound.  cancel() now compacts when
+  // tombstones exceed half the heap; 100k churn cycles must stay within
+  // a small multiple of the live watermark.
+  EventLoop loop;
+  // A few long-lived events so compaction always has survivors to keep.
+  std::vector<EventLoop::EventId> keep;
+  for (int i = 0; i < 8; ++i) {
+    keep.push_back(loop.schedule_at(1'000'000 + i, [] {}));
+  }
+  for (int i = 0; i < 100'000; ++i) {
+    const auto id = loop.schedule_at(500'000 + i, [] {});
+    loop.cancel(id);
+    ASSERT_LE(loop.heap_size(), 2 * loop.pending() + 2)
+        << "tombstones accumulating at churn cycle " << i;
+  }
+  EXPECT_EQ(loop.pending(), keep.size());
+  for (const auto id : keep) loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.run();
+  EXPECT_EQ(loop.dispatched(), 0u);
+}
+
+TEST(EventLoop, CompactionPreservesOrderAndCancellation) {
+  // Force a compaction mid-stream, then check that survivors still fire
+  // in (time, id) order and cancelled events stay cancelled.
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<EventLoop::EventId> doomed;
+  for (int i = 0; i < 64; ++i) {
+    if (i % 2 == 0) {
+      loop.schedule_at(100 + i, [&order, i] { order.push_back(i); });
+    } else {
+      doomed.push_back(loop.schedule_at(100 + i, [&order, i] {
+        order.push_back(-i);
+      }));
+    }
+  }
+  for (const auto id : doomed) loop.cancel(id);  // 50% dead -> compacts
+  EXPECT_LE(loop.heap_size(), 2 * loop.pending() + 2);
+  loop.run();
+  ASSERT_EQ(order.size(), 32u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(2 * i));
+  }
+}
+
 }  // namespace
 }  // namespace mdn::net
